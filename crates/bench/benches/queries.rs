@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks: query answering on summaries vs exact
+//! answering on the input graph (the Fig. 8(b)/(c) query-time
+//! comparison at micro scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pgs_baselines::{saags_summarize, SaagsConfig};
+use pgs_core::{summarize, PegasusConfig};
+use pgs_graph::gen::planted_partition;
+use pgs_queries::{get_neighbors, hops_exact, hops_summary, php_summary, rwr_exact, rwr_summary};
+
+fn bench_queries(c: &mut Criterion) {
+    let g = planted_partition(3_000, 30, 21_000, 3_000, 1);
+    let budget = 0.5 * g.size_bits();
+    let pegasus = summarize(&g, &[0], budget, &PegasusConfig::default());
+    // SAAGs produces dense summaries — queries on it are slower, the
+    // effect Fig. 8 highlights.
+    let saags = saags_summarize(&g, g.num_nodes() / 2, &SaagsConfig::default());
+
+    let mut group = c.benchmark_group("rwr");
+    group.sample_size(10);
+    group.bench_function("exact_on_graph", |b| {
+        b.iter(|| black_box(rwr_exact(&g, 7, 0.05)))
+    });
+    group.bench_function("on_pegasus_summary", |b| {
+        b.iter(|| black_box(rwr_summary(&pegasus, 7, 0.05)))
+    });
+    group.bench_function("on_saags_dense_summary", |b| {
+        b.iter(|| black_box(rwr_summary(&saags, 7, 0.05)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("bfs_hops");
+    group.sample_size(20);
+    group.bench_function("exact_on_graph", |b| {
+        b.iter(|| black_box(hops_exact(&g, 7)))
+    });
+    group.bench_function("on_pegasus_summary", |b| {
+        b.iter(|| black_box(hops_summary(&pegasus, 7)))
+    });
+    group.bench_function("on_saags_dense_summary", |b| {
+        b.iter(|| black_box(hops_summary(&saags, 7)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("php");
+    group.sample_size(10);
+    group.bench_function("on_pegasus_summary", |b| {
+        b.iter(|| black_box(php_summary(&pegasus, 7, 0.95)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("neighborhood");
+    group.bench_function("alg4_get_neighbors", |b| {
+        b.iter(|| black_box(get_neighbors(&pegasus, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

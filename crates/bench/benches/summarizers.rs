@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks: end-to-end summarization per method
+//! (the Fig. 8(a) summarization-time comparison at micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pgs_baselines::{kgrass_summarize, s2l_summarize, saags_summarize};
+use pgs_baselines::{KGrassConfig, S2lConfig, SaagsConfig};
+use pgs_core::{ssumm_summarize, summarize, PegasusConfig, SsummConfig};
+use pgs_graph::gen::planted_partition;
+
+fn bench_summarizers(c: &mut Criterion) {
+    let g = planted_partition(2_000, 20, 14_000, 2_000, 1);
+    let budget = 0.5 * g.size_bits();
+    let k = g.num_nodes() / 2;
+    let targets: Vec<u32> = (0..100).collect();
+
+    let mut group = c.benchmark_group("summarize_2k_nodes");
+    group.sample_size(10);
+
+    group.bench_function("pegasus_personalized", |b| {
+        b.iter(|| {
+            black_box(summarize(
+                &g,
+                &targets,
+                budget,
+                &PegasusConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("pegasus_uniform", |b| {
+        b.iter(|| black_box(summarize(&g, &[], budget, &PegasusConfig::default())))
+    });
+    group.bench_function("ssumm", |b| {
+        b.iter(|| black_box(ssumm_summarize(&g, budget, &SsummConfig::default())))
+    });
+    group.bench_function("saags", |b| {
+        b.iter(|| black_box(saags_summarize(&g, k, &SaagsConfig::default())))
+    });
+    group.bench_function("s2l", |b| {
+        b.iter(|| black_box(s2l_summarize(&g, k, &S2lConfig::default())))
+    });
+    group.bench_function("kgrass", |b| {
+        b.iter(|| black_box(kgrass_summarize(&g, k, &KGrassConfig::default())))
+    });
+    group.finish();
+
+    // Scaling shape: PeGaSus runtime across graph sizes (Fig. 6 at
+    // micro scale; the full sweep lives in `exp_fig6_scalability`).
+    let mut scale_group = c.benchmark_group("pegasus_scaling");
+    scale_group.sample_size(10);
+    for n in [500usize, 1_000, 2_000, 4_000] {
+        let g = planted_partition(n, n / 100, 7 * n, n, 2);
+        let budget = 0.5 * g.size_bits();
+        scale_group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(summarize(g, &[0], budget, &PegasusConfig::default())))
+        });
+    }
+    scale_group.finish();
+}
+
+criterion_group!(benches, bench_summarizers);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Runs every experiment binary in sequence (the full Sect. V
+//! reproduction). Each sub-experiment is also runnable on its own.
+//!
+//! ```text
+//! cargo run --release -p pgs-bench --bin exp_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        "exp_datasets",
+        "exp_fig5_effectiveness",
+        "exp_fig6_scalability",
+        "exp_fig7_query_accuracy",
+        "exp_fig8_speed",
+        "exp_fig9_alpha",
+        "exp_fig10_diameter",
+        "exp_fig11_beta",
+        "exp_fig12_distributed",
+        "exp_ablation_cost",
+    ];
+    // Resolve sibling binaries from our own location so this works from
+    // any working directory and any target dir.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for exp in exps {
+        println!("\n################ {exp} ################");
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        if !status.success() {
+            eprintln!("{exp} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,35 @@
+//! Table II — dataset inventory: the paper's six graphs vs our offline
+//! stand-ins (largest connected components, like the paper).
+//!
+//! ```text
+//! cargo run --release -p pgs-bench --bin exp_datasets
+//! ```
+
+use pgs_bench::{dataset, dataset_names};
+use pgs_graph::traverse::effective_diameter;
+
+fn main() {
+    println!("Table II: six real-world graphs and their offline stand-ins");
+    println!(
+        "{:<4} {:<40} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "Name", "Paper dataset (stand-in class)", "paper |V|", "paper |E|", "our |V|", "our |E|", "eff.diam"
+    );
+    for name in dataset_names() {
+        let d = dataset(name);
+        let diam = effective_diameter(&d.graph, 20, 7);
+        println!(
+            "{:<4} {:<40} {:>12} {:>12} {:>10} {:>10} {:>8.2}",
+            d.name,
+            d.paper_name,
+            d.paper_nodes,
+            d.paper_edges,
+            d.graph.num_nodes(),
+            d.graph.num_edges(),
+            diam
+        );
+    }
+    println!();
+    println!("The synthetic scalability graph of Table II (BA model, 10M nodes /");
+    println!("1B edges in the paper) is generated on demand by exp_fig6_scalability.");
+    println!("Real edge lists drop in via pgs_graph::io::read_edge_list.");
+}

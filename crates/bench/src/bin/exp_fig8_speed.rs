@@ -1,0 +1,102 @@
+//! Fig. 8 — summarization time and query time per method at
+//! compression ratio 0.5.
+//!
+//! (a) wall time to summarize; (b) BFS (HOP) query time on each output;
+//! (c) RWR query time on each output; with the uncompressed input graph
+//! as the query-time reference. Expected shape (paper): PeGaSus/SSumM
+//! among the fastest summarizers; queries on k-GraSS/S2L/SAAGs outputs
+//! much slower because their summaries are dense.
+//!
+//! ```text
+//! cargo run --release -p pgs-bench --bin exp_fig8_speed
+//! ```
+
+use pgs_baselines::{kgrass_summarize, s2l_summarize, saags_summarize};
+use pgs_baselines::{KGrassConfig, S2lConfig, SaagsConfig};
+use pgs_bench::{baseline_feasible, dataset, sample_queries, timed};
+use pgs_core::pegasus::{summarize, PegasusConfig};
+use pgs_core::{ssumm_summarize, SsummConfig, Summary};
+use pgs_queries::{hops_exact, hops_summary, rwr_exact, rwr_summary};
+
+fn main() {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if names.is_empty() {
+        vec!["LA", "CA", "DB", "A6", "SK"]
+    } else {
+        names.iter().map(|s| s.as_str()).collect()
+    };
+
+    for name in names {
+        let d = dataset(name);
+        let g = &d.graph;
+        let budget = 0.5 * g.size_bits();
+        let k = g.num_nodes() / 2;
+        let queries = sample_queries(g, 5, 13);
+        println!(
+            "\n=== Fig. 8: {} ({} nodes, {} edges, ratio 0.5) ===",
+            d.name,
+            g.num_nodes(),
+            g.num_edges()
+        );
+        println!(
+            "{:<14} {:>12} {:>10} {:>12} {:>12}",
+            "method", "build (ms)", "|P|", "BFS (ms)", "RWR (ms)"
+        );
+
+        // Reference: uncompressed queries on the input graph.
+        let (_, bfs_ref) = timed(|| {
+            for &q in &queries {
+                std::hint::black_box(hops_exact(g, q));
+            }
+        });
+        let (_, rwr_ref) = timed(|| {
+            for &q in &queries {
+                std::hint::black_box(rwr_exact(g, q, 0.05));
+            }
+        });
+        println!(
+            "{:<14} {:>12} {:>10} {:>12.1} {:>12.1}",
+            "Uncompressed",
+            "-",
+            g.num_edges(),
+            bfs_ref * 1e3 / queries.len() as f64,
+            rwr_ref * 1e3 / queries.len() as f64
+        );
+
+        let report = |method: &str, s: Summary, build_secs: f64| {
+            let (_, bfs) = timed(|| {
+                for &q in &queries {
+                    std::hint::black_box(hops_summary(&s, q));
+                }
+            });
+            let (_, rwr) = timed(|| {
+                for &q in &queries {
+                    std::hint::black_box(rwr_summary(&s, q, 0.05));
+                }
+            });
+            println!(
+                "{:<14} {:>12.0} {:>10} {:>12.1} {:>12.1}",
+                method,
+                build_secs * 1e3,
+                s.num_superedges(),
+                bfs * 1e3 / queries.len() as f64,
+                rwr * 1e3 / queries.len() as f64
+            );
+        };
+
+        let (p, t) = timed(|| summarize(g, &queries, budget, &PegasusConfig::default()));
+        report("PeGaSus", p, t);
+        let (s, t) = timed(|| ssumm_summarize(g, budget, &SsummConfig::default()));
+        report("SSumM", s, t);
+        if baseline_feasible(g) {
+            let (x, t) = timed(|| saags_summarize(g, k, &SaagsConfig::default()));
+            report("SAAGs", x, t);
+            let (x, t) = timed(|| s2l_summarize(g, k, &S2lConfig::default()));
+            report("S2L", x, t);
+            let (x, t) = timed(|| kgrass_summarize(g, k, &KGrassConfig::default()));
+            report("k-GraSS", x, t);
+        } else {
+            println!("{:<14} o.o.t. (size threshold, as in the paper)", "SAAGs/S2L/k-GraSS");
+        }
+    }
+}

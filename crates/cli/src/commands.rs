@@ -1,0 +1,354 @@
+//! Subcommand implementations and minimal flag parsing.
+
+use pgs_core::pegasus::{summarize_with_stats, PegasusConfig};
+use pgs_core::ssumm::ssumm_summarize_with_stats;
+use pgs_core::summary_io::{read_summary, write_summary};
+use pgs_core::SsummConfig;
+use pgs_graph::io::read_edge_list;
+use pgs_graph::traverse::effective_diameter;
+use pgs_graph::Graph;
+use pgs_partition::Method;
+use pgs_queries as q;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+pgs — personalized graph summarization (PeGaSus, ICDE 2022)
+
+USAGE:
+  pgs info <edges.txt>
+  pgs summarize <edges.txt> -o <out.summary> [--ratio 0.5] [--targets 1,2,3]
+                [--alpha 1.25] [--beta 0.1] [--method pegasus|ssumm] [--seed 0]
+  pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
+            [--truth <edges.txt>]
+  pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
+
+Edge lists: one `u v` pair per line, `#`/`%` comments (SNAP/KONECT style).
+";
+
+/// Minimal flag parser: positionals plus `--flag value` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--").or_else(|| tok.strip_prefix('-')) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_string(), value.clone()));
+            } else {
+                positional.push(tok.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let (g, _) = read_edge_list(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(g)
+}
+
+/// `pgs info <edges.txt>`.
+pub fn info(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pgs info <edges.txt>")?;
+    let g = load_graph(path)?;
+    println!("nodes:              {}", g.num_nodes());
+    println!("edges:              {}", g.num_edges());
+    println!("max degree:         {}", g.max_degree());
+    println!("size (Eq. 4):       {:.0} bits", g.size_bits());
+    println!(
+        "effective diameter: {:.2} (sampled)",
+        effective_diameter(&g, 16, 1)
+    );
+    Ok(())
+}
+
+/// `pgs summarize <edges.txt> -o out [--ratio r | --bits k] ...`.
+pub fn summarize(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pgs summarize <edges.txt> -o <out.summary> [flags]")?;
+    let out = args.get("o").or_else(|| args.get("out")).ok_or("missing -o <out.summary>")?;
+    let g = load_graph(path)?;
+
+    let ratio: f64 = args.get_parse("ratio", 0.5)?;
+    let budget: f64 = args.get_parse("bits", ratio * g.size_bits())?;
+    let method = args.get("method").unwrap_or("pegasus");
+    let seed: u64 = args.get_parse("seed", 0)?;
+
+    let (summary, stats) = match method {
+        "pegasus" => {
+            let targets: Vec<u32> = match args.get("targets") {
+                None => Vec::new(),
+                Some(list) => list
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<u32>()
+                            .map_err(|_| format!("bad target id {t:?}"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            for &t in &targets {
+                if (t as usize) >= g.num_nodes() {
+                    return Err(format!("target {t} out of range (|V| = {})", g.num_nodes()));
+                }
+            }
+            let cfg = PegasusConfig {
+                alpha: args.get_parse("alpha", 1.25)?,
+                beta: args.get_parse("beta", 0.1)?,
+                t_max: args.get_parse("tmax", 20)?,
+                seed,
+                ..Default::default()
+            };
+            summarize_with_stats(&g, &targets, budget, &cfg)
+        }
+        "ssumm" => {
+            let cfg = SsummConfig {
+                t_max: args.get_parse("tmax", 20)?,
+                seed,
+                ..Default::default()
+            };
+            ssumm_summarize_with_stats(&g, budget, &cfg)
+        }
+        other => return Err(format!("unknown method {other:?} (pegasus|ssumm)")),
+    };
+
+    write_summary(&summary, out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: |S|={} |P|={} {:.0} bits (ratio {:.3}); {} iterations, {} merges{}",
+        summary.num_supernodes(),
+        summary.num_superedges(),
+        summary.size_bits(),
+        summary.size_bits() / g.size_bits(),
+        stats.iterations,
+        stats.merges,
+        if stats.sparsified { ", sparsified" } else { "" }
+    );
+    Ok(())
+}
+
+/// `pgs query <out.summary> --type rwr --node q [--top k] [--truth edges]`.
+pub fn query(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pgs query <out.summary> --type rwr|hop|php|pagerank --node <q>")?;
+    let s = read_summary(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let qtype = args.get("type").ok_or("missing --type")?;
+    let node: u32 = args.get_parse("node", 0)?;
+    if (node as usize) >= s.num_nodes() && qtype != "pagerank" {
+        return Err(format!("node {node} out of range (|V| = {})", s.num_nodes()));
+    }
+    let top: usize = args.get_parse("top", 10)?;
+
+    let scores: Vec<f64> = match qtype {
+        "rwr" => q::rwr_summary(&s, node, q::RWR_RESTART),
+        "hop" => q::hops_to_f64(&q::hops_summary(&s, node)),
+        "php" => q::php_summary(&s, node, q::PHP_DECAY),
+        "pagerank" => q::pagerank_summary(&s, 0.85),
+        other => return Err(format!("unknown query type {other:?}")),
+    };
+
+    // Top-k (ascending for hop distances, descending otherwise).
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    if qtype == "hop" {
+        idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    } else {
+        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+    }
+    println!("top {top} nodes by {qtype} (from the summary):");
+    for &u in idx.iter().take(top) {
+        println!("  node {u:>8}  score {:.6}", scores[u]);
+    }
+
+    if let Some(truth_path) = args.get("truth") {
+        let g = load_graph(truth_path)?;
+        if g.num_nodes() != s.num_nodes() {
+            return Err("truth graph node count differs from summary".into());
+        }
+        let exact: Vec<f64> = match qtype {
+            "rwr" => q::rwr_exact(&g, node, q::RWR_RESTART),
+            "hop" => q::hops_to_f64(&q::hops_exact(&g, node)),
+            "php" => q::php_exact(&g, node, q::PHP_DECAY),
+            "pagerank" => q::pagerank_exact(&g, 0.85),
+            _ => unreachable!(),
+        };
+        println!(
+            "accuracy vs exact: SMAPE {:.4}, Spearman {:.4}",
+            q::smape(&exact, &scores),
+            q::spearman(&exact, &scores)
+        );
+    }
+    Ok(())
+}
+
+/// `pgs partition <edges.txt> -m 8 [--method louvain]`.
+pub fn partition(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pgs partition <edges.txt> -m <parts> [--method louvain]")?;
+    let g = load_graph(path)?;
+    let m: usize = args.get_parse("m", 8)?;
+    let seed: u64 = args.get_parse("seed", 0)?;
+    let method = match args.get("method").unwrap_or("louvain") {
+        "louvain" => Method::Louvain,
+        "blp" => Method::Blp,
+        "shpi" => Method::ShpI,
+        "shpii" => Method::ShpII,
+        "shpkl" => Method::ShpKL,
+        other => return Err(format!("unknown method {other:?}")),
+    };
+    let labels = method.partition(&g, m, seed);
+    let cut = pgs_partition::edge_cut_fraction(&g, &labels);
+    let mut sizes = vec![0usize; m];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    println!("# method {} m {m} cut {:.4} sizes {:?}", method.name(), cut, sizes);
+    for (u, l) in labels.iter().enumerate() {
+        println!("{u} {l}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_flags_and_positionals() {
+        let a = Args::parse(&strs(&["file.txt", "--ratio", "0.4", "-o", "out"])).unwrap();
+        assert_eq!(a.positional, vec!["file.txt"]);
+        assert_eq!(a.get("ratio"), Some("0.4"));
+        assert_eq!(a.get("o"), Some("out"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn args_missing_value_errors() {
+        assert!(Args::parse(&strs(&["--ratio"])).is_err());
+    }
+
+    #[test]
+    fn get_parse_defaults_and_errors() {
+        let a = Args::parse(&strs(&["--x", "nope"])).unwrap();
+        assert_eq!(a.get_parse("y", 7usize).unwrap(), 7);
+        assert!(a.get_parse::<f64>("x", 0.0).is_err());
+    }
+
+    #[test]
+    fn end_to_end_summarize_and_query() {
+        // Write a small edge list, summarize it, query the summary.
+        let dir = std::env::temp_dir().join("pgs_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let out = dir.join("g.summary");
+        let g = pgs_graph::gen::planted_partition(300, 6, 1200, 200, 3);
+        pgs_graph::io::write_edge_list(&g, &edges).unwrap();
+
+        summarize(&strs(&[
+            edges.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--ratio",
+            "0.5",
+            "--targets",
+            "0,1",
+        ]))
+        .unwrap();
+        assert!(out.exists());
+
+        query(&strs(&[
+            out.to_str().unwrap(),
+            "--type",
+            "rwr",
+            "--node",
+            "0",
+            "--truth",
+            edges.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        info(&strs(&[edges.to_str().unwrap()])).unwrap();
+        partition(&strs(&[edges.to_str().unwrap(), "-m", "4"])).unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_rejects_bad_type() {
+        let dir = std::env::temp_dir().join("pgs_cli_badtype");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("s.summary");
+        let g = pgs_graph::gen::erdos_renyi(20, 40, 1);
+        let s = pgs_core::Summary::identity(&g);
+        pgs_core::summary_io::write_summary(&s, &out).unwrap();
+        let err = query(&strs(&[
+            out.to_str().unwrap(),
+            "--type",
+            "frobnicate",
+            "--node",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown query type"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summarize_rejects_out_of_range_target() {
+        let dir = std::env::temp_dir().join("pgs_cli_badtarget");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let g = pgs_graph::gen::erdos_renyi(10, 20, 2);
+        pgs_graph::io::write_edge_list(&g, &edges).unwrap();
+        let err = summarize(&strs(&[
+            edges.to_str().unwrap(),
+            "-o",
+            dir.join("o").to_str().unwrap(),
+            "--targets",
+            "999",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("out of range"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

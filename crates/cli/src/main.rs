@@ -1,0 +1,40 @@
+//! `pgs` — command-line personalized graph summarization.
+//!
+//! ```text
+//! pgs info <edges.txt>
+//! pgs summarize <edges.txt> -o <out.summary> [--ratio 0.5] [--targets 1,2,3]
+//!               [--alpha 1.25] [--beta 0.1] [--method pegasus|ssumm] [--seed 0]
+//! pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
+//!           [--truth <edges.txt>]
+//! pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
+//! ```
+//!
+//! Edge lists are whitespace-separated pairs per line (`#`/`%` comments),
+//! the SNAP/KONECT convention; summaries use the `pgs-summary v1` format
+//! of `pgs_core::summary_io`.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => commands::info(&args[1..]),
+        Some("summarize") => commands::summarize(&args[1..]),
+        Some("query") => commands::query(&args[1..]),
+        Some("partition") => commands::partition(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pgs: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

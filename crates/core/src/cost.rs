@@ -1,0 +1,213 @@
+//! The personalized cost model of Sect. III-B (Eq. 5–11).
+//!
+//! The cost of a summary decomposes over unordered supernode pairs
+//! (Eq. 8). For a pair `{A, B}` the cost is (Eq. 6)
+//!
+//! ```text
+//! Cost_AB = 2·log2|S| · 1_P({A,B}) + log2|V| · RE_AB
+//! ```
+//!
+//! where `RE_AB` is the personalized error between `A` and `B` (Eq. 7):
+//! with a superedge the error is the weight of the *missing* pairs
+//! (`tot − e`); without it, the weight of the *actual* edges (`e`).
+//!
+//! `tot` and `e` are personalized-weight sums; with uniform weights they
+//! degenerate to pair/edge counts, which is what the SSumM cost model
+//! ([`CostModel::SsummMin`]) expects for its entropy-coding option
+//! (Sect. III-G: SSumM assumes the best of entropy coding and error
+//! correction; PeGaSus assumes error correction only).
+
+/// Which per-pair encoding model prices the reconstruction error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// PeGaSus: each erroneous pair costs `log2|V|` bits (footnote 4).
+    #[default]
+    ErrorCorrection,
+    /// SSumM: the cheaper of error correction and entropy coding of the
+    /// pair block (valid for uniform weights only, where `tot` and `e`
+    /// are counts).
+    SsummMin,
+}
+
+/// Immutable pricing parameters shared across an entire run.
+#[derive(Clone, Copy, Debug)]
+pub struct CostParams {
+    /// Bits to localize one erroneous *unordered* pair: `2·log2|V|`
+    /// (row and column of one representative entry; the symmetric twin
+    /// is implied — footnote 4 of the paper).
+    pub bits_per_error: f64,
+    /// Encoding model.
+    pub model: CostModel,
+}
+
+impl CostParams {
+    /// Parameters for a graph with `n` nodes under the given model.
+    pub fn new(n: usize, model: CostModel) -> Self {
+        CostParams {
+            bits_per_error: 2.0 * (n.max(2) as f64).log2(),
+            model,
+        }
+    }
+}
+
+/// Binary entropy `H(p)` in bits; 0 at the endpoints.
+#[inline]
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Cost of encoding pair `{A, B}` *with* a superedge: superedge bits plus
+/// corrections for the `tot − e` missing pairs.
+#[inline]
+pub fn cost_with_superedge(tot: f64, e: f64, log_s: f64, p: &CostParams) -> f64 {
+    let err = (tot - e).max(0.0);
+    let correction = match p.model {
+        CostModel::ErrorCorrection => p.bits_per_error * err,
+        // SSumM prices the corrections under a superedge as the better of
+        // explicit error correction and entropy-coding the block bitmap
+        // (the superedge itself supplies the block header).
+        CostModel::SsummMin => {
+            let density = if tot > 0.0 { (e / tot).clamp(0.0, 1.0) } else { 0.0 };
+            (p.bits_per_error * err).min(tot * binary_entropy(density))
+        }
+    };
+    2.0 * log_s + correction
+}
+
+/// Cost of encoding pair `{A, B}` *without* a superedge: corrections for
+/// the `e` actual edges. Entropy coding is not available here — without a
+/// superedge there is no block header identifying which pair block the
+/// entropy stream describes, so the edges must be listed explicitly.
+#[inline]
+pub fn cost_without_superedge(_tot: f64, e: f64, p: &CostParams) -> f64 {
+    p.bits_per_error * e
+}
+
+/// Cost of the pair in its *current* encoding (Eq. 6).
+#[inline]
+pub fn pair_cost(present: bool, tot: f64, e: f64, log_s: f64, p: &CostParams) -> f64 {
+    if present {
+        cost_with_superedge(tot, e, log_s, p)
+    } else {
+        cost_without_superedge(tot, e, p)
+    }
+}
+
+/// Minimum cost over the two encodings, with the optimal superedge
+/// decision (used when re-encoding a merged supernode's incident pairs,
+/// Alg. 2 line 9). Returns `(cost, add_superedge)`.
+#[inline]
+pub fn best_pair_cost(tot: f64, e: f64, log_s: f64, p: &CostParams) -> (f64, bool) {
+    let with = cost_with_superedge(tot, e, log_s, p);
+    let without = cost_without_superedge(tot, e, p);
+    if with < without {
+        (with, true)
+    } else {
+        (without, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams::new(1024, CostModel::ErrorCorrection) // 2·log2|V| = 20
+    }
+
+    #[test]
+    fn entropy_endpoints_and_symmetry() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!((binary_entropy(0.2) - binary_entropy(0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_block_prefers_superedge() {
+        let p = params();
+        // 100 pairs, 95 edges, log_s = 5: with = 10 + 20*5 = 110; without = 1900.
+        let (cost, add) = best_pair_cost(100.0, 95.0, 5.0, &p);
+        assert!(add);
+        assert!((cost - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_block_prefers_no_superedge() {
+        let p = params();
+        // 100 pairs, 2 edges: with = 10 + 20*98; without = 40.
+        let (cost, add) = best_pair_cost(100.0, 2.0, 5.0, &p);
+        assert!(!add);
+        assert!((cost - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_edges_never_gets_superedge() {
+        let p = params();
+        let (cost, add) = best_pair_cost(50.0, 0.0, 3.0, &p);
+        assert!(!add);
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn perfect_block_costs_only_superedge_bits() {
+        let p = params();
+        let (cost, add) = best_pair_cost(10.0, 10.0, 4.0, &p);
+        assert!(add);
+        assert!((cost - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_cost_respects_presence() {
+        let p = params();
+        let with = pair_cost(true, 10.0, 6.0, 4.0, &p);
+        let without = pair_cost(false, 10.0, 6.0, 4.0, &p);
+        assert!((with - (8.0 + 20.0 * 4.0)).abs() < 1e-12);
+        assert!((without - 20.0 * 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssumm_entropy_can_beat_error_correction() {
+        let p = CostParams::new(1 << 20, CostModel::SsummMin); // 40 bits/error
+        // 1000 pairs, 500 edges under a superedge: err-corr = 40*500;
+        // entropy = 1000 * H(0.5) = 1000. Entropy wins; plus 2*log_s.
+        let cost = cost_with_superedge(1000.0, 500.0, 5.0, &p);
+        assert!((cost - 1010.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssumm_falls_back_to_error_correction_when_sparse() {
+        let p = CostParams::new(16, CostModel::SsummMin); // 8 bits/error
+        // 1000 pairs, 999 edges under a superedge: err-corr for the one
+        // missing pair = 8; entropy = 1000*H(0.999) ≈ 11.4. Err-corr wins.
+        let cost = cost_with_superedge(1000.0, 999.0, 5.0, &p);
+        assert!((cost - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssumm_without_superedge_has_no_entropy_option() {
+        let p = CostParams::new(1 << 20, CostModel::SsummMin);
+        // Exact singleton block without superedge still pays per-edge
+        // correction — dropping exact superedges is never free.
+        let cost = cost_without_superedge(1.0, 1.0, &p);
+        assert!((cost - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_error_clamped() {
+        // Floating-point weight sums can make e marginally exceed tot.
+        let p = params();
+        let c = cost_with_superedge(10.0, 10.0 + 1e-13, 2.0, &p);
+        assert!((c - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_params_small_graphs() {
+        // n <= 2 clamps to 2·log2(2) = 2 bits so costs stay well-defined.
+        let p = CostParams::new(1, CostModel::ErrorCorrection);
+        assert_eq!(p.bits_per_error, 2.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Evaluation of the personalized reconstruction error `RE_T(G̅)`
+//! (Eq. 1) of a frozen [`Summary`] — used by the effectiveness
+//! experiments (Fig. 2(a), Fig. 5) and the Eq.-10/11 ablation.
+
+use pgs_graph::{FxHashMap, Graph, NodeId};
+
+use crate::summary::{Summary, SuperId};
+use crate::weights::NodeWeights;
+
+/// Personalized reconstruction error per Eq. (1): the weighted sum of
+/// adjacency-matrix disagreements between `G` and the reconstruction
+/// `Ĝ`, counting **ordered** pairs (both `(u,v)` and `(v,u)`), matching
+/// the double sum in the paper.
+///
+/// Runs in `O(|E| + |P| + |V|)` — no reconstruction is materialized:
+/// a superedge `{A,B}` contributes the weight of its missing pairs
+/// (`tot_AB − e_AB`), and actual edges not covered by a superedge
+/// contribute their own weight.
+pub fn personalized_error(g: &Graph, s: &Summary, w: &NodeWeights) -> f64 {
+    assert_eq!(g.num_nodes(), s.num_nodes(), "summary/graph node count mismatch");
+    assert_eq!(g.num_nodes(), w.len(), "weights/graph node count mismatch");
+
+    // Aggregate ŵ sums per supernode.
+    let s_count = s.num_supernodes();
+    let mut wsum = vec![0.0f64; s_count];
+    let mut sqsum = vec![0.0f64; s_count];
+    for u in g.nodes() {
+        let sn = s.supernode_of(u) as usize;
+        let wu = w.node(u);
+        wsum[sn] += wu;
+        sqsum[sn] += wu * wu;
+    }
+
+    // Edge weight per supernode pair, one pass over E.
+    let mut edge_weight: FxHashMap<(SuperId, SuperId), f64> = FxHashMap::default();
+    let mut uncovered = 0.0f64; // edges not under any superedge
+    for (u, v) in g.edges() {
+        let (a, b) = (s.supernode_of(u), s.supernode_of(v));
+        let key = (a.min(b), a.max(b));
+        if s.has_superedge(key.0, key.1) {
+            *edge_weight.entry(key).or_insert(0.0) += w.pair(u, v);
+        } else {
+            uncovered += w.pair(u, v);
+        }
+    }
+
+    // Superedges contribute their missing-pair weight.
+    let mut missing = 0.0f64;
+    for (a, b, _) in s.superedges() {
+        let tot = if a == b {
+            ((wsum[a as usize] * wsum[a as usize] - sqsum[a as usize]) / 2.0).max(0.0)
+        } else {
+            wsum[a as usize] * wsum[b as usize]
+        };
+        let e = edge_weight.get(&(a, b)).copied().unwrap_or(0.0);
+        missing += (tot - e).max(0.0);
+    }
+
+    2.0 * (uncovered + missing)
+}
+
+/// Non-personalized reconstruction error: Eq. (1) with uniform weights,
+/// i.e. twice the number of disagreeing unordered pairs.
+pub fn reconstruction_error(g: &Graph, s: &Summary) -> f64 {
+    personalized_error(g, s, &NodeWeights::uniform(g.num_nodes()))
+}
+
+/// Brute-force Eq. (1) via explicit reconstruction — `O(|V|²)`; test and
+/// small-graph oracle for [`personalized_error`].
+pub fn personalized_error_exact(g: &Graph, s: &Summary, w: &NodeWeights) -> f64 {
+    let recon = s.reconstruct();
+    let n = g.num_nodes();
+    let mut err = 0.0;
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            if u == v {
+                continue;
+            }
+            let in_g = g.has_edge(u, v);
+            let in_r = recon.has_edge(u, v);
+            if in_g != in_r {
+                err += w.pair(u, v);
+            }
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::{barabasi_albert, erdos_renyi};
+
+    #[test]
+    fn identity_summary_has_zero_error() {
+        let g = barabasi_albert(100, 3, 1);
+        let s = Summary::identity(&g);
+        assert_eq!(reconstruction_error(&g, &s), 0.0);
+    }
+
+    #[test]
+    fn fast_matches_exact_on_random_summaries() {
+        let g = erdos_renyi(30, 80, 3);
+        let w = NodeWeights::personalized(&g, &[0, 5], 1.5);
+        // Random-ish partition into 6 supernodes + superedges from a
+        // subset of the induced pairs.
+        let assignment: Vec<u32> = (0..30).map(|u| u % 6).collect();
+        let superedges: Vec<(u32, u32, f32)> =
+            vec![(0, 1, 1.0), (2, 3, 1.0), (4, 4, 1.0), (1, 5, 1.0)];
+        let s = Summary::new(30, assignment, &superedges);
+        let fast = personalized_error(&g, &s, &w);
+        let exact = personalized_error_exact(&g, &s, &w);
+        assert!(
+            (fast - exact).abs() < 1e-9 * exact.max(1.0),
+            "fast {fast} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn uniform_error_counts_flipped_pairs() {
+        // Partition {0,1},{2}: superedge between them reconstructs
+        // 0-2, 1-2; actual edges are 0-1, 0-2. Disagreements: 1-2
+        // (spurious) and 0-1 (missing) = 2 unordered = 4 ordered.
+        let g = graph_from_edges(3, &[(0, 1), (0, 2)]);
+        let s = Summary::new(3, vec![0, 0, 1], &[(0, 1, 1.0)]);
+        assert!((reconstruction_error(&g, &s) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_missing_pairs_counted() {
+        // Supernode {0,1,2} with a self-loop reconstructs the triangle;
+        // only edge 0-1 exists: 2 missing pairs = 4 ordered errors.
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let s = Summary::new(3, vec![0, 0, 0], &[(0, 0, 1.0)]);
+        assert!((reconstruction_error(&g, &s) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropping_superedges_costs_their_edges() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let s = Summary::new(4, vec![0, 1, 2, 3], &[(0, 1, 1.0)]); // edge 2-3 uncovered
+        assert!((reconstruction_error(&g, &s) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn personalization_weights_error_near_targets_higher() {
+        // Path 0-1-2-3; summary that errs on both end edges. Personalized
+        // to node 0, the 0-1 error should outweigh the 2-3 error.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let drop_near = Summary::new(4, vec![0, 1, 2, 3], &[(1, 2, 1.0), (2, 3, 1.0)]);
+        let drop_far = Summary::new(4, vec![0, 1, 2, 3], &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let w = NodeWeights::personalized(&g, &[0], 2.0);
+        let err_near = personalized_error(&g, &drop_near, &w);
+        let err_far = personalized_error(&g, &drop_far, &w);
+        assert!(
+            err_near > err_far,
+            "dropping near-target info must cost more: {err_near} vs {err_far}"
+        );
+    }
+
+    #[test]
+    fn exact_oracle_agrees_on_identity() {
+        let g = erdos_renyi(20, 40, 9);
+        let s = Summary::identity(&g);
+        let w = NodeWeights::personalized(&g, &[3], 1.25);
+        assert_eq!(personalized_error_exact(&g, &s, &w), 0.0);
+        assert_eq!(personalized_error(&g, &s, &w), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # pgs-core — PeGaSus: Personalized Graph Summarization
+//!
+//! Reproduction of *"Personalized Graph Summarization: Formulation,
+//! Scalable Algorithms, and Applications"* (Kang, Lee, Shin — ICDE 2022).
+//!
+//! Given a graph `G = (V, E)`, a set of target nodes `T ⊆ V`, and a bit
+//! budget `k`, [`pegasus::summarize`] produces a [`Summary`] graph
+//! `G̅ = (S, P)` — supernodes `S` partitioning `V` plus superedges `P` —
+//! that minimizes the **personalized reconstruction error** (Eq. 1):
+//! error on node pairs close to `T` is weighted up by
+//! `W_uv = α^{-(D(u,T)+D(v,T))}/Z` (Eq. 2), so the summary stays sharp
+//! near the target nodes and coarsens far away.
+//!
+//! ## Module map (paper section → module)
+//!
+//! | Paper | Module |
+//! |-------|--------|
+//! | Eq. (2) personalized weights | [`weights`] |
+//! | Eq. (3) summary size, `G̅` representation | [`summary`] |
+//! | Eq. (5)–(11) cost model | [`cost`] |
+//! | Sect. III-C candidate generation (shingles) | [`shingle`] |
+//! | Sect. III-D merging & superedge addition (Alg. 2) | [`working`], [`pegasus`] |
+//! | Sect. III-E adaptive thresholding | [`threshold`] |
+//! | Sect. III-F further sparsification | [`sparsify`] |
+//! | Alg. 1 driver | [`pegasus`] |
+//! | Sect. III-G SSumM baseline \[7\] | [`ssumm`] |
+//! | Eq. (1) error evaluation | [`error`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pgs_graph::gen::barabasi_albert;
+//! use pgs_core::pegasus::{summarize, PegasusConfig};
+//!
+//! let g = barabasi_albert(500, 4, 42);
+//! let targets = [0, 1, 2];                      // personalize to these nodes
+//! let budget = 0.5 * g.size_bits();             // compression ratio 0.5
+//! let summary = summarize(&g, &targets, budget, &PegasusConfig::default());
+//! assert!(summary.size_bits() <= budget);
+//! assert_eq!(summary.num_nodes(), 500);
+//! ```
+
+pub mod cost;
+pub mod error;
+pub mod pegasus;
+pub mod shingle;
+pub mod sparsify;
+pub mod ssumm;
+pub mod summary;
+pub mod summary_io;
+pub mod threshold;
+pub mod weights;
+pub mod working;
+
+pub use pegasus::{summarize, PegasusConfig};
+pub use ssumm::{ssumm_summarize, SsummConfig};
+pub use summary::{Summary, SuperId};
+pub use weights::NodeWeights;

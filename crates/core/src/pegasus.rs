@@ -1,0 +1,304 @@
+//! The PeGaSus driver (Alg. 1).
+//!
+//! Repeats candidate generation (Sect. III-C) and within-group greedy
+//! merging (Sect. III-D) with an adaptively decaying threshold
+//! (Sect. III-E) until the summary fits the bit budget or `t_max`
+//! iterations elapse, then sparsifies (Sect. III-F) if needed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cost::CostModel;
+use crate::shingle::{candidate_groups, ShingleParams};
+use crate::sparsify::sparsify;
+use crate::summary::Summary;
+use crate::threshold::AdaptiveThreshold;
+use crate::weights::NodeWeights;
+use crate::working::{merge_within_group, Scratch, WorkingSummary};
+use pgs_graph::{Graph, NodeId};
+
+/// Configuration of PeGaSus (paper defaults from Sect. V-A).
+#[derive(Clone, Debug)]
+pub struct PegasusConfig {
+    /// Degree of personalization `α ≥ 1` (default 1.25).
+    pub alpha: f64,
+    /// Adaptive-thresholding quantile `β ∈ [0, 1]` (default 0.1).
+    pub beta: f64,
+    /// Maximum number of iterations `t_max` (default 20).
+    pub t_max: usize,
+    /// RNG seed (shingle hashes and pair sampling).
+    pub seed: u64,
+    /// Maximum candidate-group size (paper constant 500).
+    pub max_group: usize,
+    /// Maximum recursive shingle-splitting depth (paper constant 10).
+    pub shingle_depth: usize,
+    /// Ablation switch: rank merges by the absolute reduction Eq. (10)
+    /// instead of the relative reduction Eq. (11).
+    pub use_absolute_cost: bool,
+}
+
+impl Default for PegasusConfig {
+    fn default() -> Self {
+        PegasusConfig {
+            alpha: 1.25,
+            beta: 0.1,
+            t_max: 20,
+            seed: 0,
+            max_group: 500,
+            shingle_depth: 10,
+            use_absolute_cost: false,
+        }
+    }
+}
+
+/// Summary statistics of a PeGaSus run (for experiments and logging).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total successful merges.
+    pub merges: usize,
+    /// Final threshold value.
+    pub final_theta: f64,
+    /// Whether sparsification was needed to meet the budget.
+    pub sparsified: bool,
+}
+
+/// Summarizes `g` personalized to `targets` within `budget_bits`
+/// (Problem 1). An empty `targets` slice means `T = V`
+/// (non-personalized). Returns the frozen summary.
+///
+/// # Example
+/// ```
+/// use pgs_graph::gen::barabasi_albert;
+/// use pgs_core::pegasus::{summarize, PegasusConfig};
+///
+/// let g = barabasi_albert(300, 3, 1);
+/// let summary = summarize(&g, &[0], 0.5 * g.size_bits(), &PegasusConfig::default());
+/// assert!(summary.size_bits() <= 0.5 * g.size_bits());
+/// ```
+pub fn summarize(
+    g: &Graph,
+    targets: &[NodeId],
+    budget_bits: f64,
+    cfg: &PegasusConfig,
+) -> Summary {
+    summarize_with_stats(g, targets, budget_bits, cfg).0
+}
+
+/// [`summarize`] returning run statistics alongside the summary.
+pub fn summarize_with_stats(
+    g: &Graph,
+    targets: &[NodeId],
+    budget_bits: f64,
+    cfg: &PegasusConfig,
+) -> (Summary, RunStats) {
+    let all_nodes: Vec<NodeId>;
+    let targets = if targets.is_empty() {
+        all_nodes = g.nodes().collect();
+        &all_nodes
+    } else {
+        targets
+    };
+    let weights = NodeWeights::personalized(g, targets, cfg.alpha);
+    summarize_with_weights(g, &weights, budget_bits, cfg)
+}
+
+/// Runs the PeGaSus loop against externally built node weights — the
+/// entry point for experiments that reuse one BFS across many runs.
+pub fn summarize_with_weights(
+    g: &Graph,
+    weights: &NodeWeights,
+    budget_bits: f64,
+    cfg: &PegasusConfig,
+) -> (Summary, RunStats) {
+    let mut ws = WorkingSummary::new(g, weights, CostModel::ErrorCorrection);
+    let mut threshold = AdaptiveThreshold::new(cfg.beta);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut scratch = Scratch::default();
+    let shingle_params = ShingleParams {
+        max_group: cfg.max_group,
+        depth: cfg.shingle_depth,
+    };
+    let mut stats = RunStats::default();
+
+    let mut t = 1;
+    let mut stall_cap = f64::INFINITY;
+    while t <= cfg.t_max && ws.size_bits() > budget_bits {
+        let groups = candidate_groups(&ws, &mut rng, &shingle_params);
+        let before = ws.num_supernodes();
+        let theta = threshold.theta().min(stall_cap);
+        for mut group in groups {
+            merge_within_group(
+                &mut ws,
+                &mut group,
+                theta,
+                threshold.rejected_mut(),
+                &mut rng,
+                &mut scratch,
+                cfg.use_absolute_cost,
+            );
+        }
+        let merged = before - ws.num_supernodes();
+        stats.merges += merged;
+        threshold.end_iteration();
+        // Stall guard (see DESIGN.md): on graphs whose relative
+        // reductions cluster at discrete values, the ⌊β|L|⌋-th-largest
+        // update can plateau just above the cluster and merging stops
+        // while the summary is still over budget. When an iteration
+        // merges less than 0.5% of the supernodes under budget pressure,
+        // fall back to SSumM's guaranteed-decay schedule as a cap.
+        if merged * 200 < before && ws.size_bits() > budget_bits {
+            stall_cap = crate::threshold::ssumm_schedule(t, cfg.t_max).min(stall_cap);
+        }
+        stats.iterations = t;
+        t += 1;
+    }
+    stats.final_theta = threshold.theta();
+
+    if ws.size_bits() > budget_bits {
+        stats.sparsified = true;
+        sparsify(&mut ws, budget_bits);
+    }
+    (ws.into_summary(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{personalized_error, reconstruction_error};
+    use pgs_graph::gen::{barabasi_albert, planted_partition};
+
+    #[test]
+    fn meets_budget_at_various_ratios() {
+        let g = barabasi_albert(300, 4, 11);
+        for &ratio in &[0.2, 0.5, 0.8] {
+            let budget = ratio * g.size_bits();
+            let s = summarize(&g, &[0], budget, &PegasusConfig::default());
+            assert!(
+                s.size_bits() <= budget + 1e-9,
+                "ratio {ratio}: {} > {budget}",
+                s.size_bits()
+            );
+            assert_eq!(s.num_nodes(), 300);
+        }
+    }
+
+    #[test]
+    fn generous_budget_keeps_graph_nearly_intact() {
+        let g = barabasi_albert(200, 3, 5);
+        let budget = 2.0 * g.size_bits(); // no compression pressure
+        let (s, stats) = summarize_with_stats(&g, &[0], budget, &PegasusConfig::default());
+        assert!(!stats.sparsified);
+        // Only strictly cost-reducing merges happen; error should be small
+        // relative to total possible error.
+        let err = reconstruction_error(&g, &s);
+        assert!(err < 2.0 * g.num_edges() as f64);
+    }
+
+    #[test]
+    fn empty_targets_means_whole_v() {
+        let g = barabasi_albert(150, 3, 2);
+        let budget = 0.5 * g.size_bits();
+        let s1 = summarize(&g, &[], budget, &PegasusConfig::default());
+        let all: Vec<u32> = g.nodes().collect();
+        let s2 = summarize(&g, &all, budget, &PegasusConfig::default());
+        // Same uniform weights and same seed → identical output.
+        assert_eq!(s1.num_supernodes(), s2.num_supernodes());
+        assert_eq!(s1.num_superedges(), s2.num_superedges());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = planted_partition(200, 4, 600, 100, 3);
+        let cfg = PegasusConfig::default();
+        let s1 = summarize(&g, &[0], 0.4 * g.size_bits(), &cfg);
+        let s2 = summarize(&g, &[0], 0.4 * g.size_bits(), &cfg);
+        assert_eq!(s1.num_supernodes(), s2.num_supernodes());
+        assert_eq!(s1.num_superedges(), s2.num_superedges());
+        for u in g.nodes() {
+            assert_eq!(s1.supernode_of(u), s2.supernode_of(u));
+        }
+    }
+
+    #[test]
+    fn personalization_reduces_error_near_targets() {
+        // The core claim (Fig. 5): summarizing with weights focused on a
+        // target yields lower personalized error *at that target* than a
+        // non-personalized summary of the same size.
+        let g = planted_partition(400, 8, 1600, 200, 7);
+        let budget = 0.3 * g.size_bits();
+        let target = [0u32];
+        let personalized = summarize(
+            &g,
+            &target,
+            budget,
+            &PegasusConfig {
+                alpha: 1.5,
+                ..Default::default()
+            },
+        );
+        let uniform = summarize(&g, &[], budget, &PegasusConfig::default());
+        let w_eval = NodeWeights::personalized(&g, &target, 1.5);
+        let err_p = personalized_error(&g, &personalized, &w_eval);
+        let err_u = personalized_error(&g, &uniform, &w_eval);
+        assert!(
+            err_p < err_u,
+            "personalized error {err_p} should beat non-personalized {err_u}"
+        );
+    }
+
+    #[test]
+    fn absolute_cost_ablation_runs() {
+        let g = barabasi_albert(200, 3, 4);
+        let cfg = PegasusConfig {
+            use_absolute_cost: true,
+            ..Default::default()
+        };
+        let s = summarize(&g, &[0], 0.5 * g.size_bits(), &cfg);
+        assert!(s.size_bits() <= 0.5 * g.size_bits());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = barabasi_albert(300, 4, 9);
+        let (_, stats) = summarize_with_stats(&g, &[0], 0.3 * g.size_bits(), &PegasusConfig::default());
+        assert!(stats.iterations >= 1);
+        assert!(stats.merges > 0);
+    }
+
+    #[test]
+    fn stall_guard_merges_low_redundancy_graphs() {
+        // A sparse hub-and-leaf graph under uniform weights produces
+        // discrete relative reductions that stall the adaptive
+        // threshold; the guard must still deliver the budget mostly via
+        // merging, not by dropping nearly all superedges.
+        let g = pgs_graph::gen::barabasi_albert_mixed(3000, 0.55, 7);
+        let budget = 0.4 * g.size_bits();
+        let (s, stats) = summarize_with_stats(&g, &[], budget, &PegasusConfig::default());
+        assert!(s.size_bits() <= budget + 1e-9);
+        assert!(
+            stats.merges > g.num_nodes() / 2,
+            "only {} merges — threshold stalled",
+            stats.merges
+        );
+        // The summary must retain a meaningful superedge set.
+        assert!(
+            s.num_superedges() * 10 > s.num_supernodes(),
+            "superedges nearly annihilated: |P|={} |S|={}",
+            s.num_superedges(),
+            s.num_supernodes()
+        );
+    }
+
+    #[test]
+    fn tiny_graph_edge_cases() {
+        let g = pgs_graph::builder::graph_from_edges(2, &[(0, 1)]);
+        // Note the |V|·log2|S| membership term is a floor that
+        // sparsification alone cannot undercut: with |S|=2 the floor is
+        // 2 bits, so that is the tightest meetable budget here.
+        let s = summarize(&g, &[0], 2.0, &PegasusConfig::default());
+        assert_eq!(s.num_nodes(), 2);
+        assert!(s.size_bits() <= 2.0);
+    }
+}

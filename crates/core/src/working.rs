@@ -1,0 +1,732 @@
+//! The mutable summary state evolved by the greedy search (Alg. 1–2),
+//! including the Lemma-1 `O(deg)` merge-cost evaluation and the
+//! merging-with-selective-superedge-addition step of Sect. III-D.
+
+use pgs_graph::{FxHashMap, FxHashSet, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::cost::{best_pair_cost, pair_cost, CostModel, CostParams};
+use crate::summary::{Summary, SuperId};
+use crate::weights::NodeWeights;
+
+/// Per-supernode aggregate state.
+#[derive(Clone, Debug)]
+struct SuperData {
+    /// Member nodes (unsorted during the run; sorted when frozen).
+    members: Vec<NodeId>,
+    /// Sum of normalized node weights `Σ ŵ_u`.
+    wsum: f64,
+    /// Sum of squared normalized node weights `Σ ŵ_u²`.
+    sqsum: f64,
+}
+
+/// Reusable scratch buffers for cost evaluation (workhorse-collection
+/// pattern: one allocation reused across the millions of evaluations a
+/// run performs).
+#[derive(Default)]
+pub struct Scratch {
+    map_a: FxHashMap<SuperId, f64>,
+    map_b: FxHashMap<SuperId, f64>,
+}
+
+/// Outcome of evaluating a candidate merge `{A, B}` (Eq. 10–11).
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaEval {
+    /// Absolute cost reduction `ΔCost` (Eq. 10).
+    pub delta: f64,
+    /// Relative cost reduction `ΔCost / (Cost_A + Cost_B − Cost_AB)`
+    /// (Eq. 11); 0 when the denominator vanishes.
+    pub relative: f64,
+}
+
+/// The summary graph under construction: supernode partition, superedge
+/// adjacency, and the incremental statistics needed to evaluate merges in
+/// `O(Σ_{u∈A∪B} |N_u|)` (Lemma 1).
+pub struct WorkingSummary<'a> {
+    g: &'a Graph,
+    w: &'a NodeWeights,
+    params: CostParams,
+    /// Supernode of each node.
+    node_super: Vec<SuperId>,
+    /// Supernode table indexed by `SuperId`; `None` = merged away.
+    supers: Vec<Option<SuperData>>,
+    /// Superedge adjacency per supernode; a self-loop is the supernode's
+    /// own id. Dead slots are empty.
+    adj: Vec<FxHashSet<SuperId>>,
+    /// Number of live supernodes `|S|`.
+    live: usize,
+    /// Number of superedges `|P|` (self-loops count once).
+    num_superedges: usize,
+}
+
+impl<'a> WorkingSummary<'a> {
+    /// Initializes the summary with singleton supernodes and one superedge
+    /// per input edge (Alg. 1 line 1).
+    pub fn new(g: &'a Graph, w: &'a NodeWeights, model: CostModel) -> Self {
+        assert_eq!(g.num_nodes(), w.len(), "weights must cover all nodes");
+        let n = g.num_nodes();
+        let node_super: Vec<SuperId> = (0..n as SuperId).collect();
+        let supers: Vec<Option<SuperData>> = (0..n)
+            .map(|u| {
+                let wu = w.node(u as NodeId);
+                Some(SuperData {
+                    members: vec![u as NodeId],
+                    wsum: wu,
+                    sqsum: wu * wu,
+                })
+            })
+            .collect();
+        let mut adj: Vec<FxHashSet<SuperId>> = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            let mut set =
+                FxHashSet::with_capacity_and_hasher(g.degree(u), Default::default());
+            set.extend(g.neighbors(u).iter().map(|&v| v as SuperId));
+            adj.push(set);
+        }
+        WorkingSummary {
+            g,
+            w,
+            params: CostParams::new(n, model),
+            node_super,
+            supers,
+            adj,
+            live: n,
+            num_superedges: g.num_edges(),
+        }
+    }
+
+    /// The input graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    /// The node weights in force.
+    #[inline]
+    pub fn weights(&self) -> &NodeWeights {
+        self.w
+    }
+
+    /// Cost parameters (log2|V|, encoding model).
+    #[inline]
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Number of live supernodes `|S|`.
+    #[inline]
+    pub fn num_supernodes(&self) -> usize {
+        self.live
+    }
+
+    /// Number of superedges `|P|`.
+    #[inline]
+    pub fn num_superedges(&self) -> usize {
+        self.num_superedges
+    }
+
+    /// `log2 |S|` (0 when a single supernode remains).
+    #[inline]
+    pub fn log_s(&self) -> f64 {
+        if self.live <= 1 {
+            0.0
+        } else {
+            (self.live as f64).log2()
+        }
+    }
+
+    /// Current size in bits per Eq. (3).
+    pub fn size_bits(&self) -> f64 {
+        (2.0 * self.num_superedges as f64 + self.g.num_nodes() as f64) * self.log_s()
+    }
+
+    /// True if `s` names a live supernode.
+    #[inline]
+    pub fn is_live(&self, s: SuperId) -> bool {
+        (s as usize) < self.supers.len() && self.supers[s as usize].is_some()
+    }
+
+    /// Ids of all live supernodes.
+    pub fn live_ids(&self) -> Vec<SuperId> {
+        self.supers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i as SuperId))
+            .collect()
+    }
+
+    /// Member nodes of a live supernode.
+    ///
+    /// # Panics
+    /// Panics if `s` is dead.
+    pub fn members(&self, s: SuperId) -> &[NodeId] {
+        &self.supers[s as usize].as_ref().expect("dead supernode").members
+    }
+
+    /// Supernode currently containing node `u`.
+    #[inline]
+    pub fn supernode_of(&self, u: NodeId) -> SuperId {
+        self.node_super[u as usize]
+    }
+
+    /// True if the superedge `{a, b}` currently exists.
+    #[inline]
+    pub fn has_superedge(&self, a: SuperId, b: SuperId) -> bool {
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Superedge neighbors of `s` (self-loop included as `s`).
+    pub fn superedge_neighbors(&self, s: SuperId) -> impl Iterator<Item = SuperId> + '_ {
+        self.adj[s as usize].iter().copied()
+    }
+
+    /// Total pair weight between distinct supernodes `a != b`:
+    /// `Σ_{u∈A, v∈B} W_uv = ŵ_A · ŵ_B`.
+    #[inline]
+    fn tot_between(&self, a: SuperId, b: SuperId) -> f64 {
+        let da = self.supers[a as usize].as_ref().unwrap();
+        let db = self.supers[b as usize].as_ref().unwrap();
+        da.wsum * db.wsum
+    }
+
+    /// Total pair weight inside a supernode: `Σ_{u<v∈A} W_uv
+    /// = (ŵ_A² − Σŵ_u²)/2`.
+    #[inline]
+    fn tot_within(&self, a: SuperId) -> f64 {
+        let da = self.supers[a as usize].as_ref().unwrap();
+        ((da.wsum * da.wsum - da.sqsum) / 2.0).max(0.0)
+    }
+
+    /// Scans the input edges incident to the members of `s` and
+    /// accumulates, per neighbor supernode `X`, the summed personalized
+    /// edge weight `Σ_{ {u,v}∈E, u∈S, v∈X } W_uv` into `out`.
+    ///
+    /// Note: intra-supernode edges (`X == s`) are visited from both
+    /// endpoints and therefore accumulate *twice* their weight; divide by
+    /// two before using as `e_ss`. This is the Lemma-1 `O(Σ |N_u|)` scan.
+    fn accumulate_edge_weights(&self, s: SuperId, out: &mut FxHashMap<SuperId, f64>) {
+        for &u in &self.supers[s as usize].as_ref().unwrap().members {
+            let wu = self.w.node(u);
+            for &v in self.g.neighbors(u) {
+                let sv = self.node_super[v as usize];
+                *out.entry(sv).or_insert(0.0) += wu * self.w.node(v);
+            }
+        }
+    }
+
+    /// `Cost_A(G) = Σ_B Cost_AB(G)` (Eq. 9) from an edge-weight map
+    /// produced by [`Self::accumulate_edge_weights`].
+    ///
+    /// Only supernodes connected to `A` by at least one input edge can
+    /// contribute: superedges are only ever created where actual edges
+    /// exist (initialization and selective addition both guarantee this),
+    /// so every nonzero `Cost_AB` term has a key in the map.
+    fn supernode_cost_from_map(&self, a: SuperId, map: &FxHashMap<SuperId, f64>) -> f64 {
+        let log_s = self.log_s();
+        let mut cost = 0.0;
+        for (&x, &e_raw) in map {
+            let (tot, e) = if x == a {
+                (self.tot_within(a), e_raw / 2.0)
+            } else {
+                (self.tot_between(a, x), e_raw)
+            };
+            cost += pair_cost(self.has_superedge(a, x), tot, e, log_s, &self.params);
+        }
+        cost
+    }
+
+    /// Evaluates the merge of live supernodes `a != b` (Eq. 10–11) without
+    /// mutating anything. `O(Σ_{u∈A∪B} |N_u|)` per Lemma 1.
+    pub fn eval_merge(&self, a: SuperId, b: SuperId, scratch: &mut Scratch) -> DeltaEval {
+        debug_assert!(a != b && self.is_live(a) && self.is_live(b));
+        scratch.map_a.clear();
+        scratch.map_b.clear();
+        self.accumulate_edge_weights(a, &mut scratch.map_a);
+        self.accumulate_edge_weights(b, &mut scratch.map_b);
+
+        let cost_a = self.supernode_cost_from_map(a, &scratch.map_a);
+        let cost_b = self.supernode_cost_from_map(b, &scratch.map_b);
+        let e_ab = scratch.map_a.get(&b).copied().unwrap_or(0.0);
+        let cost_ab = pair_cost(
+            self.has_superedge(a, b),
+            self.tot_between(a, b),
+            e_ab,
+            self.log_s(),
+            &self.params,
+        );
+        let denom = cost_a + cost_b - cost_ab;
+
+        // Cost of the merged supernode C = A ∪ B with optimal re-encoding
+        // of its incident pairs, priced at |S| − 1 supernodes.
+        let log_s_after = if self.live <= 2 {
+            0.0
+        } else {
+            ((self.live - 1) as f64).log2()
+        };
+        let da = self.supers[a as usize].as_ref().unwrap();
+        let db = self.supers[b as usize].as_ref().unwrap();
+        let wc = da.wsum + db.wsum;
+        let sqc = da.sqsum + db.sqsum;
+        let tot_cc = ((wc * wc - sqc) / 2.0).max(0.0);
+        let e_cc =
+            scratch.map_a.get(&a).copied().unwrap_or(0.0) / 2.0
+                + scratch.map_b.get(&b).copied().unwrap_or(0.0) / 2.0
+                + e_ab;
+        let mut cost_c = best_pair_cost(tot_cc, e_cc, log_s_after, &self.params).0;
+
+        let mut add_external = |x: SuperId, e: f64| {
+            let dx = self.supers[x as usize].as_ref().unwrap();
+            let tot = wc * dx.wsum;
+            cost_c += best_pair_cost(tot, e, log_s_after, &self.params).0;
+        };
+        for (&x, &e) in &scratch.map_a {
+            if x == a || x == b {
+                continue;
+            }
+            let e_total = e + scratch.map_b.get(&x).copied().unwrap_or(0.0);
+            add_external(x, e_total);
+        }
+        for (&x, &e) in &scratch.map_b {
+            if x == a || x == b || scratch.map_a.contains_key(&x) {
+                continue;
+            }
+            add_external(x, e);
+        }
+
+        let delta = denom - cost_c;
+        let relative = if denom > f64::EPSILON { delta / denom } else { 0.0 };
+        DeltaEval { delta, relative }
+    }
+
+    /// Merges supernodes `a` and `b` (Alg. 2 lines 6–9): removes all
+    /// superedges incident to either, unions the member sets (smaller
+    /// into larger, so total relabeling work is `O(n log n)` across a
+    /// run), and selectively re-adds superedges incident to `A ∪ B` so
+    /// that `Cost_{A∪B}` (Eq. 9) is minimized. Returns the id of the
+    /// merged supernode (the survivor's id is reused).
+    pub fn merge(&mut self, a: SuperId, b: SuperId, scratch: &mut Scratch) -> SuperId {
+        assert!(a != b && self.is_live(a) && self.is_live(b), "merge needs two live supernodes");
+        // Weighted union: keep the larger side's id.
+        let size_a = self.supers[a as usize].as_ref().unwrap().members.len();
+        let size_b = self.supers[b as usize].as_ref().unwrap().members.len();
+        let (keep, dead) = if size_a >= size_b { (a, b) } else { (b, a) };
+
+        // Drop all superedges incident to either endpoint (Alg. 2 line 8).
+        for s in [keep, dead] {
+            let incident = std::mem::take(&mut self.adj[s as usize]);
+            self.num_superedges -= incident.len();
+            for x in incident {
+                if x != s {
+                    self.adj[x as usize].remove(&s);
+                }
+            }
+        }
+        // Note: if the superedge {keep, dead} existed it was stored in both
+        // adjacency sets but counted once in `num_superedges`; removing
+        // keep's set deletes it from dead's set first, so it is not
+        // double-subtracted.
+
+        // Union member sets and aggregates.
+        let dead_data = self.supers[dead as usize].take().expect("dead side live");
+        {
+            let keep_data = self.supers[keep as usize].as_mut().expect("keep side live");
+            for &u in &dead_data.members {
+                self.node_super[u as usize] = keep;
+            }
+            keep_data.members.extend_from_slice(&dead_data.members);
+            keep_data.wsum += dead_data.wsum;
+            keep_data.sqsum += dead_data.sqsum;
+        }
+        self.live -= 1;
+
+        // Selective superedge addition (Alg. 2 line 9): re-scan the merged
+        // supernode's incident input edges and keep exactly the
+        // cost-reducing superedges.
+        scratch.map_a.clear();
+        self.accumulate_edge_weights(keep, &mut scratch.map_a);
+        let log_s = self.log_s();
+        let mut added = 0usize;
+        for (&x, &e_raw) in &scratch.map_a {
+            let (tot, e) = if x == keep {
+                (self.tot_within(keep), e_raw / 2.0)
+            } else {
+                (self.tot_between(keep, x), e_raw)
+            };
+            let (_, add) = best_pair_cost(tot, e, log_s, &self.params);
+            if add {
+                self.adj[keep as usize].insert(x);
+                if x != keep {
+                    self.adj[x as usize].insert(keep);
+                }
+                added += 1;
+            }
+        }
+        self.num_superedges += added;
+        keep
+    }
+
+    /// Drops the superedge `{a, b}` if present (used by sparsification,
+    /// Sect. III-F). Returns whether anything was removed.
+    pub fn remove_superedge(&mut self, a: SuperId, b: SuperId) -> bool {
+        if self.adj[a as usize].remove(&b) {
+            if a != b {
+                self.adj[b as usize].remove(&a);
+            }
+            self.num_superedges -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total pair weight between two (possibly equal) live supernodes:
+    /// `Σ W_uv` over all node pairs of the block — the `tot` operand of
+    /// the Eq. (6) pair cost. Exposed for sparsification and tests.
+    pub fn pair_tot(&self, a: SuperId, b: SuperId) -> f64 {
+        if a == b {
+            self.tot_within(a)
+        } else {
+            self.tot_between(a, b)
+        }
+    }
+
+    /// Freezes into an immutable [`Summary`] (superedge weights 1.0).
+    pub fn into_summary(self) -> Summary {
+        let n = self.g.num_nodes();
+        let assignment: Vec<u32> = self.node_super.clone();
+        let mut superedges = Vec::with_capacity(self.num_superedges);
+        for (s, set) in self.adj.iter().enumerate() {
+            let s = s as SuperId;
+            for &x in set {
+                if s <= x {
+                    superedges.push((s, x, 1.0f32));
+                }
+            }
+        }
+        Summary::new(n, assignment, &superedges)
+    }
+}
+
+/// One round of greedy merging within a candidate group (Alg. 2).
+///
+/// Repeatedly samples `|C_i|` supernode pairs from the group, merges the
+/// pair with the largest relative (or absolute, for the Eq.-10 ablation)
+/// cost reduction when it clears `theta`, and otherwise records the best
+/// reduction in `rejected` (the list `L` of Sect. III-E). Stops when one
+/// supernode remains or after `log2|C_i|` consecutive failures.
+pub fn merge_within_group(
+    ws: &mut WorkingSummary<'_>,
+    group: &mut Vec<SuperId>,
+    theta: f64,
+    rejected: &mut Vec<f64>,
+    rng: &mut StdRng,
+    scratch: &mut Scratch,
+    use_absolute_cost: bool,
+) {
+    let mut fails = 0usize;
+    while group.len() > 1 {
+        let max_fails = (group.len() as f64).log2().ceil() as usize;
+        if fails > max_fails {
+            break;
+        }
+        // Sample |C_i| pairs and keep the best (Alg. 2 lines 3–4).
+        let samples = group.len();
+        let mut best: Option<(SuperId, SuperId, DeltaEval)> = None;
+        for _ in 0..samples {
+            let i = rng.random_range(0..group.len());
+            let j = rng.random_range(0..group.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = (group[i], group[j]);
+            let eval = ws.eval_merge(a, b, scratch);
+            let key = if use_absolute_cost { eval.delta } else { eval.relative };
+            let best_key = best.map(|(_, _, e)| {
+                if use_absolute_cost {
+                    e.delta
+                } else {
+                    e.relative
+                }
+            });
+            if best_key.is_none_or(|bk| key > bk) {
+                best = Some((a, b, eval));
+            }
+        }
+        let Some((a, b, eval)) = best else {
+            fails += 1;
+            continue;
+        };
+        let score = if use_absolute_cost { eval.delta } else { eval.relative };
+        if score >= theta {
+            let kept = ws.merge(a, b, scratch);
+            let dead = if kept == a { b } else { a };
+            group.retain(|&s| s != dead);
+            debug_assert!(group.contains(&kept));
+            fails = 0;
+        } else {
+            rejected.push(score);
+            fails += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::barabasi_albert;
+    use rand::SeedableRng;
+
+    fn uniform_ws(g: &Graph) -> (NodeWeights, CostModel) {
+        (NodeWeights::uniform(g.num_nodes()), CostModel::ErrorCorrection)
+    }
+
+    /// Brute-force total personalized cost (Eq. 5 without the constant
+    /// |V| log2|S| term): sums pair costs over *all* supernode pairs.
+    fn brute_force_pair_costs(ws: &WorkingSummary<'_>) -> f64 {
+        let live = ws.live_ids();
+        let log_s = ws.log_s();
+        let mut total = 0.0;
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i..] {
+                let mut e = 0.0;
+                for &u in ws.members(a) {
+                    for &v in ws.members(b) {
+                        if a == b && u >= v {
+                            continue;
+                        }
+                        if ws.graph().has_edge(u, v) {
+                            e += ws.weights().pair(u, v);
+                        }
+                    }
+                }
+                let tot = ws.pair_tot(a, b);
+                total += pair_cost(ws.has_superedge(a, b), tot, e, log_s, ws.params());
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn initialization_mirrors_graph() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (w, m) = uniform_ws(&g);
+        let ws = WorkingSummary::new(&g, &w, m);
+        assert_eq!(ws.num_supernodes(), 5);
+        assert_eq!(ws.num_superedges(), 4);
+        assert!(ws.has_superedge(0, 1));
+        assert!(!ws.has_superedge(0, 2));
+        let size = ws.size_bits();
+        assert!((size - (2.0 * 4.0 + 5.0) * 5f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_twins_is_lossless() {
+        // Nodes 0,1 share neighbors {2,3} exactly (Fig. 3: A,B with same
+        // connectivity) — merging them should produce a supernode with
+        // superedges to 2 and 3, no self-loop, and positive delta.
+        let g = graph_from_edges(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        let eval = ws.eval_merge(0, 1, &mut scratch);
+        assert!(eval.delta > 0.0, "merging twins must reduce cost");
+        assert!(eval.relative > 0.0 && eval.relative <= 1.0);
+        let c = ws.merge(0, 1, &mut scratch);
+        assert_eq!(ws.num_supernodes(), 3);
+        assert!(ws.has_superedge(c, 2));
+        assert!(ws.has_superedge(c, 3));
+        assert!(!ws.has_superedge(c, c), "no intra edges, no self-loop");
+        assert_eq!(ws.num_superedges(), 2);
+    }
+
+    #[test]
+    fn merge_clique_creates_self_loop() {
+        // Triangle 0-1-2: merging 0 and 1 leaves intra edge (0,1) inside C
+        // plus both-to-2; with a 3-node graph, log2|V| dominates and the
+        // dense connections are kept via superedges.
+        let g = graph_from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        let c = ws.merge(0, 1, &mut scratch);
+        assert!(ws.has_superedge(c, c), "intra edge should become a self-loop");
+        assert!(ws.has_superedge(c, 2));
+    }
+
+    #[test]
+    fn merged_members_and_mapping_consistent() {
+        let g = barabasi_albert(50, 2, 3);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        let c1 = ws.merge(0, 1, &mut scratch);
+        let c2 = ws.merge(c1, 2, &mut scratch);
+        assert_eq!(ws.num_supernodes(), 48);
+        let mut members = ws.members(c2).to_vec();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2]);
+        for &u in &[0u32, 1, 2] {
+            assert_eq!(ws.supernode_of(u), c2);
+        }
+    }
+
+    #[test]
+    fn delta_matches_brute_force_cost_difference() {
+        // The engine's ΔCost must equal the actual decrease of the global
+        // pair-cost sum — up to the log2|S| repricing of *non-incident*
+        // superedges, which the algorithm deliberately ignores (Sect.
+        // III-D "while fixing all non-incident superedges"). Neutralize
+        // that by comparing at the same |S|: we recompute the brute-force
+        // costs with the post-merge |S| on both sides... simpler: use a
+        // graph where non-incident superedges don't exist.
+        // Star: center 0, leaves 1..5. Merging leaves 1,2 touches every
+        // superedge (all are incident to 0 via leaves? no: superedges
+        // {0,3},{0,4},{0,5} are not incident to 1 or 2).
+        // Instead use a 4-node path where the merge touches all edges.
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        let before = brute_force_pair_costs(&ws);
+        let eval = ws.eval_merge(0, 2, &mut scratch);
+        ws.merge(0, 2, &mut scratch);
+        let after = brute_force_pair_costs(&ws);
+        assert!(
+            (eval.delta - (before - after)).abs() < 1e-9,
+            "delta {} vs brute force {}",
+            eval.delta,
+            before - after
+        );
+    }
+
+    #[test]
+    fn eval_does_not_mutate() {
+        let g = barabasi_albert(40, 3, 1);
+        let (w, m) = uniform_ws(&g);
+        let ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        let e1 = ws.eval_merge(3, 7, &mut scratch);
+        let e2 = ws.eval_merge(3, 7, &mut scratch);
+        assert_eq!(e1.delta, e2.delta);
+        assert_eq!(ws.num_supernodes(), 40);
+        assert_eq!(ws.num_superedges(), g.num_edges());
+    }
+
+    #[test]
+    fn superedge_count_stays_consistent() {
+        let g = barabasi_albert(60, 3, 9);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut live = ws.live_ids();
+        for _ in 0..30 {
+            let i = rng.random_range(0..live.len());
+            let j = rng.random_range(0..live.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = (live[i], live[j]);
+            let kept = ws.merge(a, b, &mut scratch);
+            let dead = if kept == a { b } else { a };
+            live.retain(|&s| s != dead);
+            // Recount superedges from adjacency sets.
+            let mut count = 0usize;
+            for &s in &live {
+                for x in ws.superedge_neighbors(s) {
+                    if s <= x {
+                        count += 1;
+                    }
+                }
+            }
+            assert_eq!(count, ws.num_superedges());
+        }
+    }
+
+    #[test]
+    fn remove_superedge_updates_count() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        assert!(ws.remove_superedge(0, 1));
+        assert!(!ws.remove_superedge(0, 1));
+        assert_eq!(ws.num_superedges(), 1);
+        assert!(!ws.has_superedge(0, 1));
+        assert!(!ws.has_superedge(1, 0));
+    }
+
+    #[test]
+    fn into_summary_preserves_structure() {
+        let g = graph_from_edges(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        ws.merge(0, 1, &mut scratch);
+        let merged_count = ws.num_superedges();
+        let s = ws.into_summary();
+        assert_eq!(s.num_supernodes(), 3);
+        assert_eq!(s.num_superedges(), merged_count);
+        assert_eq!(s.supernode_of(0), s.supernode_of(1));
+        assert_ne!(s.supernode_of(0), s.supernode_of(2));
+    }
+
+    #[test]
+    fn merge_within_group_reduces_supernodes_at_zero_threshold() {
+        let g = barabasi_albert(80, 3, 4);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = Scratch::default();
+        let mut rejected = Vec::new();
+        let mut group: Vec<SuperId> = (0..40).collect();
+        merge_within_group(
+            &mut ws,
+            &mut group,
+            -f64::INFINITY,
+            &mut rejected,
+            &mut rng,
+            &mut scratch,
+            false,
+        );
+        // With threshold -inf every attempt merges: group collapses to one.
+        assert_eq!(group.len(), 1);
+        assert_eq!(ws.num_supernodes(), 80 - 39);
+    }
+
+    #[test]
+    fn merge_within_group_respects_high_threshold() {
+        let g = barabasi_albert(80, 3, 4);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = Scratch::default();
+        let mut rejected = Vec::new();
+        let mut group: Vec<SuperId> = (0..40).collect();
+        merge_within_group(
+            &mut ws,
+            &mut group,
+            2.0, // relative reduction can never reach 2.0
+            &mut rejected,
+            &mut rng,
+            &mut scratch,
+            false,
+        );
+        assert_eq!(ws.num_supernodes(), 80, "nothing should merge");
+        assert!(!rejected.is_empty(), "failures must be recorded in L");
+        assert!(rejected.iter().all(|&r| r < 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "merge needs two live supernodes")]
+    fn merging_dead_supernode_panics() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        let kept = ws.merge(0, 1, &mut scratch);
+        let dead = if kept == 0 { 1 } else { 0 };
+        let _ = ws.merge(dead, 2, &mut scratch);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for pgs-core internals: the evolving summary's
+//! bookkeeping must stay consistent under arbitrary merge sequences, and
+//! the greedy engine's incremental quantities must agree with
+//! from-scratch recomputation.
+
+use proptest::prelude::*;
+
+use pgs_core::cost::{pair_cost, CostModel};
+use pgs_core::error::{personalized_error, reconstruction_error};
+use pgs_core::weights::NodeWeights;
+use pgs_core::working::{Scratch, WorkingSummary};
+use pgs_core::{summarize, PegasusConfig, Summary};
+use pgs_graph::gen::erdos_renyi;
+use pgs_graph::Graph;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (6usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        let m = (2 * n).min(n * (n - 1) / 2);
+        erdos_renyi(n, m, seed)
+    })
+}
+
+/// Global pair-cost sum recomputed from scratch (the Eq. 8 sum without
+/// the constant |V|log2|S| term).
+fn brute_pair_cost_sum(ws: &WorkingSummary<'_>) -> f64 {
+    let live = ws.live_ids();
+    let log_s = ws.log_s();
+    let mut total = 0.0;
+    for (i, &a) in live.iter().enumerate() {
+        for &b in &live[i..] {
+            let mut e = 0.0;
+            for &u in ws.members(a) {
+                for &v in ws.members(b) {
+                    if a == b && u >= v {
+                        continue;
+                    }
+                    if ws.graph().has_edge(u, v) {
+                        e += ws.weights().pair(u, v);
+                    }
+                }
+            }
+            total += pair_cost(ws.has_superedge(a, b), ws.pair_tot(a, b), e, log_s, ws.params());
+        }
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any random merge sequence: membership maps stay mutually
+    /// consistent, weight sums match recomputation, and the superedge
+    /// count matches the adjacency sets.
+    #[test]
+    fn working_summary_invariants_hold_under_merges(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        merges in 1usize..20,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let w = NodeWeights::personalized(&g, &[0], 1.5);
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let mut scratch = Scratch::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut live = ws.live_ids();
+        for _ in 0..merges.min(live.len() - 1) {
+            let i = rng.random_range(0..live.len());
+            let j = rng.random_range(0..live.len());
+            if i == j { continue; }
+            let (a, b) = (live[i], live[j]);
+            let kept = ws.merge(a, b, &mut scratch);
+            let dead = if kept == a { b } else { a };
+            live.retain(|&s| s != dead);
+        }
+        // Membership consistency.
+        for &s in &live {
+            for &u in ws.members(s) {
+                prop_assert_eq!(ws.supernode_of(u), s);
+            }
+        }
+        let member_total: usize = live.iter().map(|&s| ws.members(s).len()).sum();
+        prop_assert_eq!(member_total, g.num_nodes());
+        prop_assert_eq!(ws.num_supernodes(), live.len());
+        // Superedge count vs adjacency sets.
+        let mut count = 0usize;
+        for &s in &live {
+            for x in ws.superedge_neighbors(s) {
+                prop_assert!(ws.is_live(x), "superedge to dead supernode");
+                prop_assert!(ws.has_superedge(x, s), "asymmetric superedge");
+                if s <= x { count += 1; }
+            }
+        }
+        prop_assert_eq!(count, ws.num_superedges());
+    }
+
+    /// eval_merge's delta equals the actual change in the global
+    /// pair-cost sum restricted to pairs incident to the merged pair
+    /// (non-incident pairs are unaffected except for log2|S| repricing,
+    /// which Sect. III-D deliberately fixes).
+    #[test]
+    fn eval_merge_matches_global_recomputation(g in arb_graph(), seed in any::<u64>()) {
+        use rand::{RngExt, SeedableRng};
+        let w = NodeWeights::personalized(&g, &[1], 1.25);
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let mut scratch = Scratch::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.num_nodes() as u32;
+        let a = rng.random_range(0..n);
+        let b = (a + 1 + rng.random_range(0..n - 1)) % n;
+        prop_assume!(a != b);
+
+        let block_e = |ws: &WorkingSummary<'_>, x: u32, y: u32| -> f64 {
+            let mut e = 0.0;
+            for &u in ws.members(x) {
+                for &v in ws.members(y) {
+                    if x == y && u >= v { continue; }
+                    if g.has_edge(u, v) { e += w.pair(u, v); }
+                }
+            }
+            e
+        };
+        // "Before": every pair {x, y} with x or y in {a, b}, counted once.
+        let live = ws.live_ids();
+        let log_s = ws.log_s();
+        let mut before = 0.0;
+        for &x in &live {
+            for y in [a, b] {
+                if x == a && y == b { continue; } // (a,b) counted from (b,a) side
+                let (lo, hi) = (x.min(y), x.max(y));
+                if x == y && x == b && a == b { continue; }
+                // Count (x,a) pairs once and (x,b) pairs once; the pair
+                // (a,b) arrives exactly once via x == b, y == a? No:
+                // y only ranges over {a,b}; (a,b) arrives via x == b,
+                // y == a being skipped... keep it simple: accumulate all
+                // and correct below.
+                before += pair_cost(ws.has_superedge(lo, hi), ws.pair_tot(lo, hi),
+                    block_e(&ws, lo, hi), log_s, ws.params());
+            }
+        }
+        // The double loop counted: (x,a) for all x (incl. a,b) plus
+        // (x,b) for all x except the skipped (a,b). Self pairs (a,a)
+        // and (b,b) appear once each; the cross pair (a,b) appears once
+        // via x == b, y == a and once via x == a... recompute precisely:
+        // entries were (x,a) ∀x and (x,b) ∀x≠a. Pair {a,b} appeared as
+        // (b,a) and... (a,b) skipped, (b,a) kept → once. Pair {a,a}:
+        // (a,a) once. {b,b}: (b,b) once. Other x: (x,a) and (x,b) once
+        // each. Exactly the incident-pair set, each once.
+
+        let eval = ws.eval_merge(a, b, &mut scratch);
+        let kept = ws.merge(a, b, &mut scratch);
+
+        // "After": every pair {kept, x} for live x, counted once
+        // (x == kept gives the self pair).
+        let log_s2 = ws.log_s();
+        let mut after = 0.0;
+        for &x in &ws.live_ids() {
+            let (lo, hi) = (x.min(kept), x.max(kept));
+            let e = block_e(&ws, lo, hi);
+            if e == 0.0 && !ws.has_superedge(lo, hi) && x != kept {
+                continue; // zero-cost pair
+            }
+            after += pair_cost(ws.has_superedge(lo, hi), ws.pair_tot(lo, hi),
+                e, log_s2, ws.params());
+        }
+        prop_assert!((eval.delta - (before - after)).abs() < 1e-6 * before.abs().max(1.0),
+            "delta {} vs brute {}", eval.delta, before - after);
+    }
+
+    /// Personalized error of a PeGaSus output never exceeds the trivial
+    /// empty-summary error (2 × total pair weight of E).
+    #[test]
+    fn error_bounded_by_trivial_summary(g in arb_graph(), ratio in 0.3f64..0.9) {
+        let s = summarize(&g, &[0], ratio * g.size_bits(), &PegasusConfig::default());
+        let err = reconstruction_error(&g, &s);
+        prop_assert!(err <= 2.0 * g.num_edges() as f64 + 1e-9);
+    }
+
+    /// Identity summaries have zero error under any personalization.
+    #[test]
+    fn identity_error_zero(g in arb_graph(), alpha in 1.0f64..2.0) {
+        let s = Summary::identity(&g);
+        let w = NodeWeights::personalized(&g, &[0], alpha);
+        prop_assert!(personalized_error(&g, &s, &w).abs() < 1e-9);
+    }
+}

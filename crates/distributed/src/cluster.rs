@@ -1,0 +1,256 @@
+//! The `m`-machine cluster simulator implementing Alg. 3.
+
+use pgs_core::pegasus::{summarize, PegasusConfig};
+use pgs_core::ssumm::{ssumm_summarize, SsummConfig};
+use pgs_core::Summary;
+use pgs_graph::{Graph, NodeId};
+use pgs_partition::Method;
+use pgs_queries::{hops_summary, php_summary, rwr_summary};
+
+use crate::subgraph::local_subgraph;
+
+/// What each machine stores.
+pub enum MachineStore {
+    /// A summary graph (personalized or not).
+    Summary(Summary),
+    /// An uncompressed local subgraph over the full node-id space.
+    Subgraph(Graph),
+}
+
+impl MachineStore {
+    /// Bits this machine's store occupies (Eq. 3 / Eq. 4 accounting).
+    pub fn size_bits(&self) -> f64 {
+        match self {
+            MachineStore::Summary(s) => s.size_bits(),
+            MachineStore::Subgraph(g) => g.size_bits(),
+        }
+    }
+}
+
+/// How machine stores are built (the Fig. 12 contenders).
+#[derive(Clone, Debug)]
+pub enum Backend {
+    /// Alg. 3: a PeGaSus summary personalized to each machine's subset.
+    Pegasus(PegasusConfig),
+    /// One non-personalized SSumM summary shared by every machine.
+    Ssumm(SsummConfig),
+    /// Uncompressed subgraphs from a graph-partitioning method.
+    Subgraph(Method),
+}
+
+/// An in-process simulation of `m` machines answering queries with zero
+/// inter-machine communication (Sect. IV).
+///
+/// # Example
+/// ```
+/// use pgs_graph::gen::planted_partition;
+/// use pgs_distributed::{Backend, Cluster};
+///
+/// let g = planted_partition(200, 8, 800, 100, 1);
+/// // 4 machines, each with memory for a ratio-0.5 summary (Sect. V-F).
+/// let budget = 0.5 * g.size_bits();
+/// let cluster = Cluster::build(&g, 4, budget, &Backend::Pegasus(Default::default()), 7);
+/// let scores = cluster.rwr(0, 0.05);      // answered by node 0's machine
+/// assert_eq!(scores.len(), 200);
+/// ```
+pub struct Cluster {
+    /// Machine of each node (`V_i` membership).
+    part: Vec<u32>,
+    machines: Vec<MachineStore>,
+}
+
+impl Cluster {
+    /// Preprocessing of Alg. 3: partition `V` with Louvain (or the
+    /// backend's own partitioner), then build one store per machine
+    /// within `budget_bits_per_machine`.
+    pub fn build(
+        g: &Graph,
+        m: usize,
+        budget_bits_per_machine: f64,
+        backend: &Backend,
+        seed: u64,
+    ) -> Cluster {
+        assert!(m >= 1, "need at least one machine");
+        let part = match backend {
+            // Alg. 3 partitions with Louvain; the subgraph baselines use
+            // their own partitioner for both routing and construction.
+            Backend::Pegasus(_) | Backend::Ssumm(_) => {
+                Method::Louvain.partition(g, m, seed)
+            }
+            Backend::Subgraph(method) => method.partition(g, m, seed),
+        };
+        let mut subsets: Vec<Vec<NodeId>> = vec![Vec::new(); m];
+        for (u, &p) in part.iter().enumerate() {
+            subsets[p as usize].push(u as NodeId);
+        }
+
+        let machines: Vec<MachineStore> = match backend {
+            Backend::Pegasus(cfg) => subsets
+                .iter()
+                .map(|subset| {
+                    MachineStore::Summary(summarize(
+                        g,
+                        subset,
+                        budget_bits_per_machine,
+                        cfg,
+                    ))
+                })
+                .collect(),
+            Backend::Ssumm(cfg) => {
+                // One non-personalized summary, logically replicated.
+                let s = ssumm_summarize(g, budget_bits_per_machine, cfg);
+                (0..m)
+                    .map(|_| MachineStore::Summary(s.clone()))
+                    .collect()
+            }
+            Backend::Subgraph(_) => subsets
+                .iter()
+                .map(|subset| {
+                    MachineStore::Subgraph(local_subgraph(
+                        g,
+                        subset,
+                        budget_bits_per_machine,
+                    ))
+                })
+                .collect(),
+        };
+        Cluster { part, machines }
+    }
+
+    /// Number of machines `m`.
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// The machine a query on node `q` routes to (Alg. 3 line 6).
+    #[inline]
+    pub fn route(&self, q: NodeId) -> usize {
+        self.part[q as usize] as usize
+    }
+
+    /// Read-only view of a machine's store.
+    pub fn machine(&self, i: usize) -> &MachineStore {
+        &self.machines[i]
+    }
+
+    /// Largest per-machine store, in bits (must respect the budget).
+    pub fn max_machine_bits(&self) -> f64 {
+        self.machines
+            .iter()
+            .map(|m| m.size_bits())
+            .fold(0.0, f64::max)
+    }
+
+    /// RWR query on node `q`, answered entirely by `q`'s machine.
+    pub fn rwr(&self, q: NodeId, restart: f64) -> Vec<f64> {
+        match &self.machines[self.route(q)] {
+            MachineStore::Summary(s) => rwr_summary(s, q, restart),
+            MachineStore::Subgraph(g) => pgs_queries::rwr_exact(g, q, restart),
+        }
+    }
+
+    /// HOP query on node `q`, answered entirely by `q`'s machine.
+    /// Unreachable nodes are `u32::MAX` as usual.
+    pub fn hops(&self, q: NodeId) -> Vec<u32> {
+        match &self.machines[self.route(q)] {
+            MachineStore::Summary(s) => hops_summary(s, q),
+            MachineStore::Subgraph(g) => pgs_queries::hops_exact(g, q),
+        }
+    }
+
+    /// PHP query on node `q`, answered entirely by `q`'s machine.
+    pub fn php(&self, q: NodeId, c: f64) -> Vec<f64> {
+        match &self.machines[self.route(q)] {
+            MachineStore::Summary(s) => php_summary(s, q, c),
+            MachineStore::Subgraph(g) => pgs_queries::php_exact(g, q, c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::gen::planted_partition;
+    use pgs_queries::{hops_to_f64, smape};
+
+    fn test_graph() -> Graph {
+        planted_partition(240, 8, 1000, 140, 3)
+    }
+
+    #[test]
+    fn pegasus_cluster_meets_per_machine_budget() {
+        let g = test_graph();
+        // Per-machine memory k = ratio × Size(G), per Sect. V-F.
+        let budget = 0.5 * g.size_bits();
+        let c = Cluster::build(&g, 8, budget, &Backend::Pegasus(Default::default()), 1);
+        assert_eq!(c.num_machines(), 8);
+        assert!(c.max_machine_bits() <= budget + 1e-9);
+    }
+
+    #[test]
+    fn ssumm_cluster_replicates_one_summary() {
+        let g = test_graph();
+        let budget = 0.5 * g.size_bits();
+        let c = Cluster::build(&g, 8, budget, &Backend::Ssumm(Default::default()), 1);
+        let first = c.machine(0).size_bits();
+        for i in 1..8 {
+            assert_eq!(c.machine(i).size_bits(), first);
+        }
+    }
+
+    #[test]
+    fn subgraph_cluster_meets_budget() {
+        let g = test_graph();
+        let budget = 0.4 * g.size_bits();
+        for method in Method::ALL {
+            let c = Cluster::build(&g, 8, budget, &Backend::Subgraph(method), 2);
+            assert!(
+                c.max_machine_bits() <= budget + 1e-9,
+                "{} overflows budget",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_node_routes_to_a_machine() {
+        let g = test_graph();
+        let budget = 0.5 * g.size_bits();
+        let c = Cluster::build(&g, 4, budget, &Backend::Pegasus(Default::default()), 3);
+        for u in g.nodes() {
+            assert!(c.route(u) < 4);
+        }
+    }
+
+    #[test]
+    fn queries_return_full_vectors() {
+        let g = test_graph();
+        let budget = 0.5 * g.size_bits();
+        for backend in [
+            Backend::Pegasus(Default::default()),
+            Backend::Ssumm(Default::default()),
+            Backend::Subgraph(Method::Louvain),
+        ] {
+            let c = Cluster::build(&g, 4, budget, &backend, 4);
+            let r = c.rwr(7, 0.05);
+            assert_eq!(r.len(), g.num_nodes());
+            let h = c.hops(7);
+            assert_eq!(h.len(), g.num_nodes());
+            let p = c.php(7, 0.95);
+            assert_eq!(p.len(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn personalized_cluster_is_finitely_accurate() {
+        // Sanity: PeGaSus-cluster answers correlate with ground truth.
+        let g = test_graph();
+        let budget = 0.6 * g.size_bits();
+        let c = Cluster::build(&g, 4, budget, &Backend::Pegasus(Default::default()), 5);
+        let q = 11;
+        let truth = hops_to_f64(&pgs_queries::hops_exact(&g, q));
+        let approx = hops_to_f64(&c.hops(q));
+        let err = smape(&truth, &approx);
+        assert!(err < 0.9, "HOP SMAPE {err} suspiciously bad");
+    }
+}

@@ -1,0 +1,107 @@
+//! Budgeted local subgraphs — the "Potential Alternatives" of Sect. IV.
+//!
+//! For the graph-partitioning baselines of Fig. 12, each machine stores
+//! an *uncompressed* subgraph of at most `k` bits "composed of the edges
+//! closest to the i-th subset": edges are ranked by hop distance from
+//! the subset `V_i` and added until the bit budget (Eq. 4 accounting,
+//! `2·|E_i|·log2|V|`) is exhausted.
+
+use pgs_graph::traverse::multi_source_bfs;
+use pgs_graph::{Graph, GraphBuilder, NodeId};
+
+/// Builds the size-`k`-bits subgraph closest to `subset`.
+///
+/// Edges are ordered by `min(D(u, subset), D(v, subset))`, then by
+/// `max(...)` as a tie-break, so the subgraph grows outward from the
+/// subset in BFS layers. The result keeps the full node-id space (absent
+/// nodes are isolated), which lets per-machine answers scatter directly
+/// into `|V|`-length vectors.
+pub fn local_subgraph(g: &Graph, subset: &[NodeId], budget_bits: f64) -> Graph {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Graph::empty(0);
+    }
+    let bits_per_edge = 2.0 * (n.max(2) as f64).log2();
+    let max_edges = (budget_bits / bits_per_edge).floor() as usize;
+
+    let dist = multi_source_bfs(g, subset);
+    let mut ranked: Vec<(u32, u32, NodeId, NodeId)> = g
+        .edges()
+        .map(|(u, v)| {
+            let (du, dv) = (dist[u as usize], dist[v as usize]);
+            (du.min(dv), du.max(dv), u, v)
+        })
+        .collect();
+    ranked.sort_unstable();
+
+    let mut b = GraphBuilder::with_capacity(n, max_edges.min(ranked.len()));
+    for &(_, _, u, v) in ranked.iter().take(max_edges) {
+        b.add_edge(u, v);
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::barabasi_albert;
+
+    #[test]
+    fn keeps_closest_edges_first() {
+        // Path 0-1-2-3-4; subset {0}; budget for 2 edges.
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let bits = 2.0 * (5f64).log2() * 2.0; // two edges
+        let sub = local_subgraph(&g, &[0], bits);
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(3, 4));
+    }
+
+    #[test]
+    fn full_budget_keeps_everything() {
+        let g = barabasi_albert(100, 3, 1);
+        let sub = local_subgraph(&g, &[0], g.size_bits() + 1.0);
+        assert_eq!(sub.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn zero_budget_keeps_nothing() {
+        let g = barabasi_albert(50, 2, 2);
+        let sub = local_subgraph(&g, &[0], 0.0);
+        assert_eq!(sub.num_edges(), 0);
+        assert_eq!(sub.num_nodes(), 50, "node-id space preserved");
+    }
+
+    #[test]
+    fn size_respects_budget() {
+        let g = barabasi_albert(200, 3, 5);
+        let budget = 0.4 * g.size_bits();
+        let sub = local_subgraph(&g, &[3, 4, 5], budget);
+        assert!(sub.size_bits() <= budget);
+        assert!(sub.num_edges() > 0);
+    }
+
+    #[test]
+    fn subset_interior_is_covered_before_periphery() {
+        let g = barabasi_albert(300, 3, 8);
+        let subset: Vec<u32> = (0..30).collect();
+        let budget = 0.3 * g.size_bits();
+        let sub = local_subgraph(&g, &subset, budget);
+        let dist = multi_source_bfs(&g, &subset);
+        // Every kept edge must be at least as close as every dropped edge.
+        let max_kept = sub
+            .edges()
+            .map(|(u, v)| dist[u as usize].min(dist[v as usize]))
+            .max()
+            .unwrap();
+        let dropped_closer = g
+            .edges()
+            .filter(|&(u, v)| !sub.has_edge(u, v))
+            .filter(|&(u, v)| dist[u as usize].min(dist[v as usize]) + 1 < max_kept)
+            .count();
+        assert_eq!(dropped_closer, 0, "closer edges were dropped");
+    }
+}

@@ -1,0 +1,617 @@
+//! Random-graph generators used as offline stand-ins for Table II.
+//!
+//! The paper evaluates on six real-world graphs (LastFM-Asia, Caida, DBLP,
+//! Amazon0601, Skitter, Wikipedia) plus a 10M-node/1B-edge Barabási–Albert
+//! synthetic graph. The real datasets are not redistributable offline, so
+//! the experiment harness substitutes structurally-matched synthetic
+//! graphs from these generators (see DESIGN.md §5); the original
+//! edge-lists can be dropped in via [`crate::io::read_edge_list`].
+//!
+//! All generators take an explicit seed so the whole reproduction is
+//! deterministic.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// Barabási–Albert preferential attachment graph (the paper's synthetic
+/// scalability dataset, Sect. V-C, ref. \[40\]).
+///
+/// Starts from a clique on `m_attach + 1` nodes; each subsequent node
+/// attaches to `m_attach` distinct existing nodes chosen proportionally to
+/// degree (implemented with the standard repeated-endpoint trick: sampling
+/// uniformly from the flat edge-endpoint list is equivalent to
+/// degree-proportional sampling).
+///
+/// # Panics
+/// Panics if `m_attach == 0` or `n <= m_attach`.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Graph {
+    assert!(m_attach >= 1, "attachment count must be positive");
+    assert!(n > m_attach, "need more nodes than the attachment count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m_attach);
+    // Flat list of edge endpoints; node i appears deg(i) times.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+
+    // Seed clique on m_attach + 1 nodes.
+    let core = m_attach + 1;
+    for u in 0..core {
+        for v in (u + 1)..core {
+            b.add_edge(u as NodeId, v as NodeId);
+            endpoints.push(u as NodeId);
+            endpoints.push(v as NodeId);
+        }
+    }
+
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m_attach);
+    for u in core..n {
+        targets.clear();
+        // Rejection-sample m distinct degree-proportional targets.
+        while targets.len() < m_attach {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(u as NodeId, t);
+            endpoints.push(u as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+/// Barabási–Albert variant with mixed attachment counts: each arriving
+/// node attaches to 1 edge with probability `p1` and to 2 edges
+/// otherwise. Internet-topology-like: hubs accumulate many degree-1
+/// leaves (which are twins — exactly the redundancy summarizers exploit
+/// in real AS graphs such as Caida/Skitter).
+pub fn barabasi_albert_mixed(n: usize, p1: f64, seed: u64) -> Graph {
+    assert!(n >= 3, "need at least 3 nodes");
+    assert!((0.0..=1.0).contains(&p1), "p1 must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(4 * n);
+    // Seed triangle.
+    for (u, v) in [(0u32, 1u32), (1, 2), (0, 2)] {
+        b.add_edge(u, v);
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2);
+    for u in 3..n {
+        let m = if rng.random_range(0.0..1.0) < p1 { 1 } else { 2 };
+        targets.clear();
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(u as NodeId, t);
+            endpoints.push(u as NodeId);
+            endpoints.push(t);
+        }
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+/// Watts–Strogatz small-world graph (used to vary the effective diameter
+/// in Fig. 10, ref. \[49\]).
+///
+/// `k` must be even: each node is wired to its `k/2` nearest ring
+/// neighbors on each side, then each edge's far endpoint is rewired with
+/// probability `p` to a uniform non-duplicate target.
+///
+/// # Panics
+/// Panics if `k` is odd, `k == 0`, or `k >= n`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k > 0 && k.is_multiple_of(2), "k must be positive and even");
+    assert!(k < n, "ring degree must be below node count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Adjacency sets during rewiring; degrees are ~k so Vec scan is fine.
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::with_capacity(k + 4); n];
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for d in 1..=(k / 2) {
+            let v = (u + d) % n;
+            edges.push((u as NodeId, v as NodeId));
+            adj[u].push(v as NodeId);
+            adj[v].push(u as NodeId);
+        }
+    }
+    #[allow(clippy::needless_range_loop)] // edges[i] is rewritten in place
+    for i in 0..edges.len() {
+        if rng.random_range(0.0..1.0) >= p {
+            continue;
+        }
+        let (u, v) = edges[i];
+        // Rewire v-side to a uniform target that is neither u nor already
+        // adjacent to u; skip if u is adjacent to everything.
+        if adj[u as usize].len() >= n - 1 {
+            continue;
+        }
+        let w = loop {
+            let cand = rng.random_range(0..n) as NodeId;
+            if cand != u && !adj[u as usize].contains(&cand) {
+                break cand;
+            }
+        };
+        adj[u as usize].retain(|&x| x != v);
+        adj[v as usize].retain(|&x| x != u);
+        adj[u as usize].push(w);
+        adj[w as usize].push(u);
+        edges[i] = (u, w);
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)` graph: `m` distinct uniform edges.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = crate::FxHashSet::default();
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.random_range(0..n) as NodeId;
+        let v = rng.random_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+/// Planted-partition (stochastic block model) graph: `communities` equal
+/// blocks; expected `m_intra` within-block edges and `m_inter`
+/// between-block edges overall. Stand-in for community-structured social /
+/// collaboration networks (LastFM-Asia, DBLP).
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    m_intra: usize,
+    m_inter: usize,
+    seed: u64,
+) -> Graph {
+    assert!(communities >= 1 && communities <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m_intra + m_inter);
+    let mut seen = crate::FxHashSet::default();
+    let block = n.div_ceil(communities);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    // Intra-community edges.
+    while added < m_intra && attempts < 50 * m_intra + 1000 {
+        attempts += 1;
+        let c = rng.random_range(0..communities);
+        let lo = (c * block).min(n);
+        let hi = ((c + 1) * block).min(n);
+        if lo + 2 > hi {
+            continue;
+        }
+        let u = rng.random_range(lo..hi) as NodeId;
+        let v = rng.random_range(lo..hi) as NodeId;
+        if u == v {
+            continue;
+        }
+        if seen.insert((u.min(v), u.max(v))) {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    // Inter-community edges.
+    added = 0;
+    attempts = 0;
+    while added < m_inter && attempts < 50 * m_inter + 1000 {
+        attempts += 1;
+        let u = rng.random_range(0..n) as NodeId;
+        let v = rng.random_range(0..n) as NodeId;
+        if u == v || (u as usize / block) == (v as usize / block) {
+            continue;
+        }
+        if seen.insert((u.min(v), u.max(v))) {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+/// R-MAT recursive-matrix graph (heavy-tailed, hierarchical; stand-in for
+/// hyperlink-style graphs such as the Wikipedia dataset).
+///
+/// Standard parameters `(a, b, c)` with `d = 1 - a - b - c`; `scale` gives
+/// `n = 2^scale` nodes and `m` edge draws (duplicates/self-loops removed,
+/// so the realized edge count is slightly below `m`).
+pub fn rmat(scale: u32, m: usize, a: f64, b_: f64, c: f64, seed: u64) -> Graph {
+    let d = 1.0 - a - b_ - c;
+    assert!(a >= 0.0 && b_ >= 0.0 && c >= 0.0 && d >= 0.0, "invalid R-MAT probabilities");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (mut lo_u, mut hi_u) = (0usize, n);
+        let (mut lo_v, mut hi_v) = (0usize, n);
+        while hi_u - lo_u > 1 {
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            let r: f64 = rng.random_range(0.0..1.0);
+            if r < a {
+                hi_u = mid_u;
+                hi_v = mid_v;
+            } else if r < a + b_ {
+                hi_u = mid_u;
+                lo_v = mid_v;
+            } else if r < a + b_ + c {
+                lo_u = mid_u;
+                hi_v = mid_v;
+            } else {
+                lo_u = mid_u;
+                lo_v = mid_v;
+            }
+        }
+        b.add_edge(lo_u as NodeId, lo_v as NodeId);
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+/// A ring of `n` nodes with `extra` random chords — a cheap stand-in for
+/// road-network-like graphs (large diameter, near-uniform degree).
+pub fn ring_with_chords(n: usize, extra: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n + extra);
+    for u in 0..n {
+        b.add_edge(u as NodeId, ((u + 1) % n) as NodeId);
+    }
+    for _ in 0..extra {
+        let u = rng.random_range(0..n) as NodeId;
+        let v = rng.random_range(0..n) as NodeId;
+        b.add_edge(u, v); // builder drops self-loops / duplicates
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+/// 2-D grid graph `rows × cols` (road-network-like mesh used in the
+/// road-navigation example).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+/// Uniformly permutes node ids (useful to de-correlate generator artifacts
+/// from id-ordered algorithms while preserving isomorphism class).
+pub fn relabel_random(g: &Graph, seed: u64) -> Graph {
+    let n = g.num_nodes();
+    let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges());
+    for (u, v) in g.edges() {
+        b.add_edge(perm[u as usize], perm[v as usize]);
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_node_and_edge_counts() {
+        let g = barabasi_albert(100, 3, 7);
+        assert_eq!(g.num_nodes(), 100);
+        // Clique on 4 nodes (6 edges) + 96 nodes × 3 edges = 294.
+        assert_eq!(g.num_edges(), 6 + 96 * 3);
+    }
+
+    #[test]
+    fn ba_is_deterministic_per_seed() {
+        let g1 = barabasi_albert(50, 2, 11);
+        let g2 = barabasi_albert(50, 2, 11);
+        assert_eq!(g1, g2);
+        let g3 = barabasi_albert(50, 2, 12);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn ba_minimum_degree_is_m() {
+        let g = barabasi_albert(200, 4, 3);
+        for u in g.nodes() {
+            assert!(g.degree(u) >= 4, "node {u} has degree {}", g.degree(u));
+        }
+    }
+
+    #[test]
+    fn ba_mixed_has_leaves_and_hubs() {
+        let g = barabasi_albert_mixed(2000, 0.6, 3);
+        let leaves = g.nodes().filter(|&u| g.degree(u) == 1).count();
+        assert!(leaves > 500, "expected many degree-1 leaves, got {leaves}");
+        assert!(g.max_degree() > 50, "expected hubs, got {}", g.max_degree());
+    }
+
+    #[test]
+    fn ba_mixed_edge_count_bounds() {
+        let g = barabasi_albert_mixed(1000, 0.5, 1);
+        assert!(g.num_edges() >= 1000);     // at least m=1 each + triangle
+        assert!(g.num_edges() <= 2 * 1000); // at most m=2 each
+    }
+
+    #[test]
+    fn ba_mixed_p1_one_is_tree_plus_triangle() {
+        let g = barabasi_albert_mixed(500, 1.0, 2);
+        assert_eq!(g.num_edges(), 3 + 497);
+    }
+
+    #[test]
+    fn ws_no_rewiring_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn ws_rewiring_preserves_edge_count() {
+        let g = watts_strogatz(100, 6, 0.3, 5);
+        assert_eq!(g.num_edges(), 100 * 3);
+    }
+
+    #[test]
+    fn ws_heavy_rewiring_changes_structure() {
+        let lattice = watts_strogatz(100, 6, 0.0, 5);
+        let rewired = watts_strogatz(100, 6, 1.0, 5);
+        assert_ne!(lattice, rewired);
+    }
+
+    #[test]
+    fn er_exact_edge_count() {
+        let g = erdos_renyi(50, 120, 9);
+        assert_eq!(g.num_nodes(), 50);
+        assert_eq!(g.num_edges(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many edges")]
+    fn er_rejects_overfull() {
+        let _ = erdos_renyi(4, 7, 0);
+    }
+
+    #[test]
+    fn planted_partition_counts() {
+        let g = planted_partition(100, 4, 300, 50, 2);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 350);
+    }
+
+    #[test]
+    fn planted_partition_blocks_are_denser() {
+        let g = planted_partition(200, 4, 800, 100, 3);
+        let block = 50;
+        let mut intra = 0;
+        let mut inter = 0;
+        for (u, v) in g.edges() {
+            if (u as usize / block) == (v as usize / block) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 4 * inter);
+    }
+
+    #[test]
+    fn rmat_respects_scale() {
+        let g = rmat(8, 1000, 0.57, 0.19, 0.19, 4);
+        assert_eq!(g.num_nodes(), 256);
+        assert!(g.num_edges() <= 1000);
+        assert!(g.num_edges() > 500);
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert_eq!(g.degree(0), 2); // corner
+    }
+
+    #[test]
+    fn ring_with_chords_connected_base() {
+        let g = ring_with_chords(30, 10, 8);
+        assert!(g.num_edges() >= 30);
+        for u in g.nodes() {
+            assert!(g.degree(u) >= 2);
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_counts() {
+        let g = barabasi_albert(80, 3, 1);
+        let h = relabel_random(&g, 99);
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        let mut gd: Vec<_> = g.nodes().map(|u| g.degree(u)).collect();
+        let mut hd: Vec<_> = h.nodes().map(|u| h.degree(u)).collect();
+        gd.sort_unstable();
+        hd.sort_unstable();
+        assert_eq!(gd, hd);
+    }
+}
+
+/// Degree-corrected planted-partition graph: like [`planted_partition`],
+/// but endpoints inside each block are drawn from a Zipf-like weight
+/// distribution (`weight(i) ∝ (i+1)^{-gamma}` within the block), giving
+/// the heavy-tailed degrees and hub-centered redundancy of real social /
+/// collaboration networks. `gamma = 0` reduces to the uniform model.
+pub fn dc_planted_partition(
+    n: usize,
+    communities: usize,
+    m_intra: usize,
+    m_inter: usize,
+    gamma: f64,
+    seed: u64,
+) -> Graph {
+    assert!(communities >= 1 && communities <= n);
+    assert!(gamma >= 0.0, "gamma must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m_intra + m_inter);
+    let mut seen = crate::FxHashSet::default();
+    let block = n.div_ceil(communities);
+
+    // Per-block cumulative weight table for O(log block) weighted draws.
+    // All blocks share the shape; only the block offset differs.
+    let max_block = block.min(n);
+    let mut cum = Vec::with_capacity(max_block);
+    let mut acc = 0.0f64;
+    for i in 0..max_block {
+        acc += 1.0 / ((i + 1) as f64).powf(gamma);
+        cum.push(acc);
+    }
+    let total = acc;
+    let draw_in = |rng: &mut StdRng, lo: usize, hi: usize| -> NodeId {
+        let span = hi - lo;
+        let limit = if span == max_block { total } else { cum[span - 1] };
+        let r = rng.random_range(0.0..limit);
+        let idx = cum[..span].partition_point(|&c| c < r);
+        (lo + idx.min(span - 1)) as NodeId
+    };
+
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < m_intra && attempts < 50 * m_intra + 1000 {
+        attempts += 1;
+        let c = rng.random_range(0..communities);
+        let lo = (c * block).min(n);
+        let hi = ((c + 1) * block).min(n);
+        if lo + 2 > hi {
+            continue;
+        }
+        let u = draw_in(&mut rng, lo, hi);
+        let v = draw_in(&mut rng, lo, hi);
+        if u == v {
+            continue;
+        }
+        if seen.insert((u.min(v), u.max(v))) {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    added = 0;
+    attempts = 0;
+    while added < m_inter && attempts < 50 * m_inter + 1000 {
+        attempts += 1;
+        // Inter edges also prefer hubs: draw each endpoint inside a
+        // random block with the same weight shape.
+        let cu = rng.random_range(0..communities);
+        let cv = rng.random_range(0..communities);
+        if cu == cv {
+            continue;
+        }
+        let (lo_u, hi_u) = ((cu * block).min(n), ((cu + 1) * block).min(n));
+        let (lo_v, hi_v) = ((cv * block).min(n), ((cv + 1) * block).min(n));
+        if lo_u >= hi_u || lo_v >= hi_v {
+            continue;
+        }
+        let u = draw_in(&mut rng, lo_u, hi_u);
+        let v = draw_in(&mut rng, lo_v, hi_v);
+        if seen.insert((u.min(v), u.max(v))) {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.ensure_nodes(n);
+    b.build()
+}
+
+#[cfg(test)]
+mod dc_tests {
+    use super::*;
+
+    #[test]
+    fn dc_partition_counts() {
+        let g = dc_planted_partition(200, 4, 600, 80, 0.8, 3);
+        assert_eq!(g.num_nodes(), 200);
+        assert_eq!(g.num_edges(), 680);
+    }
+
+    #[test]
+    fn dc_partition_has_heavier_tail_than_uniform() {
+        let dc = dc_planted_partition(1000, 10, 6000, 800, 0.9, 5);
+        let uni = planted_partition(1000, 10, 6000, 800, 5);
+        assert!(
+            dc.max_degree() > 2 * uni.max_degree(),
+            "dc max degree {} should far exceed uniform {}",
+            dc.max_degree(),
+            uni.max_degree()
+        );
+    }
+
+    #[test]
+    fn dc_gamma_zero_degrees_look_uniform() {
+        let g = dc_planted_partition(500, 5, 2000, 200, 0.0, 7);
+        // With gamma 0 draws are uniform: max degree stays moderate.
+        assert!(g.max_degree() < 40, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn dc_blocks_are_denser() {
+        let g = dc_planted_partition(400, 8, 2000, 200, 0.7, 9);
+        let block = 50;
+        let mut intra = 0;
+        let mut inter = 0;
+        for (u, v) in g.edges() {
+            if (u as usize / block) == (v as usize / block) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 4 * inter);
+    }
+
+    #[test]
+    fn dc_deterministic() {
+        let a = dc_planted_partition(300, 6, 1200, 150, 0.8, 11);
+        let b = dc_planted_partition(300, 6, 1200, 150, 0.8, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,234 @@
+//! Immutable undirected simple graph in CSR (compressed sparse row) form.
+
+use std::fmt;
+
+/// Dense node identifier, `0..n`.
+///
+/// The paper's node set is `V = {1, ..., |V|}`; we use 0-based `u32` to
+/// keep adjacency arrays compact (graphs up to ~4.2B nodes, far beyond the
+/// paper's 10M-node synthetic graph).
+pub type NodeId = u32;
+
+/// An immutable, undirected, simple graph (no self-loops, no parallel
+/// edges) stored as a CSR adjacency structure.
+///
+/// Every edge `{u, v}` is stored twice (once in each endpoint's adjacency
+/// list) and the per-node neighbor slices are sorted ascending, which
+/// enables binary-search adjacency tests ([`Graph::has_edge`]) and
+/// merge-based set operations.
+///
+/// # Example
+/// ```
+/// use pgs_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(2, 3);
+/// let g = b.build();
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(2, 3));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR row offsets; length `n + 1`.
+    offsets: Vec<u64>,
+    /// Concatenated sorted neighbor lists; length `2|E|`.
+    neighbors: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Creates a graph directly from CSR arrays.
+    ///
+    /// Intended for internal use by [`crate::GraphBuilder`]; the arrays
+    /// must describe a valid undirected simple graph (symmetric, sorted
+    /// rows, no self-loops, no duplicates).
+    pub(crate) fn from_csr(offsets: Vec<u64>, neighbors: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        Graph { offsets, neighbors }
+    }
+
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u as usize + 1] - self.offsets[u as usize]) as usize
+    }
+
+    /// Sorted neighbor slice of node `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Adjacency test via binary search on the shorter endpoint list:
+    /// `O(log min(deg u, deg v))`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Size in bits of the input graph per Eq. (4): `2|E| log2 |V|`.
+    ///
+    /// This is the budget reference used for compression ratios in the
+    /// evaluation (a summary of compression ratio `r` has bit budget
+    /// `r * size_bits()`).
+    pub fn size_bits(&self) -> f64 {
+        if self.num_nodes() <= 1 {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 * (self.num_nodes() as f64).log2()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Sum of degrees, i.e. `2|E|`.
+    #[inline]
+    pub fn degree_sum(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.num_nodes())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge(i as NodeId, i as NodeId + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 0);
+            assert!(g.neighbors(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.size_bits(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn path_degrees_and_neighbors() {
+        let g = path_graph(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric_and_rejects_self_loop() {
+        let g = path_graph(4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = path_graph(5);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn size_bits_matches_eq4() {
+        let g = path_graph(4); // 3 edges, 4 nodes
+        assert!((g.size_bits() - 2.0 * 3.0 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edges() {
+        let g = path_graph(7);
+        assert_eq!(g.degree_sum(), 2 * g.num_edges() as u64);
+    }
+
+    #[test]
+    fn max_degree_on_star() {
+        let mut b = GraphBuilder::new(6);
+        for v in 1..6 {
+            b.add_edge(0, v);
+        }
+        let g = b.build();
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(g.degree(0), 5);
+    }
+}

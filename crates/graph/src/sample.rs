@@ -1,0 +1,183 @@
+//! Node sampling and induced subgraphs.
+//!
+//! The scalability experiment (Fig. 6) measures runtime on "induced
+//! subgraphs of different sizes obtained by randomly sampling different
+//! numbers of nodes ranging from 10% to 100%". Fig. 10 samples "100
+//! adjacent nodes by BFS from a random node" as localized target sets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// Uniformly samples `count` distinct nodes.
+///
+/// # Panics
+/// Panics if `count > g.num_nodes()`.
+pub fn sample_nodes(g: &Graph, count: usize, seed: u64) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    assert!(count <= n, "cannot sample {count} of {n} nodes");
+    let mut ids: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(count);
+    ids
+}
+
+/// Induced subgraph on `keep`: nodes are renumbered densely in the order
+/// given; returns the subgraph and the `old -> new` mapping.
+pub fn induced_subgraph(g: &Graph, keep: &[NodeId]) -> (Graph, Vec<Option<NodeId>>) {
+    let mut mapping: Vec<Option<NodeId>> = vec![None; g.num_nodes()];
+    for (new, &old) in keep.iter().enumerate() {
+        assert!(
+            mapping[old as usize].is_none(),
+            "duplicate node {old} in keep list"
+        );
+        mapping[old as usize] = Some(new as NodeId);
+    }
+    let mut b = GraphBuilder::with_capacity(keep.len(), g.num_edges());
+    for &old in keep {
+        if let Some(nu) = mapping[old as usize] {
+            for &v in g.neighbors(old) {
+                if let Some(nv) = mapping[v as usize] {
+                    if nu < nv {
+                        b.add_edge(nu, nv);
+                    }
+                }
+            }
+        }
+    }
+    b.ensure_nodes(keep.len());
+    (b.build(), mapping)
+}
+
+/// Random node-sampled induced subgraph keeping `fraction` of the nodes
+/// (Fig. 6 workload). `fraction` is clamped to `[0, 1]`.
+pub fn node_sampled_subgraph(g: &Graph, fraction: f64, seed: u64) -> Graph {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let count = ((g.num_nodes() as f64) * fraction).round() as usize;
+    let keep = sample_nodes(g, count.min(g.num_nodes()), seed);
+    induced_subgraph(g, &keep).0
+}
+
+/// Samples `count` nodes adjacent in BFS order from a random start node
+/// (the localized target sets of Fig. 10). Returns fewer than `count`
+/// nodes if the start's component is smaller.
+pub fn bfs_local_nodes(g: &Graph, count: usize, seed: u64) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    if n == 0 || count == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = rng.random_range(0..n) as NodeId;
+    let mut visited = vec![false; n];
+    let mut out = Vec::with_capacity(count);
+    let mut queue = VecDeque::new();
+    visited[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        out.push(u);
+        if out.len() == count {
+            break;
+        }
+        for &v in g.neighbors(u) {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen::barabasi_albert;
+
+    #[test]
+    fn sample_nodes_distinct() {
+        let g = barabasi_albert(100, 2, 1);
+        let s = sample_nodes(&g, 40, 7);
+        assert_eq!(s.len(), 40);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 40);
+    }
+
+    #[test]
+    fn sample_all_nodes() {
+        let g = barabasi_albert(50, 2, 1);
+        let s = sample_nodes(&g, 50, 3);
+        assert_eq!(s.len(), 50);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (sub, mapping) = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2); // (0,1) and (1,2); ring edges to 3/4 cut
+        assert_eq!(mapping[0], Some(0));
+        assert_eq!(mapping[3], None);
+    }
+
+    #[test]
+    fn induced_subgraph_respects_keep_order() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let (sub, mapping) = induced_subgraph(&g, &[3, 2]);
+        assert_eq!(mapping[3], Some(0));
+        assert_eq!(mapping[2], Some(1));
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let _ = induced_subgraph(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn node_sampled_fraction_sizes() {
+        let g = barabasi_albert(200, 3, 5);
+        let half = node_sampled_subgraph(&g, 0.5, 9);
+        assert_eq!(half.num_nodes(), 100);
+        let all = node_sampled_subgraph(&g, 1.0, 9);
+        assert_eq!(all.num_nodes(), 200);
+        assert_eq!(all.num_edges(), g.num_edges());
+        let none = node_sampled_subgraph(&g, 0.0, 9);
+        assert_eq!(none.num_nodes(), 0);
+    }
+
+    #[test]
+    fn fraction_clamped() {
+        let g = barabasi_albert(50, 2, 5);
+        let over = node_sampled_subgraph(&g, 1.5, 1);
+        assert_eq!(over.num_nodes(), 50);
+    }
+
+    #[test]
+    fn bfs_local_nodes_are_connected_prefix() {
+        let g = barabasi_albert(300, 2, 2);
+        let local = bfs_local_nodes(&g, 50, 11);
+        assert_eq!(local.len(), 50);
+        // Induced subgraph on a BFS prefix of a connected graph is connected.
+        let (sub, _) = induced_subgraph(&g, &local);
+        assert!(crate::traverse::is_connected(&sub));
+    }
+
+    #[test]
+    fn bfs_local_caps_at_component_size() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2)]); // component sizes 3,1,1,1
+        for seed in 0..10 {
+            let local = bfs_local_nodes(&g, 5, seed);
+            assert!(local.len() == 1 || local.len() == 3);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Traversal primitives: BFS, multi-source BFS, connected components, and
+//! the 90-percentile effective diameter.
+//!
+//! Multi-source BFS computes the personalization distance `D(u, T) =
+//! min_{t∈T} #hops(u, t)` of Eq. (2) in a single sweep. The effective
+//! diameter matches the definition used in Fig. 10 (ref. \[37\]): the
+//! minimum hop count within which 90% of reachable node pairs lie.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances; unreachable nodes get [`UNREACHABLE`].
+pub fn bfs(g: &Graph, source: NodeId) -> Vec<u32> {
+    multi_source_bfs(g, std::slice::from_ref(&source))
+}
+
+/// Multi-source BFS: `dist[u] = min over sources s of hops(u, s)`.
+///
+/// This is exactly `D(u, T)` from Eq. (2). Runs in `O(|V| + |E|)`.
+pub fn multi_source_bfs(g: &Graph, sources: &[NodeId]) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::with_capacity(sources.len());
+    for &s in sources {
+        if dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected-component labels in `0..num_components`, plus the component
+/// count. Labels are assigned in order of smallest contained node id.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+/// Extracts the largest connected component as a new graph with dense ids,
+/// returning it with the mapping `old id -> new id` (None for dropped
+/// nodes). Matches the paper's preprocessing ("used only the largest
+/// connected components").
+pub fn largest_component(g: &Graph) -> (Graph, Vec<Option<NodeId>>) {
+    let (labels, count) = connected_components(g);
+    if count == 0 {
+        return (Graph::empty(0), Vec::new());
+    }
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .unwrap();
+    let mut mapping: Vec<Option<NodeId>> = vec![None; g.num_nodes()];
+    let mut next: NodeId = 0;
+    for u in 0..g.num_nodes() {
+        if labels[u] == best {
+            mapping[u] = Some(next);
+            next += 1;
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(next as usize, g.num_edges());
+    for (u, v) in g.edges() {
+        if let (Some(nu), Some(nv)) = (mapping[u as usize], mapping[v as usize]) {
+            b.add_edge(nu, nv);
+        }
+    }
+    b.ensure_nodes(next as usize);
+    (b.build(), mapping)
+}
+
+/// Returns true if all nodes are mutually reachable (the empty graph is
+/// considered connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.num_nodes() == 0 {
+        return true;
+    }
+    let dist = bfs(g, 0);
+    dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// 90-percentile effective diameter estimated from `samples` BFS sources
+/// (ref. \[37\], used in Fig. 10).
+///
+/// Collects hop distances over all (sampled source, reachable target)
+/// pairs and returns the 90th percentile with linear interpolation
+/// between adjacent integer hop counts.
+pub fn effective_diameter(g: &Graph, samples: usize, seed: u64) -> f64 {
+    let n = g.num_nodes();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples = samples.min(n).max(1);
+    // hist[d] = number of (source, target) pairs at distance exactly d.
+    let mut hist: Vec<u64> = Vec::new();
+    for _ in 0..samples {
+        let s = rng.random_range(0..n) as NodeId;
+        let dist = bfs(g, s);
+        for &d in &dist {
+            if d == UNREACHABLE || d == 0 {
+                continue;
+            }
+            let d = d as usize;
+            if d >= hist.len() {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+        }
+    }
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let threshold = 0.9 * total as f64;
+    let mut acc = 0u64;
+    #[allow(clippy::needless_range_loop)] // d is the hop count, not just an index
+    for d in 1..hist.len() {
+        let prev = acc as f64;
+        acc += hist[d];
+        if acc as f64 >= threshold {
+            // Interpolate within hop d: fraction of d's mass needed.
+            let need = threshold - prev;
+            let frac = if hist[d] == 0 { 0.0 } else { need / hist[d] as f64 };
+            return (d - 1) as f64 + frac;
+        }
+    }
+    (hist.len() - 1) as f64
+}
+
+/// Maximum finite BFS distance from `source` (eccentricity within its
+/// component).
+pub fn eccentricity(g: &Graph, source: NodeId) -> u32 {
+    bfs(g, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn path5() -> Graph {
+        graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path5();
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = graph_from_edges(4, &[(0, 1)]);
+        let d = bfs(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let g = path5();
+        let d = multi_source_bfs(&g, &[0, 4]);
+        assert_eq!(d, vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn multi_source_duplicate_sources() {
+        let g = path5();
+        let d = multi_source_bfs(&g, &[2, 2, 2]);
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[3], labels[5]);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = graph_from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (5, 6)]);
+        let (lcc, mapping) = largest_component(&g);
+        assert_eq!(lcc.num_nodes(), 3);
+        assert_eq!(lcc.num_edges(), 3);
+        assert!(mapping[0].is_some());
+        assert!(mapping[3].is_none());
+        assert!(is_connected(&lcc));
+    }
+
+    #[test]
+    fn is_connected_checks() {
+        assert!(is_connected(&path5()));
+        assert!(!is_connected(&graph_from_edges(3, &[(0, 1)])));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn effective_diameter_of_clique_is_one() {
+        let mut b = crate::GraphBuilder::new(10);
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let d = effective_diameter(&g, 10, 1);
+        assert!(d <= 1.0 + 1e-9, "clique effective diameter {d}");
+    }
+
+    #[test]
+    fn effective_diameter_grows_with_path_length() {
+        let short = graph_from_edges(10, &(0..9).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let long = graph_from_edges(100, &(0..99).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let ds = effective_diameter(&short, 10, 2);
+        let dl = effective_diameter(&long, 100, 2);
+        assert!(dl > ds, "long path {dl} vs short path {ds}");
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let g = path5();
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+    }
+}

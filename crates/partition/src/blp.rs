@@ -1,0 +1,129 @@
+//! Balanced label propagation (Ugander & Backstrom, WSDM 2013 — ref.
+//! \[41\]): nodes repeatedly adopt the label most common among their
+//! neighbors, with per-part capacity constraints keeping the partition
+//! balanced.
+
+use pgs_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Partitions `g` into `m` non-empty, capacity-bounded parts by balanced
+/// label propagation.
+///
+/// Starts from a random balanced assignment; in each of `iters` rounds,
+/// nodes (in random order) move to the plurality label among their
+/// neighbors if that part has spare capacity (`⌈n/m⌉ + slack`). The
+/// random visiting order approximates the original's linear-program
+/// move scheduling while keeping the implementation dependency-free.
+pub fn blp_partition(g: &Graph, m: usize, iters: usize, seed: u64) -> Vec<u32> {
+    assert!(m >= 1, "need at least one part");
+    let n = g.num_nodes();
+    assert!(n >= m, "cannot build {m} non-empty parts from {n} nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Random balanced initialization.
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(&mut rng);
+    let mut labels = vec![0u32; n];
+    for (i, &u) in order.iter().enumerate() {
+        labels[u as usize] = (i % m) as u32;
+    }
+    let mut sizes = vec![0usize; m];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let capacity = n.div_ceil(m) + (n / (10 * m)).max(1); // ~10% slack
+
+    let mut counts = vec![0u32; m]; // neighbor-label histogram workhorse
+    for _ in 0..iters {
+        order.shuffle(&mut rng);
+        let mut moved = 0usize;
+        for &u in &order {
+            let cu = labels[u as usize];
+            if g.degree(u) == 0 {
+                continue;
+            }
+            counts.iter_mut().for_each(|c| *c = 0);
+            for &v in g.neighbors(u) {
+                counts[labels[v as usize] as usize] += 1;
+            }
+            // Best label by neighbor count, respecting capacity and
+            // never emptying the current part.
+            let mut best = cu;
+            let mut best_count = counts[cu as usize];
+            for l in 0..m as u32 {
+                if l == cu {
+                    continue;
+                }
+                if counts[l as usize] > best_count
+                    && sizes[l as usize] < capacity
+                    && sizes[cu as usize] > 1
+                {
+                    best = l;
+                    best_count = counts[l as usize];
+                }
+            }
+            if best != cu {
+                sizes[cu as usize] -= 1;
+                sizes[best as usize] += 1;
+                labels[u as usize] = best;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{edge_cut_fraction, is_valid_partition};
+    use pgs_graph::gen::planted_partition;
+
+    #[test]
+    fn valid_and_balanced() {
+        let g = planted_partition(200, 8, 800, 150, 3);
+        let labels = blp_partition(&g, 8, 10, 1);
+        assert!(is_valid_partition(&labels, 8));
+        let mut sizes = vec![0usize; 8];
+        for &l in &labels {
+            sizes[l as usize] += 1;
+        }
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(
+            max <= 2 * min + 10,
+            "parts too imbalanced: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn improves_cut_over_random_start() {
+        let g = planted_partition(200, 4, 1200, 100, 7);
+        let random: Vec<u32> = (0..200u32).map(|u| u % 4).collect();
+        let start_cut = edge_cut_fraction(&g, &random);
+        let labels = blp_partition(&g, 4, 10, 7);
+        let final_cut = edge_cut_fraction(&g, &labels);
+        assert!(
+            final_cut < start_cut,
+            "propagation should reduce the cut: {final_cut} vs {start_cut}"
+        );
+    }
+
+    #[test]
+    fn m_one_trivial() {
+        let g = planted_partition(50, 2, 100, 20, 1);
+        let labels = blp_partition(&g, 1, 5, 0);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = planted_partition(100, 4, 400, 60, 4);
+        assert_eq!(blp_partition(&g, 4, 10, 5), blp_partition(&g, 4, 10, 5));
+    }
+}

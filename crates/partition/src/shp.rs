@@ -1,0 +1,262 @@
+//! Social hash partitioner (Kabiljo et al. — ref. \[42\]) local-search
+//! variants, as used by the Fig. 12 comparison (SHPI, SHPII, SHPKL).
+//!
+//! The original SHP minimizes *fanout* (the average number of distinct
+//! parts a node's neighborhood touches) with bucketed probabilistic
+//! swaps. We implement the three variants the evaluation names:
+//!
+//! * [`ShpVariant::I`] — probabilistic greedy: nodes move to the part
+//!   that most reduces their cut degree, each move accepted with a
+//!   temperature-like probability to escape local minima.
+//! * [`ShpVariant::II`] — fanout gain: moves score by the reduction in
+//!   the number of *distinct* foreign parts among neighbors.
+//! * [`ShpVariant::KL`] — Kernighan–Lin refinement: balanced pairwise
+//!   exchanges between parts that strictly reduce the edge cut.
+
+use pgs_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// The three SHP search strategies compared in Fig. 12.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShpVariant {
+    /// Probabilistic greedy moves on cut gain.
+    I,
+    /// Moves scored by fanout (distinct foreign parts) reduction.
+    II,
+    /// Kernighan–Lin pairwise swap refinement.
+    KL,
+}
+
+/// Partitions `g` into `m` non-empty parts with the chosen SHP variant.
+pub fn shp_partition(
+    g: &Graph,
+    m: usize,
+    variant: ShpVariant,
+    iters: usize,
+    seed: u64,
+) -> Vec<u32> {
+    assert!(m >= 1, "need at least one part");
+    let n = g.num_nodes();
+    assert!(n >= m, "cannot build {m} non-empty parts from {n} nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Balanced random initialization (the "social hash" seed state).
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(&mut rng);
+    let mut labels = vec![0u32; n];
+    for (i, &u) in order.iter().enumerate() {
+        labels[u as usize] = (i % m) as u32;
+    }
+    match variant {
+        ShpVariant::I | ShpVariant::II => {
+            moves_phase(g, m, variant, iters, &mut labels, &mut rng)
+        }
+        ShpVariant::KL => kl_phase(g, m, iters, &mut labels, &mut rng),
+    }
+    labels
+}
+
+/// Move-based local search shared by SHPI and SHPII.
+fn moves_phase(
+    g: &Graph,
+    m: usize,
+    variant: ShpVariant,
+    iters: usize,
+    labels: &mut [u32],
+    rng: &mut StdRng,
+) {
+    let n = g.num_nodes();
+    let mut sizes = vec![0usize; m];
+    for &l in labels.iter() {
+        sizes[l as usize] += 1;
+    }
+    let capacity = n.div_ceil(m) + (n / (10 * m)).max(1);
+    let mut counts = vec![0u32; m];
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+
+    for round in 0..iters {
+        order.shuffle(rng);
+        // Acceptance probability decays over rounds (cooling), the
+        // hallmark of SHP's probabilistic bucket swaps.
+        let accept_p = match variant {
+            ShpVariant::I => 1.0 / (1.0 + round as f64 * 0.5),
+            _ => 1.0,
+        };
+        let mut moved = 0usize;
+        for &u in &order {
+            if g.degree(u) == 0 {
+                continue;
+            }
+            let cu = labels[u as usize];
+            counts.iter_mut().for_each(|c| *c = 0);
+            for &v in g.neighbors(u) {
+                counts[labels[v as usize] as usize] += 1;
+            }
+            let score = |l: u32| -> f64 {
+                match variant {
+                    // Cut gain: neighbors inside the target part.
+                    ShpVariant::I => counts[l as usize] as f64,
+                    // Fanout gain: prefer the part holding the most
+                    // neighbors, penalized by how many other parts the
+                    // neighborhood still touches after the move.
+                    ShpVariant::II => {
+                        let inside = counts[l as usize] as f64;
+                        let foreign = (0..m as u32)
+                            .filter(|&x| x != l && counts[x as usize] > 0)
+                            .count() as f64;
+                        inside - foreign
+                    }
+                    ShpVariant::KL => unreachable!("KL uses kl_phase"),
+                }
+            };
+            let current = score(cu);
+            let mut best = cu;
+            let mut best_score = current;
+            for l in 0..m as u32 {
+                if l == cu || sizes[l as usize] >= capacity || sizes[cu as usize] <= 1 {
+                    continue;
+                }
+                let s = score(l);
+                if s > best_score {
+                    best = l;
+                    best_score = s;
+                }
+            }
+            if best != cu && (accept_p >= 1.0 || rng.random_range(0.0..1.0) < accept_p) {
+                sizes[cu as usize] -= 1;
+                sizes[best as usize] += 1;
+                labels[u as usize] = best;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+/// Kernighan–Lin refinement: repeatedly exchange node pairs between two
+/// parts when the exchange strictly reduces the cut. Exactly balanced by
+/// construction (every accepted operation is a swap).
+fn kl_phase(g: &Graph, m: usize, iters: usize, labels: &mut [u32], rng: &mut StdRng) {
+    let n = g.num_nodes();
+    let mut counts = vec![0i64; m];
+    // Gain of moving u to part l = neighbors in l − neighbors in own part.
+    let gain = |labels: &[u32], counts: &mut [i64], u: NodeId, l: u32| -> i64 {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &v in g.neighbors(u) {
+            counts[labels[v as usize] as usize] += 1;
+        }
+        counts[l as usize] - counts[labels[u as usize] as usize]
+    };
+
+    let mut dry_rounds = 0usize;
+    for _ in 0..iters {
+        if dry_rounds >= 2 {
+            break;
+        }
+        let mut improved = false;
+        // Sample candidate swap pairs; a full KL pass is O(n²) — the
+        // sampled variant keeps the refinement near-linear as in SHP's
+        // production setting.
+        let attempts = (4 * n).max(200);
+        for _ in 0..attempts {
+            let u = rng.random_range(0..n) as NodeId;
+            let v = rng.random_range(0..n) as NodeId;
+            let (lu, lv) = (labels[u as usize], labels[v as usize]);
+            if lu == lv || u == v {
+                continue;
+            }
+            let gu = gain(labels, &mut counts, u, lv);
+            let gv = gain(labels, &mut counts, v, lu);
+            // Swap gain, corrected if u and v are themselves adjacent
+            // (the shared edge stays cut after the swap).
+            let adjacent = g.has_edge(u, v);
+            let total = gu + gv - if adjacent { 2 } else { 0 };
+            if total > 0 {
+                labels[u as usize] = lv;
+                labels[v as usize] = lu;
+                improved = true;
+            }
+        }
+        if improved {
+            dry_rounds = 0;
+        } else {
+            dry_rounds += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{edge_cut_fraction, is_valid_partition};
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::planted_partition;
+
+    #[test]
+    fn all_variants_valid() {
+        let g = planted_partition(160, 8, 700, 120, 2);
+        for variant in [ShpVariant::I, ShpVariant::II, ShpVariant::KL] {
+            let labels = shp_partition(&g, 8, variant, 10, 3);
+            assert!(
+                is_valid_partition(&labels, 8),
+                "{variant:?} invalid partition"
+            );
+        }
+    }
+
+    #[test]
+    fn kl_swap_preserves_exact_balance() {
+        let g = planted_partition(120, 4, 500, 80, 5);
+        let labels = shp_partition(&g, 4, ShpVariant::KL, 10, 1);
+        let mut sizes = vec![0usize; 4];
+        for &l in &labels {
+            sizes[l as usize] += 1;
+        }
+        assert_eq!(sizes, vec![30; 4], "KL must keep the initial balance");
+    }
+
+    #[test]
+    fn variants_reduce_cut_on_community_graph() {
+        let g = planted_partition(200, 4, 1200, 80, 11);
+        let random: Vec<u32> = (0..200u32).map(|u| u % 4).collect();
+        let base = edge_cut_fraction(&g, &random);
+        for variant in [ShpVariant::I, ShpVariant::II, ShpVariant::KL] {
+            let labels = shp_partition(&g, 4, variant, 10, 11);
+            let cut = edge_cut_fraction(&g, &labels);
+            assert!(
+                cut < base,
+                "{variant:?}: cut {cut} not better than random {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_cliques_shpkl_separates() {
+        let g = graph_from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let labels = shp_partition(&g, 2, ShpVariant::KL, 20, 2);
+        // Triangles should end up (mostly) separated: at most 2 cut edges.
+        let cut = g
+            .edges()
+            .filter(|&(u, v)| labels[u as usize] != labels[v as usize])
+            .count();
+        assert!(cut <= 2, "cut {cut} too large for two triangles");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = planted_partition(100, 4, 400, 60, 6);
+        for variant in [ShpVariant::I, ShpVariant::II, ShpVariant::KL] {
+            assert_eq!(
+                shp_partition(&g, 4, variant, 10, 8),
+                shp_partition(&g, 4, variant, 10, 8)
+            );
+        }
+    }
+}

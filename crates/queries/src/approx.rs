@@ -1,0 +1,370 @@
+//! Approximate query answering directly on a summary graph
+//! (Appendix A, Alg. 4–6) — no reconstruction is materialized.
+//!
+//! All routines exploit the key structural fact of summary graphs: every
+//! member of a supernode has the *same* reconstructed neighborhood
+//! (namely, the members of the supernode's superedge neighbors), modulo
+//! excluding itself under a self-loop. Per-node loops therefore collapse
+//! to per-supernode aggregation, making query time proportional to the
+//! summary size rather than the reconstructed edge count.
+//!
+//! Superedge weights participate as edge weights of the reconstructed
+//! multigraph (Sect. V-A footnote on weighted summary graphs); for
+//! PeGaSus/SSumM summaries all weights are 1 and the formulas reduce to
+//! the unweighted versions.
+
+use pgs_core::summary::{Summary, SuperId};
+use pgs_graph::NodeId;
+
+use crate::{MAX_ITERS, TOLERANCE};
+
+/// Approximate neighborhood query (Alg. 4): the neighbors of `q` in the
+/// reconstructed graph `Ĝ`, read directly from the summary.
+pub fn get_neighbors(s: &Summary, q: NodeId) -> Vec<NodeId> {
+    let sq = s.supernode_of(q);
+    let mut out = Vec::with_capacity(s.reconstructed_degree(q));
+    for &(x, _) in s.neighbor_supers(sq) {
+        for &v in s.members(x) {
+            if v != q {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Approximate HOP query (Alg. 5): BFS hop counts from `q` on `Ĝ`,
+/// computed at supernode granularity in `O(|S| + |P| + |V|)`.
+///
+/// Unreachable nodes get `u32::MAX`; convert with
+/// [`crate::hops_to_f64`] before scoring.
+pub fn hops_summary(s: &Summary, q: NodeId) -> Vec<u32> {
+    let n = s.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    dist[q as usize] = 0;
+    // Supernode-level BFS: when a supernode is first reached at hop `d`,
+    // all of its still-unassigned members are at hop `d` (members share
+    // reconstructed neighborhoods), and it is expanded exactly once.
+    let mut expanded = vec![false; s.num_supernodes()];
+    let mut frontier: Vec<SuperId> = Vec::new();
+    let sq = s.supernode_of(q);
+    expanded[sq as usize] = true;
+    frontier.push(sq);
+    let mut d = 0u32;
+    let mut next: Vec<SuperId> = Vec::new();
+    while !frontier.is_empty() {
+        d += 1;
+        next.clear();
+        for &x in &frontier {
+            for &(y, _) in s.neighbor_supers(x) {
+                // Assign distance d to unassigned members of y.
+                let mut reached_new = false;
+                for &v in s.members(y) {
+                    if dist[v as usize] == u32::MAX {
+                        dist[v as usize] = d;
+                        reached_new = true;
+                    }
+                }
+                if !expanded[y as usize] {
+                    expanded[y as usize] = true;
+                    next.push(y);
+                } else if reached_new {
+                    // y was expanded for an earlier member (only possible
+                    // for the query supernode itself); its neighbors are
+                    // already settled at ≤ d, nothing more to do.
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    dist
+}
+
+/// Weighted reconstructed degree of every supernode's members:
+/// `d̂(u) = Σ_{Y ∈ sadj(S_u)} w(S_u,Y)·|Y| − w(S_u,S_u)` (self-loop term
+/// excludes the node itself). Identical for all members of a supernode.
+fn weighted_degrees(s: &Summary) -> Vec<f64> {
+    let mut deg = vec![0.0f64; s.num_supernodes()];
+    for x in 0..s.num_supernodes() as SuperId {
+        let mut d = 0.0;
+        for &(y, w) in s.neighbor_supers(x) {
+            d += w as f64 * s.supernode_size(y) as f64;
+            if y == x {
+                d -= w as f64; // members are not their own neighbors
+            }
+        }
+        deg[x as usize] = d;
+    }
+    deg
+}
+
+/// Approximate RWR query (Alg. 6): power iteration over `Ĝ` performed at
+/// supernode granularity. Each iteration costs `O(|V| + |P|)`.
+///
+/// `restart` is the restarting probability (paper: 0.05).
+pub fn rwr_summary(s: &Summary, q: NodeId, restart: f64) -> Vec<f64> {
+    let n = s.num_nodes();
+    assert!((q as usize) < n, "query node out of range");
+    assert!((0.0..1.0).contains(&restart), "restart must be in [0, 1)");
+    let p = 1.0 - restart;
+    let s_count = s.num_supernodes();
+    let sdeg = weighted_degrees(s);
+    let self_loop_w: Vec<f64> = (0..s_count as SuperId)
+        .map(|x| {
+            s.neighbor_supers(x)
+                .iter()
+                .find(|&&(y, _)| y == x)
+                .map_or(0.0, |&(_, w)| w as f64)
+        })
+        .collect();
+
+    let mut r = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    // Scratch: per-supernode outgoing mass and incoming weighted sums.
+    let mut mass = vec![0.0f64; s_count];
+    let mut insum = vec![0.0f64; s_count];
+    for _ in 0..MAX_ITERS {
+        // mass[X] = Σ_{u ∈ X} r_u / d̂(u).
+        mass.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n as NodeId {
+            let x = s.supernode_of(u) as usize;
+            if sdeg[x] > 0.0 {
+                mass[x] += r[u as usize] / sdeg[x];
+            }
+        }
+        // insum[Y] = Σ_{X ∈ sadj(Y)} w(X,Y) · mass[X].
+        insum.iter_mut().for_each(|x| *x = 0.0);
+        for y in 0..s_count as SuperId {
+            let mut acc = 0.0;
+            for &(x, w) in s.neighbor_supers(y) {
+                acc += w as f64 * mass[x as usize];
+            }
+            insum[y as usize] = acc;
+        }
+        // next[v] = insum[S_v] − self-walk correction (v cannot walk to
+        // itself under a self-loop).
+        let mut sum = 0.0;
+        for v in 0..n as NodeId {
+            let y = s.supernode_of(v) as usize;
+            let mut val = insum[y];
+            if self_loop_w[y] > 0.0 && sdeg[y] > 0.0 {
+                val -= self_loop_w[y] * r[v as usize] / sdeg[y];
+            }
+            let val = p * val;
+            next[v as usize] = val;
+            sum += val;
+        }
+        next[q as usize] += 1.0 - sum;
+        let diff = r
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        std::mem::swap(&mut r, &mut next);
+        if diff < TOLERANCE {
+            break;
+        }
+    }
+    r
+}
+
+/// Approximate PHP query on `Ĝ` at supernode granularity; `c` is the
+/// decay constant (paper: 0.95). Each iteration costs `O(|V| + |P|)`.
+pub fn php_summary(s: &Summary, q: NodeId, c: f64) -> Vec<f64> {
+    let n = s.num_nodes();
+    assert!((q as usize) < n, "query node out of range");
+    assert!((0.0..1.0).contains(&c), "decay must be in [0, 1)");
+    let s_count = s.num_supernodes();
+    let sdeg = weighted_degrees(s);
+    let self_loop_w: Vec<f64> = (0..s_count as SuperId)
+        .map(|x| {
+            s.neighbor_supers(x)
+                .iter()
+                .find(|&&(y, _)| y == x)
+                .map_or(0.0, |&(_, w)| w as f64)
+        })
+        .collect();
+
+    let mut php = vec![0.0f64; n];
+    php[q as usize] = 1.0;
+    let mut next = vec![0.0f64; n];
+    let mut total = vec![0.0f64; s_count]; // Σ php over members
+    let mut insum = vec![0.0f64; s_count];
+    for _ in 0..MAX_ITERS {
+        total.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n as NodeId {
+            total[s.supernode_of(u) as usize] += php[u as usize];
+        }
+        insum.iter_mut().for_each(|x| *x = 0.0);
+        for y in 0..s_count as SuperId {
+            let mut acc = 0.0;
+            for &(x, w) in s.neighbor_supers(y) {
+                acc += w as f64 * total[x as usize];
+            }
+            insum[y as usize] = acc;
+        }
+        let mut diff = 0.0f64;
+        for u in 0..n as NodeId {
+            if u == q {
+                next[u as usize] = 1.0;
+                continue;
+            }
+            let y = s.supernode_of(u) as usize;
+            if sdeg[y] <= 0.0 {
+                next[u as usize] = 0.0;
+                continue;
+            }
+            let mut acc = insum[y];
+            if self_loop_w[y] > 0.0 {
+                acc -= self_loop_w[y] * php[u as usize]; // exclude self
+            }
+            next[u as usize] = c * acc / sdeg[y];
+        }
+        for u in 0..n {
+            diff = diff.max((next[u] - php[u]).abs());
+        }
+        std::mem::swap(&mut php, &mut next);
+        if diff < TOLERANCE {
+            break;
+        }
+    }
+    php
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{hops_exact, php_exact, rwr_exact};
+    use pgs_core::Summary;
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::barabasi_albert;
+
+    /// On the identity summary, every approximate answer must equal the
+    /// exact answer on the input graph.
+    #[test]
+    fn identity_summary_neighbors_match() {
+        let g = barabasi_albert(60, 3, 1);
+        let s = Summary::identity(&g);
+        for u in g.nodes() {
+            let mut approx = get_neighbors(&s, u);
+            approx.sort_unstable();
+            assert_eq!(approx, g.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn identity_summary_hops_match() {
+        let g = barabasi_albert(80, 2, 5);
+        let s = Summary::identity(&g);
+        for q in [0u32, 10, 41] {
+            assert_eq!(hops_summary(&s, q), hops_exact(&g, q));
+        }
+    }
+
+    #[test]
+    fn identity_summary_rwr_matches() {
+        let g = barabasi_albert(60, 3, 7);
+        let s = Summary::identity(&g);
+        let exact = rwr_exact(&g, 3, 0.05);
+        let approx = rwr_summary(&s, 3, 0.05);
+        for (u, (a, b)) in exact.iter().zip(approx.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-8, "rwr mismatch at {u}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn identity_summary_php_matches() {
+        let g = barabasi_albert(60, 3, 9);
+        let s = Summary::identity(&g);
+        let exact = php_exact(&g, 11, 0.95);
+        let approx = php_summary(&s, 11, 0.95);
+        for (u, (a, b)) in exact.iter().zip(approx.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-8, "php mismatch at {u}: {a} vs {b}");
+        }
+    }
+
+    /// On a merged summary, answers must equal the exact answers on the
+    /// *reconstructed* graph (that is the semantics of Alg. 4–6).
+    #[test]
+    fn merged_summary_equals_reconstruction_semantics() {
+        let _g = graph_from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 3), (3, 4), (4, 5)]);
+        // Merge {0,1} (twins) and keep the rest singleton; superedges
+        // {01}-2, {01}-3, 3-4, 4-5.
+        let s = Summary::new(
+            6,
+            vec![0, 0, 1, 2, 3, 4],
+            &[(0, 1, 1.0), (0, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
+        );
+        let recon = s.reconstruct();
+
+        for q in 0..6u32 {
+            // Neighbors.
+            let mut nb = get_neighbors(&s, q);
+            nb.sort_unstable();
+            assert_eq!(nb, recon.neighbors(q), "neighbors differ at {q}");
+            // Hops.
+            assert_eq!(hops_summary(&s, q), hops_exact(&recon, q), "hops at {q}");
+            // RWR.
+            let r1 = rwr_summary(&s, q, 0.05);
+            let r2 = rwr_exact(&recon, q, 0.05);
+            for (u, (a, b)) in r1.iter().zip(r2.iter()).enumerate() {
+                assert!((a - b).abs() < 1e-7, "rwr {q}->{u}: {a} vs {b}");
+            }
+            // PHP.
+            let p1 = php_summary(&s, q, 0.95);
+            let p2 = php_exact(&recon, q, 0.95);
+            for (u, (a, b)) in p1.iter().zip(p2.iter()).enumerate() {
+                assert!((a - b).abs() < 1e-7, "php {q}->{u}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_semantics() {
+        // Supernode {0,1,2} with self-loop = clique; node 3 attached.
+        let s = Summary::new(4, vec![0, 0, 0, 1], &[(0, 0, 1.0), (0, 1, 1.0)]);
+        let recon = s.reconstruct();
+        for q in 0..4u32 {
+            let mut nb = get_neighbors(&s, q);
+            nb.sort_unstable();
+            assert_eq!(nb, recon.neighbors(q));
+            assert_eq!(hops_summary(&s, q), hops_exact(&recon, q));
+            let r1 = rwr_summary(&s, q, 0.05);
+            let r2 = rwr_exact(&recon, q, 0.05);
+            for (a, b) in r1.iter().zip(r2.iter()) {
+                assert!((a - b).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_summary_hops() {
+        let s = Summary::new(4, vec![0, 0, 1, 2], &[(0, 0, 1.0), (1, 2, 1.0)]);
+        let hops = hops_summary(&s, 0);
+        assert_eq!(hops[0], 0);
+        assert_eq!(hops[1], 1); // via self-loop
+        assert_eq!(hops[2], u32::MAX);
+        assert_eq!(hops[3], u32::MAX);
+    }
+
+    #[test]
+    fn rwr_summary_is_distribution() {
+        let g = barabasi_albert(120, 3, 4);
+        let s = pgs_core::summarize(&g, &[0], 0.5 * g.size_bits(), &Default::default());
+        let r = rwr_summary(&s, 0, 0.05);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+    }
+
+    #[test]
+    fn weighted_summary_changes_scores() {
+        // Two superedges with different weights from {0}: walker prefers
+        // the heavier edge.
+        let s = Summary::new(3, vec![0, 1, 2], &[(0, 1, 3.0), (0, 2, 1.0)]);
+        let r = rwr_summary(&s, 0, 0.05);
+        assert!(
+            r[1] > r[2],
+            "heavier superedge should attract more probability: {r:?}"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Ground-truth query answering on the input graph.
+
+use pgs_graph::{Graph, NodeId};
+
+use crate::{MAX_ITERS, TOLERANCE};
+
+/// Exact HOP query: BFS hop counts from `q`; unreachable nodes get
+/// `u32::MAX` (convert with [`crate::hops_to_f64`] before scoring).
+pub fn hops_exact(g: &Graph, q: NodeId) -> Vec<u32> {
+    pgs_graph::traverse::bfs(g, q)
+}
+
+/// Exact RWR scores w.r.t. query node `q` by power iteration (Alg. 6 run
+/// on the original adjacency): the stationary distribution of a walker
+/// that follows a uniform random edge with probability `1 - restart` and
+/// teleports to `q` otherwise.
+///
+/// `restart` is the restarting probability (paper: 0.05). Dangling nodes
+/// lose their mass to the query node, matching Alg. 6's renormalization
+/// (line 10).
+pub fn rwr_exact(g: &Graph, q: NodeId, restart: f64) -> Vec<f64> {
+    let n = g.num_nodes();
+    assert!((q as usize) < n, "query node out of range");
+    assert!((0.0..1.0).contains(&restart), "restart must be in [0, 1)");
+    let p = 1.0 - restart;
+    let mut r = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..MAX_ITERS {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n as NodeId {
+            let deg = g.degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let share = r[u as usize] / deg as f64;
+            for &v in g.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        let mut sum = 0.0;
+        for x in next.iter_mut() {
+            *x *= p;
+            sum += *x;
+        }
+        next[q as usize] += 1.0 - sum;
+        let diff = r
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        std::mem::swap(&mut r, &mut next);
+        if diff < TOLERANCE {
+            break;
+        }
+    }
+    r
+}
+
+/// Exact PHP (penalized hitting probability) scores w.r.t. `q`:
+///
+/// ```text
+/// PHP_q = 1;   PHP_u = c · Σ_{v∈N(u)} (w_uv / w_u) · PHP_v   (u ≠ q)
+/// ```
+///
+/// solved by Jacobi iteration (`c` is the decay, paper: 0.95; all edge
+/// weights are 1 on the input graph, so the sum is the neighbor average).
+pub fn php_exact(g: &Graph, q: NodeId, c: f64) -> Vec<f64> {
+    let n = g.num_nodes();
+    assert!((q as usize) < n, "query node out of range");
+    assert!((0.0..1.0).contains(&c), "decay must be in [0, 1)");
+    let mut php = vec![0.0f64; n];
+    php[q as usize] = 1.0;
+    let mut next = vec![0.0f64; n];
+    for _ in 0..MAX_ITERS {
+        let mut diff = 0.0f64;
+        for u in 0..n as NodeId {
+            if u == q {
+                next[u as usize] = 1.0;
+                continue;
+            }
+            let deg = g.degree(u);
+            if deg == 0 {
+                next[u as usize] = 0.0;
+                continue;
+            }
+            let sum: f64 = g.neighbors(u).iter().map(|&v| php[v as usize]).sum();
+            next[u as usize] = c * sum / deg as f64;
+        }
+        for u in 0..n {
+            diff = diff.max((next[u] - php[u]).abs());
+        }
+        std::mem::swap(&mut php, &mut next);
+        if diff < TOLERANCE {
+            break;
+        }
+    }
+    php
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::barabasi_albert;
+
+    #[test]
+    fn rwr_is_a_distribution() {
+        let g = barabasi_albert(100, 3, 1);
+        let r = rwr_exact(&g, 0, 0.05);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "RWR scores must sum to 1, got {sum}");
+        assert!(r.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn rwr_query_node_has_highest_score_under_strong_restart() {
+        let g = barabasi_albert(100, 3, 2);
+        let r = rwr_exact(&g, 17, 0.5);
+        let max = r
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max, 17);
+    }
+
+    #[test]
+    fn rwr_decays_with_distance_on_path() {
+        // Compare nodes of equal degree (1 and 3; 0 and 4) so locality,
+        // not degree, determines the ordering.
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let r = rwr_exact(&g, 0, 0.05);
+        assert!(r[1] > r[3]);
+        assert!(r[0] > r[4]);
+    }
+
+    #[test]
+    fn rwr_symmetric_graph_symmetric_scores() {
+        // Cycle: scores of nodes equidistant from q must match.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let r = rwr_exact(&g, 0, 0.05);
+        assert!((r[1] - r[5]).abs() < 1e-9);
+        assert!((r[2] - r[4]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn php_bounds_and_anchor() {
+        let g = barabasi_albert(80, 3, 3);
+        let php = php_exact(&g, 5, 0.95);
+        assert_eq!(php[5], 1.0);
+        for (u, &x) in php.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&x), "php[{u}] = {x} out of range");
+        }
+    }
+
+    #[test]
+    fn php_decays_along_path() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let php = php_exact(&g, 0, 0.95);
+        assert_eq!(php[0], 1.0);
+        assert!(php[1] > php[2]);
+        assert!(php[2] > php[3] - 1e-12);
+    }
+
+    #[test]
+    fn php_isolated_node_is_zero() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let php = php_exact(&g, 0, 0.95);
+        assert_eq!(php[2], 0.0);
+    }
+
+    #[test]
+    fn hops_exact_matches_bfs() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2)]);
+        assert_eq!(hops_exact(&g, 0), vec![0, 1, 2, u32::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "query node out of range")]
+    fn rwr_rejects_bad_query() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let _ = rwr_exact(&g, 9, 0.05);
+    }
+}

@@ -1,0 +1,450 @@
+//! Extended summary-answerable queries beyond the three used in the
+//! evaluation: node degrees, PageRank, and clustering coefficients.
+//!
+//! Appendix A notes that "a wide range of graph algorithms (e.g., BFS,
+//! DFS, Dijkstra's, and PageRank) access graphs only through
+//! neighborhood queries, and thus also can be executed directly on G̅";
+//! the related-work section cites degree and clustering-coefficient
+//! estimation from summaries \[10\] and eigenvector centrality \[11\].
+//! These implementations exploit the same per-supernode aggregation as
+//! the core queries, so they run in `O(|V| + |P|)` per pass instead of
+//! touching reconstructed edges.
+
+use pgs_core::summary::{Summary, SuperId};
+use pgs_graph::{Graph, NodeId};
+
+use crate::{MAX_ITERS, TOLERANCE};
+
+/// Degrees of every node in the reconstructed graph `Ĝ`, in
+/// `O(|V| + |P|)` total (all members of a supernode share a degree).
+pub fn degrees_summary(s: &Summary) -> Vec<usize> {
+    let s_count = s.num_supernodes();
+    let mut super_deg = vec![0usize; s_count];
+    let mut has_loop = vec![false; s_count];
+    for x in 0..s_count as SuperId {
+        let mut d = 0usize;
+        for &(y, _) in s.neighbor_supers(x) {
+            d += s.supernode_size(y);
+            if y == x {
+                has_loop[x as usize] = true;
+            }
+        }
+        super_deg[x as usize] = d;
+    }
+    (0..s.num_nodes() as NodeId)
+        .map(|u| {
+            let x = s.supernode_of(u) as usize;
+            super_deg[x] - usize::from(has_loop[x])
+        })
+        .collect()
+}
+
+/// PageRank on the reconstructed graph `Ĝ`, computed at supernode
+/// granularity; `damping` is the usual factor (0.85 classically).
+/// Dangling mass is redistributed uniformly. `O(|V| + |P|)` per
+/// iteration.
+pub fn pagerank_summary(s: &Summary, damping: f64) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+    let n = s.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let s_count = s.num_supernodes();
+    // Weighted degree and self-loop weight per supernode.
+    let mut sdeg = vec![0.0f64; s_count];
+    let mut self_w = vec![0.0f64; s_count];
+    for x in 0..s_count as SuperId {
+        let mut d = 0.0;
+        for &(y, w) in s.neighbor_supers(x) {
+            d += w as f64 * s.supernode_size(y) as f64;
+            if y == x {
+                d -= w as f64;
+                self_w[x as usize] = w as f64;
+            }
+        }
+        sdeg[x as usize] = d;
+    }
+
+    let mut pr = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let mut mass = vec![0.0f64; s_count];
+    let mut insum = vec![0.0f64; s_count];
+    for _ in 0..MAX_ITERS {
+        mass.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for u in 0..n as NodeId {
+            let x = s.supernode_of(u) as usize;
+            if sdeg[x] > 0.0 {
+                mass[x] += pr[u as usize] / sdeg[x];
+            } else {
+                dangling += pr[u as usize];
+            }
+        }
+        insum.iter_mut().for_each(|x| *x = 0.0);
+        for y in 0..s_count as SuperId {
+            let mut acc = 0.0;
+            for &(x, w) in s.neighbor_supers(y) {
+                acc += w as f64 * mass[x as usize];
+            }
+            insum[y as usize] = acc;
+        }
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        let mut diff = 0.0f64;
+        for u in 0..n as NodeId {
+            let y = s.supernode_of(u) as usize;
+            let mut val = insum[y];
+            if self_w[y] > 0.0 && sdeg[y] > 0.0 {
+                val -= self_w[y] * pr[u as usize] / sdeg[y];
+            }
+            let val = base + damping * val;
+            diff = diff.max((val - pr[u as usize]).abs());
+            next[u as usize] = val;
+        }
+        std::mem::swap(&mut pr, &mut next);
+        if diff < TOLERANCE {
+            break;
+        }
+    }
+    pr
+}
+
+/// Exact PageRank on the input graph (reference for
+/// [`pagerank_summary`]).
+pub fn pagerank_exact(g: &Graph, damping: f64) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut pr = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..MAX_ITERS {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for u in 0..n as NodeId {
+            let deg = g.degree(u);
+            if deg == 0 {
+                dangling += pr[u as usize];
+                continue;
+            }
+            let share = pr[u as usize] / deg as f64;
+            for &v in g.neighbors(u) {
+                next[v as usize] += share;
+            }
+        }
+        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
+        let mut diff = 0.0f64;
+        for u in 0..n {
+            let val = base + damping * next[u];
+            diff = diff.max((val - pr[u]).abs());
+            next[u] = val;
+        }
+        std::mem::swap(&mut pr, &mut next);
+        if diff < TOLERANCE {
+            break;
+        }
+    }
+    pr
+}
+
+/// Clustering coefficient of node `u` in `Ĝ`, computed from supernode
+/// structure: with `N̂(u)` spanning supernodes `Y` (with multiplicities
+/// `|Y|`), the triangle count is the number of adjacent pairs among the
+/// neighbor multiset, which depends only on supernode-level adjacency.
+/// `O(deg_P(S_u)²)` per node.
+pub fn clustering_coefficient_summary(s: &Summary, u: NodeId) -> f64 {
+    let su = s.supernode_of(u);
+    // Neighbor supernodes with the count of u's neighbors inside them.
+    let mut blocks: Vec<(SuperId, usize)> = Vec::new();
+    for &(y, _) in s.neighbor_supers(su) {
+        let mut cnt = s.supernode_size(y);
+        if y == su {
+            cnt -= 1; // u itself
+        }
+        if cnt > 0 {
+            blocks.push((y, cnt));
+        }
+    }
+    let deg: usize = blocks.iter().map(|&(_, c)| c).sum();
+    if deg < 2 {
+        return 0.0;
+    }
+    // Count adjacent pairs among the neighbors: pairs within one
+    // supernode are adjacent iff it has a self-loop; pairs across two
+    // supernodes are adjacent iff the superedge exists.
+    let mut links = 0usize;
+    for (i, &(y, cy)) in blocks.iter().enumerate() {
+        if s.has_self_loop(y) {
+            links += cy * (cy - 1) / 2;
+        }
+        for &(z, cz) in &blocks[i + 1..] {
+            if s.has_superedge(y, z) {
+                links += cy * cz;
+            }
+        }
+    }
+    2.0 * links as f64 / (deg * (deg - 1)) as f64
+}
+
+/// Exact clustering coefficient on the input graph.
+pub fn clustering_coefficient_exact(g: &Graph, u: NodeId) -> f64 {
+    let neighbors = g.neighbors(u);
+    let deg = neighbors.len();
+    if deg < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &v) in neighbors.iter().enumerate() {
+        for &w in &neighbors[i + 1..] {
+            if g.has_edge(v, w) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (deg * (deg - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_core::Summary;
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::barabasi_albert;
+
+    #[test]
+    fn degrees_identity_match() {
+        let g = barabasi_albert(100, 3, 1);
+        let s = Summary::identity(&g);
+        let deg = degrees_summary(&s);
+        for u in g.nodes() {
+            assert_eq!(deg[u as usize], g.degree(u));
+        }
+    }
+
+    #[test]
+    fn degrees_merged_match_reconstruction() {
+        let s = Summary::new(5, vec![0, 0, 1, 1, 2], &[(0, 1, 1.0), (0, 0, 1.0)]);
+        let recon = s.reconstruct();
+        let deg = degrees_summary(&s);
+        for u in 0..5u32 {
+            assert_eq!(deg[u as usize], recon.degree(u), "node {u}");
+        }
+    }
+
+    #[test]
+    fn pagerank_identity_matches_exact() {
+        let g = barabasi_albert(80, 3, 2);
+        let s = Summary::identity(&g);
+        let exact = pagerank_exact(&g, 0.85);
+        let approx = pagerank_summary(&s, 0.85);
+        for (u, (a, b)) in exact.iter().zip(approx.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-8, "pagerank mismatch at {u}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pagerank_is_distribution() {
+        let g = barabasi_albert(100, 3, 3);
+        let s = pgs_core::summarize(&g, &[0], 0.5 * g.size_bits(), &Default::default());
+        let pr = pagerank_summary(&s, 0.85);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        assert!(pr.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pagerank_hub_ranks_high() {
+        // Star: center should have the top PageRank.
+        let edges: Vec<(u32, u32)> = (1..20).map(|v| (0u32, v)).collect();
+        let g = graph_from_edges(20, &edges);
+        let pr = pagerank_exact(&g, 0.85);
+        let top = pr
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(top, 0);
+    }
+
+    #[test]
+    fn clustering_identity_matches_exact() {
+        let g = barabasi_albert(60, 4, 5);
+        let s = Summary::identity(&g);
+        for u in g.nodes() {
+            let e = clustering_coefficient_exact(&g, u);
+            let a = clustering_coefficient_summary(&s, u);
+            assert!((e - a).abs() < 1e-12, "cc mismatch at {u}: {e} vs {a}");
+        }
+    }
+
+    #[test]
+    fn clustering_merged_matches_reconstruction() {
+        let s = Summary::new(
+            6,
+            vec![0, 0, 0, 1, 1, 2],
+            &[(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)],
+        );
+        let recon = s.reconstruct();
+        for u in 0..6u32 {
+            let e = clustering_coefficient_exact(&recon, u);
+            let a = clustering_coefficient_summary(&s, u);
+            assert!((e - a).abs() < 1e-12, "cc mismatch at {u}: {e} vs {a}");
+        }
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(clustering_coefficient_exact(&g, 0), 1.0);
+        let s = Summary::identity(&g);
+        assert_eq!(clustering_coefficient_summary(&s, 0), 1.0);
+    }
+
+    #[test]
+    fn clustering_degree_below_two_is_zero() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        assert_eq!(clustering_coefficient_exact(&g, 0), 0.0);
+        let s = Summary::identity(&g);
+        assert_eq!(clustering_coefficient_summary(&s, 2), 0.0);
+    }
+}
+
+/// Eigenvector centrality on the reconstructed graph `Ĝ` by power
+/// iteration at supernode granularity (cited as summary-answerable in
+/// the paper's introduction, ref. \[11\]). Returns the L2-normalized
+/// dominant eigenvector; zero vector if `Ĝ` has no edges.
+pub fn eigenvector_centrality_summary(s: &Summary, iters: usize) -> Vec<f64> {
+    let n = s.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let s_count = s.num_supernodes();
+    let self_w: Vec<f64> = (0..s_count as SuperId)
+        .map(|x| {
+            s.neighbor_supers(x)
+                .iter()
+                .find(|&&(y, _)| y == x)
+                .map_or(0.0, |&(_, w)| w as f64)
+        })
+        .collect();
+    let mut v = vec![1.0 / (n as f64).sqrt(); n];
+    let mut next = vec![0.0f64; n];
+    let mut total = vec![0.0f64; s_count];
+    let mut insum = vec![0.0f64; s_count];
+    for _ in 0..iters {
+        total.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n as NodeId {
+            total[s.supernode_of(u) as usize] += v[u as usize];
+        }
+        insum.iter_mut().for_each(|x| *x = 0.0);
+        for y in 0..s_count as SuperId {
+            let mut acc = 0.0;
+            for &(x, w) in s.neighbor_supers(y) {
+                acc += w as f64 * total[x as usize];
+            }
+            insum[y as usize] = acc;
+        }
+        let mut norm = 0.0;
+        for u in 0..n as NodeId {
+            let y = s.supernode_of(u) as usize;
+            let mut val = insum[y];
+            if self_w[y] > 0.0 {
+                val -= self_w[y] * v[u as usize];
+            }
+            next[u as usize] = val;
+            norm += val * val;
+        }
+        if norm <= 0.0 {
+            return vec![0.0; n];
+        }
+        let inv = 1.0 / norm.sqrt();
+        for u in 0..n {
+            next[u] *= inv;
+        }
+        std::mem::swap(&mut v, &mut next);
+    }
+    v
+}
+
+/// Exact eigenvector centrality on the input graph (reference for
+/// [`eigenvector_centrality_summary`]).
+pub fn eigenvector_centrality_exact(g: &Graph, iters: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut v = vec![1.0 / (n as f64).sqrt(); n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iters {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n as NodeId {
+            for &w in g.neighbors(u) {
+                next[w as usize] += v[u as usize];
+            }
+        }
+        let norm: f64 = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm <= 0.0 {
+            return vec![0.0; n];
+        }
+        for u in 0..n {
+            next[u] /= norm;
+        }
+        std::mem::swap(&mut v, &mut next);
+    }
+    v
+}
+
+#[cfg(test)]
+mod eig_tests {
+    use super::*;
+    use pgs_core::Summary;
+    use pgs_graph::builder::graph_from_edges;
+    use pgs_graph::gen::barabasi_albert;
+
+    #[test]
+    fn eigenvector_identity_matches_exact() {
+        let g = barabasi_albert(60, 3, 1);
+        let s = Summary::identity(&g);
+        let e = eigenvector_centrality_exact(&g, 50);
+        let a = eigenvector_centrality_summary(&s, 50);
+        for (u, (x, y)) in e.iter().zip(a.iter()).enumerate() {
+            assert!((x - y).abs() < 1e-6, "mismatch at {u}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_hub_dominates() {
+        let edges: Vec<(u32, u32)> = (1..15).map(|v| (0u32, v)).collect();
+        let g = graph_from_edges(15, &edges);
+        let e = eigenvector_centrality_exact(&g, 50);
+        let top = e
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(top, 0);
+    }
+
+    #[test]
+    fn eigenvector_edgeless_graph_is_zero() {
+        let g = pgs_graph::Graph::empty(5);
+        let e = eigenvector_centrality_exact(&g, 10);
+        assert!(e.iter().all(|&x| x == 0.0));
+        let s = Summary::identity(&g);
+        let a = eigenvector_centrality_summary(&s, 10);
+        assert!(a.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn eigenvector_merged_matches_reconstruction() {
+        let s = Summary::new(5, vec![0, 0, 1, 1, 2], &[(0, 1, 1.0), (1, 2, 1.0), (0, 0, 1.0)]);
+        let recon = s.reconstruct();
+        let e = eigenvector_centrality_exact(&recon, 60);
+        let a = eigenvector_centrality_summary(&s, 60);
+        for (u, (x, y)) in e.iter().zip(a.iter()).enumerate() {
+            assert!((x - y).abs() < 1e-5, "mismatch at {u}: {x} vs {y}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Accuracy metrics of Sect. V-A: SMAPE and Spearman rank correlation.
+
+/// Symmetric mean absolute percentage error (lower is better):
+///
+/// ```text
+/// SMAPE(x, x̂) = (1/|V|) Σ_u |x_u − x̂_u| / (|x_u| + |x̂_u|)
+/// ```
+///
+/// with the `0/0` terms defined as 0 (paper: "if x_u = x̂_u = 0, 0 is
+/// used instead"). Always in `[0, 1]`.
+///
+/// # Panics
+/// Panics if the vectors differ in length or are empty.
+pub fn smape(x: &[f64], xhat: &[f64]) -> f64 {
+    assert_eq!(x.len(), xhat.len(), "answer vectors must align");
+    assert!(!x.is_empty(), "cannot score empty answers");
+    let mut acc = 0.0;
+    for (&a, &b) in x.iter().zip(xhat.iter()) {
+        let denom = a.abs() + b.abs();
+        if denom > 0.0 {
+            acc += (a - b).abs() / denom;
+        }
+    }
+    acc / x.len() as f64
+}
+
+/// Ranks with average tie-handling (fractional ranks), as required for
+/// Spearman correlation over score vectors that often contain ties.
+fn average_ranks(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("finite scores"));
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j hold tied values; assign their average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation coefficient (higher is better): the Pearson
+/// correlation between the average-tie ranks of `x` and `x̂`. Returns 0
+/// when either vector is constant (undefined correlation).
+///
+/// # Panics
+/// Panics if the vectors differ in length or are empty.
+pub fn spearman(x: &[f64], xhat: &[f64]) -> f64 {
+    assert_eq!(x.len(), xhat.len(), "answer vectors must align");
+    assert!(!x.is_empty(), "cannot score empty answers");
+    let rx = average_ranks(x);
+    let ry = average_ranks(xhat);
+    pearson(&rx, &ry)
+}
+
+/// Pearson correlation of two equal-length vectors; 0 when either is
+/// constant.
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        let da = a - mx;
+        let db = b - my;
+        cov += da * db;
+        vx += da * da;
+        vy += db * db;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smape_zero_for_identical() {
+        let x = vec![0.5, 0.2, 0.0, 1.0];
+        assert_eq!(smape(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn smape_one_for_disjoint_support() {
+        let x = vec![1.0, 0.0];
+        let y = vec![0.0, 2.0];
+        assert_eq!(smape(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn smape_in_unit_interval() {
+        let x = vec![0.1, 0.9, 0.0, 0.4];
+        let y = vec![0.3, 0.1, 0.2, 0.0];
+        let v = smape(&x, &y);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn smape_zero_pairs_ignored() {
+        let x = vec![0.0, 1.0];
+        let y = vec![0.0, 1.0];
+        assert_eq!(smape(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn smape_is_symmetric() {
+        let x = vec![0.2, 0.5, 0.9];
+        let y = vec![0.4, 0.1, 0.8];
+        assert!((smape(&x, &y) - smape(&y, &x)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn spearman_perfect_for_monotone() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_negative_for_reversed() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = vec![1.0, 1.0, 2.0, 3.0];
+        let y = vec![1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_constant_vector_is_zero() {
+        let x = vec![1.0, 1.0, 1.0];
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(spearman(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn spearman_invariant_to_monotone_transform() {
+        let x = vec![0.1, 0.4, 0.2, 0.9, 0.3];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.powi(3) * 100.0).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_ranks_ties() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "answer vectors must align")]
+    fn mismatched_lengths_panic() {
+        let _ = smape(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,65 @@
+//! # pegasus-summary — Personalized Graph Summarization
+//!
+//! A complete Rust reproduction of *"Personalized Graph Summarization:
+//! Formulation, Scalable Algorithms, and Applications"* (Kang, Lee,
+//! Shin — ICDE 2022): the PeGaSus algorithm, the SSumM / k-GraSS / S2L /
+//! SAAGs baselines, summary-side query answering, and the
+//! communication-free distributed multi-query application.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`graph`] (`pgs-graph`) | CSR graphs, generators, IO, traversal |
+//! | [`core`] (`pgs-core`) | PeGaSus, SSumM, summary representation, cost model |
+//! | [`baselines`] (`pgs-baselines`) | k-GraSS, S2L, SAAGs |
+//! | [`queries`] (`pgs-queries`) | RWR / HOP / PHP on graphs & summaries, SMAPE/Spearman |
+//! | [`partition`] (`pgs-partition`) | Louvain, BLP, SHP |
+//! | [`distributed`] (`pgs-distributed`) | Alg. 3 cluster simulator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pegasus_summary::prelude::*;
+//!
+//! // A scale-free graph and two users we care about.
+//! let g = barabasi_albert(1000, 4, 42);
+//! let targets = [3, 77];
+//!
+//! // Summarize to half the original bit size, personalized to them.
+//! let summary = summarize(&g, &targets, 0.5 * g.size_bits(), &PegasusConfig::default());
+//! assert!(summary.size_bits() <= 0.5 * g.size_bits());
+//!
+//! // Answer a node-similarity query straight from the summary.
+//! let approx = rwr_summary(&summary, targets[0], 0.05);
+//! let exact = rwr_exact(&g, targets[0], 0.05);
+//! let err = smape(&exact, &approx);
+//! assert!(err < 0.9); // far better than an uninformed answer
+//! ```
+
+pub use pgs_baselines as baselines;
+pub use pgs_core as core;
+pub use pgs_distributed as distributed;
+pub use pgs_graph as graph;
+pub use pgs_partition as partition;
+pub use pgs_queries as queries;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use pgs_baselines::{kgrass_summarize, s2l_summarize, saags_summarize};
+    pub use pgs_baselines::{KGrassConfig, S2lConfig, SaagsConfig};
+    pub use pgs_core::error::{personalized_error, reconstruction_error};
+    pub use pgs_core::{summarize, ssumm_summarize, NodeWeights, PegasusConfig, SsummConfig, Summary};
+    pub use pgs_distributed::{Backend, Cluster};
+    pub use pgs_graph::gen::{
+        barabasi_albert, erdos_renyi, grid, planted_partition, watts_strogatz,
+    };
+    pub use pgs_graph::{Graph, GraphBuilder, NodeId};
+    pub use pgs_partition::Method;
+    pub use pgs_core::summary_io::{read_summary, write_summary};
+    pub use pgs_queries::{
+        clustering_coefficient_exact, clustering_coefficient_summary, degrees_summary,
+        get_neighbors, hops_exact, hops_summary, hops_to_f64, pagerank_exact,
+        pagerank_summary, php_exact, php_summary, rwr_exact, rwr_summary, smape, spearman,
+    };
+}
