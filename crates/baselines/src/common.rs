@@ -49,9 +49,7 @@ impl<'g> Partition<'g> {
     /// True if `gid` names a live group.
     #[inline]
     pub fn is_live(&self, gid: u32) -> bool {
-        self.members
-            .get(gid as usize)
-            .is_some_and(|m| m.is_some())
+        self.members.get(gid as usize).is_some_and(|m| m.is_some())
     }
 
     /// Members of a live group.
@@ -59,9 +57,7 @@ impl<'g> Partition<'g> {
     /// # Panics
     /// Panics if the group is dead.
     pub fn members(&self, gid: u32) -> &[NodeId] {
-        self.members[gid as usize]
-            .as_ref()
-            .expect("dead group")
+        self.members[gid as usize].as_ref().expect("dead group")
     }
 
     /// Ids of all live groups.
@@ -86,7 +82,10 @@ impl<'g> Partition<'g> {
 
     /// Merges groups `a != b` (weighted union); returns the surviving id.
     pub fn merge(&mut self, a: u32, b: u32) -> u32 {
-        assert!(a != b && self.is_live(a) && self.is_live(b), "need two live groups");
+        assert!(
+            a != b && self.is_live(a) && self.is_live(b),
+            "need two live groups"
+        );
         let la = self.members[a as usize].as_ref().unwrap().len();
         let lb = self.members[b as usize].as_ref().unwrap().len();
         let (keep, dead) = if la >= lb { (a, b) } else { (b, a) };
@@ -131,7 +130,11 @@ pub fn partition_to_summary(g: &Graph, node_group: &[u32], weighting: BlockWeigh
         *counts.entry((a.min(b), a.max(b))).or_insert(0) += 1;
     }
     // Group sizes for density computation.
-    let max_label = node_group.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let max_label = node_group
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut size = vec![0u64; max_label];
     for &gid in node_group {
         size[gid as usize] += 1;

@@ -12,7 +12,7 @@
 use pgs_core::Summary;
 use pgs_graph::{FxHashMap, Graph};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::common::{block_l1_error, BlockWeight, Partition};
 

@@ -18,7 +18,7 @@ use pgs_core::Summary;
 use pgs_graph::{FxHashMap, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::common::{partition_to_summary, BlockWeight};
 
@@ -49,8 +49,7 @@ struct Center {
 
 impl Center {
     fn from_row(g: &Graph, u: NodeId) -> Self {
-        let coords: FxHashMap<NodeId, f64> =
-            g.neighbors(u).iter().map(|&v| (v, 1.0)).collect();
+        let coords: FxHashMap<NodeId, f64> = g.neighbors(u).iter().map(|&v| (v, 1.0)).collect();
         let mass = coords.len() as f64;
         Center { coords, mass }
     }
@@ -107,8 +106,7 @@ pub fn s2l_summarize(g: &Graph, k_supernodes: usize, cfg: &S2lConfig) -> Summary
         for &a in &assignment {
             counts[a as usize] += 1;
         }
-        let mut sums: Vec<FxHashMap<NodeId, f64>> =
-            (0..k).map(|_| FxHashMap::default()).collect();
+        let mut sums: Vec<FxHashMap<NodeId, f64>> = (0..k).map(|_| FxHashMap::default()).collect();
         for u in 0..n as NodeId {
             let a = assignment[u as usize] as usize;
             for &v in g.neighbors(u) {
@@ -154,9 +152,25 @@ mod tests {
         // rows are identical, hence distance 0 to the same center).
         let g = graph_from_edges(
             8,
-            &[(0, 2), (0, 3), (1, 2), (1, 3), (4, 6), (4, 7), (5, 6), (5, 7)],
+            &[
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (4, 6),
+                (4, 7),
+                (5, 6),
+                (5, 7),
+            ],
         );
-        let s = s2l_summarize(&g, 6, &S2lConfig { iterations: 10, seed: 3 });
+        let s = s2l_summarize(
+            &g,
+            6,
+            &S2lConfig {
+                iterations: 10,
+                seed: 3,
+            },
+        );
         assert_eq!(s.supernode_of(0), s.supernode_of(1), "twins 0,1 split");
         assert_eq!(s.supernode_of(4), s.supernode_of(5), "twins 4,5 split");
     }
@@ -167,7 +181,14 @@ mod tests {
         // block in one cluster, yielding substantially fewer cross-块
         // splits than random.
         let g = planted_partition(200, 4, 1800, 40, 1);
-        let s = s2l_summarize(&g, 4, &S2lConfig { iterations: 8, seed: 2 });
+        let s = s2l_summarize(
+            &g,
+            4,
+            &S2lConfig {
+                iterations: 8,
+                seed: 2,
+            },
+        );
         // Count the majority cluster per planted block.
         let block = 50;
         let mut agree = 0usize;
@@ -178,10 +199,7 @@ mod tests {
             }
             agree += counts.values().copied().max().unwrap_or(0);
         }
-        assert!(
-            agree >= 120,
-            "only {agree}/200 nodes in majority clusters"
-        );
+        assert!(agree >= 120, "only {agree}/200 nodes in majority clusters");
     }
 
     #[test]

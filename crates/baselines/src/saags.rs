@@ -14,7 +14,7 @@
 use pgs_core::Summary;
 use pgs_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::common::{BlockWeight, Partition};
 
@@ -24,13 +24,11 @@ pub const CMS_WIDTH: usize = 50;
 pub const CMS_DEPTH: usize = 2;
 
 /// Configuration for SAAGs.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SaagsConfig {
     /// RNG seed (pair sampling and sketch hashing).
     pub seed: u64,
 }
-
 
 /// A fixed-shape count-min sketch over node ids, mergeable by addition.
 #[derive(Clone, Debug)]

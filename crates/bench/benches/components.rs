@@ -33,7 +33,8 @@ fn bench_components(c: &mut Criterion) {
         let ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
         let params = ShingleParams::default();
         let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| black_box(candidate_groups(&ws, &mut rng, &params)))
+        let exec = pgs_core::exec::Exec::serial();
+        b.iter(|| black_box(candidate_groups(&ws, &mut rng, &params, &exec)))
     });
 
     c.bench_function("merge/eval_merge_pair", |b| {

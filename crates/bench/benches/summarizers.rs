@@ -19,14 +19,7 @@ fn bench_summarizers(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("pegasus_personalized", |b| {
-        b.iter(|| {
-            black_box(summarize(
-                &g,
-                &targets,
-                budget,
-                &PegasusConfig::default(),
-            ))
-        })
+        b.iter(|| black_box(summarize(&g, &targets, budget, &PegasusConfig::default())))
     });
     group.bench_function("pegasus_uniform", |b| {
         b.iter(|| black_box(summarize(&g, &[], budget, &PegasusConfig::default())))

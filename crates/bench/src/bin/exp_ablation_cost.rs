@@ -38,6 +38,7 @@ fn main() {
 
         for (label, use_absolute) in [("relative", false), ("absolute", true)] {
             let cfg = PegasusConfig {
+                num_threads: pgs_bench::num_threads(),
                 use_absolute_cost: use_absolute,
                 ..Default::default()
             };

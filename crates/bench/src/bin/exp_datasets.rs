@@ -12,7 +12,13 @@ fn main() {
     println!("Table II: six real-world graphs and their offline stand-ins");
     println!(
         "{:<4} {:<40} {:>12} {:>12} {:>10} {:>10} {:>8}",
-        "Name", "Paper dataset (stand-in class)", "paper |V|", "paper |E|", "our |V|", "our |E|", "eff.diam"
+        "Name",
+        "Paper dataset (stand-in class)",
+        "paper |V|",
+        "paper |E|",
+        "our |V|",
+        "our |E|",
+        "eff.diam"
     );
     for name in dataset_names() {
         let d = dataset(name);

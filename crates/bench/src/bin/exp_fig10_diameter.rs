@@ -52,6 +52,7 @@ fn main() {
         let mut best_sc = [(f64::NEG_INFINITY, 0.0f64); 3];
         for &alpha in &alphas {
             let cfg = PegasusConfig {
+                num_threads: pgs_bench::num_threads(),
                 alpha,
                 ..Default::default()
             };

@@ -35,6 +35,7 @@ fn main() {
             let budget = ratio * g.size_bits();
             for (bi, &beta) in betas.iter().enumerate() {
                 let cfg = PegasusConfig {
+                    num_threads: pgs_bench::num_threads(),
                     beta,
                     ..Default::default()
                 };
@@ -48,7 +49,11 @@ fn main() {
         }
         let dn = names.len() as f64;
         for (bi, &beta) in betas.iter().enumerate() {
-            let label = if beta == 0.0 { "beta~0".to_string() } else { format!("beta={beta}") };
+            let label = if beta == 0.0 {
+                "beta~0".to_string()
+            } else {
+                format!("beta={beta}")
+            };
             println!(
                 "{:<12} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} | {:>8.3} {:>8.3}",
                 label,

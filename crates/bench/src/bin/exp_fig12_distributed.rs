@@ -54,8 +54,20 @@ fn main() {
         for &ratio in &ratios {
             let budget = ratio * g.size_bits();
             let backends: Vec<(&str, Backend)> = vec![
-                ("PeGaSus", Backend::Pegasus(PegasusConfig::default())),
-                ("SSumM", Backend::Ssumm(SsummConfig::default())),
+                (
+                    "PeGaSus",
+                    Backend::Pegasus(PegasusConfig {
+                        num_threads: pgs_bench::num_threads(),
+                        ..Default::default()
+                    }),
+                ),
+                (
+                    "SSumM",
+                    Backend::Ssumm(SsummConfig {
+                        num_threads: pgs_bench::num_threads(),
+                        ..Default::default()
+                    }),
+                ),
                 ("Louvain", Backend::Subgraph(Method::Louvain)),
                 ("BLP", Backend::Subgraph(Method::Blp)),
                 ("SHPI", Backend::Subgraph(Method::ShpI)),

@@ -16,9 +16,9 @@
 
 use pgs_bench::{dataset, sample_queries};
 use pgs_core::error::personalized_error;
+use pgs_core::pegasus::{summarize, PegasusConfig};
 use pgs_core::weights::NodeWeights;
 use pgs_core::{ssumm_summarize, SsummConfig};
-use pgs_core::pegasus::{summarize, PegasusConfig};
 
 fn main() {
     // The smaller datasets keep the sweep quick; the remaining stand-ins
@@ -58,8 +58,23 @@ fn main() {
 
             // Reference: non-personalized summary (T = V), measured with
             // each test node's single-target weights.
-            let uniform = summarize(g, &[], budget, &PegasusConfig::default());
-            let ssumm = ssumm_summarize(g, budget, &SsummConfig::default());
+            let uniform = summarize(
+                g,
+                &[],
+                budget,
+                &PegasusConfig {
+                    num_threads: pgs_bench::num_threads(),
+                    ..Default::default()
+                },
+            );
+            let ssumm = ssumm_summarize(
+                g,
+                budget,
+                &SsummConfig {
+                    num_threads: pgs_bench::num_threads(),
+                    ..Default::default()
+                },
+            );
 
             let mut row = format!("{:<8}", d.name);
             for &(_, frac) in &fractions {
@@ -72,6 +87,7 @@ fn main() {
                         targets.dedup();
                     }
                     let cfg = PegasusConfig {
+                        num_threads: pgs_bench::num_threads(),
                         alpha,
                         ..Default::default()
                     };

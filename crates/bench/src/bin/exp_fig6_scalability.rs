@@ -24,7 +24,10 @@ fn env_usize(key: &str, default: usize) -> usize {
 
 fn sweep(label: &str, g: &Graph, target_count: Option<usize>) {
     println!("\n--- {label} ---");
-    println!("{:>10} {:>12} {:>12} {:>12}", "fraction", "|V|", "|E|", "time (s)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "fraction", "|V|", "|E|", "time (s)"
+    );
     let mut points = Vec::new();
     for step in 1..=10 {
         let frac = step as f64 / 10.0;
@@ -38,7 +41,15 @@ fn sweep(label: &str, g: &Graph, target_count: Option<usize>) {
             None => sample_queries(&sub, sub.num_nodes() / 2, 7),
         };
         let (_, secs) = timed(|| {
-            summarize(&sub, &targets, budget, &PegasusConfig::default())
+            summarize(
+                &sub,
+                &targets,
+                budget,
+                &PegasusConfig {
+                    num_threads: pgs_bench::num_threads(),
+                    ..Default::default()
+                },
+            )
         });
         println!(
             "{:>10.1} {:>12} {:>12} {:>12.3}",

@@ -49,7 +49,15 @@ fn main() {
 
         println!(
             "{:<8} {:>6} {:>8} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
-            "method", "ratio", "realratio", "RWR sm", "RWR sc", "HOP sm", "HOP sc", "PHP sm", "PHP sc"
+            "method",
+            "ratio",
+            "realratio",
+            "RWR sm",
+            "RWR sc",
+            "HOP sm",
+            "HOP sc",
+            "PHP sm",
+            "PHP sc"
         );
         let report = |method: &str, ratio: f64, s: &Summary| {
             let real = s.size_bits() / g.size_bits();
@@ -63,23 +71,43 @@ fn main() {
 
         for &ratio in &ratios {
             let budget = ratio * g.size_bits();
-            let cfg = PegasusConfig::default(); // α = 1.25
+            let cfg = PegasusConfig {
+                num_threads: pgs_bench::num_threads(),
+                ..Default::default()
+            }; // α = 1.25
             let p = summarize(g, &queries, budget, &cfg);
             report("PeGaSus", ratio, &p);
-            let s = ssumm_summarize(g, budget, &SsummConfig::default());
+            let s = ssumm_summarize(
+                g,
+                budget,
+                &SsummConfig {
+                    num_threads: pgs_bench::num_threads(),
+                    ..Default::default()
+                },
+            );
             report("SSumM", ratio, &s);
 
             if baseline_feasible(g) {
                 // Supernode budgets 10%..90% of |V| (Sect. V-A); map the
                 // bit-ratio onto the supernode-count ratio for alignment.
                 let k = ((g.num_nodes() as f64 * ratio) as usize).max(2);
-                report("SAAGs", ratio, &saags_summarize(g, k, &SaagsConfig::default()));
+                report(
+                    "SAAGs",
+                    ratio,
+                    &saags_summarize(g, k, &SaagsConfig::default()),
+                );
                 report("S2L", ratio, &s2l_summarize(g, k, &S2lConfig::default()));
-                report("k-GraSS", ratio, &kgrass_summarize(g, k, &KGrassConfig::default()));
+                report(
+                    "k-GraSS",
+                    ratio,
+                    &kgrass_summarize(g, k, &KGrassConfig::default()),
+                );
             }
         }
         if !baseline_feasible(g) {
-            println!("SAAGs/S2L/k-GraSS: o.o.t. (skipped above the size threshold, as in the paper)");
+            println!(
+                "SAAGs/S2L/k-GraSS: o.o.t. (skipped above the size threshold, as in the paper)"
+            );
         }
     }
 }

@@ -84,9 +84,28 @@ fn main() {
             );
         };
 
-        let (p, t) = timed(|| summarize(g, &queries, budget, &PegasusConfig::default()));
+        let (p, t) = timed(|| {
+            summarize(
+                g,
+                &queries,
+                budget,
+                &PegasusConfig {
+                    num_threads: pgs_bench::num_threads(),
+                    ..Default::default()
+                },
+            )
+        });
         report("PeGaSus", p, t);
-        let (s, t) = timed(|| ssumm_summarize(g, budget, &SsummConfig::default()));
+        let (s, t) = timed(|| {
+            ssumm_summarize(
+                g,
+                budget,
+                &SsummConfig {
+                    num_threads: pgs_bench::num_threads(),
+                    ..Default::default()
+                },
+            )
+        });
         report("SSumM", s, t);
         if baseline_feasible(g) {
             let (x, t) = timed(|| saags_summarize(g, k, &SaagsConfig::default()));
@@ -96,7 +115,10 @@ fn main() {
             let (x, t) = timed(|| kgrass_summarize(g, k, &KGrassConfig::default()));
             report("k-GraSS", x, t);
         } else {
-            println!("{:<14} o.o.t. (size threshold, as in the paper)", "SAAGs/S2L/k-GraSS");
+            println!(
+                "{:<14} o.o.t. (size threshold, as in the paper)",
+                "SAAGs/S2L/k-GraSS"
+            );
         }
     }
 }

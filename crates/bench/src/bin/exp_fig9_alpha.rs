@@ -43,6 +43,7 @@ fn main() {
 
             for (ai, &alpha) in alphas.iter().enumerate() {
                 let cfg = PegasusConfig {
+                    num_threads: pgs_bench::num_threads(),
                     alpha,
                     ..Default::default()
                 };
@@ -53,7 +54,14 @@ fn main() {
                     acc[ai][2 * qi + 1] += sc;
                 }
             }
-            let s = ssumm_summarize(g, budget, &SsummConfig::default());
+            let s = ssumm_summarize(
+                g,
+                budget,
+                &SsummConfig {
+                    num_threads: pgs_bench::num_threads(),
+                    ..Default::default()
+                },
+            );
             for (qi, gt) in truths.iter().enumerate() {
                 let (sm, sc) = gt.score_summary(&s);
                 ssumm_acc[2 * qi] += sm;

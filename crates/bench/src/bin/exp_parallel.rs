@@ -1,0 +1,125 @@
+//! Parallel-engine scaling experiment: summarizes a generated
+//! Barabási–Albert graph (≥ 100k edges by default) at 1/2/4/8 worker
+//! threads, verifies every run lands on the byte-identical summary, and
+//! writes a machine-readable `BENCH_parallel.json` so future PRs can
+//! track the perf trajectory.
+//!
+//! ```text
+//! cargo run --release --bin exp_parallel [-- <out.json>]
+//! PGS_PAR_NODES=50000 PGS_PAR_DEG=5 cargo run --release --bin exp_parallel
+//! ```
+//!
+//! Knobs: `PGS_PAR_NODES` (default 25_000), `PGS_PAR_DEG` (default 5 —
+//! about `nodes × deg` edges), `PGS_PAR_RATIO` (default 0.4),
+//! `PGS_PAR_THREADS` (comma list, default `1,2,4,8`).
+
+use std::fmt::Write as _;
+
+use pgs_bench::timed;
+use pgs_core::pegasus::{summarize_with_stats, PegasusConfig};
+use pgs_graph::gen::barabasi_albert;
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let nodes: usize = env_or("PGS_PAR_NODES", 25_000);
+    let deg: usize = env_or("PGS_PAR_DEG", 5);
+    let ratio: f64 = env_or("PGS_PAR_RATIO", 0.4);
+    let threads_list: Vec<usize> = std::env::var("PGS_PAR_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+
+    let hardware = rayon::current_num_threads();
+    let (g, gen_secs) = timed(|| barabasi_albert(nodes, deg, 42));
+    let budget = ratio * g.size_bits();
+    eprintln!(
+        "# graph: |V| = {}, |E| = {}, budget ratio {ratio} ({:.0} bits); \
+         hardware threads: {hardware}; generated in {gen_secs:.2}s",
+        g.num_nodes(),
+        g.num_edges(),
+        budget
+    );
+
+    let mut runs = Vec::new();
+    let mut reference: Option<Vec<u32>> = None;
+    for &threads in &threads_list {
+        let cfg = PegasusConfig {
+            num_threads: threads,
+            ..Default::default()
+        };
+        let ((summary, stats), secs) = timed(|| summarize_with_stats(&g, &[0, 1, 2], budget, &cfg));
+        let assignment: Vec<u32> = (0..g.num_nodes() as u32)
+            .map(|u| summary.supernode_of(u))
+            .collect();
+        match &reference {
+            None => reference = Some(assignment),
+            Some(r) => assert_eq!(
+                *r, assignment,
+                "{threads}-thread summary diverged — determinism bug"
+            ),
+        }
+        let merges_per_sec = stats.merges as f64 / secs;
+        eprintln!(
+            "# threads {threads:>2}: {secs:>7.2}s  {} merges ({merges_per_sec:.0}/s)  \
+             |S| {}  |P| {}",
+            stats.merges,
+            summary.num_supernodes(),
+            summary.num_superedges()
+        );
+        runs.push((threads, secs, stats.merges, merges_per_sec));
+    }
+    // Speedup baseline: the 1-thread run wherever it appears in the
+    // list; fall back to the first run if the list omits 1.
+    let t1_secs = runs
+        .iter()
+        .find(|r| r.0 == 1)
+        .map(|r| r.1)
+        .unwrap_or(runs.first().expect("at least one thread count").1);
+    for &(threads, secs, ..) in &runs {
+        eprintln!(
+            "# speedup threads {threads:>2}: {:.2}x vs 1 thread",
+            t1_secs / secs
+        );
+    }
+
+    // Hand-rolled JSON (the workspace is offline — no serde).
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"benchmark\": \"parallel_pegasus\",").unwrap();
+    writeln!(json, "  \"graph\": {{").unwrap();
+    writeln!(json, "    \"generator\": \"barabasi_albert\",").unwrap();
+    writeln!(json, "    \"nodes\": {},", g.num_nodes()).unwrap();
+    writeln!(json, "    \"edges\": {},", g.num_edges()).unwrap();
+    writeln!(json, "    \"seed\": 42,").unwrap();
+    writeln!(json, "    \"budget_ratio\": {ratio}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"hardware_threads\": {hardware},").unwrap();
+    writeln!(json, "  \"identical_output_across_threads\": true,").unwrap();
+    writeln!(json, "  \"runs\": [").unwrap();
+    for (i, (threads, secs, merges, mps)) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"wall_secs\": {secs:.4}, \
+             \"speedup_vs_1\": {:.4}, \"merges\": {merges}, \
+             \"merges_per_sec\": {mps:.1}}}{comma}",
+            t1_secs / secs
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, &json).expect("writing BENCH_parallel.json");
+    eprintln!("# wrote {out_path}");
+    println!("{json}");
+}

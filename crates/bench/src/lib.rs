@@ -29,8 +29,8 @@ use std::time::Instant;
 use pgs_graph::traverse::largest_component;
 use pgs_graph::{Graph, NodeId};
 use pgs_queries::{
-    hops_exact, hops_summary, hops_to_f64, php_exact, php_summary, rwr_exact, rwr_summary,
-    smape, spearman, PHP_DECAY, RWR_RESTART,
+    hops_exact, hops_summary, hops_to_f64, php_exact, php_summary, rwr_exact, rwr_summary, smape,
+    spearman, PHP_DECAY, RWR_RESTART,
 };
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -62,6 +62,16 @@ pub fn num_queries() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(25)
+}
+
+/// Worker threads the experiment binaries hand to the summarizers
+/// (`PGS_THREADS`; default 0 = all hardware threads). Summaries are
+/// identical at any setting — only wall-clock changes.
+pub fn num_threads() -> usize {
+    std::env::var("PGS_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
 }
 
 fn lcc(g: Graph) -> Graph {
@@ -319,9 +329,7 @@ mod tests {
 
     #[test]
     fn loglog_slope_of_quadratic_data_is_two() {
-        let pts: Vec<(f64, f64)> = (1..=8)
-            .map(|i| (i as f64, (i * i) as f64))
-            .collect();
+        let pts: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, (i * i) as f64)).collect();
         assert!((loglog_slope(&pts) - 2.0).abs() < 1e-9);
     }
 

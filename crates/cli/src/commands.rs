@@ -18,6 +18,7 @@ USAGE:
   pgs info <edges.txt>
   pgs summarize <edges.txt> -o <out.summary> [--ratio 0.5] [--targets 1,2,3]
                 [--alpha 1.25] [--beta 0.1] [--method pegasus|ssumm] [--seed 0]
+                [--threads N]   (0 = all hardware threads; same output at any N)
   pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
             [--truth <edges.txt>]
   pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
@@ -98,13 +99,17 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
         .positional
         .first()
         .ok_or("usage: pgs summarize <edges.txt> -o <out.summary> [flags]")?;
-    let out = args.get("o").or_else(|| args.get("out")).ok_or("missing -o <out.summary>")?;
+    let out = args
+        .get("o")
+        .or_else(|| args.get("out"))
+        .ok_or("missing -o <out.summary>")?;
     let g = load_graph(path)?;
 
     let ratio: f64 = args.get_parse("ratio", 0.5)?;
     let budget: f64 = args.get_parse("bits", ratio * g.size_bits())?;
     let method = args.get("method").unwrap_or("pegasus");
     let seed: u64 = args.get_parse("seed", 0)?;
+    let num_threads: usize = args.get_parse("threads", 0)?;
 
     let (summary, stats) = match method {
         "pegasus" => {
@@ -129,6 +134,7 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
                 beta: args.get_parse("beta", 0.1)?,
                 t_max: args.get_parse("tmax", 20)?,
                 seed,
+                num_threads,
                 ..Default::default()
             };
             summarize_with_stats(&g, &targets, budget, &cfg)
@@ -137,6 +143,7 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
             let cfg = SsummConfig {
                 t_max: args.get_parse("tmax", 20)?,
                 seed,
+                num_threads,
                 ..Default::default()
             };
             ssumm_summarize_with_stats(&g, budget, &cfg)
@@ -169,7 +176,10 @@ pub fn query(raw: &[String]) -> Result<(), String> {
     let qtype = args.get("type").ok_or("missing --type")?;
     let node: u32 = args.get_parse("node", 0)?;
     if (node as usize) >= s.num_nodes() && qtype != "pagerank" {
-        return Err(format!("node {node} out of range (|V| = {})", s.num_nodes()));
+        return Err(format!(
+            "node {node} out of range (|V| = {})",
+            s.num_nodes()
+        ));
     }
     let top: usize = args.get_parse("top", 10)?;
 
@@ -238,7 +248,12 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
     for &l in &labels {
         sizes[l as usize] += 1;
     }
-    println!("# method {} m {m} cut {:.4} sizes {:?}", method.name(), cut, sizes);
+    println!(
+        "# method {} m {m} cut {:.4} sizes {:?}",
+        method.name(),
+        cut,
+        sizes
+    );
     for (u, l) in labels.iter().enumerate() {
         println!("{u} {l}");
     }

@@ -4,6 +4,7 @@
 //! pgs info <edges.txt>
 //! pgs summarize <edges.txt> -o <out.summary> [--ratio 0.5] [--targets 1,2,3]
 //!               [--alpha 1.25] [--beta 0.1] [--method pegasus|ssumm] [--seed 0]
+//!               [--threads N]
 //! pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
 //!           [--truth <edges.txt>]
 //! pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]

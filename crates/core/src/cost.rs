@@ -70,7 +70,11 @@ pub fn cost_with_superedge(tot: f64, e: f64, log_s: f64, p: &CostParams) -> f64 
         // explicit error correction and entropy-coding the block bitmap
         // (the superedge itself supplies the block header).
         CostModel::SsummMin => {
-            let density = if tot > 0.0 { (e / tot).clamp(0.0, 1.0) } else { 0.0 };
+            let density = if tot > 0.0 {
+                (e / tot).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             (p.bits_per_error * err).min(tot * binary_entropy(density))
         }
     };
@@ -172,8 +176,8 @@ mod tests {
     #[test]
     fn ssumm_entropy_can_beat_error_correction() {
         let p = CostParams::new(1 << 20, CostModel::SsummMin); // 40 bits/error
-        // 1000 pairs, 500 edges under a superedge: err-corr = 40*500;
-        // entropy = 1000 * H(0.5) = 1000. Entropy wins; plus 2*log_s.
+                                                               // 1000 pairs, 500 edges under a superedge: err-corr = 40*500;
+                                                               // entropy = 1000 * H(0.5) = 1000. Entropy wins; plus 2*log_s.
         let cost = cost_with_superedge(1000.0, 500.0, 5.0, &p);
         assert!((cost - 1010.0).abs() < 1e-9);
     }
@@ -181,8 +185,8 @@ mod tests {
     #[test]
     fn ssumm_falls_back_to_error_correction_when_sparse() {
         let p = CostParams::new(16, CostModel::SsummMin); // 8 bits/error
-        // 1000 pairs, 999 edges under a superedge: err-corr for the one
-        // missing pair = 8; entropy = 1000*H(0.999) ≈ 11.4. Err-corr wins.
+                                                          // 1000 pairs, 999 edges under a superedge: err-corr for the one
+                                                          // missing pair = 8; entropy = 1000*H(0.999) ≈ 11.4. Err-corr wins.
         let cost = cost_with_superedge(1000.0, 999.0, 5.0, &p);
         assert!((cost - 18.0).abs() < 1e-12);
     }

@@ -17,7 +17,11 @@ use crate::weights::NodeWeights;
 /// (`tot_AB − e_AB`), and actual edges not covered by a superedge
 /// contribute their own weight.
 pub fn personalized_error(g: &Graph, s: &Summary, w: &NodeWeights) -> f64 {
-    assert_eq!(g.num_nodes(), s.num_nodes(), "summary/graph node count mismatch");
+    assert_eq!(
+        g.num_nodes(),
+        s.num_nodes(),
+        "summary/graph node count mismatch"
+    );
     assert_eq!(g.num_nodes(), w.len(), "weights/graph node count mismatch");
 
     // Aggregate ŵ sums per supernode.

@@ -42,6 +42,7 @@
 
 pub mod cost;
 pub mod error;
+pub mod exec;
 pub mod pegasus;
 pub mod shingle;
 pub mod sparsify;

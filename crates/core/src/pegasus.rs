@@ -1,20 +1,30 @@
-//! The PeGaSus driver (Alg. 1).
+//! The PeGaSus driver (Alg. 1), parallel evaluate/commit edition.
 //!
 //! Repeats candidate generation (Sect. III-C) and within-group greedy
 //! merging (Sect. III-D) with an adaptively decaying threshold
 //! (Sect. III-E) until the summary fits the bit budget or `t_max`
 //! iterations elapse, then sparsifies (Sect. III-F) if needed.
+//!
+//! Each iteration fans out across [`PegasusConfig::num_threads`] workers:
+//! candidate groups are disjoint supernode sets, so their Alg.-2 rounds
+//! are *evaluated* concurrently against the frozen iteration-start
+//! summary ([`crate::working::evaluate_group`]), and the resulting merge
+//! logs are *committed* serially in canonical group order. All
+//! randomness is drawn serially (per-round hash seeds, per-group RNG
+//! seeds), which makes the output a pure function of the seed — the same
+//! summary comes back at any thread count (see DESIGN.md §2).
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::cost::CostModel;
+use crate::exec::Exec;
 use crate::shingle::{candidate_groups, ShingleParams};
 use crate::sparsify::sparsify;
 use crate::summary::Summary;
 use crate::threshold::AdaptiveThreshold;
 use crate::weights::NodeWeights;
-use crate::working::{merge_within_group, Scratch, WorkingSummary};
+use crate::working::{evaluate_group, Scratch, WorkingSummary};
 use pgs_graph::{Graph, NodeId};
 
 /// Configuration of PeGaSus (paper defaults from Sect. V-A).
@@ -35,6 +45,10 @@ pub struct PegasusConfig {
     /// Ablation switch: rank merges by the absolute reduction Eq. (10)
     /// instead of the relative reduction Eq. (11).
     pub use_absolute_cost: bool,
+    /// Worker threads for the evaluate phases (candidate generation and
+    /// group evaluation). `0` means one per available hardware thread.
+    /// The output is identical at any setting; only wall-clock changes.
+    pub num_threads: usize,
 }
 
 impl Default for PegasusConfig {
@@ -47,6 +61,7 @@ impl Default for PegasusConfig {
             max_group: 500,
             shingle_depth: 10,
             use_absolute_cost: false,
+            num_threads: 0,
         }
     }
 }
@@ -77,12 +92,7 @@ pub struct RunStats {
 /// let summary = summarize(&g, &[0], 0.5 * g.size_bits(), &PegasusConfig::default());
 /// assert!(summary.size_bits() <= 0.5 * g.size_bits());
 /// ```
-pub fn summarize(
-    g: &Graph,
-    targets: &[NodeId],
-    budget_bits: f64,
-    cfg: &PegasusConfig,
-) -> Summary {
+pub fn summarize(g: &Graph, targets: &[NodeId], budget_bits: f64, cfg: &PegasusConfig) -> Summary {
     summarize_with_stats(g, targets, budget_bits, cfg).0
 }
 
@@ -116,6 +126,7 @@ pub fn summarize_with_weights(
     let mut threshold = AdaptiveThreshold::new(cfg.beta);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut scratch = Scratch::default();
+    let exec = Exec::new(cfg.num_threads);
     let shingle_params = ShingleParams {
         max_group: cfg.max_group,
         depth: cfg.shingle_depth,
@@ -125,19 +136,29 @@ pub fn summarize_with_weights(
     let mut t = 1;
     let mut stall_cap = f64::INFINITY;
     while t <= cfg.t_max && ws.size_bits() > budget_bits {
-        let groups = candidate_groups(&ws, &mut rng, &shingle_params);
+        let groups = candidate_groups(&ws, &mut rng, &shingle_params, &exec);
         let before = ws.num_supernodes();
         let theta = threshold.theta().min(stall_cap);
-        for mut group in groups {
-            merge_within_group(
-                &mut ws,
-                &mut group,
-                theta,
-                threshold.rejected_mut(),
-                &mut rng,
-                &mut scratch,
-                cfg.use_absolute_cost,
-            );
+
+        // Evaluate phase (parallel, read-only): every group gets a seed
+        // drawn serially here, then workers run the Alg.-2 sampling loop
+        // against the frozen summary, producing merge logs.
+        let seeded: Vec<(Vec<crate::summary::SuperId>, u64)> = groups
+            .into_iter()
+            .map(|grp| (grp, rng.next_u64()))
+            .collect();
+        let outcomes = exec.map_indexed(&seeded, |_, (group, seed)| {
+            evaluate_group(&ws, group, theta, *seed, cfg.use_absolute_cost)
+        });
+
+        // Commit phase (serial, deterministic group order): replay each
+        // group's merge log against the shared summary and fold its
+        // rejection samples into the adaptive threshold.
+        for outcome in &outcomes {
+            for &(a, b) in &outcome.merges {
+                ws.merge(a, b, &mut scratch);
+            }
+            threshold.fold_rejections(&outcome.rejected);
         }
         let merged = before - ws.num_supernodes();
         stats.merges += merged;
@@ -158,7 +179,7 @@ pub fn summarize_with_weights(
 
     if ws.size_bits() > budget_bits {
         stats.sparsified = true;
-        sparsify(&mut ws, budget_bits);
+        sparsify(&mut ws, budget_bits, &exec);
     }
     (ws.into_summary(), stats)
 }
@@ -262,7 +283,8 @@ mod tests {
     #[test]
     fn stats_are_populated() {
         let g = barabasi_albert(300, 4, 9);
-        let (_, stats) = summarize_with_stats(&g, &[0], 0.3 * g.size_bits(), &PegasusConfig::default());
+        let (_, stats) =
+            summarize_with_stats(&g, &[0], 0.3 * g.size_bits(), &PegasusConfig::default());
         assert!(stats.iterations >= 1);
         assert!(stats.merges > 0);
     }

@@ -7,18 +7,33 @@
 //! F(U) = min_{u∈U} min_{v∈N(u)∪{u}} f(v)           (Eq. 12)
 //! ```
 //!
-//! for a per-iteration random permutation `f : V → {0..|V|-1}`; the
-//! probability that two supernodes share a shingle equals the Jaccard
-//! similarity of their (closed) neighbor sets, so groups collect
-//! supernodes with similar connectivity. Oversized groups are re-split
-//! recursively with fresh permutations (at most [`ShingleParams::depth`]
-//! rounds, paper constant 10) and finally split randomly to at most
-//! [`ShingleParams::max_group`] members (paper constant 500).
+//! for a per-iteration random hash `f : V → u64`; the probability that
+//! two supernodes share a shingle equals the Jaccard similarity of their
+//! (closed) neighbor sets, so groups collect supernodes with similar
+//! connectivity. Oversized groups are re-split recursively with fresh
+//! hashes (at most [`ShingleParams::depth`] rounds, paper constant 10)
+//! and finally split randomly to at most [`ShingleParams::max_group`]
+//! members (paper constant 500).
+//!
+//! # Parallelism and determinism
+//!
+//! The paper draws `f` as a random permutation; the engine uses a keyed
+//! 64-bit mix (`hash_node`) instead, which has the same collision
+//! semantics (64-bit keys make ties vanishingly rare, and any tie breaks
+//! identically everywhere) but is a *pure function* of `(seed, v)`. That
+//! makes `node_minhash` embarrassingly parallel over node ranges — no
+//! shared RNG state, no sequential Fisher–Yates — so the min-hash pass
+//! splits across [`Exec`] workers and produces bit-identical output at
+//! any thread count. All residual randomness (per-round hash seeds, the
+//! final random division of structurally identical supernodes) is drawn
+//! serially from the driver's RNG.
 
 use pgs_graph::{FxHashMap, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::RngCore;
 
+use crate::exec::Exec;
 use crate::summary::SuperId;
 use crate::working::WorkingSummary;
 
@@ -40,71 +55,96 @@ impl Default for ShingleParams {
     }
 }
 
-/// Per-node closed-neighborhood min-hash under a fresh permutation:
-/// `g(u) = min_{v ∈ N(u) ∪ {u}} f(v)`. `O(|V| + |E|)`.
-fn node_minhash(ws: &WorkingSummary<'_>, rng: &mut StdRng) -> Vec<u32> {
+/// The per-iteration random hash `f(v)`: a SplitMix64-style finalizer
+/// keyed by the round seed. Pure, so any node range can be hashed on any
+/// worker with an identical result.
+#[inline]
+fn hash_node(seed: u64, v: NodeId) -> u64 {
+    let mut z = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-node closed-neighborhood min-hash under the round hash:
+/// `g(u) = min_{v ∈ N(u) ∪ {u}} f(v)`. `O(|V| + |E|)`, parallel over
+/// contiguous node ranges.
+fn node_minhash(ws: &WorkingSummary<'_>, seed: u64, exec: &Exec) -> Vec<u64> {
     let g = ws.graph();
     let n = g.num_nodes();
-    let mut perm: Vec<u32> = (0..n as u32).collect();
-    perm.shuffle(rng);
-    let mut mh = vec![u32::MAX; n];
-    for u in 0..n as NodeId {
-        let mut best = perm[u as usize];
-        for &v in g.neighbors(u) {
-            best = best.min(perm[v as usize]);
+    let mut mh = vec![u64::MAX; n];
+    exec.fill_chunks(&mut mh, |start, chunk| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            let u = (start + k) as NodeId;
+            let mut best = hash_node(seed, u);
+            for &v in g.neighbors(u) {
+                best = best.min(hash_node(seed, v));
+            }
+            *slot = best;
         }
-        mh[u as usize] = best;
-    }
+    });
     mh
 }
 
-/// Splits `ids` into groups by supernode shingle under a fresh hash.
+/// Splits `ids` into groups by supernode shingle. The supernode shingles
+/// are computed in parallel (aligned with `ids`); bucketing and the
+/// canonical ordering are serial. Groups come back sorted by shingle
+/// key, with members in `ids` order — an ordering independent of both
+/// hash-map iteration order and thread count, which the deterministic
+/// commit phase relies on.
 fn split_by_shingle(
     ws: &WorkingSummary<'_>,
     ids: &[SuperId],
-    minhash: &[u32],
+    minhash: &[u64],
+    exec: &Exec,
 ) -> Vec<Vec<SuperId>> {
-    let mut buckets: FxHashMap<u32, Vec<SuperId>> = FxHashMap::default();
-    for &s in ids {
-        let shingle = ws
-            .members(s)
+    let shingles: Vec<u64> = exec.map_indexed(ids, |_, &s| {
+        ws.members(s)
             .iter()
             .map(|&u| minhash[u as usize])
             .min()
-            .expect("supernodes are non-empty");
-        buckets.entry(shingle).or_default().push(s);
+            .expect("supernodes are non-empty")
+    });
+    let mut buckets: FxHashMap<u64, Vec<SuperId>> = FxHashMap::default();
+    for (&s, &key) in ids.iter().zip(&shingles) {
+        buckets.entry(key).or_default().push(s);
     }
-    buckets.into_values().collect()
+    let mut groups: Vec<(u64, Vec<SuperId>)> = buckets.into_iter().collect();
+    groups.sort_unstable_by_key(|(key, _)| *key);
+    groups.into_iter().map(|(_, grp)| grp).collect()
 }
 
 /// Generates this iteration's candidate groups (Alg. 1 line 4).
 ///
 /// Groups of size 1 are dropped (no pairs to merge). The union of the
 /// returned groups is therefore a subset of the live supernodes, each
-/// appearing exactly once.
+/// appearing exactly once. Group order is canonical (by shingle key,
+/// then split order), so downstream per-group seeding and the commit
+/// phase see the same sequence at any thread count.
 pub fn candidate_groups(
     ws: &WorkingSummary<'_>,
     rng: &mut StdRng,
     params: &ShingleParams,
+    exec: &Exec,
 ) -> Vec<Vec<SuperId>> {
     let live = ws.live_ids();
     if live.len() < 2 {
         return Vec::new();
     }
-    let minhash = node_minhash(ws, rng);
-    let mut groups = split_by_shingle(ws, &live, &minhash);
+    let minhash = node_minhash(ws, rng.next_u64(), exec);
+    let mut groups = split_by_shingle(ws, &live, &minhash, exec);
 
     for _ in 1..params.depth {
         if groups.iter().all(|g| g.len() <= params.max_group) {
             break;
         }
-        let minhash = node_minhash(ws, rng);
+        let minhash = node_minhash(ws, rng.next_u64(), exec);
         let mut next = Vec::with_capacity(groups.len());
         for group in groups {
             if group.len() <= params.max_group {
                 next.push(group);
             } else {
-                next.extend(split_by_shingle(ws, &group, &minhash));
+                next.extend(split_by_shingle(ws, &group, &minhash, exec));
             }
         }
         groups = next;
@@ -137,15 +177,32 @@ mod tests {
     use pgs_graph::gen::barabasi_albert;
     use rand::SeedableRng;
 
-    fn groups_for(
-        g: &pgs_graph::Graph,
-        params: &ShingleParams,
-        seed: u64,
-    ) -> Vec<Vec<SuperId>> {
+    fn groups_for(g: &pgs_graph::Graph, params: &ShingleParams, seed: u64) -> Vec<Vec<SuperId>> {
         let w = NodeWeights::uniform(g.num_nodes());
         let ws = WorkingSummary::new(g, &w, CostModel::ErrorCorrection);
         let mut rng = StdRng::seed_from_u64(seed);
-        candidate_groups(&ws, &mut rng, params)
+        candidate_groups(&ws, &mut rng, params, &Exec::serial())
+    }
+
+    #[test]
+    fn groups_identical_at_any_thread_count() {
+        let g = barabasi_albert(300, 4, 6);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(9);
+            candidate_groups(&ws, &mut rng, &ShingleParams::default(), &Exec::serial())
+        };
+        for threads in [2, 3, 8] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let got = candidate_groups(
+                &ws,
+                &mut rng,
+                &ShingleParams::default(),
+                &Exec::new(threads),
+            );
+            assert_eq!(got, reference, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -158,7 +215,10 @@ mod tests {
         let mut together = 0;
         for seed in 0..40 {
             let groups = groups_for(&g, &ShingleParams::default(), seed);
-            if groups.iter().any(|grp| grp.contains(&0) && grp.contains(&1)) {
+            if groups
+                .iter()
+                .any(|grp| grp.contains(&0) && grp.contains(&1))
+            {
                 together += 1;
             }
         }

@@ -7,6 +7,7 @@
 use pgs_graph::FxHashMap;
 
 use crate::cost::cost_with_superedge;
+use crate::exec::Exec;
 use crate::summary::SuperId;
 use crate::working::WorkingSummary;
 
@@ -15,43 +16,86 @@ use crate::working::WorkingSummary;
 ///
 /// Dropping superedges does not change `|S|`, so each drop removes
 /// exactly `2·log2|S|` bits; the number of drops needed is known up
-/// front. Edge weights for all current superedge pairs are gathered in a
-/// single `O(|E|)` scan of the input graph.
-pub fn sparsify(ws: &mut WorkingSummary<'_>, budget_bits: f64) {
+/// front. Edge-weight gathering and superedge pricing fan out across
+/// `exec` workers (each builds a partial map / price list over a node
+/// chunk; partials merge serially). Prices sort under the total order
+/// `(cost, a, b)`, so equal-cost superedges drop in the same order at
+/// any thread count.
+pub fn sparsify(ws: &mut WorkingSummary<'_>, budget_bits: f64, exec: &Exec) {
     let log_s = ws.log_s();
     if log_s == 0.0 || ws.size_bits() <= budget_bits {
         return;
     }
 
-    // Personalized edge-weight sum per superedge pair in one pass.
-    let mut edge_weight: FxHashMap<(SuperId, SuperId), f64> = FxHashMap::default();
+    // Personalized edge-weight sum per superedge pair: each worker scans
+    // a contiguous node range (edges visited once via the u < v side).
+    // The chunk size is FIXED (not derived from the thread count): a
+    // pair's weight is the fold of its per-chunk partial sums in chunk
+    // order, and f64 addition is non-associative, so thread-count-
+    // dependent chunk boundaries would perturb sums by an ulp and could
+    // reorder the cost sort below — breaking the byte-identical-at-any-
+    // thread-count guarantee.
+    const NODE_CHUNK: usize = 8_192;
     let g = ws.graph();
     let w = ws.weights();
-    for (u, v) in g.edges() {
-        let (a, b) = (ws.supernode_of(u), ws.supernode_of(v));
-        let key = (a.min(b), a.max(b));
-        if ws.has_superedge(key.0, key.1) {
-            *edge_weight.entry(key).or_insert(0.0) += w.pair(u, v);
+    let nodes: Vec<u32> = g.nodes().collect();
+    let partial_maps = {
+        let chunks: Vec<&[u32]> = nodes.chunks(NODE_CHUNK).collect();
+        exec.map_indexed(&chunks, |_, range| {
+            let mut map: FxHashMap<(SuperId, SuperId), f64> = FxHashMap::default();
+            for &u in *range {
+                for &v in g.neighbors(u) {
+                    if u >= v {
+                        continue;
+                    }
+                    let (a, b) = (ws.supernode_of(u), ws.supernode_of(v));
+                    let key = (a.min(b), a.max(b));
+                    if ws.has_superedge(key.0, key.1) {
+                        *map.entry(key).or_insert(0.0) += w.pair(u, v);
+                    }
+                }
+            }
+            map
+        })
+    };
+    let mut edge_weight: FxHashMap<(SuperId, SuperId), f64> = FxHashMap::default();
+    for map in partial_maps {
+        for (key, e) in map {
+            *edge_weight.entry(key).or_insert(0.0) += e;
         }
     }
 
-    // Price every superedge by Eq. (6) with the superedge present.
+    // Price every superedge by Eq. (6) with the superedge present, one
+    // live-supernode chunk per worker.
     let params = *ws.params();
-    let mut priced: Vec<(f64, SuperId, SuperId)> = Vec::with_capacity(ws.num_superedges());
     let live = ws.live_ids();
-    for &a in &live {
-        let neighbors: Vec<SuperId> = ws.superedge_neighbors(a).collect();
-        for b in neighbors {
-            if a > b {
-                continue;
+    let priced_parts = {
+        let chunk = live.len().div_ceil(exec.threads().max(1)).max(1);
+        let chunks: Vec<&[SuperId]> = live.chunks(chunk).collect();
+        let edge_weight = &edge_weight;
+        exec.map_indexed(&chunks, |_, range| {
+            let mut priced: Vec<(f64, SuperId, SuperId)> = Vec::new();
+            for &a in *range {
+                for b in ws.superedge_neighbors(a) {
+                    if a > b {
+                        continue;
+                    }
+                    let e = edge_weight.get(&(a, b)).copied().unwrap_or(0.0);
+                    let tot = ws.pair_tot(a, b);
+                    let cost = cost_with_superedge(tot, e, log_s, &params);
+                    priced.push((cost, a, b));
+                }
             }
-            let e = edge_weight.get(&(a, b)).copied().unwrap_or(0.0);
-            let tot = ws.pair_tot(a, b);
-            let cost = cost_with_superedge(tot, e, log_s, &params);
-            priced.push((cost, a, b));
-        }
-    }
-    priced.sort_unstable_by(|x, y| x.0.partial_cmp(&y.0).expect("finite costs"));
+            priced
+        })
+    };
+    let mut priced: Vec<(f64, SuperId, SuperId)> = priced_parts.into_iter().flatten().collect();
+    priced.sort_unstable_by(|x, y| {
+        x.0.partial_cmp(&y.0)
+            .expect("finite costs")
+            .then(x.1.cmp(&y.1))
+            .then(x.2.cmp(&y.2))
+    });
 
     for (_, a, b) in priced {
         if ws.size_bits() <= budget_bits {
@@ -75,7 +119,7 @@ mod tests {
         let w = NodeWeights::uniform(g.num_nodes());
         let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
         let budget = 0.4 * g.size_bits();
-        sparsify(&mut ws, budget);
+        sparsify(&mut ws, budget, &Exec::serial());
         assert!(ws.size_bits() <= budget, "{} > {budget}", ws.size_bits());
     }
 
@@ -86,7 +130,7 @@ mod tests {
         let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
         let before = ws.num_superedges();
         let generous = ws.size_bits() + 1.0;
-        sparsify(&mut ws, generous);
+        sparsify(&mut ws, generous, &Exec::serial());
         assert_eq!(ws.num_superedges(), before);
     }
 
@@ -95,10 +139,7 @@ mod tests {
         // After merging the twin pair {0,1} of a 4-node graph, the
         // remaining superedges have different costs; dropping one should
         // remove the cheaper one (lower edge weight / sparser block).
-        let g = pgs_graph::builder::graph_from_edges(
-            5,
-            &[(0, 2), (0, 3), (1, 2), (1, 3), (3, 4)],
-        );
+        let g = pgs_graph::builder::graph_from_edges(5, &[(0, 2), (0, 3), (1, 2), (1, 3), (3, 4)]);
         let w = NodeWeights::uniform(g.num_nodes());
         let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
         let mut scratch = Scratch::default();
@@ -106,7 +147,7 @@ mod tests {
         assert_eq!(ws.num_superedges(), 3);
         // Budget forcing exactly one drop: each superedge is 2*log2(4)=4 bits.
         let budget = ws.size_bits() - 1.0;
-        sparsify(&mut ws, budget);
+        sparsify(&mut ws, budget, &Exec::serial());
         assert_eq!(ws.num_superedges(), 2);
         // The {C,2} and {C,3} blocks cover 2 node pairs with 2 edges each
         // (cost = superedge bits only); {3,4} covers 1 pair with 1 edge.
@@ -123,7 +164,7 @@ mod tests {
         let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
         // |V| log2|S| bits remain even with zero superedges; ask for that.
         let floor = 30.0 * (30f64).log2();
-        sparsify(&mut ws, floor);
+        sparsify(&mut ws, floor, &Exec::serial());
         assert_eq!(ws.num_superedges(), 0);
         assert!(ws.size_bits() <= floor + 1e-9);
     }
@@ -150,7 +191,7 @@ mod tests {
         assert!(ws.has_superedge(c_twins, 2));
         let budget = ws.size_bits() - 1.0; // force exactly one drop
         let before = ws.num_superedges();
-        sparsify(&mut ws, budget);
+        sparsify(&mut ws, budget, &Exec::serial());
         assert_eq!(ws.num_superedges(), before - 1);
         assert!(ws.size_bits() <= budget);
         let _ = c_mixed;

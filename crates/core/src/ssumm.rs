@@ -13,16 +13,17 @@
 //!   PeGaSus assumes error correction only.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 use crate::cost::CostModel;
+use crate::exec::Exec;
 use crate::pegasus::RunStats;
 use crate::shingle::{candidate_groups, ShingleParams};
 use crate::sparsify::sparsify;
 use crate::summary::Summary;
 use crate::threshold::ssumm_schedule;
 use crate::weights::NodeWeights;
-use crate::working::{merge_within_group, Scratch, WorkingSummary};
+use crate::working::{evaluate_group, Scratch, WorkingSummary};
 use pgs_graph::Graph;
 
 /// Configuration of the SSumM baseline (paper defaults from Sect. V-A).
@@ -36,6 +37,9 @@ pub struct SsummConfig {
     pub max_group: usize,
     /// Maximum recursive shingle-splitting depth (10).
     pub shingle_depth: usize,
+    /// Worker threads for the evaluate phases (same engine as PeGaSus;
+    /// `0` = all hardware threads; output identical at any setting).
+    pub num_threads: usize,
 }
 
 impl Default for SsummConfig {
@@ -45,6 +49,7 @@ impl Default for SsummConfig {
             seed: 0,
             max_group: 500,
             shingle_depth: 10,
+            num_threads: 0,
         }
     }
 }
@@ -64,30 +69,32 @@ pub fn ssumm_summarize_with_stats(
     let mut ws = WorkingSummary::new(g, &weights, CostModel::SsummMin);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut scratch = Scratch::default();
+    let exec = Exec::new(cfg.num_threads);
     let shingle_params = ShingleParams {
         max_group: cfg.max_group,
         depth: cfg.shingle_depth,
     };
     let mut stats = RunStats::default();
-    let mut sink = Vec::new(); // SSumM keeps no rejection list
 
     let mut t = 1;
     while t <= cfg.t_max && ws.size_bits() > budget_bits {
         let theta = ssumm_schedule(t, cfg.t_max);
         let before = ws.num_supernodes();
-        let groups = candidate_groups(&ws, &mut rng, &shingle_params);
-        for mut group in groups {
-            merge_within_group(
-                &mut ws,
-                &mut group,
-                theta,
-                &mut sink,
-                &mut rng,
-                &mut scratch,
-                false,
-            );
+        // Same evaluate/commit engine as PeGaSus (SSumM just discards
+        // the rejection samples — its schedule is fixed).
+        let groups = candidate_groups(&ws, &mut rng, &shingle_params, &exec);
+        let seeded: Vec<(Vec<crate::summary::SuperId>, u64)> = groups
+            .into_iter()
+            .map(|grp| (grp, rng.next_u64()))
+            .collect();
+        let outcomes = exec.map_indexed(&seeded, |_, (group, seed)| {
+            evaluate_group(&ws, group, theta, *seed, false)
+        });
+        for outcome in &outcomes {
+            for &(a, b) in &outcome.merges {
+                ws.merge(a, b, &mut scratch);
+            }
         }
-        sink.clear();
         stats.merges += before - ws.num_supernodes();
         stats.final_theta = theta;
         stats.iterations = t;
@@ -96,7 +103,7 @@ pub fn ssumm_summarize_with_stats(
 
     if ws.size_bits() > budget_bits {
         stats.sparsified = true;
-        sparsify(&mut ws, budget_bits);
+        sparsify(&mut ws, budget_bits, &exec);
     }
     (ws.into_summary(), stats)
 }
@@ -144,7 +151,8 @@ mod tests {
     #[test]
     fn merges_happen_under_pressure() {
         let g = barabasi_albert(400, 3, 3);
-        let (_, stats) = ssumm_summarize_with_stats(&g, 0.2 * g.size_bits(), &SsummConfig::default());
+        let (_, stats) =
+            ssumm_summarize_with_stats(&g, 0.2 * g.size_bits(), &SsummConfig::default());
         assert!(stats.merges > 0, "SSumM should merge under a tight budget");
     }
 }

@@ -58,10 +58,18 @@ impl Summary {
     /// Panics if `assignment.len() != num_nodes`, a superedge endpoint is
     /// out of range, or a weight is not finite/positive.
     pub fn new(num_nodes: usize, assignment: Vec<u32>, superedges: &[(u32, u32, f32)]) -> Self {
-        assert_eq!(assignment.len(), num_nodes, "assignment must cover all nodes");
+        assert_eq!(
+            assignment.len(),
+            num_nodes,
+            "assignment must cover all nodes"
+        );
         // Compact labels to dense 0..|S| in first-appearance order.
         let mut remap: Vec<u32> = Vec::new();
-        let max_label = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let max_label = assignment
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
         let mut seen: Vec<u32> = vec![u32::MAX; max_label];
         let mut node_super = Vec::with_capacity(num_nodes);
         for &label in &assignment {
@@ -106,7 +114,10 @@ impl Summary {
         let mut pairs: Vec<(u32, u32, f32)> = superedges
             .iter()
             .map(|&(a, b, w)| {
-                assert!(w.is_finite() && w > 0.0, "superedge weight must be positive");
+                assert!(
+                    w.is_finite() && w > 0.0,
+                    "superedge weight must be positive"
+                );
                 let (a, b) = (lookup(a), lookup(b));
                 (a.min(b), a.max(b), w)
             })
@@ -298,8 +309,7 @@ impl Summary {
     pub fn identity(g: &Graph) -> Self {
         let n = g.num_nodes();
         let assignment: Vec<u32> = (0..n as u32).collect();
-        let superedges: Vec<(u32, u32, f32)> =
-            g.edges().map(|(u, v)| (u, v, 1.0)).collect();
+        let superedges: Vec<(u32, u32, f32)> = g.edges().map(|(u, v)| (u, v, 1.0)).collect();
         Summary::new(n, assignment, &superedges)
     }
 
@@ -415,7 +425,11 @@ mod tests {
     #[test]
     fn reconstructed_degree_matches_reconstruction() {
         let g = fig3a_graph();
-        let s = Summary::new(5, vec![0, 0, 1, 1, 2], &[(0, 1, 1.0), (1, 2, 1.0), (0, 0, 1.0)]);
+        let s = Summary::new(
+            5,
+            vec![0, 0, 1, 1, 2],
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 0, 1.0)],
+        );
         let recon = s.reconstruct();
         for u in g.nodes() {
             assert_eq!(
@@ -428,7 +442,11 @@ mod tests {
 
     #[test]
     fn superedges_iterator_unique() {
-        let s = Summary::new(4, vec![0, 1, 2, 3], &[(0, 1, 1.0), (1, 2, 1.0), (3, 3, 1.0)]);
+        let s = Summary::new(
+            4,
+            vec![0, 1, 2, 3],
+            &[(0, 1, 1.0), (1, 2, 1.0), (3, 3, 1.0)],
+        );
         let edges: Vec<_> = s.superedges().collect();
         assert_eq!(edges.len(), 3);
         assert!(edges.contains(&(3, 3, 1.0)));

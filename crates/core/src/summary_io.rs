@@ -126,13 +126,11 @@ pub fn read_summary_from<R: BufRead>(r: R) -> Result<Summary, SummaryIoError> {
                     .ok_or_else(|| SummaryIoError::Format(format!("bad edge line: {trimmed}")))?;
                 superedges.push((a, b, w));
             }
-            Some(other) => {
-                return Err(SummaryIoError::Format(format!("unknown record: {other}")))
-            }
+            Some(other) => return Err(SummaryIoError::Format(format!("unknown record: {other}"))),
             None => continue,
         }
     }
-    if assignment.iter().any(|&s| s == u32::MAX) {
+    if assignment.contains(&u32::MAX) {
         return Err(SummaryIoError::Format("missing node assignments".into()));
     }
     let summary = Summary::new(num_nodes, assignment, &superedges);

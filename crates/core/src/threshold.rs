@@ -43,6 +43,15 @@ impl AdaptiveThreshold {
         &mut self.rejected
     }
 
+    /// Folds one worker's rejection samples into `L` (commit phase of the
+    /// parallel engine). Call in deterministic group order: the selection
+    /// in [`Self::end_iteration`] is order-insensitive, but keeping the
+    /// whole pipeline order-stable makes replay debugging exact.
+    #[inline]
+    pub fn fold_rejections(&mut self, samples: &[f64]) {
+        self.rejected.extend_from_slice(samples);
+    }
+
     /// Number of rejections recorded this iteration.
     #[inline]
     pub fn rejection_count(&self) -> usize {

@@ -94,7 +94,10 @@ impl NodeWeights {
         let sum: f64 = raw.iter().sum();
         let sum_sq: f64 = raw.iter().map(|w| w * w).sum();
         let z = (sum * sum - sum_sq) / (n as f64 * (n as f64 - 1.0));
-        assert!(z > 0.0, "degenerate weight normalization (all weights zero?)");
+        assert!(
+            z > 0.0,
+            "degenerate weight normalization (all weights zero?)"
+        );
         let inv_sqrt_z = 1.0 / z.sqrt();
         NodeWeights {
             w: raw.into_iter().map(|w| w * inv_sqrt_z).collect(),

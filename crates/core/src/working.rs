@@ -1,10 +1,27 @@
 //! The mutable summary state evolved by the greedy search (Alg. 1–2),
 //! including the Lemma-1 `O(deg)` merge-cost evaluation and the
 //! merging-with-selective-superedge-addition step of Sect. III-D.
+//!
+//! # Evaluate/commit split (DESIGN.md §2)
+//!
+//! The API is split into two halves so candidate groups can be processed
+//! in parallel:
+//!
+//! * **Evaluate** — read-only. [`eval_merge_view`] prices a merge against
+//!   any [`SummaryView`]; [`evaluate_group`] runs the whole Alg.-2
+//!   sampling loop for one candidate group against a *frozen*
+//!   [`WorkingSummary`] plus a group-local overlay ([`GroupView`]),
+//!   returning a [`GroupOutcome`] merge log instead of mutating shared
+//!   state. Groups are disjoint supernode sets, so overlays never
+//!   conflict and workers share the summary immutably.
+//! * **Commit** — serial. [`WorkingSummary::merge`] applies one logged
+//!   merge to the shared summary; the driver replays each group's log in
+//!   deterministic group order (Alg. 2's superedge re-addition then runs
+//!   against the true global state).
 
 use pgs_graph::{FxHashMap, FxHashSet, Graph, NodeId};
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{Rng, SeedableRng};
 
 use crate::cost::{best_pair_cost, pair_cost, CostModel, CostParams};
 use crate::summary::{Summary, SuperId};
@@ -38,6 +55,168 @@ pub struct DeltaEval {
     /// Relative cost reduction `ΔCost / (Cost_A + Cost_B − Cost_AB)`
     /// (Eq. 11); 0 when the denominator vanishes.
     pub relative: f64,
+}
+
+/// Read access to summary state sufficient to price a merge (Lemma 1).
+///
+/// Implemented by [`WorkingSummary`] (the live shared state) and by
+/// [`GroupView`] (a frozen snapshot plus a group-local overlay, used by
+/// the parallel evaluate phase). Everything [`eval_merge_view`] needs
+/// goes through this trait, so evaluation is physically unable to mutate
+/// shared state.
+pub trait SummaryView {
+    /// The input graph.
+    fn graph_ref(&self) -> &Graph;
+    /// The node weights in force.
+    fn weights_ref(&self) -> &NodeWeights;
+    /// Cost parameters (log2|V|, encoding model).
+    fn cost_params(&self) -> &CostParams;
+    /// Number of live supernodes in this view.
+    fn live_count(&self) -> usize;
+    /// Member nodes of a live supernode.
+    fn members_of(&self, s: SuperId) -> &[NodeId];
+    /// `Σ ŵ_u` over the members of `s`.
+    fn wsum_of(&self, s: SuperId) -> f64;
+    /// `Σ ŵ_u²` over the members of `s`.
+    fn sqsum_of(&self, s: SuperId) -> f64;
+    /// Supernode currently containing node `u`.
+    fn super_of(&self, u: NodeId) -> SuperId;
+    /// True if the superedge `{a, b}` exists in this view.
+    fn has_superedge_in(&self, a: SuperId, b: SuperId) -> bool;
+
+    /// `log2` of the live supernode count (0 when ≤ 1 remain).
+    #[inline]
+    fn view_log_s(&self) -> f64 {
+        let live = self.live_count();
+        if live <= 1 {
+            0.0
+        } else {
+            (live as f64).log2()
+        }
+    }
+}
+
+/// Total pair weight between distinct supernodes: `ŵ_A · ŵ_B`.
+#[inline]
+fn tot_between_view<V: SummaryView + ?Sized>(v: &V, a: SuperId, b: SuperId) -> f64 {
+    v.wsum_of(a) * v.wsum_of(b)
+}
+
+/// Total pair weight inside a supernode: `(ŵ_A² − Σŵ_u²)/2`.
+#[inline]
+fn tot_within_view<V: SummaryView + ?Sized>(v: &V, a: SuperId) -> f64 {
+    let w = v.wsum_of(a);
+    ((w * w - v.sqsum_of(a)) / 2.0).max(0.0)
+}
+
+/// The Lemma-1 `O(Σ |N_u|)` scan: accumulates, per neighbor supernode
+/// `X`, the summed personalized edge weight between `s` and `X` into
+/// `out`. Intra-supernode edges accumulate twice their weight (visited
+/// from both endpoints); divide by two before using as `e_ss`.
+fn accumulate_edge_weights_view<V: SummaryView + ?Sized>(
+    v: &V,
+    s: SuperId,
+    out: &mut FxHashMap<SuperId, f64>,
+) {
+    let g = v.graph_ref();
+    let w = v.weights_ref();
+    for &u in v.members_of(s) {
+        let wu = w.node(u);
+        for &nb in g.neighbors(u) {
+            let sv = v.super_of(nb);
+            *out.entry(sv).or_insert(0.0) += wu * w.node(nb);
+        }
+    }
+}
+
+/// `Cost_A(G) = Σ_B Cost_AB(G)` (Eq. 9) from an edge-weight map produced
+/// by [`accumulate_edge_weights_view`].
+fn supernode_cost_from_map_view<V: SummaryView + ?Sized>(
+    v: &V,
+    a: SuperId,
+    map: &FxHashMap<SuperId, f64>,
+) -> f64 {
+    let log_s = v.view_log_s();
+    let mut cost = 0.0;
+    for (&x, &e_raw) in map {
+        let (tot, e) = if x == a {
+            (tot_within_view(v, a), e_raw / 2.0)
+        } else {
+            (tot_between_view(v, a, x), e_raw)
+        };
+        cost += pair_cost(v.has_superedge_in(a, x), tot, e, log_s, v.cost_params());
+    }
+    cost
+}
+
+/// Evaluates the merge of live supernodes `a != b` (Eq. 10–11) against
+/// any [`SummaryView`], without mutating anything. `O(Σ_{u∈A∪B} |N_u|)`
+/// per Lemma 1. This is the read-only half of the evaluate/commit split.
+pub fn eval_merge_view<V: SummaryView + ?Sized>(
+    v: &V,
+    a: SuperId,
+    b: SuperId,
+    scratch: &mut Scratch,
+) -> DeltaEval {
+    debug_assert!(a != b);
+    scratch.map_a.clear();
+    scratch.map_b.clear();
+    accumulate_edge_weights_view(v, a, &mut scratch.map_a);
+    accumulate_edge_weights_view(v, b, &mut scratch.map_b);
+
+    let cost_a = supernode_cost_from_map_view(v, a, &scratch.map_a);
+    let cost_b = supernode_cost_from_map_view(v, b, &scratch.map_b);
+    let e_ab = scratch.map_a.get(&b).copied().unwrap_or(0.0);
+    let cost_ab = pair_cost(
+        v.has_superedge_in(a, b),
+        tot_between_view(v, a, b),
+        e_ab,
+        v.view_log_s(),
+        v.cost_params(),
+    );
+    let denom = cost_a + cost_b - cost_ab;
+
+    // Cost of the merged supernode C = A ∪ B with optimal re-encoding of
+    // its incident pairs, priced at |S| − 1 supernodes.
+    let live = v.live_count();
+    let log_s_after = if live <= 2 {
+        0.0
+    } else {
+        ((live - 1) as f64).log2()
+    };
+    let wc = v.wsum_of(a) + v.wsum_of(b);
+    let sqc = v.sqsum_of(a) + v.sqsum_of(b);
+    let tot_cc = ((wc * wc - sqc) / 2.0).max(0.0);
+    let e_cc = scratch.map_a.get(&a).copied().unwrap_or(0.0) / 2.0
+        + scratch.map_b.get(&b).copied().unwrap_or(0.0) / 2.0
+        + e_ab;
+    let mut cost_c = best_pair_cost(tot_cc, e_cc, log_s_after, v.cost_params()).0;
+
+    let mut add_external = |x: SuperId, e: f64| {
+        let tot = wc * v.wsum_of(x);
+        cost_c += best_pair_cost(tot, e, log_s_after, v.cost_params()).0;
+    };
+    for (&x, &e) in &scratch.map_a {
+        if x == a || x == b {
+            continue;
+        }
+        let e_total = e + scratch.map_b.get(&x).copied().unwrap_or(0.0);
+        add_external(x, e_total);
+    }
+    for (&x, &e) in &scratch.map_b {
+        if x == a || x == b || scratch.map_a.contains_key(&x) {
+            continue;
+        }
+        add_external(x, e);
+    }
+
+    let delta = denom - cost_c;
+    let relative = if denom > f64::EPSILON {
+        delta / denom
+    } else {
+        0.0
+    };
+    DeltaEval { delta, relative }
 }
 
 /// The summary graph under construction: supernode partition, superedge
@@ -79,8 +258,7 @@ impl<'a> WorkingSummary<'a> {
             .collect();
         let mut adj: Vec<FxHashSet<SuperId>> = Vec::with_capacity(n);
         for u in 0..n as NodeId {
-            let mut set =
-                FxHashSet::with_capacity_and_hasher(g.degree(u), Default::default());
+            let mut set = FxHashSet::with_capacity_and_hasher(g.degree(u), Default::default());
             set.extend(g.neighbors(u).iter().map(|&v| v as SuperId));
             adj.push(set);
         }
@@ -161,7 +339,10 @@ impl<'a> WorkingSummary<'a> {
     /// # Panics
     /// Panics if `s` is dead.
     pub fn members(&self, s: SuperId) -> &[NodeId] {
-        &self.supers[s as usize].as_ref().expect("dead supernode").members
+        &self.supers[s as usize]
+            .as_ref()
+            .expect("dead supernode")
+            .members
     }
 
     /// Supernode currently containing node `u`.
@@ -181,122 +362,18 @@ impl<'a> WorkingSummary<'a> {
         self.adj[s as usize].iter().copied()
     }
 
-    /// Total pair weight between distinct supernodes `a != b`:
-    /// `Σ_{u∈A, v∈B} W_uv = ŵ_A · ŵ_B`.
+    /// Superedge adjacency set of `s` (self-loop stored as `s` itself).
     #[inline]
-    fn tot_between(&self, a: SuperId, b: SuperId) -> f64 {
-        let da = self.supers[a as usize].as_ref().unwrap();
-        let db = self.supers[b as usize].as_ref().unwrap();
-        da.wsum * db.wsum
-    }
-
-    /// Total pair weight inside a supernode: `Σ_{u<v∈A} W_uv
-    /// = (ŵ_A² − Σŵ_u²)/2`.
-    #[inline]
-    fn tot_within(&self, a: SuperId) -> f64 {
-        let da = self.supers[a as usize].as_ref().unwrap();
-        ((da.wsum * da.wsum - da.sqsum) / 2.0).max(0.0)
-    }
-
-    /// Scans the input edges incident to the members of `s` and
-    /// accumulates, per neighbor supernode `X`, the summed personalized
-    /// edge weight `Σ_{ {u,v}∈E, u∈S, v∈X } W_uv` into `out`.
-    ///
-    /// Note: intra-supernode edges (`X == s`) are visited from both
-    /// endpoints and therefore accumulate *twice* their weight; divide by
-    /// two before using as `e_ss`. This is the Lemma-1 `O(Σ |N_u|)` scan.
-    fn accumulate_edge_weights(&self, s: SuperId, out: &mut FxHashMap<SuperId, f64>) {
-        for &u in &self.supers[s as usize].as_ref().unwrap().members {
-            let wu = self.w.node(u);
-            for &v in self.g.neighbors(u) {
-                let sv = self.node_super[v as usize];
-                *out.entry(sv).or_insert(0.0) += wu * self.w.node(v);
-            }
-        }
-    }
-
-    /// `Cost_A(G) = Σ_B Cost_AB(G)` (Eq. 9) from an edge-weight map
-    /// produced by [`Self::accumulate_edge_weights`].
-    ///
-    /// Only supernodes connected to `A` by at least one input edge can
-    /// contribute: superedges are only ever created where actual edges
-    /// exist (initialization and selective addition both guarantee this),
-    /// so every nonzero `Cost_AB` term has a key in the map.
-    fn supernode_cost_from_map(&self, a: SuperId, map: &FxHashMap<SuperId, f64>) -> f64 {
-        let log_s = self.log_s();
-        let mut cost = 0.0;
-        for (&x, &e_raw) in map {
-            let (tot, e) = if x == a {
-                (self.tot_within(a), e_raw / 2.0)
-            } else {
-                (self.tot_between(a, x), e_raw)
-            };
-            cost += pair_cost(self.has_superedge(a, x), tot, e, log_s, &self.params);
-        }
-        cost
+    pub(crate) fn adj_set(&self, s: SuperId) -> &FxHashSet<SuperId> {
+        &self.adj[s as usize]
     }
 
     /// Evaluates the merge of live supernodes `a != b` (Eq. 10–11) without
-    /// mutating anything. `O(Σ_{u∈A∪B} |N_u|)` per Lemma 1.
+    /// mutating anything. `O(Σ_{u∈A∪B} |N_u|)` per Lemma 1. Delegates to
+    /// [`eval_merge_view`], the generic read-only evaluate half.
     pub fn eval_merge(&self, a: SuperId, b: SuperId, scratch: &mut Scratch) -> DeltaEval {
         debug_assert!(a != b && self.is_live(a) && self.is_live(b));
-        scratch.map_a.clear();
-        scratch.map_b.clear();
-        self.accumulate_edge_weights(a, &mut scratch.map_a);
-        self.accumulate_edge_weights(b, &mut scratch.map_b);
-
-        let cost_a = self.supernode_cost_from_map(a, &scratch.map_a);
-        let cost_b = self.supernode_cost_from_map(b, &scratch.map_b);
-        let e_ab = scratch.map_a.get(&b).copied().unwrap_or(0.0);
-        let cost_ab = pair_cost(
-            self.has_superedge(a, b),
-            self.tot_between(a, b),
-            e_ab,
-            self.log_s(),
-            &self.params,
-        );
-        let denom = cost_a + cost_b - cost_ab;
-
-        // Cost of the merged supernode C = A ∪ B with optimal re-encoding
-        // of its incident pairs, priced at |S| − 1 supernodes.
-        let log_s_after = if self.live <= 2 {
-            0.0
-        } else {
-            ((self.live - 1) as f64).log2()
-        };
-        let da = self.supers[a as usize].as_ref().unwrap();
-        let db = self.supers[b as usize].as_ref().unwrap();
-        let wc = da.wsum + db.wsum;
-        let sqc = da.sqsum + db.sqsum;
-        let tot_cc = ((wc * wc - sqc) / 2.0).max(0.0);
-        let e_cc =
-            scratch.map_a.get(&a).copied().unwrap_or(0.0) / 2.0
-                + scratch.map_b.get(&b).copied().unwrap_or(0.0) / 2.0
-                + e_ab;
-        let mut cost_c = best_pair_cost(tot_cc, e_cc, log_s_after, &self.params).0;
-
-        let mut add_external = |x: SuperId, e: f64| {
-            let dx = self.supers[x as usize].as_ref().unwrap();
-            let tot = wc * dx.wsum;
-            cost_c += best_pair_cost(tot, e, log_s_after, &self.params).0;
-        };
-        for (&x, &e) in &scratch.map_a {
-            if x == a || x == b {
-                continue;
-            }
-            let e_total = e + scratch.map_b.get(&x).copied().unwrap_or(0.0);
-            add_external(x, e_total);
-        }
-        for (&x, &e) in &scratch.map_b {
-            if x == a || x == b || scratch.map_a.contains_key(&x) {
-                continue;
-            }
-            add_external(x, e);
-        }
-
-        let delta = denom - cost_c;
-        let relative = if denom > f64::EPSILON { delta / denom } else { 0.0 };
-        DeltaEval { delta, relative }
+        eval_merge_view(self, a, b, scratch)
     }
 
     /// Merges supernodes `a` and `b` (Alg. 2 lines 6–9): removes all
@@ -306,7 +383,10 @@ impl<'a> WorkingSummary<'a> {
     /// that `Cost_{A∪B}` (Eq. 9) is minimized. Returns the id of the
     /// merged supernode (the survivor's id is reused).
     pub fn merge(&mut self, a: SuperId, b: SuperId, scratch: &mut Scratch) -> SuperId {
-        assert!(a != b && self.is_live(a) && self.is_live(b), "merge needs two live supernodes");
+        assert!(
+            a != b && self.is_live(a) && self.is_live(b),
+            "merge needs two live supernodes"
+        );
         // Weighted union: keep the larger side's id.
         let size_a = self.supers[a as usize].as_ref().unwrap().members.len();
         let size_b = self.supers[b as usize].as_ref().unwrap().members.len();
@@ -344,14 +424,14 @@ impl<'a> WorkingSummary<'a> {
         // supernode's incident input edges and keep exactly the
         // cost-reducing superedges.
         scratch.map_a.clear();
-        self.accumulate_edge_weights(keep, &mut scratch.map_a);
+        accumulate_edge_weights_view(self, keep, &mut scratch.map_a);
         let log_s = self.log_s();
         let mut added = 0usize;
         for (&x, &e_raw) in &scratch.map_a {
             let (tot, e) = if x == keep {
-                (self.tot_within(keep), e_raw / 2.0)
+                (tot_within_view(self, keep), e_raw / 2.0)
             } else {
-                (self.tot_between(keep, x), e_raw)
+                (tot_between_view(self, keep, x), e_raw)
             };
             let (_, add) = best_pair_cost(tot, e, log_s, &self.params);
             if add {
@@ -385,9 +465,9 @@ impl<'a> WorkingSummary<'a> {
     /// the Eq. (6) pair cost. Exposed for sparsification and tests.
     pub fn pair_tot(&self, a: SuperId, b: SuperId) -> f64 {
         if a == b {
-            self.tot_within(a)
+            tot_within_view(self, a)
         } else {
-            self.tot_between(a, b)
+            tot_between_view(self, a, b)
         }
     }
 
@@ -408,29 +488,291 @@ impl<'a> WorkingSummary<'a> {
     }
 }
 
-/// One round of greedy merging within a candidate group (Alg. 2).
+impl SummaryView for WorkingSummary<'_> {
+    #[inline]
+    fn graph_ref(&self) -> &Graph {
+        self.g
+    }
+
+    #[inline]
+    fn weights_ref(&self) -> &NodeWeights {
+        self.w
+    }
+
+    #[inline]
+    fn cost_params(&self) -> &CostParams {
+        &self.params
+    }
+
+    #[inline]
+    fn live_count(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    fn members_of(&self, s: SuperId) -> &[NodeId] {
+        self.members(s)
+    }
+
+    #[inline]
+    fn wsum_of(&self, s: SuperId) -> f64 {
+        self.supers[s as usize]
+            .as_ref()
+            .expect("dead supernode")
+            .wsum
+    }
+
+    #[inline]
+    fn sqsum_of(&self, s: SuperId) -> f64 {
+        self.supers[s as usize]
+            .as_ref()
+            .expect("dead supernode")
+            .sqsum
+    }
+
+    #[inline]
+    fn super_of(&self, u: NodeId) -> SuperId {
+        self.node_super[u as usize]
+    }
+
+    #[inline]
+    fn has_superedge_in(&self, a: SuperId, b: SuperId) -> bool {
+        self.adj[a as usize].contains(&b)
+    }
+}
+
+/// A frozen [`WorkingSummary`] plus a group-local overlay: the parallel
+/// evaluate phase's view of the summary.
 ///
-/// Repeatedly samples `|C_i|` supernode pairs from the group, merges the
-/// pair with the largest relative (or absolute, for the Eq.-10 ablation)
-/// cost reduction when it clears `theta`, and otherwise records the best
-/// reduction in `rejected` (the list `L` of Sect. III-E). Stops when one
-/// supernode remains or after `log2|C_i|` consecutive failures.
-pub fn merge_within_group(
-    ws: &mut WorkingSummary<'_>,
-    group: &mut Vec<SuperId>,
+/// Merges simulated through [`GroupView::merge_local`] touch only the
+/// overlay; the underlying summary is shared immutably between all
+/// workers of an iteration. Supernodes outside the owning group are seen
+/// at their iteration-start state — the same staleness the paper's
+/// distributed variant accepts within a round — and `log2|S|` is priced
+/// against the snapshot live count minus this group's own merges (each
+/// group prices as if it alone were shrinking the summary; see
+/// DESIGN.md §2).
+pub struct GroupView<'w, 'a> {
+    ws: &'w WorkingSummary<'a>,
+    /// Locally-merged survivors (members/weight aggregates diverge from
+    /// the snapshot).
+    local: FxHashMap<SuperId, SuperData>,
+    /// Supernodes merged away locally.
+    dead: FxHashSet<SuperId>,
+    /// Node → supernode for members of locally-dead supernodes.
+    remap: FxHashMap<NodeId, SuperId>,
+    /// Copy-on-write superedge adjacency overlay.
+    adj_local: FxHashMap<SuperId, FxHashSet<SuperId>>,
+    /// Local merge count (prices `log2|S|` within this view).
+    merged: usize,
+}
+
+impl<'w, 'a> GroupView<'w, 'a> {
+    /// A fresh overlay over the frozen summary.
+    pub fn new(ws: &'w WorkingSummary<'a>) -> Self {
+        GroupView {
+            ws,
+            local: FxHashMap::default(),
+            dead: FxHashSet::default(),
+            remap: FxHashMap::default(),
+            adj_local: FxHashMap::default(),
+            merged: 0,
+        }
+    }
+
+    /// Adjacency of `s` as this view sees it.
+    #[inline]
+    fn adjacency(&self, s: SuperId) -> &FxHashSet<SuperId> {
+        self.adj_local.get(&s).unwrap_or_else(|| self.ws.adj_set(s))
+    }
+
+    /// Mutable adjacency of `s`, cloned from the snapshot on first touch.
+    fn adjacency_mut(&mut self, s: SuperId) -> &mut FxHashSet<SuperId> {
+        let ws = self.ws;
+        self.adj_local
+            .entry(s)
+            .or_insert_with(|| ws.adj_set(s).clone())
+    }
+
+    /// Simulates the merge of `a` and `b` in the overlay, mirroring
+    /// [`WorkingSummary::merge`] (drop incident superedges, union member
+    /// sets keeping the larger side's id, selectively re-add
+    /// cost-reducing superedges). Returns the surviving id.
+    ///
+    /// Replaying the same `(a, b)` sequence through
+    /// [`WorkingSummary::merge`] performs the identical unions: the
+    /// keep/dead choice depends only on member counts, which evolve the
+    /// same way in both (the overlay starts from the snapshot and other
+    /// groups never touch this group's supernodes).
+    pub fn merge_local(&mut self, a: SuperId, b: SuperId, scratch: &mut Scratch) -> SuperId {
+        debug_assert!(a != b && !self.dead.contains(&a) && !self.dead.contains(&b));
+        let size_a = self.members_of(a).len();
+        let size_b = self.members_of(b).len();
+        let (keep, dead) = if size_a >= size_b { (a, b) } else { (b, a) };
+
+        // Drop all superedges incident to either endpoint.
+        for s in [keep, dead] {
+            let incident = std::mem::take(self.adjacency_mut(s));
+            for x in incident {
+                if x != s {
+                    self.adjacency_mut(x).remove(&s);
+                }
+            }
+        }
+
+        // Union member sets and weight aggregates into the overlay.
+        let dead_data = match self.local.remove(&dead) {
+            Some(d) => d,
+            None => SuperData {
+                members: self.ws.members(dead).to_vec(),
+                wsum: self.ws.wsum_of(dead),
+                sqsum: self.ws.sqsum_of(dead),
+            },
+        };
+        let ws = self.ws;
+        let keep_data = self.local.entry(keep).or_insert_with(|| SuperData {
+            members: ws.members(keep).to_vec(),
+            wsum: ws.wsum_of(keep),
+            sqsum: ws.sqsum_of(keep),
+        });
+        keep_data.members.extend_from_slice(&dead_data.members);
+        keep_data.wsum += dead_data.wsum;
+        keep_data.sqsum += dead_data.sqsum;
+        for &u in &dead_data.members {
+            self.remap.insert(u, keep);
+        }
+        self.dead.insert(dead);
+        self.merged += 1;
+
+        // Selective superedge re-addition against the overlay.
+        scratch.map_a.clear();
+        accumulate_edge_weights_view(self, keep, &mut scratch.map_a);
+        let log_s = self.view_log_s();
+        let mut to_add: Vec<SuperId> = Vec::new();
+        for (&x, &e_raw) in &scratch.map_a {
+            let (tot, e) = if x == keep {
+                (tot_within_view(self, keep), e_raw / 2.0)
+            } else {
+                (tot_between_view(self, keep, x), e_raw)
+            };
+            if best_pair_cost(tot, e, log_s, self.cost_params()).1 {
+                to_add.push(x);
+            }
+        }
+        for x in to_add {
+            self.adjacency_mut(keep).insert(x);
+            if x != keep {
+                self.adjacency_mut(x).insert(keep);
+            }
+        }
+        keep
+    }
+}
+
+impl SummaryView for GroupView<'_, '_> {
+    #[inline]
+    fn graph_ref(&self) -> &Graph {
+        self.ws.graph_ref()
+    }
+
+    #[inline]
+    fn weights_ref(&self) -> &NodeWeights {
+        self.ws.weights_ref()
+    }
+
+    #[inline]
+    fn cost_params(&self) -> &CostParams {
+        self.ws.cost_params()
+    }
+
+    #[inline]
+    fn live_count(&self) -> usize {
+        self.ws.live_count() - self.merged
+    }
+
+    #[inline]
+    fn members_of(&self, s: SuperId) -> &[NodeId] {
+        debug_assert!(!self.dead.contains(&s), "locally-dead supernode queried");
+        match self.local.get(&s) {
+            Some(d) => &d.members,
+            None => self.ws.members(s),
+        }
+    }
+
+    #[inline]
+    fn wsum_of(&self, s: SuperId) -> f64 {
+        match self.local.get(&s) {
+            Some(d) => d.wsum,
+            None => self.ws.wsum_of(s),
+        }
+    }
+
+    #[inline]
+    fn sqsum_of(&self, s: SuperId) -> f64 {
+        match self.local.get(&s) {
+            Some(d) => d.sqsum,
+            None => self.ws.sqsum_of(s),
+        }
+    }
+
+    #[inline]
+    fn super_of(&self, u: NodeId) -> SuperId {
+        match self.remap.get(&u) {
+            Some(&s) => s,
+            None => self.ws.super_of(u),
+        }
+    }
+
+    #[inline]
+    fn has_superedge_in(&self, a: SuperId, b: SuperId) -> bool {
+        self.adjacency(a).contains(&b)
+    }
+}
+
+/// The merge log and rejection samples one candidate group produced
+/// during the parallel evaluate phase.
+#[derive(Clone, Debug, Default)]
+pub struct GroupOutcome {
+    /// Accepted merges in simulation order; replay through
+    /// [`WorkingSummary::merge`] in this order to commit.
+    pub merges: Vec<(SuperId, SuperId)>,
+    /// Best-of-attempt reductions that failed the threshold (the group's
+    /// contribution to the list `L` of Sect. III-E).
+    pub rejected: Vec<f64>,
+}
+
+/// The read-only half of one group's Alg.-2 round: repeatedly samples
+/// `|C_i|` supernode pairs, picks the best relative (or absolute, for
+/// the Eq.-10 ablation) cost reduction, and accepts it when it clears
+/// `theta` — all against a frozen summary plus a [`GroupView`] overlay,
+/// logging decisions instead of mutating shared state. Stops when one
+/// supernode remains or after `log2|C_i|` consecutive failures. (See
+/// [`merge_group`] for the serial evaluate-then-commit convenience
+/// form.)
+///
+/// All randomness comes from `seed` (drawn serially by the driver), so
+/// the outcome is a pure function of `(ws, group, theta, seed)` — workers
+/// can evaluate any number of groups concurrently, in any order, and the
+/// committed result stays identical.
+pub fn evaluate_group(
+    ws: &WorkingSummary<'_>,
+    group: &[SuperId],
     theta: f64,
-    rejected: &mut Vec<f64>,
-    rng: &mut StdRng,
-    scratch: &mut Scratch,
+    seed: u64,
     use_absolute_cost: bool,
-) {
+) -> GroupOutcome {
+    let mut view = GroupView::new(ws);
+    let mut group: Vec<SuperId> = group.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = Scratch::default();
+    let mut outcome = GroupOutcome::default();
+
     let mut fails = 0usize;
     while group.len() > 1 {
         let max_fails = (group.len() as f64).log2().ceil() as usize;
         if fails > max_fails {
             break;
         }
-        // Sample |C_i| pairs and keep the best (Alg. 2 lines 3–4).
         let samples = group.len();
         let mut best: Option<(SuperId, SuperId, DeltaEval)> = None;
         for _ in 0..samples {
@@ -440,8 +782,12 @@ pub fn merge_within_group(
                 continue;
             }
             let (a, b) = (group[i], group[j]);
-            let eval = ws.eval_merge(a, b, scratch);
-            let key = if use_absolute_cost { eval.delta } else { eval.relative };
+            let eval = eval_merge_view(&view, a, b, &mut scratch);
+            let key = if use_absolute_cost {
+                eval.delta
+            } else {
+                eval.relative
+            };
             let best_key = best.map(|(_, _, e)| {
                 if use_absolute_cost {
                     e.delta
@@ -457,18 +803,43 @@ pub fn merge_within_group(
             fails += 1;
             continue;
         };
-        let score = if use_absolute_cost { eval.delta } else { eval.relative };
+        let score = if use_absolute_cost {
+            eval.delta
+        } else {
+            eval.relative
+        };
         if score >= theta {
-            let kept = ws.merge(a, b, scratch);
+            let kept = view.merge_local(a, b, &mut scratch);
+            outcome.merges.push((a, b));
             let dead = if kept == a { b } else { a };
             group.retain(|&s| s != dead);
             debug_assert!(group.contains(&kept));
             fails = 0;
         } else {
-            rejected.push(score);
+            outcome.rejected.push(score);
             fails += 1;
         }
     }
+    outcome
+}
+
+/// Evaluates one group and immediately commits its merge log — the
+/// serial convenience form of the evaluate/commit pair (one Alg.-2
+/// round). Returns the outcome so callers can inspect the rejection
+/// samples.
+pub fn merge_group(
+    ws: &mut WorkingSummary<'_>,
+    group: &[SuperId],
+    theta: f64,
+    seed: u64,
+    use_absolute_cost: bool,
+    scratch: &mut Scratch,
+) -> GroupOutcome {
+    let outcome = evaluate_group(ws, group, theta, seed, use_absolute_cost);
+    for &(a, b) in &outcome.merges {
+        ws.merge(a, b, scratch);
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -479,7 +850,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn uniform_ws(g: &Graph) -> (NodeWeights, CostModel) {
-        (NodeWeights::uniform(g.num_nodes()), CostModel::ErrorCorrection)
+        (
+            NodeWeights::uniform(g.num_nodes()),
+            CostModel::ErrorCorrection,
+        )
     }
 
     /// Brute-force total personalized cost (Eq. 5 without the constant
@@ -551,7 +925,10 @@ mod tests {
         let mut ws = WorkingSummary::new(&g, &w, m);
         let mut scratch = Scratch::default();
         let c = ws.merge(0, 1, &mut scratch);
-        assert!(ws.has_superedge(c, c), "intra edge should become a self-loop");
+        assert!(
+            ws.has_superedge(c, c),
+            "intra edge should become a self-loop"
+        );
         assert!(ws.has_superedge(c, 2));
     }
 
@@ -673,49 +1050,58 @@ mod tests {
     }
 
     #[test]
-    fn merge_within_group_reduces_supernodes_at_zero_threshold() {
+    fn merge_group_reduces_supernodes_at_zero_threshold() {
         let g = barabasi_albert(80, 3, 4);
         let w = NodeWeights::uniform(g.num_nodes());
         let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
-        let mut rng = StdRng::seed_from_u64(0);
         let mut scratch = Scratch::default();
-        let mut rejected = Vec::new();
-        let mut group: Vec<SuperId> = (0..40).collect();
-        merge_within_group(
-            &mut ws,
-            &mut group,
-            -f64::INFINITY,
-            &mut rejected,
-            &mut rng,
-            &mut scratch,
-            false,
-        );
+        let group: Vec<SuperId> = (0..40).collect();
+        let outcome = merge_group(&mut ws, &group, -f64::INFINITY, 0, false, &mut scratch);
         // With threshold -inf every attempt merges: group collapses to one.
-        assert_eq!(group.len(), 1);
+        assert_eq!(outcome.merges.len(), 39);
         assert_eq!(ws.num_supernodes(), 80 - 39);
+        assert!(outcome.rejected.is_empty());
     }
 
     #[test]
-    fn merge_within_group_respects_high_threshold() {
+    fn merge_group_respects_high_threshold() {
         let g = barabasi_albert(80, 3, 4);
         let w = NodeWeights::uniform(g.num_nodes());
         let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
-        let mut rng = StdRng::seed_from_u64(0);
         let mut scratch = Scratch::default();
-        let mut rejected = Vec::new();
-        let mut group: Vec<SuperId> = (0..40).collect();
-        merge_within_group(
-            &mut ws,
-            &mut group,
-            2.0, // relative reduction can never reach 2.0
-            &mut rejected,
-            &mut rng,
-            &mut scratch,
-            false,
-        );
+        let group: Vec<SuperId> = (0..40).collect();
+        // Relative reduction can never reach 2.0.
+        let outcome = merge_group(&mut ws, &group, 2.0, 0, false, &mut scratch);
         assert_eq!(ws.num_supernodes(), 80, "nothing should merge");
-        assert!(!rejected.is_empty(), "failures must be recorded in L");
-        assert!(rejected.iter().all(|&r| r < 2.0));
+        assert!(outcome.merges.is_empty());
+        assert!(
+            !outcome.rejected.is_empty(),
+            "failures must be recorded in L"
+        );
+        assert!(outcome.rejected.iter().all(|&r| r < 2.0));
+    }
+
+    #[test]
+    fn evaluate_group_log_replays_identically() {
+        // The commit contract: replaying a GroupOutcome's merge log on
+        // the shared summary yields exactly the supernode structure the
+        // overlay simulated.
+        let g = barabasi_albert(120, 4, 8);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let mut scratch = Scratch::default();
+        let group: Vec<SuperId> = (10..60).collect();
+        let outcome = evaluate_group(&ws, &group, 0.0, 7, false);
+        assert!(!outcome.merges.is_empty(), "seed 7 should accept merges");
+        for &(a, b) in &outcome.merges {
+            let kept = ws.merge(a, b, &mut scratch);
+            assert!(kept == a || kept == b);
+        }
+        assert_eq!(ws.num_supernodes(), 120 - outcome.merges.len());
+        // Supernodes outside the group were never touched.
+        for s in 0..10u32 {
+            assert_eq!(ws.members(s), &[s]);
+        }
     }
 
     #[test]

@@ -20,31 +20,6 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
     })
 }
 
-/// Global pair-cost sum recomputed from scratch (the Eq. 8 sum without
-/// the constant |V|log2|S| term).
-fn brute_pair_cost_sum(ws: &WorkingSummary<'_>) -> f64 {
-    let live = ws.live_ids();
-    let log_s = ws.log_s();
-    let mut total = 0.0;
-    for (i, &a) in live.iter().enumerate() {
-        for &b in &live[i..] {
-            let mut e = 0.0;
-            for &u in ws.members(a) {
-                for &v in ws.members(b) {
-                    if a == b && u >= v {
-                        continue;
-                    }
-                    if ws.graph().has_edge(u, v) {
-                        e += ws.weights().pair(u, v);
-                    }
-                }
-            }
-            total += pair_cost(ws.has_superedge(a, b), ws.pair_tot(a, b), e, log_s, ws.params());
-        }
-    }
-    total
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -57,7 +32,7 @@ proptest! {
         seed in any::<u64>(),
         merges in 1usize..20,
     ) {
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let w = NodeWeights::personalized(&g, &[0], 1.5);
         let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
         let mut scratch = Scratch::default();
@@ -99,7 +74,7 @@ proptest! {
     /// which Sect. III-D deliberately fixes).
     #[test]
     fn eval_merge_matches_global_recomputation(g in arb_graph(), seed in any::<u64>()) {
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let w = NodeWeights::personalized(&g, &[1], 1.25);
         let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
         let mut scratch = Scratch::default();

@@ -1,5 +1,13 @@
 //! The `m`-machine cluster simulator implementing Alg. 3.
+//!
+//! Machine stores are built in parallel: each machine's summary (or
+//! subgraph) depends only on the shared input graph and that machine's
+//! node subset, so construction fans out one task per machine through
+//! [`pgs_core::exec::Exec`] — the same deterministic fork-join machinery
+//! the summarizer's evaluate phase uses — and reassembles by machine
+//! index. The built cluster is therefore identical at any parallelism.
 
+use pgs_core::exec::Exec;
 use pgs_core::pegasus::{summarize, PegasusConfig};
 use pgs_core::ssumm::{ssumm_summarize, SsummConfig};
 use pgs_core::Summary;
@@ -74,9 +82,7 @@ impl Cluster {
         let part = match backend {
             // Alg. 3 partitions with Louvain; the subgraph baselines use
             // their own partitioner for both routing and construction.
-            Backend::Pegasus(_) | Backend::Ssumm(_) => {
-                Method::Louvain.partition(g, m, seed)
-            }
+            Backend::Pegasus(_) | Backend::Ssumm(_) => Method::Louvain.partition(g, m, seed),
             Backend::Subgraph(method) => method.partition(g, m, seed),
         };
         let mut subsets: Vec<Vec<NodeId>> = vec![Vec::new(); m];
@@ -84,35 +90,35 @@ impl Cluster {
             subsets[p as usize].push(u as NodeId);
         }
 
+        // One build task per machine. The total parallelism budget is the
+        // backend's own `num_threads` knob (0 = all hardware threads), so
+        // a caller limiting CPU gets a correspondingly limited — even
+        // fully serial — cluster build.
         let machines: Vec<MachineStore> = match backend {
-            Backend::Pegasus(cfg) => subsets
-                .iter()
-                .map(|subset| {
-                    MachineStore::Summary(summarize(
-                        g,
-                        subset,
-                        budget_bits_per_machine,
-                        cfg,
-                    ))
+            Backend::Pegasus(cfg) => {
+                // Split the budget between the machine fan-out and each
+                // summarizer's own evaluate phases: m machines ×
+                // (budget/m) inner workers never oversubscribes. Output
+                // is identical at any split (the engine's determinism
+                // guarantee), so overriding the inner parallelism is safe.
+                let exec = Exec::new(cfg.num_threads);
+                let inner = PegasusConfig {
+                    num_threads: (exec.threads() / m.max(1)).max(1),
+                    ..cfg.clone()
+                };
+                exec.map_indexed(&subsets, |_, subset| {
+                    MachineStore::Summary(summarize(g, subset, budget_bits_per_machine, &inner))
                 })
-                .collect(),
-            Backend::Ssumm(cfg) => {
-                // One non-personalized summary, logically replicated.
-                let s = ssumm_summarize(g, budget_bits_per_machine, cfg);
-                (0..m)
-                    .map(|_| MachineStore::Summary(s.clone()))
-                    .collect()
             }
-            Backend::Subgraph(_) => subsets
-                .iter()
-                .map(|subset| {
-                    MachineStore::Subgraph(local_subgraph(
-                        g,
-                        subset,
-                        budget_bits_per_machine,
-                    ))
-                })
-                .collect(),
+            Backend::Ssumm(cfg) => {
+                // One non-personalized summary, logically replicated;
+                // `cfg.num_threads` already governs its build.
+                let s = ssumm_summarize(g, budget_bits_per_machine, cfg);
+                (0..m).map(|_| MachineStore::Summary(s.clone())).collect()
+            }
+            Backend::Subgraph(_) => Exec::new(0).map_indexed(&subsets, |_, subset| {
+                MachineStore::Subgraph(local_subgraph(g, subset, budget_bits_per_machine))
+            }),
         };
         Cluster { part, machines }
     }

@@ -12,7 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};
@@ -85,7 +85,11 @@ pub fn barabasi_albert_mixed(n: usize, p1: f64, seed: u64) -> Graph {
     }
     let mut targets: Vec<NodeId> = Vec::with_capacity(2);
     for u in 3..n {
-        let m = if rng.random_range(0.0..1.0) < p1 { 1 } else { 2 };
+        let m = if rng.random_range(0.0..1.0) < p1 {
+            1
+        } else {
+            2
+        };
         targets.clear();
         while targets.len() < m {
             let t = endpoints[rng.random_range(0..endpoints.len())];
@@ -247,7 +251,10 @@ pub fn planted_partition(
 /// so the realized edge count is slightly below `m`).
 pub fn rmat(scale: u32, m: usize, a: f64, b_: f64, c: f64, seed: u64) -> Graph {
     let d = 1.0 - a - b_ - c;
-    assert!(a >= 0.0 && b_ >= 0.0 && c >= 0.0 && d >= 0.0, "invalid R-MAT probabilities");
+    assert!(
+        a >= 0.0 && b_ >= 0.0 && c >= 0.0 && d >= 0.0,
+        "invalid R-MAT probabilities"
+    );
     let n = 1usize << scale;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, m);
@@ -370,7 +377,7 @@ mod tests {
     #[test]
     fn ba_mixed_edge_count_bounds() {
         let g = barabasi_albert_mixed(1000, 0.5, 1);
-        assert!(g.num_edges() >= 1000);     // at least m=1 each + triangle
+        assert!(g.num_edges() >= 1000); // at least m=1 each + triangle
         assert!(g.num_edges() <= 2 * 1000); // at most m=2 each
     }
 
@@ -509,7 +516,11 @@ pub fn dc_planted_partition(
     let total = acc;
     let draw_in = |rng: &mut StdRng, lo: usize, hi: usize| -> NodeId {
         let span = hi - lo;
-        let limit = if span == max_block { total } else { cum[span - 1] };
+        let limit = if span == max_block {
+            total
+        } else {
+            cum[span - 1]
+        };
         let r = rng.random_range(0.0..limit);
         let idx = cum[..span].partition_point(|&c| c < r);
         (lo + idx.min(span - 1)) as NodeId

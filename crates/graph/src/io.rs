@@ -54,7 +54,9 @@ impl From<io::Error> for IoError {
 /// Node ids in the file may be arbitrary (sparse) integers; they are
 /// remapped to dense `0..n` ids in first-seen order. Returns the graph
 /// and the mapping from original id to dense [`NodeId`].
-pub fn read_edge_list_from<R: BufRead>(reader: R) -> Result<(Graph, FxHashMap<u64, NodeId>), IoError> {
+pub fn read_edge_list_from<R: BufRead>(
+    reader: R,
+) -> Result<(Graph, FxHashMap<u64, NodeId>), IoError> {
     let mut remap: FxHashMap<u64, NodeId> = FxHashMap::default();
     let mut b = GraphBuilder::new(0);
     let intern = |remap: &mut FxHashMap<u64, NodeId>, raw: u64| -> NodeId {

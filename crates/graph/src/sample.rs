@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 use crate::builder::GraphBuilder;

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};
@@ -162,7 +162,11 @@ pub fn effective_diameter(g: &Graph, samples: usize, seed: u64) -> f64 {
         if acc as f64 >= threshold {
             // Interpolate within hop d: fraction of d's mass needed.
             let need = threshold - prev;
-            let frac = if hist[d] == 0 { 0.0 } else { need / hist[d] as f64 };
+            let frac = if hist[d] == 0 {
+                0.0
+            } else {
+                need / hist[d] as f64
+            };
             return (d - 1) as f64 + frac;
         }
     }

@@ -95,10 +95,7 @@ mod tests {
         }
         let max = *sizes.iter().max().unwrap();
         let min = *sizes.iter().min().unwrap();
-        assert!(
-            max <= 2 * min + 10,
-            "parts too imbalanced: {sizes:?}"
-        );
+        assert!(max <= 2 * min + 10, "parts too imbalanced: {sizes:?}");
     }
 
     #[test]

@@ -133,7 +133,10 @@ pub fn balance_into(labels: &[u32], m: usize) -> Vec<u32> {
     // Ensure non-empty bins by stealing from the largest.
     while let Some(empty) = bins.iter().position(|b| b.is_empty()) {
         let largest = (0..m).max_by_key(|&b| bins[b].len()).unwrap();
-        assert!(bins[largest].len() > 1, "not enough nodes to fill all parts");
+        assert!(
+            bins[largest].len() > 1,
+            "not enough nodes to fill all parts"
+        );
         let steal = (bins[largest].len() / 2).max(1);
         let split_at = bins[largest].len() - steal;
         let moved: Vec<u32> = bins[largest].split_off(split_at);

@@ -166,10 +166,7 @@ mod tests {
     #[test]
     fn two_cliques_split_into_two_communities() {
         // Two triangles joined by one edge.
-        let g = graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let labels = louvain(&g, 1);
         assert_eq!(labels[0], labels[1]);
         assert_eq!(labels[1], labels[2]);

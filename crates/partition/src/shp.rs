@@ -16,7 +16,7 @@
 use pgs_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// The three SHP search strategies compared in Fig. 12.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,9 +50,7 @@ pub fn shp_partition(
         labels[u as usize] = (i % m) as u32;
     }
     match variant {
-        ShpVariant::I | ShpVariant::II => {
-            moves_phase(g, m, variant, iters, &mut labels, &mut rng)
-        }
+        ShpVariant::I | ShpVariant::II => moves_phase(g, m, variant, iters, &mut labels, &mut rng),
         ShpVariant::KL => kl_phase(g, m, iters, &mut labels, &mut rng),
     }
     labels
@@ -236,10 +234,7 @@ mod tests {
 
     #[test]
     fn two_cliques_shpkl_separates() {
-        let g = graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let labels = shp_partition(&g, 2, ShpVariant::KL, 20, 2);
         // Triangles should end up (mostly) separated: at most 2 cut edges.
         let cut = g

@@ -108,7 +108,10 @@ mod tests {
         let g = barabasi_albert(100, 3, 1);
         let r = rwr_exact(&g, 0, 0.05);
         let sum: f64 = r.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6, "RWR scores must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "RWR scores must sum to 1, got {sum}"
+        );
         assert!(r.iter().all(|&x| x >= 0.0));
     }
 

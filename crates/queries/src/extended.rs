@@ -359,9 +359,7 @@ pub fn eigenvector_centrality_summary(s: &Summary, iters: usize) -> Vec<f64> {
             return vec![0.0; n];
         }
         let inv = 1.0 / norm.sqrt();
-        for u in 0..n {
-            next[u] *= inv;
-        }
+        next.iter_mut().for_each(|x| *x *= inv);
         std::mem::swap(&mut v, &mut next);
     }
     v
@@ -387,9 +385,7 @@ pub fn eigenvector_centrality_exact(g: &Graph, iters: usize) -> Vec<f64> {
         if norm <= 0.0 {
             return vec![0.0; n];
         }
-        for u in 0..n {
-            next[u] /= norm;
-        }
+        next.iter_mut().for_each(|x| *x /= norm);
         std::mem::swap(&mut v, &mut next);
     }
     v
@@ -439,7 +435,11 @@ mod eig_tests {
 
     #[test]
     fn eigenvector_merged_matches_reconstruction() {
-        let s = Summary::new(5, vec![0, 0, 1, 1, 2], &[(0, 1, 1.0), (1, 2, 1.0), (0, 0, 1.0)]);
+        let s = Summary::new(
+            5,
+            vec![0, 0, 1, 1, 2],
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 0, 1.0)],
+        );
         let recon = s.reconstruct();
         let e = eigenvector_centrality_exact(&recon, 60);
         let a = eigenvector_centrality_summary(&s, 60);

@@ -29,8 +29,7 @@ pub use approx::{get_neighbors, hops_summary, php_summary, rwr_summary};
 pub use exact::{hops_exact, php_exact, rwr_exact};
 pub use extended::{
     clustering_coefficient_exact, clustering_coefficient_summary, degrees_summary,
-    eigenvector_centrality_exact, eigenvector_centrality_summary, pagerank_exact,
-    pagerank_summary,
+    eigenvector_centrality_exact, eigenvector_centrality_summary, pagerank_exact, pagerank_summary,
 };
 pub use metrics::{smape, spearman};
 

@@ -22,7 +22,7 @@ fn main() {
     for (u, v) in base.edges() {
         b.add_edge(u, v);
     }
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     for _ in 0..200 {
         let u = rng.random_range(0..base.num_nodes()) as NodeId;
@@ -61,7 +61,10 @@ fn main() {
     let gl = hops_to_f64(&global_hops);
 
     println!("\nhop-count error by distance ring (SMAPE, lower = better):");
-    println!("{:>10} {:>12} {:>12} {:>8}", "ring", "personalized", "global", "nodes");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "ring", "personalized", "global", "nodes"
+    );
     for (lo, hi) in [(1, 5), (6, 10), (11, 20), (21, 40), (41, 200)] {
         let ids: Vec<usize> = truth
             .iter()

@@ -17,8 +17,7 @@ use pegasus_summary::prelude::*;
 /// Top-k indices by score, excluding the query node and its current
 /// friends (a classic friend-recommendation candidate filter).
 fn top_candidates(g: &Graph, q: NodeId, scores: &[f64], k: usize) -> Vec<NodeId> {
-    let friends: std::collections::HashSet<NodeId> =
-        g.neighbors(q).iter().copied().collect();
+    let friends: std::collections::HashSet<NodeId> = g.neighbors(q).iter().copied().collect();
     let mut idx: Vec<NodeId> = (0..g.num_nodes() as NodeId)
         .filter(|&u| u != q && !friends.contains(&u))
         .collect();

@@ -49,17 +49,19 @@ pub mod prelude {
     pub use pgs_baselines::{kgrass_summarize, s2l_summarize, saags_summarize};
     pub use pgs_baselines::{KGrassConfig, S2lConfig, SaagsConfig};
     pub use pgs_core::error::{personalized_error, reconstruction_error};
-    pub use pgs_core::{summarize, ssumm_summarize, NodeWeights, PegasusConfig, SsummConfig, Summary};
+    pub use pgs_core::summary_io::{read_summary, write_summary};
+    pub use pgs_core::{
+        ssumm_summarize, summarize, NodeWeights, PegasusConfig, SsummConfig, Summary,
+    };
     pub use pgs_distributed::{Backend, Cluster};
     pub use pgs_graph::gen::{
         barabasi_albert, erdos_renyi, grid, planted_partition, watts_strogatz,
     };
     pub use pgs_graph::{Graph, GraphBuilder, NodeId};
     pub use pgs_partition::Method;
-    pub use pgs_core::summary_io::{read_summary, write_summary};
     pub use pgs_queries::{
         clustering_coefficient_exact, clustering_coefficient_summary, degrees_summary,
-        get_neighbors, hops_exact, hops_summary, hops_to_f64, pagerank_exact,
-        pagerank_summary, php_exact, php_summary, rwr_exact, rwr_summary, smape, spearman,
+        get_neighbors, hops_exact, hops_summary, hops_to_f64, pagerank_exact, pagerank_summary,
+        php_exact, php_summary, rwr_exact, rwr_summary, smape, spearman,
     };
 }

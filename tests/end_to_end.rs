@@ -38,9 +38,18 @@ fn all_summarizers_produce_valid_partitions() {
     let g = social_graph(2);
     let budget = 0.5 * g.size_bits();
     let summaries: Vec<(&str, Summary)> = vec![
-        ("pegasus", summarize(&g, &[5], budget, &PegasusConfig::default())),
-        ("ssumm", ssumm_summarize(&g, budget, &SsummConfig::default())),
-        ("kgrass", kgrass_summarize(&g, 100, &KGrassConfig::default())),
+        (
+            "pegasus",
+            summarize(&g, &[5], budget, &PegasusConfig::default()),
+        ),
+        (
+            "ssumm",
+            ssumm_summarize(&g, budget, &SsummConfig::default()),
+        ),
+        (
+            "kgrass",
+            kgrass_summarize(&g, 100, &KGrassConfig::default()),
+        ),
         ("s2l", s2l_summarize(&g, 100, &S2lConfig::default())),
         ("saags", saags_summarize(&g, 100, &SaagsConfig::default())),
     ];
@@ -55,7 +64,10 @@ fn all_summarizers_produce_valid_partitions() {
                 assert_eq!(s.supernode_of(u), sn, "{name}: inconsistent mapping");
             }
         }
-        assert!(seen.iter().all(|&x| x), "{name}: nodes missing from partition");
+        assert!(
+            seen.iter().all(|&x| x),
+            "{name}: nodes missing from partition"
+        );
     }
 }
 
@@ -157,7 +169,13 @@ fn distributed_pipeline_runs_all_backends() {
 fn distributed_personalization_beats_replicated_ssumm() {
     let g = planted_partition(2_000, 20, 14_000, 2_000, 7);
     let budget = 0.4 * g.size_bits();
-    let pegasus = Cluster::build(&g, 4, budget, &Backend::Pegasus(PegasusConfig::default()), 1);
+    let pegasus = Cluster::build(
+        &g,
+        4,
+        budget,
+        &Backend::Pegasus(PegasusConfig::default()),
+        1,
+    );
     let ssumm = Cluster::build(&g, 4, budget, &Backend::Ssumm(SsummConfig::default()), 1);
     let queries: Vec<NodeId> = (0..20).map(|i| i * 97 % 2000).collect();
     let mut p_err = 0.0;

@@ -17,7 +17,7 @@ fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
 /// Strategy: a graph plus a random partition of its nodes.
 fn arb_graph_and_partition(max_n: usize) -> impl Strategy<Value = (Graph, Vec<u32>)> {
     (arb_graph(max_n), any::<u64>()).prop_map(|(g, seed)| {
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let groups = (g.num_nodes() / 3).max(1);
         let labels: Vec<u32> = (0..g.num_nodes())
@@ -53,7 +53,7 @@ proptest! {
     /// The O(|E|) error evaluator agrees with the O(|V|²) oracle.
     #[test]
     fn fast_error_matches_oracle((g, labels) in arb_graph_and_partition(40), seed in any::<u64>()) {
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         // Random subset of blocks as superedges.
         let mut pairs = std::collections::BTreeSet::new();
@@ -156,7 +156,7 @@ proptest! {
     /// Multi-source BFS lower-bounds every single-source BFS.
     #[test]
     fn multi_source_bfs_is_min(g in arb_graph(40), seed in any::<u64>()) {
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let n = g.num_nodes();
         let sources: Vec<u32> = (0..3).map(|_| rng.random_range(0..n) as u32).collect();

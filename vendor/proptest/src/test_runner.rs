@@ -1,0 +1,84 @@
+//! The case-execution loop (`proptest::test_runner` subset).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the inputs are outside the property's
+    /// domain; the case is discarded, not failed.
+    Reject,
+    /// The property itself failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// FNV-1a over the test name: gives each test its own deterministic
+/// input stream without global state.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs the property `f` until `config.cases` cases pass; panics on the
+/// first failing case (with its case index, so the exact inputs can be
+/// regenerated) or when rejects outnumber the case budget 10:1.
+pub fn run<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let mut rng =
+            StdRng::seed_from_u64(base.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        case += 1;
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.cases * 10,
+                    "proptest '{name}': too many rejected cases ({rejected}) for {} required",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' case #{case} failed:\n{msg}");
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `rand` crate, implementing the API subset this
+//! workspace uses: [`rngs::StdRng`] (xoshiro256++), [`SeedableRng`],
+//! [`Rng::random_range`]/[`Rng::random_bool`], and
+//! [`seq::SliceRandom`]'s `shuffle`/`choose`.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real `rand` cannot be fetched; this crate keeps the public surface
+//! source-compatible (rand 0.9 naming) while staying tiny and fully
+//! deterministic. Streams differ from upstream `rand` — only
+//! self-consistency (same seed ⇒ same stream) is guaranteed, which is all
+//! the workspace relies on.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level entropy source: everything above is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-size byte array for [`rngs::StdRng`]).
+    type Seed;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// exactly like `rand_core`'s default implementation does.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range (`low..high`). Supports the integer
+    /// and float ranges used across the workspace.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a bool that is `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
+        distr::unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a supported type (`u64`, `u32`, `f64 ∈ [0,1)`,
+    /// `bool`).
+    fn random<T: distr::Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform sampling machinery (the `rand::distr` module subset).
+pub mod distr {
+    use super::RngCore;
+
+    /// A half-open range a value can be uniformly sampled from.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps 64 random bits to `[0, 1)` with 53-bit precision.
+    #[inline]
+    pub fn unit_f64(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased integer sampling from `[0, n)` via Lemire's multiply-shift
+    /// method, rejecting only the biased low zone (`2^64 mod n` values).
+    #[inline]
+    pub fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut m = (rng.next_u64() as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n; // 2^64 mod n
+            while lo < threshold {
+                m = (rng.next_u64() as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + uniform_u64(rng, span) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every u64 is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + uniform_u64(rng, span) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+        }
+    }
+
+    impl SampleRange<f32> for core::ops::Range<f32> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as f32
+        }
+    }
+
+    /// Types [`super::Rng::random`] can produce.
+    pub trait Standard: Sized {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+    impl Standard for u32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+    impl Standard for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng.next_u64())
+        }
+    }
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000usize),
+                b.random_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let f = rng.random_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from 10k"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..1000).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let &x = v.choose(&mut rng).unwrap();
+            seen[x - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((27_000..33_000).contains(&hits), "{hits} hits for p=0.3");
+    }
+}

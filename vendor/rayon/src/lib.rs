@@ -1,0 +1,127 @@
+//! Offline stand-in for `rayon`: the scoped fork-join subset this
+//! workspace uses, implemented over [`std::thread::scope`].
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! real work-stealing rayon cannot be fetched. The parallel engine in
+//! `pgs-core` only needs structured fork-join — it decomposes each phase
+//! into one task per worker up front (deterministic chunking, no
+//! stealing), so plain scoped OS threads deliver the same parallelism:
+//! a [`scope`] spawning `k` tasks runs them on `k` threads and joins.
+//!
+//! Spawning an OS thread costs tens of microseconds; the engine amortizes
+//! that by spawning once per phase (a few dozen scopes per run), not once
+//! per item.
+
+use std::num::NonZeroUsize;
+
+/// A fork-join scope handing out [`Scope::spawn`]; mirrors
+/// `rayon::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the enclosing scope; all tasks
+    /// are joined before [`scope`] returns.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Creates a fork-join scope: every task spawned inside has completed by
+/// the time `scope` returns. Mirrors `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+/// Mirrors `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join task panicked"))
+    })
+}
+
+/// Number of hardware threads available to this process (rayon's default
+/// pool size).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_tasks_can_write_disjoint_chunks() {
+        let mut data = vec![0u32; 100];
+        scope(|s| {
+            for (i, chunk) in data.chunks_mut(25).enumerate() {
+                s.spawn(move |_| {
+                    for x in chunk.iter_mut() {
+                        *x = i as u32 + 1;
+                    }
+                });
+            }
+        });
+        assert!(data[..25].iter().all(|&x| x == 1));
+        assert!(data[75..].iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
