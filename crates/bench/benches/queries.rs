@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks: query answering on summaries vs exact
 //! answering on the input graph (the Fig. 8(b)/(c) query-time
-//! comparison at micro scale).
+//! comparison at micro scale), with the summary side split into the
+//! legacy per-call path ([`pgs_queries::reference`]) and a prebuilt
+//! [`QueryEngine`] plan.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -8,7 +10,7 @@ use std::hint::black_box;
 use pgs_baselines::{saags_summarize, SaagsConfig};
 use pgs_core::{summarize, PegasusConfig};
 use pgs_graph::gen::planted_partition;
-use pgs_queries::{get_neighbors, hops_exact, hops_summary, php_summary, rwr_exact, rwr_summary};
+use pgs_queries::{hops_exact, reference, rwr_exact, QueryEngine};
 
 fn bench_queries(c: &mut Criterion) {
     let g = planted_partition(3_000, 30, 21_000, 3_000, 1);
@@ -17,17 +19,22 @@ fn bench_queries(c: &mut Criterion) {
     // SAAGs produces dense summaries — queries on it are slower, the
     // effect Fig. 8 highlights.
     let saags = saags_summarize(&g, g.num_nodes() / 2, &SaagsConfig::default());
+    let engine = QueryEngine::new(&pegasus);
+    let saags_engine = QueryEngine::new(&saags);
 
     let mut group = c.benchmark_group("rwr");
     group.sample_size(10);
     group.bench_function("exact_on_graph", |b| {
         b.iter(|| black_box(rwr_exact(&g, 7, 0.05)))
     });
-    group.bench_function("on_pegasus_summary", |b| {
-        b.iter(|| black_box(rwr_summary(&pegasus, 7, 0.05)))
+    group.bench_function("legacy_per_call_on_summary", |b| {
+        b.iter(|| black_box(reference::rwr_summary(&pegasus, 7, 0.05)))
     });
-    group.bench_function("on_saags_dense_summary", |b| {
-        b.iter(|| black_box(rwr_summary(&saags, 7, 0.05)))
+    group.bench_function("engine_on_pegasus_summary", |b| {
+        b.iter(|| black_box(engine.rwr(7, 0.05)))
+    });
+    group.bench_function("engine_on_saags_dense_summary", |b| {
+        b.iter(|| black_box(saags_engine.rwr(7, 0.05)))
     });
     group.finish();
 
@@ -36,24 +43,30 @@ fn bench_queries(c: &mut Criterion) {
     group.bench_function("exact_on_graph", |b| {
         b.iter(|| black_box(hops_exact(&g, 7)))
     });
-    group.bench_function("on_pegasus_summary", |b| {
-        b.iter(|| black_box(hops_summary(&pegasus, 7)))
+    group.bench_function("legacy_per_call_on_summary", |b| {
+        b.iter(|| black_box(reference::hops_summary(&pegasus, 7)))
     });
-    group.bench_function("on_saags_dense_summary", |b| {
-        b.iter(|| black_box(hops_summary(&saags, 7)))
+    group.bench_function("engine_on_pegasus_summary", |b| {
+        b.iter(|| black_box(engine.hops(7)))
+    });
+    group.bench_function("engine_on_saags_dense_summary", |b| {
+        b.iter(|| black_box(saags_engine.hops(7)))
     });
     group.finish();
 
     let mut group = c.benchmark_group("php");
     group.sample_size(10);
-    group.bench_function("on_pegasus_summary", |b| {
-        b.iter(|| black_box(php_summary(&pegasus, 7, 0.95)))
+    group.bench_function("legacy_per_call_on_summary", |b| {
+        b.iter(|| black_box(reference::php_summary(&pegasus, 7, 0.95)))
+    });
+    group.bench_function("engine_on_pegasus_summary", |b| {
+        b.iter(|| black_box(engine.php(7, 0.95)))
     });
     group.finish();
 
     let mut group = c.benchmark_group("neighborhood");
     group.bench_function("alg4_get_neighbors", |b| {
-        b.iter(|| black_box(get_neighbors(&pegasus, 7)))
+        b.iter(|| black_box(engine.neighbors(7)))
     });
     group.finish();
 }

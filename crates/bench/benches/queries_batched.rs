@@ -1,0 +1,83 @@
+//! Criterion benchmark for batched query serving through one
+//! [`QueryEngine`]: a fixed RWR/HOP batch answered per-call (legacy
+//! reference path), serially through a reused plan, and via the
+//! `*_batch` fan-out at 1, 2, and `available_parallelism` threads.
+//! On a multi-core box the N-thread rows should show the speedup; on a
+//! single core they bound the fan-out overhead (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pgs_core::exec::Exec;
+use pgs_core::{summarize, PegasusConfig};
+use pgs_graph::gen::planted_partition;
+use pgs_graph::NodeId;
+use pgs_queries::{reference, QueryEngine};
+
+fn thread_counts() -> Vec<usize> {
+    let hw = rayon::current_num_threads();
+    let mut counts = vec![1, 2, hw];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn bench_queries_batched(c: &mut Criterion) {
+    let g = planted_partition(3_000, 30, 21_000, 3_000, 1);
+    let budget = 0.3 * g.size_bits();
+    let queries: Vec<NodeId> = (0..64u32).map(|i| i * 31).collect();
+    let summary = summarize(&g, &queries, budget, &PegasusConfig::default());
+    let engine = QueryEngine::new(&summary);
+
+    let mut group = c.benchmark_group("queries_batched_rwr64");
+    group.sample_size(10);
+    group.bench_function("legacy_per_call", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(reference::rwr_summary(&summary, q, 0.05));
+            }
+        })
+    });
+    group.bench_function("plan_reuse_serial", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(engine.rwr(q, 0.05));
+            }
+        })
+    });
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("batched", threads),
+            &threads,
+            |b, &threads| {
+                let exec = Exec::new(threads);
+                b.iter(|| black_box(engine.rwr_batch(&queries, 0.05, &exec)))
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("queries_batched_hop64");
+    group.sample_size(10);
+    group.bench_function("plan_reuse_serial", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                black_box(engine.hops(q));
+            }
+        })
+    });
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("batched", threads),
+            &threads,
+            |b, &threads| {
+                let exec = Exec::new(threads);
+                b.iter(|| black_box(engine.hops_batch(&queries, &exec)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries_batched);
+criterion_main!(benches);

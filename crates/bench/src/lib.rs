@@ -29,8 +29,8 @@ use std::time::Instant;
 use pgs_graph::traverse::largest_component;
 use pgs_graph::{Graph, NodeId};
 use pgs_queries::{
-    hops_exact, hops_summary, hops_to_f64, php_exact, php_summary, rwr_exact, rwr_summary, smape,
-    spearman, PHP_DECAY, RWR_RESTART,
+    hops_exact, hops_to_f64, php_exact, rwr_exact, smape, spearman, QueryEngine, PHP_DECAY,
+    RWR_RESTART,
 };
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -238,15 +238,17 @@ impl GroundTruth {
     }
 
     /// Mean (SMAPE, Spearman) of the summary's answers against this
-    /// ground truth.
+    /// ground truth. Compiles one [`QueryEngine`] plan and reuses it
+    /// for the whole query batch.
     pub fn score_summary(&self, s: &pgs_core::Summary) -> (f64, f64) {
+        let engine = QueryEngine::new(s);
         let mut sm = 0.0;
         let mut sc = 0.0;
         for (i, &q) in self.queries.iter().enumerate() {
             let approx = match self.query_type {
-                QueryType::Rwr => rwr_summary(s, q, RWR_RESTART),
-                QueryType::Hop => hops_to_f64(&hops_summary(s, q)),
-                QueryType::Php => php_summary(s, q, PHP_DECAY),
+                QueryType::Rwr => engine.rwr(q, RWR_RESTART),
+                QueryType::Hop => hops_to_f64(&engine.hops(q)),
+                QueryType::Php => engine.php(q, PHP_DECAY),
             };
             sm += smape(&self.answers[i], &approx);
             sc += spearman(&self.answers[i], &approx);

@@ -1,5 +1,6 @@
 //! Subcommand implementations and minimal flag parsing.
 
+use pgs_core::exec::Exec;
 use pgs_core::pegasus::{summarize_with_stats, PegasusConfig};
 use pgs_core::ssumm::ssumm_summarize_with_stats;
 use pgs_core::summary_io::{read_summary, write_summary};
@@ -9,6 +10,8 @@ use pgs_graph::traverse::effective_diameter;
 use pgs_graph::Graph;
 use pgs_partition::Method;
 use pgs_queries as q;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 /// CLI usage text.
 pub const USAGE: &str = "\
@@ -21,7 +24,16 @@ USAGE:
                 [--threads N]   (0 = all hardware threads; same output at any N)
   pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
             [--truth <edges.txt>]
+  pgs query <out.summary> --type rwr|hop|php (--nodes <ids.txt> | --sample <k>)
+            [--top 10] [--seed 0] [--truth <edges.txt>]
+            [--threads N]   (0 = all hardware threads; same output at any N)
   pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
+
+Query batch mode compiles the summary into one reusable QueryEngine plan,
+answers all nodes (from the --nodes id file, or --sample k nodes drawn with
+--seed) in parallel over --threads workers, and prints TSV rows
+`query  rank  node  score` (top --top nodes per query; accuracy vs --truth
+goes to stderr). Answers are byte-identical at any --threads value.
 
 Edge lists: one `u v` pair per line, `#`/`%` comments (SNAP/KONECT style).
 ";
@@ -165,60 +177,179 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `pgs query <out.summary> --type rwr --node q [--top k] [--truth edges]`.
+/// Top-k node indices (ascending scores for hop distances, descending
+/// otherwise).
+fn top_k(scores: &[f64], qtype: &str, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    if qtype == "hop" {
+        idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    } else {
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Parses a query-node id file: whitespace-separated ids, `#`/`%`
+/// comment lines (same conventions as edge lists).
+fn read_node_ids(path: &str, num_nodes: usize) -> Result<Vec<u32>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let id: u32 = tok
+                .parse()
+                .map_err(|_| format!("{path}: bad node id {tok:?}"))?;
+            if (id as usize) >= num_nodes {
+                return Err(format!(
+                    "{path}: node {id} out of range (|V| = {num_nodes})"
+                ));
+            }
+            out.push(id);
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no query nodes found"));
+    }
+    Ok(out)
+}
+
+/// Exact answers on the truth graph for accuracy reporting.
+fn exact_scores(g: &Graph, qtype: &str, node: u32) -> Vec<f64> {
+    match qtype {
+        "rwr" => q::rwr_exact(g, node, q::RWR_RESTART),
+        "hop" => q::hops_to_f64(&q::hops_exact(g, node)),
+        "php" => q::php_exact(g, node, q::PHP_DECAY),
+        "pagerank" => q::pagerank_exact(g, 0.85),
+        _ => unreachable!("type validated by the caller"),
+    }
+}
+
+/// `pgs query <out.summary> --type rwr [--node q | --nodes file | --sample k]`.
 pub fn query(raw: &[String]) -> Result<(), String> {
+    const QUERY_USAGE: &str = "usage: pgs query <out.summary> --type rwr|hop|php|pagerank \
+         (--node <q> | --nodes <ids.txt> | --sample <k>) \
+         [--top 10] [--seed 0] [--threads N] [--truth <edges.txt>]";
     let args = Args::parse(raw)?;
-    let path = args
-        .positional
-        .first()
-        .ok_or("usage: pgs query <out.summary> --type rwr|hop|php|pagerank --node <q>")?;
+    let path = args.positional.first().ok_or(QUERY_USAGE)?;
     let s = read_summary(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let qtype = args.get("type").ok_or("missing --type")?;
-    let node: u32 = args.get_parse("node", 0)?;
-    if (node as usize) >= s.num_nodes() && qtype != "pagerank" {
+    let qtype = args
+        .get("type")
+        .ok_or("missing --type rwr|hop|php|pagerank")?;
+    if !matches!(qtype, "rwr" | "hop" | "php" | "pagerank") {
         return Err(format!(
-            "node {node} out of range (|V| = {})",
-            s.num_nodes()
+            "unknown query type {qtype:?} (rwr|hop|php|pagerank)"
         ));
     }
     let top: usize = args.get_parse("top", 10)?;
-
-    let scores: Vec<f64> = match qtype {
-        "rwr" => q::rwr_summary(&s, node, q::RWR_RESTART),
-        "hop" => q::hops_to_f64(&q::hops_summary(&s, node)),
-        "php" => q::php_summary(&s, node, q::PHP_DECAY),
-        "pagerank" => q::pagerank_summary(&s, 0.85),
-        other => return Err(format!("unknown query type {other:?}")),
+    let truth: Option<Graph> = match args.get("truth") {
+        None => None,
+        Some(truth_path) => {
+            let g = load_graph(truth_path)?;
+            if g.num_nodes() != s.num_nodes() {
+                return Err("truth graph node count differs from summary".into());
+            }
+            Some(g)
+        }
     };
 
-    // Top-k (ascending for hop distances, descending otherwise).
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    if qtype == "hop" {
-        idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
-    } else {
-        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
-    }
-    println!("top {top} nodes by {qtype} (from the summary):");
-    for &u in idx.iter().take(top) {
-        println!("  node {u:>8}  score {:.6}", scores[u]);
-    }
-
-    if let Some(truth_path) = args.get("truth") {
-        let g = load_graph(truth_path)?;
-        if g.num_nodes() != s.num_nodes() {
-            return Err("truth graph node count differs from summary".into());
+    // Batch mode: an id file or a seeded sample of query nodes.
+    let batch: Option<Vec<u32>> = if let Some(nodes_path) = args.get("nodes") {
+        Some(read_node_ids(nodes_path, s.num_nodes())?)
+    } else if args.get("sample").is_some() {
+        let k: usize = args.get_parse("sample", 0)?;
+        if k == 0 || k > s.num_nodes() {
+            return Err(format!(
+                "--sample must be in 1..={} (|V|), got {k}",
+                s.num_nodes()
+            ));
         }
-        let exact: Vec<f64> = match qtype {
-            "rwr" => q::rwr_exact(&g, node, q::RWR_RESTART),
-            "hop" => q::hops_to_f64(&q::hops_exact(&g, node)),
-            "php" => q::php_exact(&g, node, q::PHP_DECAY),
-            "pagerank" => q::pagerank_exact(&g, 0.85),
+        let seed: u64 = args.get_parse("seed", 0)?;
+        let mut ids: Vec<u32> = (0..s.num_nodes() as u32).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        ids.shuffle(&mut rng);
+        ids.truncate(k);
+        Some(ids)
+    } else {
+        None
+    };
+
+    let Some(queries) = batch else {
+        // Single-node mode (pagerank ignores --node: it is global).
+        let node: u32 = args.get_parse("node", 0)?;
+        if (node as usize) >= s.num_nodes() && qtype != "pagerank" {
+            return Err(format!(
+                "node {node} out of range (|V| = {})",
+                s.num_nodes()
+            ));
+        }
+        let engine = q::QueryEngine::new(&s);
+        let scores: Vec<f64> = match qtype {
+            "rwr" => engine.rwr(node, q::RWR_RESTART),
+            "hop" => q::hops_to_f64(&engine.hops(node)),
+            "php" => engine.php(node, q::PHP_DECAY),
+            "pagerank" => engine.pagerank(0.85),
             _ => unreachable!(),
         };
-        println!(
-            "accuracy vs exact: SMAPE {:.4}, Spearman {:.4}",
-            q::smape(&exact, &scores),
-            q::spearman(&exact, &scores)
+        println!("top {top} nodes by {qtype} (from the summary):");
+        for &u in &top_k(&scores, qtype, top) {
+            println!("  node {u:>8}  score {:.6}", scores[u]);
+        }
+        if let Some(g) = &truth {
+            let exact = exact_scores(g, qtype, node);
+            println!(
+                "accuracy vs exact: SMAPE {:.4}, Spearman {:.4}",
+                q::smape(&exact, &scores),
+                q::spearman(&exact, &scores)
+            );
+        }
+        return Ok(());
+    };
+
+    // Batch mode: one engine plan, queries fanned out over --threads.
+    if qtype == "pagerank" {
+        return Err("--type pagerank is query-independent; use single-node mode (--node)".into());
+    }
+    let threads: usize = args.get_parse("threads", 0)?;
+    let exec = Exec::new(threads);
+    let engine = q::QueryEngine::new(&s);
+    let answers: Vec<Vec<f64>> = match qtype {
+        "rwr" => engine.rwr_batch(&queries, q::RWR_RESTART, &exec),
+        "hop" => engine
+            .hops_batch(&queries, &exec)
+            .iter()
+            .map(|h| q::hops_to_f64(h))
+            .collect(),
+        "php" => engine.php_batch(&queries, q::PHP_DECAY, &exec),
+        _ => unreachable!(),
+    };
+    println!(
+        "# pgs query batch: type {qtype}, {} queries, top {top}",
+        queries.len()
+    );
+    println!("# query\trank\tnode\tscore");
+    for (qi, scores) in queries.iter().zip(&answers) {
+        for (rank, &u) in top_k(scores, qtype, top).iter().enumerate() {
+            println!("{qi}\t{}\t{u}\t{:.6}", rank + 1, scores[u]);
+        }
+    }
+    if let Some(g) = &truth {
+        let (mut sm, mut sc) = (0.0, 0.0);
+        for (&node, scores) in queries.iter().zip(&answers) {
+            let exact = exact_scores(g, qtype, node);
+            sm += q::smape(&exact, scores);
+            sc += q::spearman(&exact, scores);
+        }
+        let n = queries.len() as f64;
+        eprintln!(
+            "accuracy vs exact over {} queries: mean SMAPE {:.4}, mean Spearman {:.4}",
+            queries.len(),
+            sm / n,
+            sc / n
         );
     }
     Ok(())
@@ -324,6 +455,84 @@ mod tests {
 
         info(&strs(&[edges.to_str().unwrap()])).unwrap();
         partition(&strs(&[edges.to_str().unwrap(), "-m", "4"])).unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_query_from_sample_and_file() {
+        let dir = std::env::temp_dir().join("pgs_cli_batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let out = dir.join("g.summary");
+        let g = pgs_graph::gen::planted_partition(200, 4, 800, 120, 5);
+        pgs_graph::io::write_edge_list(&g, &edges).unwrap();
+        summarize(&strs(&[
+            edges.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--ratio",
+            "0.4",
+        ]))
+        .unwrap();
+
+        // Sampled batch, explicit thread count, with accuracy scoring.
+        query(&strs(&[
+            out.to_str().unwrap(),
+            "--type",
+            "rwr",
+            "--sample",
+            "6",
+            "--threads",
+            "2",
+            "--truth",
+            edges.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Batch from an id file (with comments), hop + php.
+        let ids = dir.join("ids.txt");
+        std::fs::write(&ids, "# query nodes\n0 3\n17\n").unwrap();
+        for qtype in ["hop", "php"] {
+            query(&strs(&[
+                out.to_str().unwrap(),
+                "--type",
+                qtype,
+                "--nodes",
+                ids.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+
+        // Error paths: pagerank has no batch mode; bad ids are rejected.
+        let err = query(&strs(&[
+            out.to_str().unwrap(),
+            "--type",
+            "pagerank",
+            "--sample",
+            "4",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("query-independent"), "{err}");
+        std::fs::write(&ids, "999999\n").unwrap();
+        let err = query(&strs(&[
+            out.to_str().unwrap(),
+            "--type",
+            "rwr",
+            "--nodes",
+            ids.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = query(&strs(&[
+            out.to_str().unwrap(),
+            "--type",
+            "rwr",
+            "--sample",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--sample"), "{err}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -7,8 +7,16 @@
 //!               [--threads N]
 //! pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
 //!           [--truth <edges.txt>]
+//! pgs query <out.summary> --type rwr|hop|php (--nodes <ids.txt> | --sample <k>)
+//!           [--top 10] [--seed 0] [--threads N] [--truth <edges.txt>]
 //! pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
 //! ```
+//!
+//! The second `query` form serves a whole batch: the summary is compiled
+//! once into a `pgs_queries::QueryEngine` plan, the independent query
+//! nodes fan out over `--threads` workers (0 = all hardware threads,
+//! byte-identical answers at any setting), and results stream out as
+//! `query  rank  node  score` TSV rows.
 //!
 //! Edge lists are whitespace-separated pairs per line (`#`/`%` comments),
 //! the SNAP/KONECT convention; summaries use the `pgs-summary v1` format

@@ -193,6 +193,36 @@ impl Summary {
         self.node_super[u as usize]
     }
 
+    /// The full node→supernode assignment column (length `|V|`).
+    ///
+    /// Exposed so query planners can borrow the column instead of
+    /// re-deriving it with `|V|` calls to [`Summary::supernode_of`].
+    #[inline]
+    pub fn node_supers(&self) -> &[SuperId] {
+        &self.node_super
+    }
+
+    /// CSR offsets into [`Summary::members_flat`] (length `|S| + 1`).
+    #[inline]
+    pub fn member_offsets(&self) -> &[u32] {
+        &self.member_offsets
+    }
+
+    /// All member nodes grouped by supernode (length `|V|`); slice
+    /// `member_offsets()[s]..member_offsets()[s+1]` is [`Summary::members`]`(s)`.
+    #[inline]
+    pub fn members_flat(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// CSR offsets of the superedge adjacency (length `|S| + 1`); slice
+    /// `sadj_offsets()[s]..sadj_offsets()[s+1]` of the adjacency array is
+    /// [`Summary::neighbor_supers`]`(s)`.
+    #[inline]
+    pub fn sadj_offsets(&self) -> &[u32] {
+        &self.sadj_offsets
+    }
+
     /// Sorted member nodes of supernode `s`.
     #[inline]
     pub fn members(&self, s: SuperId) -> &[NodeId] {
@@ -450,6 +480,28 @@ mod tests {
         let edges: Vec<_> = s.superedges().collect();
         assert_eq!(edges.len(), 3);
         assert!(edges.contains(&(3, 3, 1.0)));
+    }
+
+    #[test]
+    fn plan_accessors_agree_with_per_item_views() {
+        let s = Summary::new(
+            6,
+            vec![0, 1, 0, 2, 1, 0],
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 0, 1.0)],
+        );
+        for u in 0..6u32 {
+            assert_eq!(s.node_supers()[u as usize], s.supernode_of(u));
+        }
+        for sn in 0..s.num_supernodes() {
+            let lo = s.member_offsets()[sn] as usize;
+            let hi = s.member_offsets()[sn + 1] as usize;
+            assert_eq!(&s.members_flat()[lo..hi], s.members(sn as SuperId));
+            assert_eq!(
+                (s.sadj_offsets()[sn + 1] - s.sadj_offsets()[sn]) as usize,
+                s.neighbor_supers(sn as SuperId).len()
+            );
+        }
+        assert_eq!(*s.member_offsets().last().unwrap() as usize, s.num_nodes());
     }
 
     #[test]

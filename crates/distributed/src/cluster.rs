@@ -13,9 +13,21 @@ use pgs_core::ssumm::{ssumm_summarize, SsummConfig};
 use pgs_core::Summary;
 use pgs_graph::{Graph, NodeId};
 use pgs_partition::Method;
-use pgs_queries::{hops_summary, php_summary, rwr_summary};
+use pgs_queries::{hops_summary, php_summary, rwr_summary, QueryEngine};
 
 use crate::subgraph::local_subgraph;
+
+/// Which query a [`Cluster::query_batch`] call answers for every node in
+/// the batch.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchQuery {
+    /// RWR with the given restart probability (paper: 0.05).
+    Rwr(f64),
+    /// BFS hop counts; unreachable targets come back as `f64::INFINITY`.
+    Hop,
+    /// PHP with the given decay constant (paper: 0.95).
+    Php(f64),
+}
 
 /// What each machine stores.
 pub enum MachineStore {
@@ -171,6 +183,66 @@ impl Cluster {
             MachineStore::Subgraph(g) => pgs_queries::php_exact(g, q, c),
         }
     }
+
+    /// Scatter-gather batch serving: the Alg.-3 query loop amortized
+    /// over a whole batch. Each query node routes to its machine; every
+    /// summary machine that receives at least one query compiles its
+    /// [`QueryEngine`] plan once and reuses it (plus recycled scratch)
+    /// for all of its queries, and the independent queries fan out over
+    /// `exec` with deterministic index-order reassembly. Answers are
+    /// byte-identical to calling [`Cluster::rwr`] / [`Cluster::hops`] /
+    /// [`Cluster::php`] per node, at any thread count (hop counts are
+    /// returned as `f64` with unreachable targets mapped to
+    /// `f64::INFINITY`).
+    pub fn query_batch(&self, qs: &[NodeId], query: BatchQuery, exec: &Exec) -> Vec<Vec<f64>> {
+        // Compile one plan per summary machine that will actually answer.
+        let mut needed = vec![false; self.machines.len()];
+        for &q in qs {
+            needed[self.route(q)] = true;
+        }
+        let engines: Vec<Option<QueryEngine>> = self
+            .machines
+            .iter()
+            .zip(&needed)
+            .map(|(m, &need)| match m {
+                MachineStore::Summary(s) if need => Some(QueryEngine::new(s)),
+                _ => None,
+            })
+            .collect();
+        exec.map_indexed(qs, |_, &q| {
+            let mi = self.route(q);
+            match (&self.machines[mi], &engines[mi]) {
+                (MachineStore::Summary(_), Some(e)) => match query {
+                    BatchQuery::Rwr(restart) => e.rwr(q, restart),
+                    BatchQuery::Hop => hops_as_f64(&e.hops(q)),
+                    BatchQuery::Php(c) => e.php(q, c),
+                },
+                (MachineStore::Subgraph(g), _) => match query {
+                    BatchQuery::Rwr(restart) => pgs_queries::rwr_exact(g, q, restart),
+                    BatchQuery::Hop => hops_as_f64(&pgs_queries::hops_exact(g, q)),
+                    BatchQuery::Php(c) => pgs_queries::php_exact(g, q, c),
+                },
+                (MachineStore::Summary(_), None) => {
+                    unreachable!("plan compiled for every routed summary machine")
+                }
+            }
+        })
+    }
+}
+
+/// Raw hop counts as `f64`, unreachable (`u32::MAX`) mapped to `+∞`
+/// (callers scoring against ground truth want
+/// [`pgs_queries::hops_to_f64`]'s longest-path convention instead).
+fn hops_as_f64(hops: &[u32]) -> Vec<f64> {
+    hops.iter()
+        .map(|&d| {
+            if d == u32::MAX {
+                f64::INFINITY
+            } else {
+                d as f64
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -244,6 +316,42 @@ mod tests {
             assert_eq!(h.len(), g.num_nodes());
             let p = c.php(7, 0.95);
             assert_eq!(p.len(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn query_batch_matches_per_call_routing_at_any_thread_count() {
+        let g = test_graph();
+        let budget = 0.5 * g.size_bits();
+        let qs: Vec<u32> = (0..24).map(|i| i * 9).collect();
+        for backend in [
+            Backend::Pegasus(Default::default()),
+            Backend::Ssumm(Default::default()),
+            Backend::Subgraph(Method::Louvain),
+        ] {
+            let c = Cluster::build(&g, 4, budget, &backend, 6);
+            let serial_rwr: Vec<Vec<f64>> = qs.iter().map(|&q| c.rwr(q, 0.05)).collect();
+            let serial_hops: Vec<Vec<f64>> =
+                qs.iter().map(|&q| super::hops_as_f64(&c.hops(q))).collect();
+            let serial_php: Vec<Vec<f64>> = qs.iter().map(|&q| c.php(q, 0.95)).collect();
+            for threads in [1usize, 2, 8] {
+                let exec = Exec::new(threads);
+                assert_eq!(
+                    c.query_batch(&qs, BatchQuery::Rwr(0.05), &exec),
+                    serial_rwr,
+                    "rwr, t={threads}"
+                );
+                assert_eq!(
+                    c.query_batch(&qs, BatchQuery::Hop, &exec),
+                    serial_hops,
+                    "hop, t={threads}"
+                );
+                assert_eq!(
+                    c.query_batch(&qs, BatchQuery::Php(0.95), &exec),
+                    serial_php,
+                    "php, t={threads}"
+                );
+            }
         }
     }
 

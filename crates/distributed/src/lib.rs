@@ -20,5 +20,5 @@
 pub mod cluster;
 pub mod subgraph;
 
-pub use cluster::{Backend, Cluster, MachineStore};
+pub use cluster::{Backend, BatchQuery, Cluster, MachineStore};
 pub use subgraph::local_subgraph;

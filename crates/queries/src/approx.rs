@@ -12,14 +12,21 @@
 //! multigraph (Sect. V-A footnote on weighted summary graphs); for
 //! PeGaSus/SSumM summaries all weights are 1 and the formulas reduce to
 //! the unweighted versions.
+//!
+//! The iterative functions here are convenience wrappers that compile a
+//! throwaway [`QueryEngine`] plan per call. Callers answering more than
+//! one query on the same summary should build one engine and reuse it —
+//! the plan and scratch buffers then amortize across the whole batch
+//! (see `DESIGN.md` §6 and `exp_query_throughput` for the numbers).
 
-use pgs_core::summary::{Summary, SuperId};
+use pgs_core::summary::Summary;
 use pgs_graph::NodeId;
 
-use crate::{MAX_ITERS, TOLERANCE};
+use crate::engine::QueryEngine;
 
 /// Approximate neighborhood query (Alg. 4): the neighbors of `q` in the
-/// reconstructed graph `Ĝ`, read directly from the summary.
+/// reconstructed graph `Ĝ`, read directly from the summary in
+/// `O(d̂(q))` — cheap enough that no plan is needed.
 pub fn get_neighbors(s: &Summary, q: NodeId) -> Vec<NodeId> {
     let sq = s.supernode_of(q);
     let mut out = Vec::with_capacity(s.reconstructed_degree(q));
@@ -33,202 +40,26 @@ pub fn get_neighbors(s: &Summary, q: NodeId) -> Vec<NodeId> {
     out
 }
 
-/// Approximate HOP query (Alg. 5): BFS hop counts from `q` on `Ĝ`,
-/// computed at supernode granularity in `O(|S| + |P| + |V|)`.
+/// Approximate HOP query (Alg. 5): BFS hop counts from `q` on `Ĝ`.
+/// Wraps a throwaway [`QueryEngine`]; see the module docs.
 ///
 /// Unreachable nodes get `u32::MAX`; convert with
 /// [`crate::hops_to_f64`] before scoring.
 pub fn hops_summary(s: &Summary, q: NodeId) -> Vec<u32> {
-    let n = s.num_nodes();
-    let mut dist = vec![u32::MAX; n];
-    dist[q as usize] = 0;
-    // Supernode-level BFS: when a supernode is first reached at hop `d`,
-    // all of its still-unassigned members are at hop `d` (members share
-    // reconstructed neighborhoods), and it is expanded exactly once.
-    let mut expanded = vec![false; s.num_supernodes()];
-    let mut frontier: Vec<SuperId> = Vec::new();
-    let sq = s.supernode_of(q);
-    expanded[sq as usize] = true;
-    frontier.push(sq);
-    let mut d = 0u32;
-    let mut next: Vec<SuperId> = Vec::new();
-    while !frontier.is_empty() {
-        d += 1;
-        next.clear();
-        for &x in &frontier {
-            for &(y, _) in s.neighbor_supers(x) {
-                // Assign distance d to unassigned members of y.
-                let mut reached_new = false;
-                for &v in s.members(y) {
-                    if dist[v as usize] == u32::MAX {
-                        dist[v as usize] = d;
-                        reached_new = true;
-                    }
-                }
-                if !expanded[y as usize] {
-                    expanded[y as usize] = true;
-                    next.push(y);
-                } else if reached_new {
-                    // y was expanded for an earlier member (only possible
-                    // for the query supernode itself); its neighbors are
-                    // already settled at ≤ d, nothing more to do.
-                }
-            }
-        }
-        std::mem::swap(&mut frontier, &mut next);
-    }
-    dist
+    QueryEngine::new(s).hops(q)
 }
 
-/// Weighted reconstructed degree of every supernode's members:
-/// `d̂(u) = Σ_{Y ∈ sadj(S_u)} w(S_u,Y)·|Y| − w(S_u,S_u)` (self-loop term
-/// excludes the node itself). Identical for all members of a supernode.
-fn weighted_degrees(s: &Summary) -> Vec<f64> {
-    let mut deg = vec![0.0f64; s.num_supernodes()];
-    for x in 0..s.num_supernodes() as SuperId {
-        let mut d = 0.0;
-        for &(y, w) in s.neighbor_supers(x) {
-            d += w as f64 * s.supernode_size(y) as f64;
-            if y == x {
-                d -= w as f64; // members are not their own neighbors
-            }
-        }
-        deg[x as usize] = d;
-    }
-    deg
-}
-
-/// Approximate RWR query (Alg. 6): power iteration over `Ĝ` performed at
-/// supernode granularity. Each iteration costs `O(|V| + |P|)`.
-///
-/// `restart` is the restarting probability (paper: 0.05).
+/// Approximate RWR query (Alg. 6) on `Ĝ`; `restart` is the restarting
+/// probability (paper: 0.05). Wraps a throwaway [`QueryEngine`]; see
+/// the module docs.
 pub fn rwr_summary(s: &Summary, q: NodeId, restart: f64) -> Vec<f64> {
-    let n = s.num_nodes();
-    assert!((q as usize) < n, "query node out of range");
-    assert!((0.0..1.0).contains(&restart), "restart must be in [0, 1)");
-    let p = 1.0 - restart;
-    let s_count = s.num_supernodes();
-    let sdeg = weighted_degrees(s);
-    let self_loop_w: Vec<f64> = (0..s_count as SuperId)
-        .map(|x| {
-            s.neighbor_supers(x)
-                .iter()
-                .find(|&&(y, _)| y == x)
-                .map_or(0.0, |&(_, w)| w as f64)
-        })
-        .collect();
-
-    let mut r = vec![1.0 / n as f64; n];
-    let mut next = vec![0.0f64; n];
-    // Scratch: per-supernode outgoing mass and incoming weighted sums.
-    let mut mass = vec![0.0f64; s_count];
-    let mut insum = vec![0.0f64; s_count];
-    for _ in 0..MAX_ITERS {
-        // mass[X] = Σ_{u ∈ X} r_u / d̂(u).
-        mass.iter_mut().for_each(|x| *x = 0.0);
-        for u in 0..n as NodeId {
-            let x = s.supernode_of(u) as usize;
-            if sdeg[x] > 0.0 {
-                mass[x] += r[u as usize] / sdeg[x];
-            }
-        }
-        // insum[Y] = Σ_{X ∈ sadj(Y)} w(X,Y) · mass[X].
-        insum.iter_mut().for_each(|x| *x = 0.0);
-        for y in 0..s_count as SuperId {
-            let mut acc = 0.0;
-            for &(x, w) in s.neighbor_supers(y) {
-                acc += w as f64 * mass[x as usize];
-            }
-            insum[y as usize] = acc;
-        }
-        // next[v] = insum[S_v] − self-walk correction (v cannot walk to
-        // itself under a self-loop).
-        let mut sum = 0.0;
-        for v in 0..n as NodeId {
-            let y = s.supernode_of(v) as usize;
-            let mut val = insum[y];
-            if self_loop_w[y] > 0.0 && sdeg[y] > 0.0 {
-                val -= self_loop_w[y] * r[v as usize] / sdeg[y];
-            }
-            let val = p * val;
-            next[v as usize] = val;
-            sum += val;
-        }
-        next[q as usize] += 1.0 - sum;
-        let diff = r
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        std::mem::swap(&mut r, &mut next);
-        if diff < TOLERANCE {
-            break;
-        }
-    }
-    r
+    QueryEngine::new(s).rwr(q, restart)
 }
 
-/// Approximate PHP query on `Ĝ` at supernode granularity; `c` is the
-/// decay constant (paper: 0.95). Each iteration costs `O(|V| + |P|)`.
+/// Approximate PHP query on `Ĝ`; `c` is the decay constant (paper:
+/// 0.95). Wraps a throwaway [`QueryEngine`]; see the module docs.
 pub fn php_summary(s: &Summary, q: NodeId, c: f64) -> Vec<f64> {
-    let n = s.num_nodes();
-    assert!((q as usize) < n, "query node out of range");
-    assert!((0.0..1.0).contains(&c), "decay must be in [0, 1)");
-    let s_count = s.num_supernodes();
-    let sdeg = weighted_degrees(s);
-    let self_loop_w: Vec<f64> = (0..s_count as SuperId)
-        .map(|x| {
-            s.neighbor_supers(x)
-                .iter()
-                .find(|&&(y, _)| y == x)
-                .map_or(0.0, |&(_, w)| w as f64)
-        })
-        .collect();
-
-    let mut php = vec![0.0f64; n];
-    php[q as usize] = 1.0;
-    let mut next = vec![0.0f64; n];
-    let mut total = vec![0.0f64; s_count]; // Σ php over members
-    let mut insum = vec![0.0f64; s_count];
-    for _ in 0..MAX_ITERS {
-        total.iter_mut().for_each(|x| *x = 0.0);
-        for u in 0..n as NodeId {
-            total[s.supernode_of(u) as usize] += php[u as usize];
-        }
-        insum.iter_mut().for_each(|x| *x = 0.0);
-        for y in 0..s_count as SuperId {
-            let mut acc = 0.0;
-            for &(x, w) in s.neighbor_supers(y) {
-                acc += w as f64 * total[x as usize];
-            }
-            insum[y as usize] = acc;
-        }
-        let mut diff = 0.0f64;
-        for u in 0..n as NodeId {
-            if u == q {
-                next[u as usize] = 1.0;
-                continue;
-            }
-            let y = s.supernode_of(u) as usize;
-            if sdeg[y] <= 0.0 {
-                next[u as usize] = 0.0;
-                continue;
-            }
-            let mut acc = insum[y];
-            if self_loop_w[y] > 0.0 {
-                acc -= self_loop_w[y] * php[u as usize]; // exclude self
-            }
-            next[u as usize] = c * acc / sdeg[y];
-        }
-        for u in 0..n {
-            diff = diff.max((next[u] - php[u]).abs());
-        }
-        std::mem::swap(&mut php, &mut next);
-        if diff < TOLERANCE {
-            break;
-        }
-    }
-    php
+    QueryEngine::new(s).php(q, c)
 }
 
 #[cfg(test)]

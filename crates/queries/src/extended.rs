@@ -8,104 +8,29 @@
 //! estimation from summaries \[10\] and eigenvector centrality \[11\].
 //! These implementations exploit the same per-supernode aggregation as
 //! the core queries, so they run in `O(|V| + |P|)` per pass instead of
-//! touching reconstructed edges.
+//! touching reconstructed edges. The global summary-side functions wrap
+//! a throwaway [`QueryEngine`] plan per call; callers answering several
+//! queries on one summary should build the engine once and reuse it.
 
-use pgs_core::summary::{Summary, SuperId};
+use pgs_core::summary::Summary;
 use pgs_graph::{Graph, NodeId};
 
+use crate::engine::QueryEngine;
 use crate::{MAX_ITERS, TOLERANCE};
 
 /// Degrees of every node in the reconstructed graph `Ĝ`, in
 /// `O(|V| + |P|)` total (all members of a supernode share a degree).
+/// Wraps a throwaway [`QueryEngine`]; see the module docs.
 pub fn degrees_summary(s: &Summary) -> Vec<usize> {
-    let s_count = s.num_supernodes();
-    let mut super_deg = vec![0usize; s_count];
-    let mut has_loop = vec![false; s_count];
-    for x in 0..s_count as SuperId {
-        let mut d = 0usize;
-        for &(y, _) in s.neighbor_supers(x) {
-            d += s.supernode_size(y);
-            if y == x {
-                has_loop[x as usize] = true;
-            }
-        }
-        super_deg[x as usize] = d;
-    }
-    (0..s.num_nodes() as NodeId)
-        .map(|u| {
-            let x = s.supernode_of(u) as usize;
-            super_deg[x] - usize::from(has_loop[x])
-        })
-        .collect()
+    QueryEngine::new(s).degrees()
 }
 
 /// PageRank on the reconstructed graph `Ĝ`, computed at supernode
 /// granularity; `damping` is the usual factor (0.85 classically).
-/// Dangling mass is redistributed uniformly. `O(|V| + |P|)` per
-/// iteration.
+/// Dangling mass is redistributed uniformly. Wraps a throwaway
+/// [`QueryEngine`]; see the module docs.
 pub fn pagerank_summary(s: &Summary, damping: f64) -> Vec<f64> {
-    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
-    let n = s.num_nodes();
-    if n == 0 {
-        return Vec::new();
-    }
-    let s_count = s.num_supernodes();
-    // Weighted degree and self-loop weight per supernode.
-    let mut sdeg = vec![0.0f64; s_count];
-    let mut self_w = vec![0.0f64; s_count];
-    for x in 0..s_count as SuperId {
-        let mut d = 0.0;
-        for &(y, w) in s.neighbor_supers(x) {
-            d += w as f64 * s.supernode_size(y) as f64;
-            if y == x {
-                d -= w as f64;
-                self_w[x as usize] = w as f64;
-            }
-        }
-        sdeg[x as usize] = d;
-    }
-
-    let mut pr = vec![1.0 / n as f64; n];
-    let mut next = vec![0.0f64; n];
-    let mut mass = vec![0.0f64; s_count];
-    let mut insum = vec![0.0f64; s_count];
-    for _ in 0..MAX_ITERS {
-        mass.iter_mut().for_each(|x| *x = 0.0);
-        let mut dangling = 0.0;
-        for u in 0..n as NodeId {
-            let x = s.supernode_of(u) as usize;
-            if sdeg[x] > 0.0 {
-                mass[x] += pr[u as usize] / sdeg[x];
-            } else {
-                dangling += pr[u as usize];
-            }
-        }
-        insum.iter_mut().for_each(|x| *x = 0.0);
-        for y in 0..s_count as SuperId {
-            let mut acc = 0.0;
-            for &(x, w) in s.neighbor_supers(y) {
-                acc += w as f64 * mass[x as usize];
-            }
-            insum[y as usize] = acc;
-        }
-        let base = (1.0 - damping) / n as f64 + damping * dangling / n as f64;
-        let mut diff = 0.0f64;
-        for u in 0..n as NodeId {
-            let y = s.supernode_of(u) as usize;
-            let mut val = insum[y];
-            if self_w[y] > 0.0 && sdeg[y] > 0.0 {
-                val -= self_w[y] * pr[u as usize] / sdeg[y];
-            }
-            let val = base + damping * val;
-            diff = diff.max((val - pr[u as usize]).abs());
-            next[u as usize] = val;
-        }
-        std::mem::swap(&mut pr, &mut next);
-        if diff < TOLERANCE {
-            break;
-        }
-    }
-    pr
+    QueryEngine::new(s).pagerank(damping)
 }
 
 /// Exact PageRank on the input graph (reference for
@@ -151,39 +76,10 @@ pub fn pagerank_exact(g: &Graph, damping: f64) -> Vec<f64> {
 /// structure: with `N̂(u)` spanning supernodes `Y` (with multiplicities
 /// `|Y|`), the triangle count is the number of adjacent pairs among the
 /// neighbor multiset, which depends only on supernode-level adjacency.
-/// `O(deg_P(S_u)²)` per node.
+/// `O(deg_P(S_u)²)` per node. Wraps a throwaway [`QueryEngine`]; see
+/// the module docs.
 pub fn clustering_coefficient_summary(s: &Summary, u: NodeId) -> f64 {
-    let su = s.supernode_of(u);
-    // Neighbor supernodes with the count of u's neighbors inside them.
-    let mut blocks: Vec<(SuperId, usize)> = Vec::new();
-    for &(y, _) in s.neighbor_supers(su) {
-        let mut cnt = s.supernode_size(y);
-        if y == su {
-            cnt -= 1; // u itself
-        }
-        if cnt > 0 {
-            blocks.push((y, cnt));
-        }
-    }
-    let deg: usize = blocks.iter().map(|&(_, c)| c).sum();
-    if deg < 2 {
-        return 0.0;
-    }
-    // Count adjacent pairs among the neighbors: pairs within one
-    // supernode are adjacent iff it has a self-loop; pairs across two
-    // supernodes are adjacent iff the superedge exists.
-    let mut links = 0usize;
-    for (i, &(y, cy)) in blocks.iter().enumerate() {
-        if s.has_self_loop(y) {
-            links += cy * (cy - 1) / 2;
-        }
-        for &(z, cz) in &blocks[i + 1..] {
-            if s.has_superedge(y, z) {
-                links += cy * cz;
-            }
-        }
-    }
-    2.0 * links as f64 / (deg * (deg - 1)) as f64
+    QueryEngine::new(s).clustering_coefficient(u)
 }
 
 /// Exact clustering coefficient on the input graph.
@@ -313,56 +209,10 @@ mod tests {
 /// Eigenvector centrality on the reconstructed graph `Ĝ` by power
 /// iteration at supernode granularity (cited as summary-answerable in
 /// the paper's introduction, ref. \[11\]). Returns the L2-normalized
-/// dominant eigenvector; zero vector if `Ĝ` has no edges.
+/// dominant eigenvector; zero vector if `Ĝ` has no edges. Wraps a
+/// throwaway [`QueryEngine`]; see the module docs.
 pub fn eigenvector_centrality_summary(s: &Summary, iters: usize) -> Vec<f64> {
-    let n = s.num_nodes();
-    if n == 0 {
-        return Vec::new();
-    }
-    let s_count = s.num_supernodes();
-    let self_w: Vec<f64> = (0..s_count as SuperId)
-        .map(|x| {
-            s.neighbor_supers(x)
-                .iter()
-                .find(|&&(y, _)| y == x)
-                .map_or(0.0, |&(_, w)| w as f64)
-        })
-        .collect();
-    let mut v = vec![1.0 / (n as f64).sqrt(); n];
-    let mut next = vec![0.0f64; n];
-    let mut total = vec![0.0f64; s_count];
-    let mut insum = vec![0.0f64; s_count];
-    for _ in 0..iters {
-        total.iter_mut().for_each(|x| *x = 0.0);
-        for u in 0..n as NodeId {
-            total[s.supernode_of(u) as usize] += v[u as usize];
-        }
-        insum.iter_mut().for_each(|x| *x = 0.0);
-        for y in 0..s_count as SuperId {
-            let mut acc = 0.0;
-            for &(x, w) in s.neighbor_supers(y) {
-                acc += w as f64 * total[x as usize];
-            }
-            insum[y as usize] = acc;
-        }
-        let mut norm = 0.0;
-        for u in 0..n as NodeId {
-            let y = s.supernode_of(u) as usize;
-            let mut val = insum[y];
-            if self_w[y] > 0.0 {
-                val -= self_w[y] * v[u as usize];
-            }
-            next[u as usize] = val;
-            norm += val * val;
-        }
-        if norm <= 0.0 {
-            return vec![0.0; n];
-        }
-        let inv = 1.0 / norm.sqrt();
-        next.iter_mut().for_each(|x| *x *= inv);
-        std::mem::swap(&mut v, &mut next);
-    }
-    v
+    QueryEngine::new(s).eigenvector_centrality(iters)
 }
 
 /// Exact eigenvector centrality on the input graph (reference for

@@ -19,13 +19,26 @@
 //! correlation (higher better) in [`metrics`], exactly as in Sect. V-A.
 //! On weighted summaries (e.g. from the SAAGs baseline) queries take the
 //! superedge weights into account, as footnoted in Appendix A.
+//!
+//! ## Serving many queries
+//!
+//! The free functions compile a throwaway plan per call. For serving
+//! workloads, build a [`QueryEngine`] once per summary: it precomputes a
+//! struct-of-arrays supernode plan, answers every query type from
+//! reusable scratch buffers, and offers `*_batch` methods that fan
+//! independent query nodes out over [`pgs_core::exec::Exec`] with
+//! byte-identical results at any thread count. The original per-node
+//! implementations live on in [`reference`] as the oracle/baseline path.
 
 pub mod approx;
+pub mod engine;
 pub mod exact;
 pub mod extended;
 pub mod metrics;
+pub mod reference;
 
 pub use approx::{get_neighbors, hops_summary, php_summary, rwr_summary};
+pub use engine::QueryEngine;
 pub use exact::{hops_exact, php_exact, rwr_exact};
 pub use extended::{
     clustering_coefficient_exact, clustering_coefficient_summary, degrees_summary,

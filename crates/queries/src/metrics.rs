@@ -7,18 +7,32 @@
 /// ```
 ///
 /// with the `0/0` terms defined as 0 (paper: "if x_u = x̂_u = 0, 0 is
-/// used instead"). Always in `[0, 1]`.
+/// used instead"). Always in `[0, 1]` and always finite:
+///
+/// * empty vectors score 0 (perfect agreement over nothing);
+/// * a pair of equal infinities scores 0, any other pair involving a
+///   non-finite value (NaN anywhere, mismatched or one-sided infinity)
+///   scores the maximal per-term error 1.
 ///
 /// # Panics
-/// Panics if the vectors differ in length or are empty.
+/// Panics if the vectors differ in length (a programming error, unlike
+/// degenerate answer *values*, which serving paths can produce).
 pub fn smape(x: &[f64], xhat: &[f64]) -> f64 {
     assert_eq!(x.len(), xhat.len(), "answer vectors must align");
-    assert!(!x.is_empty(), "cannot score empty answers");
+    if x.is_empty() {
+        return 0.0;
+    }
     let mut acc = 0.0;
     for (&a, &b) in x.iter().zip(xhat.iter()) {
-        let denom = a.abs() + b.abs();
-        if denom > 0.0 {
-            acc += (a - b).abs() / denom;
+        if a.is_finite() && b.is_finite() {
+            let denom = a.abs() + b.abs();
+            if denom > 0.0 {
+                acc += (a - b).abs() / denom;
+            }
+        } else if a != b {
+            // NaN anywhere, or infinities that disagree: maximal error.
+            // Equal infinities (a == b) count as exact agreement.
+            acc += 1.0;
         }
     }
     acc / x.len() as f64
@@ -26,15 +40,20 @@ pub fn smape(x: &[f64], xhat: &[f64]) -> f64 {
 
 /// Ranks with average tie-handling (fractional ranks), as required for
 /// Spearman correlation over score vectors that often contain ties.
+///
+/// Values are ordered (and ties detected) by [`f64::total_cmp`], so
+/// non-finite scores get well-defined deterministic ranks instead of
+/// poisoning the sort: `-∞` ranks below every finite value, `+∞` above,
+/// and NaNs at the extremes in a fixed order.
 fn average_ranks(x: &[f64]) -> Vec<f64> {
     let n = x.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("finite scores"));
+    idx.sort_by(|&a, &b| x[a].total_cmp(&x[b]));
     let mut ranks = vec![0.0f64; n];
     let mut i = 0;
     while i < n {
         let mut j = i;
-        while j + 1 < n && x[idx[j + 1]] == x[idx[i]] {
+        while j + 1 < n && x[idx[j + 1]].total_cmp(&x[idx[i]]).is_eq() {
             j += 1;
         }
         // Positions i..=j hold tied values; assign their average 1-based rank.
@@ -48,14 +67,18 @@ fn average_ranks(x: &[f64]) -> Vec<f64> {
 }
 
 /// Spearman rank correlation coefficient (higher is better): the Pearson
-/// correlation between the average-tie ranks of `x` and `x̂`. Returns 0
-/// when either vector is constant (undefined correlation).
+/// correlation between the average-tie ranks of `x` and `x̂`. Always
+/// finite: returns 0 when either vector is empty or constant (undefined
+/// correlation), and ranks non-finite values deterministically via
+/// [`f64::total_cmp`] instead of propagating NaN.
 ///
 /// # Panics
-/// Panics if the vectors differ in length or are empty.
+/// Panics if the vectors differ in length.
 pub fn spearman(x: &[f64], xhat: &[f64]) -> f64 {
     assert_eq!(x.len(), xhat.len(), "answer vectors must align");
-    assert!(!x.is_empty(), "cannot score empty answers");
+    if x.is_empty() {
+        return 0.0;
+    }
     let rx = average_ranks(x);
     let ry = average_ranks(xhat);
     pearson(&rx, &ry)
@@ -167,5 +190,43 @@ mod tests {
     #[should_panic(expected = "answer vectors must align")]
     fn mismatched_lengths_panic() {
         let _ = smape(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_slices_score_zero() {
+        assert_eq!(smape(&[], &[]), 0.0);
+        assert_eq!(spearman(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn smape_non_finite_values_are_defined() {
+        // NaN anywhere: maximal per-term error, never NaN out.
+        assert_eq!(smape(&[f64::NAN], &[1.0]), 1.0);
+        assert_eq!(smape(&[0.5, f64::NAN], &[0.5, f64::NAN]), 0.5);
+        // Equal infinities agree; mismatched or one-sided ones don't.
+        assert_eq!(smape(&[f64::INFINITY], &[f64::INFINITY]), 0.0);
+        assert_eq!(smape(&[f64::INFINITY], &[f64::NEG_INFINITY]), 1.0);
+        assert_eq!(smape(&[f64::INFINITY], &[3.0]), 1.0);
+        let v = smape(&[1.0, f64::INFINITY], &[2.0, f64::INFINITY]);
+        assert!(v.is_finite() && (0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn spearman_non_finite_values_are_defined() {
+        // Infinities rank at the extremes: order is preserved, so a
+        // monotone pairing still correlates perfectly.
+        let x = [f64::NEG_INFINITY, 0.0, 1.0, f64::INFINITY];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        // NaNs get deterministic ranks instead of poisoning the sort.
+        let with_nan = [1.0, f64::NAN, 2.0];
+        let r = spearman(&with_nan, &[1.0, 2.0, 3.0]);
+        assert!(r.is_finite());
+        assert_eq!(r, spearman(&with_nan, &[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn spearman_both_constant_is_zero() {
+        assert_eq!(spearman(&[2.0, 2.0, 2.0], &[5.0, 5.0, 5.0]), 0.0);
     }
 }
