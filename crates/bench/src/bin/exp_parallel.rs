@@ -15,16 +15,9 @@
 
 use std::fmt::Write as _;
 
-use pgs_bench::timed;
+use pgs_bench::{env_or, timed};
 use pgs_core::pegasus::{summarize_with_stats, PegasusConfig};
 use pgs_graph::gen::barabasi_albert;
-
-fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let out_path = std::env::args()

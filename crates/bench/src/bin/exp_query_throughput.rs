@@ -30,19 +30,12 @@
 
 use std::fmt::Write as _;
 
-use pgs_bench::{sample_queries, timed};
+use pgs_bench::{env_or, sample_queries, timed};
 use pgs_core::exec::Exec;
 use pgs_core::pegasus::{summarize, PegasusConfig};
 use pgs_graph::gen::planted_partition;
 use pgs_graph::NodeId;
 use pgs_queries::{reference, QueryEngine, PHP_DECAY, RWR_RESTART};
-
-fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
 
 /// One per-query answering closure (legacy path, or through an engine).
 type LegacyFn<'a> = dyn Fn(NodeId) -> Vec<f64> + 'a;

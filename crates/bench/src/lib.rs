@@ -56,6 +56,15 @@ fn scale() -> f64 {
         .unwrap_or(1.0)
 }
 
+/// Parses the environment knob `name`, falling back to `default` on
+/// absence or a malformed value (shared by the experiment binaries).
+pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Number of query nodes per accuracy measurement (`PGS_QUERIES`).
 pub fn num_queries() -> usize {
     std::env::var("PGS_QUERIES")

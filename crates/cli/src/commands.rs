@@ -4,6 +4,7 @@ use pgs_core::exec::Exec;
 use pgs_core::pegasus::{summarize_with_stats, PegasusConfig};
 use pgs_core::ssumm::ssumm_summarize_with_stats;
 use pgs_core::summary_io::{read_summary, write_summary};
+use pgs_core::working::MergeEvaluator;
 use pgs_core::SsummConfig;
 use pgs_graph::io::read_edge_list;
 use pgs_graph::traverse::effective_diameter;
@@ -22,6 +23,7 @@ USAGE:
   pgs summarize <edges.txt> -o <out.summary> [--ratio 0.5] [--targets 1,2,3]
                 [--alpha 1.25] [--beta 0.1] [--method pegasus|ssumm] [--seed 0]
                 [--threads N]   (0 = all hardware threads; same output at any N)
+                [--evaluator cached|scan|legacy]   (non-default = baseline evaluators)
   pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
             [--truth <edges.txt>]
   pgs query <out.summary> --type rwr|hop|php (--nodes <ids.txt> | --sample <k>)
@@ -122,6 +124,12 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
     let method = args.get("method").unwrap_or("pegasus");
     let seed: u64 = args.get_parse("seed", 0)?;
     let num_threads: usize = args.get_parse("threads", 0)?;
+    let evaluator = match args.get("evaluator").unwrap_or("cached") {
+        "cached" => MergeEvaluator::Cached,
+        "scan" => MergeEvaluator::Scan,
+        "legacy" => MergeEvaluator::LegacyHash,
+        other => return Err(format!("unknown evaluator {other:?} (cached|scan|legacy)")),
+    };
 
     let (summary, stats) = match method {
         "pegasus" => {
@@ -147,6 +155,7 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
                 t_max: args.get_parse("tmax", 20)?,
                 seed,
                 num_threads,
+                evaluator,
                 ..Default::default()
             };
             summarize_with_stats(&g, &targets, budget, &cfg)
@@ -156,6 +165,7 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
                 t_max: args.get_parse("tmax", 20)?,
                 seed,
                 num_threads,
+                evaluator,
                 ..Default::default()
             };
             ssumm_summarize_with_stats(&g, budget, &cfg)
@@ -165,13 +175,15 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
 
     write_summary(&summary, out).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "wrote {out}: |S|={} |P|={} {:.0} bits (ratio {:.3}); {} iterations, {} merges{}",
+        "wrote {out}: |S|={} |P|={} {:.0} bits (ratio {:.3}); {} iterations, {} merges, \
+         {} merge-evals{}",
         summary.num_supernodes(),
         summary.num_superedges(),
         summary.size_bits(),
         summary.size_bits() / g.size_bits(),
         stats.iterations,
         stats.merges,
+        stats.evals,
         if stats.sparsified { ", sparsified" } else { "" }
     );
     Ok(())

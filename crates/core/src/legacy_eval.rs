@@ -1,0 +1,195 @@
+//! The pre-cache merge evaluator, preserved verbatim as a benchmark
+//! baseline (DESIGN.md §7).
+//!
+//! Before the group-local weight-vector cache and the epoch-stamped
+//! dense scratch, every evaluation re-scanned both supernodes' member
+//! edges into freshly cleared `FxHashMap`s and summed pair costs in
+//! hash-map iteration order. [`eval_merge_hash`] keeps that exact
+//! implementation so `exp_summarize` and the criterion benches can
+//! measure the cache against the true historical baseline.
+//!
+//! Because hash-map iteration order differs from the canonical
+//! ascending-`SuperId` order, this evaluator's cost sums can differ from
+//! the current evaluators in the final ulps — it is *decision*-
+//! equivalent in practice but not bit-comparable, which is why the
+//! equivalence tests pin [`crate::working::MergeEvaluator::Scan`]
+//! (canonical order) instead. Note it is a *per-evaluation* baseline,
+//! not a bit-exact replica of the pre-cache pipeline: it runs inside
+//! the current `evaluate_group` driver, whose `swap_remove` group
+//! maintenance (an intentional micro-fix) samples candidate pairs in a
+//! different order than the historical `retain` loop.
+
+use pgs_graph::FxHashMap;
+
+use crate::cost::{best_pair_cost, pair_cost};
+use crate::summary::SuperId;
+use crate::working::{DeltaEval, SummaryView};
+
+/// The pre-cache scratch: two hash maps cleared per evaluation.
+#[derive(Default)]
+pub struct HashScratch {
+    map_a: FxHashMap<SuperId, f64>,
+    map_b: FxHashMap<SuperId, f64>,
+}
+
+/// Total pair weight between distinct supernodes: `ŵ_A · ŵ_B`.
+#[inline]
+fn tot_between<V: SummaryView + ?Sized>(v: &V, a: SuperId, b: SuperId) -> f64 {
+    v.wsum_of(a) * v.wsum_of(b)
+}
+
+/// Total pair weight inside a supernode: `(ŵ_A² − Σŵ_u²)/2`.
+#[inline]
+fn tot_within<V: SummaryView + ?Sized>(v: &V, a: SuperId) -> f64 {
+    let w = v.wsum_of(a);
+    ((w * w - v.sqsum_of(a)) / 2.0).max(0.0)
+}
+
+/// The Lemma-1 scan into a hash map (the historical accumulator).
+fn accumulate_edge_weights<V: SummaryView + ?Sized>(
+    v: &V,
+    s: SuperId,
+    out: &mut FxHashMap<SuperId, f64>,
+) {
+    let g = v.graph_ref();
+    let w = v.weights_ref();
+    for &u in v.members_of(s) {
+        let wu = w.node(u);
+        for &nb in g.neighbors(u) {
+            let sv = v.super_of(nb);
+            *out.entry(sv).or_insert(0.0) += wu * w.node(nb);
+        }
+    }
+}
+
+/// `Cost_A(G) = Σ_B Cost_AB(G)` (Eq. 9), summed in map iteration order.
+fn supernode_cost_from_map<V: SummaryView + ?Sized>(
+    v: &V,
+    a: SuperId,
+    map: &FxHashMap<SuperId, f64>,
+) -> f64 {
+    let log_s = v.view_log_s();
+    let mut cost = 0.0;
+    for (&x, &e_raw) in map {
+        let (tot, e) = if x == a {
+            (tot_within(v, a), e_raw / 2.0)
+        } else {
+            (tot_between(v, a, x), e_raw)
+        };
+        cost += pair_cost(v.has_superedge_in(a, x), tot, e, log_s, v.cost_params());
+    }
+    cost
+}
+
+/// Evaluates the merge of `a != b` (Eq. 10–11) exactly as the pre-cache
+/// engine did: fresh hash-map accumulation per call.
+pub fn eval_merge_hash<V: SummaryView + ?Sized>(
+    v: &V,
+    a: SuperId,
+    b: SuperId,
+    scratch: &mut HashScratch,
+) -> DeltaEval {
+    debug_assert!(a != b);
+    scratch.map_a.clear();
+    scratch.map_b.clear();
+    accumulate_edge_weights(v, a, &mut scratch.map_a);
+    accumulate_edge_weights(v, b, &mut scratch.map_b);
+
+    let cost_a = supernode_cost_from_map(v, a, &scratch.map_a);
+    let cost_b = supernode_cost_from_map(v, b, &scratch.map_b);
+    let e_ab = scratch.map_a.get(&b).copied().unwrap_or(0.0);
+    let cost_ab = pair_cost(
+        v.has_superedge_in(a, b),
+        tot_between(v, a, b),
+        e_ab,
+        v.view_log_s(),
+        v.cost_params(),
+    );
+    let denom = cost_a + cost_b - cost_ab;
+
+    let live = v.live_count();
+    let log_s_after = if live <= 2 {
+        0.0
+    } else {
+        ((live - 1) as f64).log2()
+    };
+    let wc = v.wsum_of(a) + v.wsum_of(b);
+    let sqc = v.sqsum_of(a) + v.sqsum_of(b);
+    let tot_cc = ((wc * wc - sqc) / 2.0).max(0.0);
+    let e_cc = scratch.map_a.get(&a).copied().unwrap_or(0.0) / 2.0
+        + scratch.map_b.get(&b).copied().unwrap_or(0.0) / 2.0
+        + e_ab;
+    let mut cost_c = best_pair_cost(tot_cc, e_cc, log_s_after, v.cost_params()).0;
+
+    let mut add_external = |x: SuperId, e: f64| {
+        let tot = wc * v.wsum_of(x);
+        cost_c += best_pair_cost(tot, e, log_s_after, v.cost_params()).0;
+    };
+    for (&x, &e) in &scratch.map_a {
+        if x == a || x == b {
+            continue;
+        }
+        let e_total = e + scratch.map_b.get(&x).copied().unwrap_or(0.0);
+        add_external(x, e_total);
+    }
+    for (&x, &e) in &scratch.map_b {
+        if x == a || x == b || scratch.map_a.contains_key(&x) {
+            continue;
+        }
+        add_external(x, e);
+    }
+
+    let delta = denom - cost_c;
+    let relative = if denom > f64::EPSILON {
+        delta / denom
+    } else {
+        0.0
+    };
+    DeltaEval { delta, relative }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::weights::NodeWeights;
+    use crate::working::{Scratch, WorkingSummary};
+    use pgs_graph::gen::barabasi_albert;
+
+    #[test]
+    fn legacy_hash_eval_agrees_with_canonical_up_to_ulp() {
+        // Same per-pair sums, different summation order: results must
+        // agree to fp-noise precision (and exactly on decisions).
+        let g = barabasi_albert(120, 4, 5);
+        let w = NodeWeights::personalized(&g, &[0], 1.4);
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let mut scratch = Scratch::default();
+        for i in 0..20u32 {
+            ws.merge(
+                ws.supernode_of(2 * i),
+                ws.supernode_of(2 * i + 1),
+                &mut scratch,
+            );
+        }
+        let mut hash_scratch = HashScratch::default();
+        let live = ws.live_ids();
+        for pair in live.windows(2).take(30) {
+            let (a, b) = (pair[0], pair[1]);
+            let new = ws.eval_merge(a, b, &mut scratch);
+            let old = eval_merge_hash(&ws, a, b, &mut hash_scratch);
+            let tol = 1e-9 * old.delta.abs().max(1.0);
+            assert!(
+                (new.delta - old.delta).abs() <= tol,
+                "delta: new {} legacy {}",
+                new.delta,
+                old.delta
+            );
+            assert!(
+                (new.relative - old.relative).abs() <= 1e-9,
+                "relative: new {} legacy {}",
+                new.relative,
+                old.relative
+            );
+        }
+    }
+}

@@ -43,6 +43,7 @@
 pub mod cost;
 pub mod error;
 pub mod exec;
+pub mod legacy_eval;
 pub mod pegasus;
 pub mod shingle;
 pub mod sparsify;

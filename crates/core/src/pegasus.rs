@@ -24,7 +24,7 @@ use crate::sparsify::sparsify;
 use crate::summary::Summary;
 use crate::threshold::AdaptiveThreshold;
 use crate::weights::NodeWeights;
-use crate::working::{evaluate_group, Scratch, WorkingSummary};
+use crate::working::{evaluate_group_with, MergeEvaluator, Scratch, WorkingSummary};
 use pgs_graph::{Graph, NodeId};
 
 /// Configuration of PeGaSus (paper defaults from Sect. V-A).
@@ -49,6 +49,10 @@ pub struct PegasusConfig {
     /// group evaluation). `0` means one per available hardware thread.
     /// The output is identical at any setting; only wall-clock changes.
     pub num_threads: usize,
+    /// Which merge evaluator prices candidate pairs: the group-local
+    /// weight-vector cache (default) or the legacy member-edge scan
+    /// (kept as the benchmark / equivalence baseline, DESIGN.md §7).
+    pub evaluator: MergeEvaluator,
 }
 
 impl Default for PegasusConfig {
@@ -62,6 +66,7 @@ impl Default for PegasusConfig {
             shingle_depth: 10,
             use_absolute_cost: false,
             num_threads: 0,
+            evaluator: MergeEvaluator::default(),
         }
     }
 }
@@ -77,6 +82,12 @@ pub struct RunStats {
     pub final_theta: f64,
     /// Whether sparsification was needed to meet the budget.
     pub sparsified: bool,
+    /// Candidate-pair merge evaluations performed (thread-count
+    /// independent, like every other count here).
+    pub evals: u64,
+    /// Wall-clock seconds spent in the parallel evaluate phases — the
+    /// denominator of the merge-evals/sec throughput metric.
+    pub eval_secs: f64,
 }
 
 /// Summarizes `g` personalized to `targets` within `budget_bits`
@@ -147,9 +158,19 @@ pub fn summarize_with_weights(
             .into_iter()
             .map(|grp| (grp, rng.next_u64()))
             .collect();
+        let eval_start = std::time::Instant::now();
         let outcomes = exec.map_indexed(&seeded, |_, (group, seed)| {
-            evaluate_group(&ws, group, theta, *seed, cfg.use_absolute_cost)
+            evaluate_group_with(
+                &ws,
+                group,
+                theta,
+                *seed,
+                cfg.use_absolute_cost,
+                cfg.evaluator,
+            )
         });
+        stats.eval_secs += eval_start.elapsed().as_secs_f64();
+        stats.evals += outcomes.iter().map(|o| o.evals).sum::<u64>();
 
         // Commit phase (serial, deterministic group order): replay each
         // group's merge log against the shared summary and fold its

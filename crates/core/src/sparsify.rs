@@ -4,91 +4,72 @@
 //! superedges are dropped in increasing order of their pair cost
 //! `Cost_AB` (Eq. 6) until the size constraint is met.
 
-use pgs_graph::FxHashMap;
-
 use crate::cost::cost_with_superedge;
 use crate::exec::Exec;
 use crate::summary::SuperId;
-use crate::working::WorkingSummary;
+use crate::working::{with_weight_vector, WorkingSummary};
 
 /// Drops superedges in ascending `Cost_AB` order until
 /// `Size(G̅) ≤ budget_bits` (Alg. 1 lines 11–13).
 ///
 /// Dropping superedges does not change `|S|`, so each drop removes
 /// exactly `2·log2|S|` bits; the number of drops needed is known up
-/// front. Edge-weight gathering and superedge pricing fan out across
-/// `exec` workers (each builds a partial map / price list over a node
-/// chunk; partials merge serially). Prices sort under the total order
-/// `(cost, a, b)`, so equal-cost superedges drop in the same order at
-/// any thread count.
+/// front. Pricing fans out over contiguous ranges of the supernode *id
+/// space* (no materialized live-id list): each worker rebuilds the
+/// weight vector of every live supernode in its range through its
+/// thread-local epoch-stamped dense lane — the same accumulation
+/// primitive the merge evaluator uses (DESIGN.md §7) — and prices the
+/// supernode's superedges from it. Every per-pair sum is accumulated in
+/// one supernode's member-edge visit order, a pure function of the
+/// supernode alone, so chunk boundaries and thread counts cannot
+/// perturb the prices. Prices sort under the total order `(cost, a, b)`,
+/// so equal-cost superedges drop in the same order at any thread count.
 pub fn sparsify(ws: &mut WorkingSummary<'_>, budget_bits: f64, exec: &Exec) {
     let log_s = ws.log_s();
     if log_s == 0.0 || ws.size_bits() <= budget_bits {
         return;
     }
 
-    // Personalized edge-weight sum per superedge pair: each worker scans
-    // a contiguous node range (edges visited once via the u < v side).
-    // The chunk size is FIXED (not derived from the thread count): a
-    // pair's weight is the fold of its per-chunk partial sums in chunk
-    // order, and f64 addition is non-associative, so thread-count-
-    // dependent chunk boundaries would perturb sums by an ulp and could
-    // reorder the cost sort below — breaking the byte-identical-at-any-
-    // thread-count guarantee.
-    const NODE_CHUNK: usize = 8_192;
-    let g = ws.graph();
-    let w = ws.weights();
-    let nodes: Vec<u32> = g.nodes().collect();
-    let partial_maps = {
-        let chunks: Vec<&[u32]> = nodes.chunks(NODE_CHUNK).collect();
-        exec.map_indexed(&chunks, |_, range| {
-            let mut map: FxHashMap<(SuperId, SuperId), f64> = FxHashMap::default();
-            for &u in *range {
-                for &v in g.neighbors(u) {
-                    if u >= v {
-                        continue;
-                    }
-                    let (a, b) = (ws.supernode_of(u), ws.supernode_of(v));
-                    let key = (a.min(b), a.max(b));
-                    if ws.has_superedge(key.0, key.1) {
-                        *map.entry(key).or_insert(0.0) += w.pair(u, v);
-                    }
-                }
-            }
-            map
-        })
-    };
-    let mut edge_weight: FxHashMap<(SuperId, SuperId), f64> = FxHashMap::default();
-    for map in partial_maps {
-        for (key, e) in map {
-            *edge_weight.entry(key).or_insert(0.0) += e;
-        }
-    }
-
-    // Price every superedge by Eq. (6) with the superedge present, one
-    // live-supernode chunk per worker.
     let params = *ws.params();
-    let live = ws.live_ids();
-    let priced_parts = {
-        let chunk = live.len().div_ceil(exec.threads().max(1)).max(1);
-        let chunks: Vec<&[SuperId]> = live.chunks(chunk).collect();
-        let edge_weight = &edge_weight;
-        exec.map_indexed(&chunks, |_, range| {
-            let mut priced: Vec<(f64, SuperId, SuperId)> = Vec::new();
-            for &a in *range {
-                for b in ws.superedge_neighbors(a) {
-                    if a > b {
-                        continue;
-                    }
-                    let e = edge_weight.get(&(a, b)).copied().unwrap_or(0.0);
-                    let tot = ws.pair_tot(a, b);
-                    let cost = cost_with_superedge(tot, e, log_s, &params);
-                    priced.push((cost, a, b));
-                }
-            }
-            priced
-        })
+    let n = ws.graph().num_nodes();
+    let ranges: Vec<(u32, u32)> = {
+        let chunk = n.div_ceil(exec.threads().max(1)).max(1);
+        (0..n)
+            .step_by(chunk)
+            .map(|lo| (lo as u32, (lo + chunk).min(n) as u32))
+            .collect()
     };
+    let ws_ref = &*ws;
+    let priced_parts = exec.map_indexed(&ranges, |_, &(lo, hi)| {
+        let mut priced: Vec<(f64, SuperId, SuperId)> = Vec::new();
+        let mut targets: Vec<SuperId> = Vec::new();
+        for a in lo..hi {
+            if !ws_ref.is_live(a) {
+                continue;
+            }
+            // Each unordered pair is priced once, from its smaller
+            // endpoint (self-loops from themselves). Push order is
+            // irrelevant — the global sort below totally orders on
+            // (cost, a, b) — so the adjacency set is consumed as-is,
+            // into a buffer reused across the worker's whole range.
+            targets.clear();
+            targets.extend(ws_ref.superedge_neighbors(a).filter(|&b| b >= a));
+            if targets.is_empty() {
+                continue;
+            }
+            with_weight_vector(ws_ref, a, |lane, epoch| {
+                for &b in &targets {
+                    // The scan doubles intra-supernode weight (both
+                    // endpoints visited); halve it for the self-loop.
+                    let e_raw = lane.get(b, epoch).unwrap_or(0.0);
+                    let e = if b == a { e_raw / 2.0 } else { e_raw };
+                    let tot = ws_ref.pair_tot(a, b);
+                    priced.push((cost_with_superedge(tot, e, log_s, &params), a, b));
+                }
+            });
+        }
+        priced
+    });
     let mut priced: Vec<(f64, SuperId, SuperId)> = priced_parts.into_iter().flatten().collect();
     priced.sort_unstable_by(|x, y| {
         x.0.partial_cmp(&y.0)
@@ -167,6 +148,40 @@ mod tests {
         sparsify(&mut ws, floor, &Exec::serial());
         assert_eq!(ws.num_superedges(), 0);
         assert!(ws.size_bits() <= floor + 1e-9);
+    }
+
+    #[test]
+    fn parallel_pricing_matches_serial() {
+        // Same drops at any thread count / chunking of the id space.
+        let g = barabasi_albert(200, 4, 17);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let budget = 0.35 * g.size_bits();
+        let fingerprint = |threads: usize| {
+            let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+            let mut scratch = Scratch::default();
+            for s in 0..40u32 {
+                ws.merge(
+                    ws.supernode_of(2 * s),
+                    ws.supernode_of(2 * s + 1),
+                    &mut scratch,
+                );
+            }
+            sparsify(&mut ws, budget, &Exec::new(threads));
+            let mut edges: Vec<(SuperId, SuperId)> = Vec::new();
+            for s in ws.live_ids() {
+                for x in ws.superedge_neighbors(s) {
+                    if s <= x {
+                        edges.push((s, x));
+                    }
+                }
+            }
+            edges.sort_unstable();
+            edges
+        };
+        let serial = fingerprint(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(fingerprint(threads), serial, "threads = {threads}");
+        }
     }
 
     #[test]

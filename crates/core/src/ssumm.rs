@@ -23,7 +23,7 @@ use crate::sparsify::sparsify;
 use crate::summary::Summary;
 use crate::threshold::ssumm_schedule;
 use crate::weights::NodeWeights;
-use crate::working::{evaluate_group, Scratch, WorkingSummary};
+use crate::working::{evaluate_group_with, MergeEvaluator, Scratch, WorkingSummary};
 use pgs_graph::Graph;
 
 /// Configuration of the SSumM baseline (paper defaults from Sect. V-A).
@@ -40,6 +40,8 @@ pub struct SsummConfig {
     /// Worker threads for the evaluate phases (same engine as PeGaSus;
     /// `0` = all hardware threads; output identical at any setting).
     pub num_threads: usize,
+    /// Merge evaluator (same engine as PeGaSus; cached by default).
+    pub evaluator: MergeEvaluator,
 }
 
 impl Default for SsummConfig {
@@ -50,6 +52,7 @@ impl Default for SsummConfig {
             max_group: 500,
             shingle_depth: 10,
             num_threads: 0,
+            evaluator: MergeEvaluator::default(),
         }
     }
 }
@@ -87,9 +90,12 @@ pub fn ssumm_summarize_with_stats(
             .into_iter()
             .map(|grp| (grp, rng.next_u64()))
             .collect();
+        let eval_start = std::time::Instant::now();
         let outcomes = exec.map_indexed(&seeded, |_, (group, seed)| {
-            evaluate_group(&ws, group, theta, *seed, false)
+            evaluate_group_with(&ws, group, theta, *seed, false, cfg.evaluator)
         });
+        stats.eval_secs += eval_start.elapsed().as_secs_f64();
+        stats.evals += outcomes.iter().map(|o| o.evals).sum::<u64>();
         for outcome in &outcomes {
             for &(a, b) in &outcome.merges {
                 ws.merge(a, b, &mut scratch);

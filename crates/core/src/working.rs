@@ -18,6 +18,32 @@
 //!   merge to the shared summary; the driver replays each group's log in
 //!   deterministic group order (Alg. 2's superedge re-addition then runs
 //!   against the true global state).
+//!
+//! # The merge-evaluation hot loop (DESIGN.md §7)
+//!
+//! Two structures keep the Alg.-2 inner loop off the allocator and the
+//! hash functions:
+//!
+//! * An **epoch-stamped dense scratch** ([`Scratch`]): per-supernode
+//!   accumulators are flat `stamp`/`val` arrays indexed by `SuperId`
+//!   plus a `touched` list, cleared in `O(touched)` by bumping an epoch
+//!   counter — no hashing, no per-call allocation.
+//! * A **group-local superedge-weight cache** ([`GroupView::with_cache`]):
+//!   at group start every member's aggregated neighbor-supernode weight
+//!   vector is computed once and stored as a sorted `(SuperId, f64)`
+//!   span in a bump arena; every subsequent evaluation answers from the
+//!   cached spans instead of re-walking member edges. Intra-group merges
+//!   combine the two member spans incrementally and stale span keys are
+//!   remapped dead→kept lazily at read time, so the cache survives the
+//!   whole group round.
+//!
+//! Both the cached and the scan evaluator accumulate per-neighbor sums
+//! in member-edge visit order and price pairs in ascending-`SuperId`
+//! order, so on any snapshot state their [`DeltaEval`]s are **bitwise
+//! identical** — the property `tests/eval_equivalence.rs` pins down and
+//! the byte-identical-at-any-thread-count guarantee rests on.
+
+use std::cell::RefCell;
 
 use pgs_graph::{FxHashMap, FxHashSet, Graph, NodeId};
 use rand::rngs::StdRng;
@@ -38,13 +64,100 @@ struct SuperData {
     sqsum: f64,
 }
 
-/// Reusable scratch buffers for cost evaluation (workhorse-collection
-/// pattern: one allocation reused across the millions of evaluations a
-/// run performs).
+/// One epoch-stamped dense accumulator: `val[s]` is live iff
+/// `stamp[s]` equals the current epoch, and `touched` lists the live
+/// slots. Clearing is an epoch bump plus truncating `touched` — the
+/// `stamp`/`val` arrays are never rewritten wholesale.
+#[derive(Default)]
+pub(crate) struct DenseLane {
+    stamp: Vec<u32>,
+    val: Vec<f64>,
+    touched: Vec<SuperId>,
+}
+
+impl DenseLane {
+    fn ensure(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.val.resize(n, 0.0);
+        }
+    }
+
+    /// Adds `v` into slot `s` under `epoch`, registering first touches.
+    #[inline]
+    fn add(&mut self, s: SuperId, v: f64, epoch: u32) {
+        let i = s as usize;
+        if self.stamp[i] == epoch {
+            self.val[i] += v;
+        } else {
+            self.stamp[i] = epoch;
+            self.val[i] = v;
+            self.touched.push(s);
+        }
+    }
+
+    /// The accumulated value of slot `s`, if touched this epoch.
+    #[inline]
+    pub(crate) fn get(&self, s: SuperId, epoch: u32) -> Option<f64> {
+        let i = s as usize;
+        (self.stamp[i] == epoch).then(|| self.val[i])
+    }
+
+    /// Sorts `touched` ascending — the canonical pricing order. A span
+    /// loaded without remapping arrives already sorted, so the common
+    /// case is a no-op scan.
+    fn sort_touched(&mut self) {
+        if !self.touched.is_sorted() {
+            self.touched.sort_unstable();
+        }
+    }
+}
+
+/// Reusable evaluation scratch: two epoch-stamped dense lanes (one per
+/// merge endpoint). One allocation serves the millions of evaluations a
+/// run performs; [`Scratch::begin`] clears both lanes in `O(touched)`.
 #[derive(Default)]
 pub struct Scratch {
-    map_a: FxHashMap<SuperId, f64>,
-    map_b: FxHashMap<SuperId, f64>,
+    epoch: u32,
+    a: DenseLane,
+    b: DenseLane,
+}
+
+impl Scratch {
+    /// Opens a fresh epoch with both lanes empty, sizing lane `a` for
+    /// `n` supernode ids. Lane `b` is sized on demand
+    /// ([`Scratch::ensure_b`]): the cached evaluator and the commit
+    /// path only ever touch lane `a`, so the default pipeline pays for
+    /// one dense lane per worker thread, not two.
+    fn begin(&mut self, n: usize) {
+        self.a.ensure(n);
+        self.a.touched.clear();
+        self.b.touched.clear();
+        if self.epoch == u32::MAX {
+            // Once per 2^32 epochs: retire every stale stamp so old
+            // epochs can never alias the restarted counter.
+            self.a.stamp.fill(0);
+            self.b.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Sizes lane `b` (the scan evaluator's second accumulator).
+    fn ensure_b(&mut self, n: usize) {
+        self.b.ensure(n);
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Runs `f` with this thread's reusable [`Scratch`]. Epoch stamping
+/// makes reuse across unrelated calls free, so evaluate-phase workers
+/// share one allocation across all the groups they process.
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
 }
 
 /// Outcome of evaluating a candidate merge `{A, B}` (Eq. 10–11).
@@ -111,69 +224,111 @@ fn tot_within_view<V: SummaryView + ?Sized>(v: &V, a: SuperId) -> f64 {
 
 /// The Lemma-1 `O(Σ |N_u|)` scan: accumulates, per neighbor supernode
 /// `X`, the summed personalized edge weight between `s` and `X` into
-/// `out`. Intra-supernode edges accumulate twice their weight (visited
-/// from both endpoints); divide by two before using as `e_ss`.
+/// `lane`, in member-edge visit order (the canonical per-key
+/// accumulation order — span building and the scan evaluator both use
+/// it, which is what makes their sums bitwise identical).
+/// Intra-supernode edges accumulate twice their weight (visited from
+/// both endpoints); divide by two before using as `e_ss`.
 fn accumulate_edge_weights_view<V: SummaryView + ?Sized>(
     v: &V,
     s: SuperId,
-    out: &mut FxHashMap<SuperId, f64>,
+    lane: &mut DenseLane,
+    epoch: u32,
 ) {
     let g = v.graph_ref();
     let w = v.weights_ref();
     for &u in v.members_of(s) {
         let wu = w.node(u);
         for &nb in g.neighbors(u) {
-            let sv = v.super_of(nb);
-            *out.entry(sv).or_insert(0.0) += wu * w.node(nb);
+            lane.add(v.super_of(nb), wu * w.node(nb), epoch);
         }
     }
 }
 
-/// `Cost_A(G) = Σ_B Cost_AB(G)` (Eq. 9) from an edge-weight map produced
-/// by [`accumulate_edge_weights_view`].
-fn supernode_cost_from_map_view<V: SummaryView + ?Sized>(
-    v: &V,
-    a: SuperId,
-    map: &FxHashMap<SuperId, f64>,
-) -> f64 {
-    let log_s = v.view_log_s();
-    let mut cost = 0.0;
-    for (&x, &e_raw) in map {
-        let (tot, e) = if x == a {
-            (tot_within_view(v, a), e_raw / 2.0)
-        } else {
-            (tot_between_view(v, a, x), e_raw)
-        };
-        cost += pair_cost(v.has_superedge_in(a, x), tot, e, log_s, v.cost_params());
-    }
-    cost
+/// Fills this thread's scratch with `s`'s aggregated neighbor-supernode
+/// weight vector and hands the lane plus its epoch to `f` — the
+/// accumulation primitive behind sparsification pricing. The lane is
+/// *not* sorted: per-key sums are order-independent of `touched`, and
+/// the only consumer does point lookups ([`DenseLane::get`]).
+pub(crate) fn with_weight_vector<V, R>(v: &V, s: SuperId, f: impl FnOnce(&DenseLane, u32) -> R) -> R
+where
+    V: SummaryView + ?Sized,
+{
+    with_thread_scratch(|scratch| {
+        scratch.begin(v.graph_ref().num_nodes());
+        accumulate_edge_weights_view(v, s, &mut scratch.a, scratch.epoch);
+        f(&scratch.a, scratch.epoch)
+    })
 }
 
-/// Evaluates the merge of live supernodes `a != b` (Eq. 10–11) against
-/// any [`SummaryView`], without mutating anything. `O(Σ_{u∈A∪B} |N_u|)`
-/// per Lemma 1. This is the read-only half of the evaluate/commit split.
-pub fn eval_merge_view<V: SummaryView + ?Sized>(
+/// **The** canonical pricing routine (Eq. 10–11): prices the merge
+/// `{a, b}` from two *sorted* neighbor-supernode weight vectors,
+/// generically over their storage (positional span columns, or a dense
+/// lane projected through its `touched` list). Every evaluator funnels
+/// through this one function, so the f64 accumulation order —
+/// per-supernode costs in ascending-`SuperId` order, the merged
+/// supernode's externals in sorted merge-join union order — is shared
+/// **by construction**: identical vector contents give bitwise-identical
+/// [`DeltaEval`]s (the DESIGN.md §7 invariant).
+///
+/// `va(i)`/`vb(i)` read side a/b's `i`-th value; `pa(i, x)`/`pb(i, x)`
+/// resolve superedge presence for the `i`-th entry with key `x`;
+/// `wx(x)` resolves a supernode's weight sum — callers must pass a
+/// function extensionally equal to `|x| v.wsum_of(x)` (the cached fast
+/// path hoists its overlay-or-snapshot branch out of the per-entry
+/// loops this way).
+#[allow(clippy::too_many_arguments)]
+fn price_merge_canonical<V, WX, VA, VB, PA, PB>(
     v: &V,
     a: SuperId,
     b: SuperId,
-    scratch: &mut Scratch,
-) -> DeltaEval {
-    debug_assert!(a != b);
-    scratch.map_a.clear();
-    scratch.map_b.clear();
-    accumulate_edge_weights_view(v, a, &mut scratch.map_a);
-    accumulate_edge_weights_view(v, b, &mut scratch.map_b);
+    ka: &[SuperId],
+    va: VA,
+    pa: PA,
+    kb: &[SuperId],
+    vb: VB,
+    pb: PB,
+    wx: WX,
+) -> DeltaEval
+where
+    V: SummaryView + ?Sized,
+    WX: Fn(SuperId) -> f64,
+    VA: Fn(usize) -> f64,
+    VB: Fn(usize) -> f64,
+    PA: Fn(usize, SuperId) -> bool,
+    PB: Fn(usize, SuperId) -> bool,
+{
+    let p = v.cost_params();
+    let log_s = v.view_log_s();
+    let (wa, wb) = (wx(a), wx(b));
 
-    let cost_a = supernode_cost_from_map_view(v, a, &scratch.map_a);
-    let cost_b = supernode_cost_from_map_view(v, b, &scratch.map_b);
-    let e_ab = scratch.map_a.get(&b).copied().unwrap_or(0.0);
-    let cost_ab = pair_cost(
-        v.has_superedge_in(a, b),
-        tot_between_view(v, a, b),
-        e_ab,
-        v.view_log_s(),
-        v.cost_params(),
-    );
+    // Cost_A and Cost_B (Eq. 9), ascending key order.
+    let mut cost_a = 0.0;
+    for (i, &x) in ka.iter().enumerate() {
+        let e_raw = va(i);
+        let (tot, e) = if x == a {
+            (tot_within_view(v, a), e_raw / 2.0)
+        } else {
+            (wa * wx(x), e_raw)
+        };
+        cost_a += pair_cost(pa(i, x), tot, e, log_s, p);
+    }
+    let mut cost_b = 0.0;
+    for (i, &x) in kb.iter().enumerate() {
+        let e_raw = vb(i);
+        let (tot, e) = if x == b {
+            (tot_within_view(v, b), e_raw / 2.0)
+        } else {
+            (wb * wx(x), e_raw)
+        };
+        cost_b += pair_cost(pb(i, x), tot, e, log_s, p);
+    }
+
+    let e_ab = match ka.binary_search(&b) {
+        Ok(i) => va(i),
+        Err(_) => 0.0,
+    };
+    let cost_ab = pair_cost(v.has_superedge_in(a, b), wa * wb, e_ab, log_s, p);
     let denom = cost_a + cost_b - cost_ab;
 
     // Cost of the merged supernode C = A ∪ B with optimal re-encoding of
@@ -184,30 +339,50 @@ pub fn eval_merge_view<V: SummaryView + ?Sized>(
     } else {
         ((live - 1) as f64).log2()
     };
-    let wc = v.wsum_of(a) + v.wsum_of(b);
+    let wc = wa + wb;
     let sqc = v.sqsum_of(a) + v.sqsum_of(b);
     let tot_cc = ((wc * wc - sqc) / 2.0).max(0.0);
-    let e_cc = scratch.map_a.get(&a).copied().unwrap_or(0.0) / 2.0
-        + scratch.map_b.get(&b).copied().unwrap_or(0.0) / 2.0
-        + e_ab;
-    let mut cost_c = best_pair_cost(tot_cc, e_cc, log_s_after, v.cost_params()).0;
-
-    let mut add_external = |x: SuperId, e: f64| {
-        let tot = wc * v.wsum_of(x);
-        cost_c += best_pair_cost(tot, e, log_s_after, v.cost_params()).0;
+    let e_aa = match ka.binary_search(&a) {
+        Ok(i) => va(i),
+        Err(_) => 0.0,
     };
-    for (&x, &e) in &scratch.map_a {
-        if x == a || x == b {
-            continue;
+    let e_bb = match kb.binary_search(&b) {
+        Ok(i) => vb(i),
+        Err(_) => 0.0,
+    };
+    let e_cc = e_aa / 2.0 + e_bb / 2.0 + e_ab;
+    let mut cost_c = best_pair_cost(tot_cc, e_cc, log_s_after, p).0;
+
+    // Externals of C: two-pointer merge-join over the two sorted key
+    // lists (ascending union order — the canonical cost_c summation
+    // order), with straight-line tails once either side is exhausted.
+    let mut external = |x: SuperId, e: f64| {
+        if x != a && x != b {
+            cost_c += best_pair_cost(wc * wx(x), e, log_s_after, p).0;
         }
-        let e_total = e + scratch.map_b.get(&x).copied().unwrap_or(0.0);
-        add_external(x, e_total);
+    };
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ka.len() && j < kb.len() {
+        let (xa, xb) = (ka[i], kb[j]);
+        if xa == xb {
+            external(xa, va(i) + vb(j));
+            i += 1;
+            j += 1;
+        } else if xa < xb {
+            external(xa, va(i));
+            i += 1;
+        } else {
+            external(xb, vb(j));
+            j += 1;
+        }
     }
-    for (&x, &e) in &scratch.map_b {
-        if x == a || x == b || scratch.map_a.contains_key(&x) {
-            continue;
-        }
-        add_external(x, e);
+    while i < ka.len() {
+        external(ka[i], va(i));
+        i += 1;
+    }
+    while j < kb.len() {
+        external(kb[j], vb(j));
+        j += 1;
     }
 
     let delta = denom - cost_c;
@@ -219,6 +394,41 @@ pub fn eval_merge_view<V: SummaryView + ?Sized>(
     DeltaEval { delta, relative }
 }
 
+/// Evaluates the merge of live supernodes `a != b` (Eq. 10–11) against
+/// any [`SummaryView`], without mutating anything. `O(Σ_{u∈A∪B} |N_u|)`
+/// per Lemma 1 — the *scan* evaluator: it re-walks member edges on every
+/// call. The group evaluator answers from cached spans instead
+/// ([`GroupView::eval_merge_cached`]) and agrees with this function
+/// bitwise on any snapshot state (both price through
+/// [`price_merge_canonical`]).
+pub fn eval_merge_view<V: SummaryView + ?Sized>(
+    v: &V,
+    a: SuperId,
+    b: SuperId,
+    scratch: &mut Scratch,
+) -> DeltaEval {
+    debug_assert!(a != b);
+    scratch.begin(v.graph_ref().num_nodes());
+    scratch.ensure_b(v.graph_ref().num_nodes());
+    accumulate_edge_weights_view(v, a, &mut scratch.a, scratch.epoch);
+    accumulate_edge_weights_view(v, b, &mut scratch.b, scratch.epoch);
+    scratch.a.sort_touched();
+    scratch.b.sort_touched();
+    let (la, lb) = (&scratch.a, &scratch.b);
+    price_merge_canonical(
+        v,
+        a,
+        b,
+        &la.touched,
+        |i| la.val[la.touched[i] as usize],
+        |_, x| v.has_superedge_in(a, x),
+        &lb.touched,
+        |i| lb.val[lb.touched[i] as usize],
+        |_, x| v.has_superedge_in(b, x),
+        |x| v.wsum_of(x),
+    )
+}
+
 /// The summary graph under construction: supernode partition, superedge
 /// adjacency, and the incremental statistics needed to evaluate merges in
 /// `O(Σ_{u∈A∪B} |N_u|)` (Lemma 1).
@@ -228,8 +438,13 @@ pub struct WorkingSummary<'a> {
     params: CostParams,
     /// Supernode of each node.
     node_super: Vec<SuperId>,
-    /// Supernode table indexed by `SuperId`; `None` = merged away.
-    supers: Vec<Option<SuperData>>,
+    /// Member lists indexed by `SuperId`; `None` = merged away.
+    members: Vec<Option<Vec<NodeId>>>,
+    /// Dense weight-sum columns indexed by `SuperId` (`Σ ŵ_u` and
+    /// `Σ ŵ_u²` over the members) — flat `f64` reads on the evaluator's
+    /// hottest access path. Dead slots hold stale values, never read.
+    wsum: Vec<f64>,
+    sqsum: Vec<f64>,
     /// Superedge adjacency per supernode; a self-loop is the supernode's
     /// own id. Dead slots are empty.
     adj: Vec<FxHashSet<SuperId>>,
@@ -246,16 +461,9 @@ impl<'a> WorkingSummary<'a> {
         assert_eq!(g.num_nodes(), w.len(), "weights must cover all nodes");
         let n = g.num_nodes();
         let node_super: Vec<SuperId> = (0..n as SuperId).collect();
-        let supers: Vec<Option<SuperData>> = (0..n)
-            .map(|u| {
-                let wu = w.node(u as NodeId);
-                Some(SuperData {
-                    members: vec![u as NodeId],
-                    wsum: wu,
-                    sqsum: wu * wu,
-                })
-            })
-            .collect();
+        let members: Vec<Option<Vec<NodeId>>> = (0..n).map(|u| Some(vec![u as NodeId])).collect();
+        let wsum: Vec<f64> = (0..n).map(|u| w.node(u as NodeId)).collect();
+        let sqsum: Vec<f64> = wsum.iter().map(|&wu| wu * wu).collect();
         let mut adj: Vec<FxHashSet<SuperId>> = Vec::with_capacity(n);
         for u in 0..n as NodeId {
             let mut set = FxHashSet::with_capacity_and_hasher(g.degree(u), Default::default());
@@ -267,7 +475,9 @@ impl<'a> WorkingSummary<'a> {
             w,
             params: CostParams::new(n, model),
             node_super,
-            supers,
+            members,
+            wsum,
+            sqsum,
             adj,
             live: n,
             num_superedges: g.num_edges(),
@@ -322,12 +532,12 @@ impl<'a> WorkingSummary<'a> {
     /// True if `s` names a live supernode.
     #[inline]
     pub fn is_live(&self, s: SuperId) -> bool {
-        (s as usize) < self.supers.len() && self.supers[s as usize].is_some()
+        (s as usize) < self.members.len() && self.members[s as usize].is_some()
     }
 
     /// Ids of all live supernodes.
     pub fn live_ids(&self) -> Vec<SuperId> {
-        self.supers
+        self.members
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|_| i as SuperId))
@@ -339,10 +549,7 @@ impl<'a> WorkingSummary<'a> {
     /// # Panics
     /// Panics if `s` is dead.
     pub fn members(&self, s: SuperId) -> &[NodeId] {
-        &self.supers[s as usize]
-            .as_ref()
-            .expect("dead supernode")
-            .members
+        self.members[s as usize].as_ref().expect("dead supernode")
     }
 
     /// Supernode currently containing node `u`.
@@ -388,8 +595,8 @@ impl<'a> WorkingSummary<'a> {
             "merge needs two live supernodes"
         );
         // Weighted union: keep the larger side's id.
-        let size_a = self.supers[a as usize].as_ref().unwrap().members.len();
-        let size_b = self.supers[b as usize].as_ref().unwrap().members.len();
+        let size_a = self.members[a as usize].as_ref().unwrap().len();
+        let size_b = self.members[b as usize].as_ref().unwrap().len();
         let (keep, dead) = if size_a >= size_b { (a, b) } else { (b, a) };
 
         // Drop all superedges incident to either endpoint (Alg. 2 line 8).
@@ -408,26 +615,30 @@ impl<'a> WorkingSummary<'a> {
         // double-subtracted.
 
         // Union member sets and aggregates.
-        let dead_data = self.supers[dead as usize].take().expect("dead side live");
+        let dead_members = self.members[dead as usize].take().expect("dead side live");
         {
-            let keep_data = self.supers[keep as usize].as_mut().expect("keep side live");
-            for &u in &dead_data.members {
+            let keep_members = self.members[keep as usize]
+                .as_mut()
+                .expect("keep side live");
+            for &u in &dead_members {
                 self.node_super[u as usize] = keep;
             }
-            keep_data.members.extend_from_slice(&dead_data.members);
-            keep_data.wsum += dead_data.wsum;
-            keep_data.sqsum += dead_data.sqsum;
+            keep_members.extend_from_slice(&dead_members);
         }
+        self.wsum[keep as usize] += self.wsum[dead as usize];
+        self.sqsum[keep as usize] += self.sqsum[dead as usize];
         self.live -= 1;
 
         // Selective superedge addition (Alg. 2 line 9): re-scan the merged
         // supernode's incident input edges and keep exactly the
         // cost-reducing superedges.
-        scratch.map_a.clear();
-        accumulate_edge_weights_view(self, keep, &mut scratch.map_a);
+        scratch.begin(self.g.num_nodes());
+        accumulate_edge_weights_view(self, keep, &mut scratch.a, scratch.epoch);
+        scratch.a.sort_touched();
         let log_s = self.log_s();
         let mut added = 0usize;
-        for (&x, &e_raw) in &scratch.map_a {
+        for &x in &scratch.a.touched {
+            let e_raw = scratch.a.val[x as usize];
             let (tot, e) = if x == keep {
                 (tot_within_view(self, keep), e_raw / 2.0)
             } else {
@@ -516,18 +727,14 @@ impl SummaryView for WorkingSummary<'_> {
 
     #[inline]
     fn wsum_of(&self, s: SuperId) -> f64 {
-        self.supers[s as usize]
-            .as_ref()
-            .expect("dead supernode")
-            .wsum
+        debug_assert!(self.is_live(s), "dead supernode");
+        self.wsum[s as usize]
     }
 
     #[inline]
     fn sqsum_of(&self, s: SuperId) -> f64 {
-        self.supers[s as usize]
-            .as_ref()
-            .expect("dead supernode")
-            .sqsum
+        debug_assert!(self.is_live(s), "dead supernode");
+        self.sqsum[s as usize]
     }
 
     #[inline]
@@ -538,6 +745,126 @@ impl SummaryView for WorkingSummary<'_> {
     #[inline]
     fn has_superedge_in(&self, a: SuperId, b: SuperId) -> bool {
         self.adj[a as usize].contains(&b)
+    }
+}
+
+/// The group-local superedge-weight cache: per group member, the
+/// aggregated neighbor-supernode weight vector as a sorted
+/// `(SuperId, f64)` span in a bump arena (parallel `keys`/`vals`
+/// columns). Spans are immutable once written; an intra-group merge
+/// appends the combined span and retires the inputs, and span keys that
+/// name locally-dead supernodes are remapped dead→kept lazily at read
+/// time through `forward`.
+#[derive(Default)]
+struct GroupCache {
+    keys: Vec<SuperId>,
+    vals: Vec<f64>,
+    /// Snapshot superedge presence of `{member, key}` per entry — lets
+    /// the clean-span fast path price without adjacency-set lookups.
+    /// Only meaningful while the owning span is clean (merged spans are
+    /// born dirty and never read it).
+    pres: Vec<bool>,
+    /// Live member supernode → its span in the arena.
+    spans: FxHashMap<SuperId, Span>,
+    /// Locally-dead supernode → its surviving merge target (one step;
+    /// reads follow the chain).
+    forward: FxHashMap<SuperId, SuperId>,
+}
+
+/// One cached weight-vector span: an arena window plus a staleness bit.
+///
+/// A span is **dirty** once any of its keys or presence bits may
+/// disagree with the overlay — it was rebuilt by a merge, or it
+/// references a supernode that merged locally. Dirty spans price
+/// through the lane path (lazy remap); clean spans price straight off
+/// the arena with zero hash lookups.
+#[derive(Clone, Copy)]
+struct Span {
+    start: u32,
+    len: u32,
+    dirty: bool,
+}
+
+impl GroupCache {
+    /// Follows dead→kept links to the currently-live supernode.
+    #[inline]
+    fn resolve(&self, mut s: SuperId) -> SuperId {
+        while let Some(&t) = self.forward.get(&s) {
+            s = t;
+        }
+        s
+    }
+
+    /// A span's `(keys, vals, presence)` slices.
+    #[inline]
+    fn slices(&self, span: Span) -> (&[SuperId], &[f64], &[bool]) {
+        let (start, len) = (span.start as usize, span.len as usize);
+        (
+            &self.keys[start..start + len],
+            &self.vals[start..start + len],
+            &self.pres[start..start + len],
+        )
+    }
+
+    /// Marks every clean span referencing `keep` or `dead` dirty — their
+    /// keys (dead) or presence bits (keep's superedges were dropped and
+    /// re-added) no longer reflect the overlay. Spans are sorted, so
+    /// each check is two binary searches.
+    fn mark_dirty_referencing(&mut self, keep: SuperId, dead: SuperId) {
+        let keys = &self.keys;
+        for span in self.spans.values_mut() {
+            if span.dirty {
+                continue;
+            }
+            let ks = &keys[span.start as usize..(span.start + span.len) as usize];
+            if ks.binary_search(&keep).is_ok() || ks.binary_search(&dead).is_ok() {
+                span.dirty = true;
+            }
+        }
+    }
+
+    /// Accumulates `s`'s cached span into `lane`, remapping stale keys.
+    /// Entries are added in span (ascending original key) order — the
+    /// canonical order the equivalence invariant is defined over.
+    fn load(&self, s: SuperId, lane: &mut DenseLane, epoch: u32) {
+        let Span { start, len, .. } = self.spans[&s];
+        let (start, len) = (start as usize, len as usize);
+        if self.forward.is_empty() {
+            for i in start..start + len {
+                lane.add(self.keys[i], self.vals[i], epoch);
+            }
+        } else {
+            for i in start..start + len {
+                lane.add(self.resolve(self.keys[i]), self.vals[i], epoch);
+            }
+        }
+    }
+
+    /// Bump-appends the lane's sorted contents as the new span of `s`,
+    /// with presence bits from `present` (called with each entry's
+    /// position and key). The single owner of the arena-append
+    /// invariant: `keys`/`vals`/`pres` grow in lockstep with the
+    /// recorded `Span { start, len }`.
+    fn store_from_lane(
+        &mut self,
+        s: SuperId,
+        lane: &DenseLane,
+        dirty: bool,
+        present: impl Fn(usize, SuperId) -> bool,
+    ) -> Span {
+        let start = self.keys.len() as u32;
+        for (i, &x) in lane.touched.iter().enumerate() {
+            self.keys.push(x);
+            self.vals.push(lane.val[x as usize]);
+            self.pres.push(present(i, x));
+        }
+        let span = Span {
+            start,
+            len: lane.touched.len() as u32,
+            dirty,
+        };
+        self.spans.insert(s, span);
+        span
     }
 }
 
@@ -552,6 +879,11 @@ impl SummaryView for WorkingSummary<'_> {
 /// against the snapshot live count minus this group's own merges (each
 /// group prices as if it alone were shrinking the summary; see
 /// DESIGN.md §2).
+///
+/// Built through [`GroupView::with_cache`], the view additionally
+/// carries the group-local weight-vector cache and answers evaluations
+/// from spans ([`GroupView::eval_merge_cached`]) instead of member-edge
+/// scans (see DESIGN.md §7).
 pub struct GroupView<'w, 'a> {
     ws: &'w WorkingSummary<'a>,
     /// Locally-merged survivors (members/weight aggregates diverge from
@@ -565,10 +897,14 @@ pub struct GroupView<'w, 'a> {
     adj_local: FxHashMap<SuperId, FxHashSet<SuperId>>,
     /// Local merge count (prices `log2|S|` within this view).
     merged: usize,
+    /// Group-local weight-vector cache (None = scan evaluation).
+    cache: Option<GroupCache>,
 }
 
 impl<'w, 'a> GroupView<'w, 'a> {
-    /// A fresh overlay over the frozen summary.
+    /// A fresh overlay over the frozen summary, without a weight-vector
+    /// cache — evaluations go through the scan path
+    /// ([`eval_merge_view`]).
     pub fn new(ws: &'w WorkingSummary<'a>) -> Self {
         GroupView {
             ws,
@@ -577,7 +913,30 @@ impl<'w, 'a> GroupView<'w, 'a> {
             remap: FxHashMap::default(),
             adj_local: FxHashMap::default(),
             merged: 0,
+            cache: None,
         }
+    }
+
+    /// A fresh overlay carrying the group-local weight-vector cache:
+    /// every member's neighbor-supernode weight vector is aggregated
+    /// once, here, and every subsequent [`GroupView::eval_merge_cached`]
+    /// answers from the cached spans.
+    pub fn with_cache(
+        ws: &'w WorkingSummary<'a>,
+        group: &[SuperId],
+        scratch: &mut Scratch,
+    ) -> Self {
+        let mut cache = GroupCache::default();
+        let n = ws.g.num_nodes();
+        for &s in group {
+            scratch.begin(n);
+            accumulate_edge_weights_view(ws, s, &mut scratch.a, scratch.epoch);
+            scratch.a.sort_touched();
+            cache.store_from_lane(s, &scratch.a, false, |_, x| ws.has_superedge(s, x));
+        }
+        let mut view = GroupView::new(ws);
+        view.cache = Some(cache);
+        view
     }
 
     /// Adjacency of `s` as this view sees it.
@@ -594,6 +953,100 @@ impl<'w, 'a> GroupView<'w, 'a> {
             .or_insert_with(|| ws.adj_set(s).clone())
     }
 
+    /// Evaluates the merge `{a, b}` from the group cache — no
+    /// member-edge walk, `O(|span_a| + |span_b|)`.
+    ///
+    /// A dirty span on either side is first refreshed (keys resolved
+    /// dead→kept through the dense scratch, values compacted, presence
+    /// bits recomputed against the overlay — the lazy-remap pass, run
+    /// once instead of per evaluation). Pricing then walks the two
+    /// sorted clean spans directly: presence from the span bits, weights
+    /// from the frozen summary (or the overlay where local merges
+    /// diverge), zero hash lookups in the per-entry loops. The
+    /// accumulation orders match [`eval_merge_view`] exactly, so results
+    /// are bitwise identical to the scan evaluator on snapshot states.
+    ///
+    /// # Panics
+    /// Panics if the view was built without a cache.
+    pub fn eval_merge_cached(
+        &mut self,
+        a: SuperId,
+        b: SuperId,
+        scratch: &mut Scratch,
+    ) -> DeltaEval {
+        debug_assert!(a != b && !self.dead.contains(&a) && !self.dead.contains(&b));
+        let sa = self.refreshed_span(a, scratch);
+        let sb = self.refreshed_span(b, scratch);
+        let cache = self.cache.as_ref().expect("GroupView built without cache");
+        self.eval_from_spans(cache, sa, sb, a, b)
+    }
+
+    /// `s`'s span, re-canonicalized first if dirty: stale keys resolved
+    /// and combined via the dense scratch (span order in, ascending
+    /// order out — the canonical remap-combine), presence bits
+    /// recomputed against the overlay, result bump-stored as the
+    /// member's new clean span.
+    fn refreshed_span(&mut self, s: SuperId, scratch: &mut Scratch) -> Span {
+        let cache = self.cache.as_ref().expect("GroupView built without cache");
+        let span = cache.spans[&s];
+        if !span.dirty {
+            return span;
+        }
+        scratch.begin(self.ws.g.num_nodes());
+        cache.load(s, &mut scratch.a, scratch.epoch);
+        scratch.a.sort_touched();
+        let pres: Vec<bool> = scratch
+            .a
+            .touched
+            .iter()
+            .map(|&x| self.has_superedge_in(s, x))
+            .collect();
+        let cache = self.cache.as_mut().expect("checked above");
+        cache.store_from_lane(s, &scratch.a, false, |i, _| pres[i])
+    }
+
+    /// The span fast path: prices `{a, b}` straight from the two sorted
+    /// clean spans through [`price_merge_canonical`] — positional value
+    /// and presence columns, zero hash lookups in the per-entry loops.
+    /// Weight reads short-circuit to the frozen summary while the
+    /// overlay is empty; once the group has merged locally they route
+    /// through the overlay (one hoisted branch per entry).
+    fn eval_from_spans(
+        &self,
+        cache: &GroupCache,
+        sa: Span,
+        sb: Span,
+        a: SuperId,
+        b: SuperId,
+    ) -> DeltaEval {
+        let ws = self.ws;
+        let (ka, va, pa) = cache.slices(sa);
+        let (kb, vb, pb) = cache.slices(sb);
+        let overlay = !self.local.is_empty();
+        // Extensionally `|x| self.wsum_of(x)`, with the overlay branch
+        // hoisted: clean spans only reference supernodes whose weights
+        // the local merges did not touch.
+        let wx = |x: SuperId| -> f64 {
+            if overlay {
+                self.wsum_of(x)
+            } else {
+                ws.wsum_of(x)
+            }
+        };
+        price_merge_canonical(
+            self,
+            a,
+            b,
+            ka,
+            |i| va[i],
+            |i, _| pa[i],
+            kb,
+            |i| vb[i],
+            |i, _| pb[i],
+            wx,
+        )
+    }
+
     /// Simulates the merge of `a` and `b` in the overlay, mirroring
     /// [`WorkingSummary::merge`] (drop incident superedges, union member
     /// sets keeping the larger side's id, selectively re-add
@@ -604,6 +1057,12 @@ impl<'w, 'a> GroupView<'w, 'a> {
     /// keep/dead choice depends only on member counts, which evolve the
     /// same way in both (the overlay starts from the snapshot and other
     /// groups never touch this group's supernodes).
+    ///
+    /// With a cache, the merged supernode's weight vector is the linear
+    /// merge of the two member spans (keep's entries folded first, then
+    /// dead's — the canonical combine order), stored as a fresh span; the
+    /// superedge re-addition prices straight from it instead of
+    /// re-scanning member edges.
     pub fn merge_local(&mut self, a: SuperId, b: SuperId, scratch: &mut Scratch) -> SuperId {
         debug_assert!(a != b && !self.dead.contains(&a) && !self.dead.contains(&b));
         let size_a = self.members_of(a).len();
@@ -644,12 +1103,33 @@ impl<'w, 'a> GroupView<'w, 'a> {
         self.dead.insert(dead);
         self.merged += 1;
 
+        // The merged supernode's weight vector lands in scratch lane `a`:
+        // from the cached spans when the cache is on (keep's span first,
+        // then dead's, stale keys resolved — the merged span is stored
+        // back compacted), else from a member-edge rescan.
+        scratch.begin(self.ws.g.num_nodes());
+        if let Some(cache) = self.cache.as_mut() {
+            cache.forward.insert(dead, keep);
+            cache.load(keep, &mut scratch.a, scratch.epoch);
+            cache.load(dead, &mut scratch.a, scratch.epoch);
+            scratch.a.sort_touched();
+            cache.spans.remove(&dead);
+            // The merged span is born dirty (hierarchical values, no
+            // presence bits — the next evaluation refreshes it against
+            // the overlay); clean spans referencing either endpoint go
+            // stale too and must refresh before their next fast read.
+            cache.store_from_lane(keep, &scratch.a, true, |_, _| false);
+            cache.mark_dirty_referencing(keep, dead);
+        } else {
+            accumulate_edge_weights_view(self, keep, &mut scratch.a, scratch.epoch);
+            scratch.a.sort_touched();
+        }
+
         // Selective superedge re-addition against the overlay.
-        scratch.map_a.clear();
-        accumulate_edge_weights_view(self, keep, &mut scratch.map_a);
         let log_s = self.view_log_s();
         let mut to_add: Vec<SuperId> = Vec::new();
-        for (&x, &e_raw) in &scratch.map_a {
+        for &x in &scratch.a.touched {
+            let e_raw = scratch.a.val[x as usize];
             let (tot, e) = if x == keep {
                 (tot_within_view(self, keep), e_raw / 2.0)
             } else {
@@ -739,6 +1219,43 @@ pub struct GroupOutcome {
     /// Best-of-attempt reductions that failed the threshold (the group's
     /// contribution to the list `L` of Sect. III-E).
     pub rejected: Vec<f64>,
+    /// Candidate-pair evaluations performed (throughput accounting).
+    pub evals: u64,
+}
+
+/// Which evaluator [`evaluate_group_with`] prices candidate merges with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MergeEvaluator {
+    /// Group-local superedge-weight cache (DESIGN.md §7) — the default.
+    #[default]
+    Cached,
+    /// Member-edge rescans through the dense scratch, pricing in the
+    /// same canonical order as `Cached` — the bitwise equivalence
+    /// baseline (`tests/eval_equivalence.rs`).
+    Scan,
+    /// The pre-cache evaluator preserved verbatim ([`crate::legacy_eval`]):
+    /// per-call `FxHashMap` accumulation, hash-order summation. Decision-
+    /// equivalent but not bit-comparable; benchmark baseline only.
+    LegacyHash,
+}
+
+/// The read-only half of one group's Alg.-2 round with the default
+/// cached evaluator; see [`evaluate_group_with`].
+pub fn evaluate_group(
+    ws: &WorkingSummary<'_>,
+    group: &[SuperId],
+    theta: f64,
+    seed: u64,
+    use_absolute_cost: bool,
+) -> GroupOutcome {
+    evaluate_group_with(
+        ws,
+        group,
+        theta,
+        seed,
+        use_absolute_cost,
+        MergeEvaluator::Cached,
+    )
 }
 
 /// The read-only half of one group's Alg.-2 round: repeatedly samples
@@ -751,76 +1268,85 @@ pub struct GroupOutcome {
 /// form.)
 ///
 /// All randomness comes from `seed` (drawn serially by the driver), so
-/// the outcome is a pure function of `(ws, group, theta, seed)` — workers
-/// can evaluate any number of groups concurrently, in any order, and the
-/// committed result stays identical.
-pub fn evaluate_group(
+/// the outcome is a pure function of `(ws, group, theta, seed,
+/// evaluator)` — workers can evaluate any number of groups concurrently,
+/// in any order, and the committed result stays identical.
+pub fn evaluate_group_with(
     ws: &WorkingSummary<'_>,
     group: &[SuperId],
     theta: f64,
     seed: u64,
     use_absolute_cost: bool,
+    evaluator: MergeEvaluator,
 ) -> GroupOutcome {
-    let mut view = GroupView::new(ws);
-    let mut group: Vec<SuperId> = group.to_vec();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut scratch = Scratch::default();
-    let mut outcome = GroupOutcome::default();
+    with_thread_scratch(|scratch| {
+        let mut view = match evaluator {
+            MergeEvaluator::Cached => GroupView::with_cache(ws, group, scratch),
+            MergeEvaluator::Scan | MergeEvaluator::LegacyHash => GroupView::new(ws),
+        };
+        let mut hash_scratch = crate::legacy_eval::HashScratch::default();
+        let mut group: Vec<SuperId> = group.to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut outcome = GroupOutcome::default();
 
-    let mut fails = 0usize;
-    while group.len() > 1 {
-        let max_fails = (group.len() as f64).log2().ceil() as usize;
-        if fails > max_fails {
-            break;
-        }
-        let samples = group.len();
-        let mut best: Option<(SuperId, SuperId, DeltaEval)> = None;
-        for _ in 0..samples {
-            let i = rng.random_range(0..group.len());
-            let j = rng.random_range(0..group.len());
-            if i == j {
-                continue;
+        let mut fails = 0usize;
+        while group.len() > 1 {
+            let max_fails = (group.len() as f64).log2().ceil() as usize;
+            if fails > max_fails {
+                break;
             }
-            let (a, b) = (group[i], group[j]);
-            let eval = eval_merge_view(&view, a, b, &mut scratch);
-            let key = if use_absolute_cost {
-                eval.delta
-            } else {
-                eval.relative
-            };
-            let best_key = best.map(|(_, _, e)| {
-                if use_absolute_cost {
-                    e.delta
-                } else {
-                    e.relative
+            let samples = group.len();
+            // The ranking key is fixed for the whole round: track it
+            // directly instead of re-deriving it from `best` per sample.
+            let mut best: Option<(usize, usize)> = None;
+            let mut best_key: Option<f64> = None;
+            for _ in 0..samples {
+                let i = rng.random_range(0..group.len());
+                let j = rng.random_range(0..group.len());
+                if i == j {
+                    continue;
                 }
-            });
-            if best_key.is_none_or(|bk| key > bk) {
-                best = Some((a, b, eval));
+                let (a, b) = (group[i], group[j]);
+                let eval = match evaluator {
+                    MergeEvaluator::Cached => view.eval_merge_cached(a, b, scratch),
+                    MergeEvaluator::Scan => eval_merge_view(&view, a, b, scratch),
+                    MergeEvaluator::LegacyHash => {
+                        crate::legacy_eval::eval_merge_hash(&view, a, b, &mut hash_scratch)
+                    }
+                };
+                outcome.evals += 1;
+                let key = if use_absolute_cost {
+                    eval.delta
+                } else {
+                    eval.relative
+                };
+                if best_key.is_none_or(|bk| key > bk) {
+                    best_key = Some(key);
+                    best = Some((i, j));
+                }
+            }
+            let Some((i, j)) = best else {
+                fails += 1;
+                continue;
+            };
+            let score = best_key.expect("best implies a key");
+            if score >= theta {
+                let (a, b) = (group[i], group[j]);
+                let kept = view.merge_local(a, b, scratch);
+                outcome.merges.push((a, b));
+                // O(1) removal of the dead id at its known index (the
+                // survivor cannot be displaced out of the vector).
+                let dead_idx = if kept == a { j } else { i };
+                group.swap_remove(dead_idx);
+                debug_assert!(group.contains(&kept));
+                fails = 0;
+            } else {
+                outcome.rejected.push(score);
+                fails += 1;
             }
         }
-        let Some((a, b, eval)) = best else {
-            fails += 1;
-            continue;
-        };
-        let score = if use_absolute_cost {
-            eval.delta
-        } else {
-            eval.relative
-        };
-        if score >= theta {
-            let kept = view.merge_local(a, b, &mut scratch);
-            outcome.merges.push((a, b));
-            let dead = if kept == a { b } else { a };
-            group.retain(|&s| s != dead);
-            debug_assert!(group.contains(&kept));
-            fails = 0;
-        } else {
-            outcome.rejected.push(score);
-            fails += 1;
-        }
-    }
-    outcome
+        outcome
+    })
 }
 
 /// Evaluates one group and immediately commits its merge log — the
@@ -992,6 +1518,48 @@ mod tests {
     }
 
     #[test]
+    fn cached_eval_matches_scan_eval_bitwise() {
+        // The §7 invariant on a snapshot state: the cached evaluator and
+        // the scan evaluator agree bit for bit (the proptest suite in
+        // tests/eval_equivalence.rs broadens this to random graphs).
+        let g = barabasi_albert(80, 4, 21);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        // Multi-member supernodes make the spans non-trivial.
+        ws.merge(0, 1, &mut scratch);
+        ws.merge(2, 3, &mut scratch);
+        let group: Vec<SuperId> = ws.live_ids().into_iter().take(20).collect();
+        let mut view = GroupView::with_cache(&ws, &group, &mut scratch);
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                let scan = ws.eval_merge(group[i], group[j], &mut scratch);
+                let cached = view.eval_merge_cached(group[i], group[j], &mut scratch);
+                assert_eq!(scan.delta.to_bits(), cached.delta.to_bits());
+                assert_eq!(scan.relative.to_bits(), cached.relative.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stamps() {
+        // A stamp written in the epoch before the u32 wrap must not
+        // alias the restarted counter.
+        let mut scratch = Scratch {
+            epoch: u32::MAX - 1,
+            ..Default::default()
+        };
+        scratch.begin(4); // epoch == u32::MAX
+        scratch.a.add(2, 1.5, scratch.epoch);
+        assert_eq!(scratch.a.get(2, scratch.epoch), Some(1.5));
+        scratch.begin(4); // wrap: stamps cleared, epoch == 1
+        assert_eq!(scratch.epoch, 1);
+        assert_eq!(scratch.a.get(2, scratch.epoch), None);
+        scratch.a.add(2, 2.5, scratch.epoch);
+        assert_eq!(scratch.a.get(2, scratch.epoch), Some(2.5));
+    }
+
+    #[test]
     fn superedge_count_stays_consistent() {
         let g = barabasi_albert(60, 3, 9);
         let (w, m) = uniform_ws(&g);
@@ -1061,6 +1629,7 @@ mod tests {
         assert_eq!(outcome.merges.len(), 39);
         assert_eq!(ws.num_supernodes(), 80 - 39);
         assert!(outcome.rejected.is_empty());
+        assert!(outcome.evals >= 39, "evals must be accounted");
     }
 
     #[test]
@@ -1101,6 +1670,23 @@ mod tests {
         // Supernodes outside the group were never touched.
         for s in 0..10u32 {
             assert_eq!(ws.members(s), &[s]);
+        }
+    }
+
+    #[test]
+    fn evaluate_group_evaluators_agree_on_outcome() {
+        // Cached and scan evaluation of the same group walk the same
+        // sampling sequence and land on the same merge log.
+        let g = barabasi_albert(150, 4, 13);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let group: Vec<SuperId> = (20..90).collect();
+        for seed in 0..4 {
+            let cached = evaluate_group_with(&ws, &group, 0.0, seed, false, MergeEvaluator::Cached);
+            let scan = evaluate_group_with(&ws, &group, 0.0, seed, false, MergeEvaluator::Scan);
+            assert_eq!(cached.merges, scan.merges, "seed {seed}");
+            assert_eq!(cached.rejected, scan.rejected, "seed {seed}");
+            assert_eq!(cached.evals, scan.evals, "seed {seed}");
         }
     }
 
