@@ -9,6 +9,8 @@
 //! density-weighted superedge per non-empty block (dense, unselective —
 //! see Fig. 8).
 
+use pgs_core::api::{RunControl, StopReason};
+use pgs_core::pegasus::RunStats;
 use pgs_core::Summary;
 use pgs_graph::{FxHashMap, Graph};
 use rand::rngs::StdRng;
@@ -91,19 +93,41 @@ fn merge_error_increase(
 }
 
 /// Summarizes `g` into at most `k_supernodes` supernodes with GraSS
-/// `SamplePairs`.
+/// `SamplePairs`. Thin wrapper over [`kgrass_loop`], pinned bitwise
+/// equal to it under default run control.
 ///
 /// # Panics
 /// Panics if `k_supernodes == 0`.
 pub fn kgrass_summarize(g: &Graph, k_supernodes: usize, cfg: &KGrassConfig) -> Summary {
     assert!(k_supernodes >= 1, "need at least one supernode");
+    kgrass_loop(g, k_supernodes, cfg, &RunControl::default()).0
+}
+
+/// The GraSS merge loop with run control threaded in: cancel/deadline
+/// checks at the top of each merge step (a commit boundary — the
+/// partition is always a valid summary state), stats counting every
+/// sampled pair evaluation. The engine behind [`crate::KGrass`].
+pub(crate) fn kgrass_loop(
+    g: &Graph,
+    k_supernodes: usize,
+    cfg: &KGrassConfig,
+    control: &RunControl,
+) -> (Summary, RunStats, StopReason) {
+    let started = std::time::Instant::now();
     let mut p = Partition::singletons(g);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut map_a = FxHashMap::default();
     let mut map_b = FxHashMap::default();
     let mut live = p.live_ids();
+    let mut stats = RunStats::default();
 
-    while p.num_groups() > k_supernodes && live.len() > 1 {
+    let stop = loop {
+        if p.num_groups() <= k_supernodes || live.len() <= 1 {
+            break StopReason::BudgetMet;
+        }
+        if let Some(reason) = control.interrupted(started) {
+            break reason;
+        }
         let samples = ((cfg.c * live.len() as f64).ceil() as usize).max(1);
         let mut best: Option<(u32, u32, f64)> = None;
         for _ in 0..samples {
@@ -114,16 +138,20 @@ pub fn kgrass_summarize(g: &Graph, k_supernodes: usize, cfg: &KGrassConfig) -> S
             }
             let (a, b) = (live[i], live[j]);
             let inc = merge_error_increase(&p, a, b, &mut map_a, &mut map_b);
+            stats.evals += 1;
             if best.is_none_or(|(_, _, bi)| inc < bi) {
                 best = Some((a, b, inc));
             }
         }
+        stats.iterations += 1;
+        control.notify(&stats);
         let Some((a, b, _)) = best else { continue };
         let keep = p.merge(a, b);
         let dead = if keep == a { b } else { a };
         live.retain(|&x| x != dead);
-    }
-    p.into_summary(BlockWeight::Density)
+        stats.merges += 1;
+    };
+    (p.into_summary(BlockWeight::Density), stats, stop)
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! of time/memory on the paper's large datasets (Fig. 8) — behavior this
 //! implementation reproduces naturally.
 
+use pgs_core::api::{RunControl, StopReason};
+use pgs_core::pegasus::RunStats;
 use pgs_core::Summary;
 use pgs_graph::{FxHashMap, Graph, NodeId};
 use rand::rngs::StdRng;
@@ -68,16 +70,36 @@ impl Center {
 }
 
 /// Summarizes `g` into at most `k_supernodes` supernodes via S2L
-/// clustering.
+/// clustering. Thin wrapper over [`s2l_loop`], pinned bitwise equal to
+/// it under default run control.
 ///
 /// # Panics
 /// Panics if `k_supernodes == 0`.
 pub fn s2l_summarize(g: &Graph, k_supernodes: usize, cfg: &S2lConfig) -> Summary {
     assert!(k_supernodes >= 1, "need at least one supernode");
+    s2l_loop(g, k_supernodes, cfg, &RunControl::default()).0
+}
+
+/// The S2L Lloyd loop with run control threaded in: cancel/deadline
+/// checks at the top of each Lloyd iteration (the assignment vector is
+/// a valid partition at every boundary), stats counting node-to-center
+/// distance evaluations. The engine behind [`crate::S2l`].
+pub(crate) fn s2l_loop(
+    g: &Graph,
+    k_supernodes: usize,
+    cfg: &S2lConfig,
+    control: &RunControl,
+) -> (Summary, RunStats, StopReason) {
+    let started = std::time::Instant::now();
     let n = g.num_nodes();
     let k = k_supernodes.min(n.max(1));
+    let mut stats = RunStats::default();
     if n == 0 {
-        return Summary::new(0, Vec::new(), &[]);
+        return (
+            Summary::new(0, Vec::new(), &[]),
+            stats,
+            StopReason::BudgetMet,
+        );
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -86,8 +108,18 @@ pub fn s2l_summarize(g: &Graph, k_supernodes: usize, cfg: &S2lConfig) -> Summary
     ids.shuffle(&mut rng);
     let mut centers: Vec<Center> = ids[..k].iter().map(|&u| Center::from_row(g, u)).collect();
 
-    let mut assignment = vec![0u32; n];
+    // Start from the identity assignment: a run interrupted before its
+    // first Lloyd iteration returns the conservative singleton
+    // partition, like the other engines — not one all-swallowing
+    // cluster. Every completed iteration rewrites the vector in full,
+    // so uninterrupted output is unchanged.
+    let mut assignment: Vec<u32> = (0..n as u32).collect();
+    let mut stop = StopReason::BudgetMet;
     for _ in 0..cfg.iterations.max(1) {
+        if let Some(reason) = control.interrupted(started) {
+            stop = reason;
+            break;
+        }
         // Assignment step.
         for u in 0..n as NodeId {
             let mut best = 0usize;
@@ -101,6 +133,7 @@ pub fn s2l_summarize(g: &Graph, k_supernodes: usize, cfg: &S2lConfig) -> Summary
             }
             assignment[u as usize] = best as u32;
         }
+        stats.evals += (n * centers.len()) as u64;
         // Update step: center = mean of member rows (sparse).
         let mut counts = vec![0u64; k];
         for &a in &assignment {
@@ -126,9 +159,13 @@ pub fn s2l_summarize(g: &Graph, k_supernodes: usize, cfg: &S2lConfig) -> Summary
             let mass = coords.values().sum();
             centers[ci] = Center { coords, mass };
         }
+        stats.iterations += 1;
+        control.notify(&stats);
     }
 
-    partition_to_summary(g, &assignment, BlockWeight::Density)
+    let summary = partition_to_summary(g, &assignment, BlockWeight::Density);
+    stats.merges = n - summary.num_supernodes();
+    (summary, stats, stop)
 }
 
 #[cfg(test)]

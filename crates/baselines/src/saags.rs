@@ -11,6 +11,8 @@
 //! summary graphs with one superedge per non-empty block (count
 //! weights) — the dense summaries Fig. 8 attributes to it.
 
+use pgs_core::api::{RunControl, StopReason};
+use pgs_core::pegasus::RunStats;
 use pgs_core::Summary;
 use pgs_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -91,15 +93,36 @@ impl Cms {
 }
 
 /// Summarizes `g` into at most `k_supernodes` supernodes with SAAGs.
+/// Thin wrapper over [`saags_loop`], pinned bitwise equal to it under
+/// default run control.
 ///
 /// # Panics
 /// Panics if `k_supernodes == 0`.
 pub fn saags_summarize(g: &Graph, k_supernodes: usize, cfg: &SaagsConfig) -> Summary {
     assert!(k_supernodes >= 1, "need at least one supernode");
+    saags_loop(g, k_supernodes, cfg, &RunControl::default()).0
+}
+
+/// The SAAGs merge loop with run control threaded in: cancel/deadline
+/// checks at the top of each merge step (a commit boundary), stats
+/// counting sketch inner-product evaluations. The engine behind
+/// [`crate::Saags`].
+pub(crate) fn saags_loop(
+    g: &Graph,
+    k_supernodes: usize,
+    cfg: &SaagsConfig,
+    control: &RunControl,
+) -> (Summary, RunStats, StopReason) {
+    let started = std::time::Instant::now();
     let n = g.num_nodes();
     let mut p = Partition::singletons(g);
+    let mut stats = RunStats::default();
     if n == 0 {
-        return p.into_summary(BlockWeight::Count);
+        return (
+            p.into_summary(BlockWeight::Count),
+            stats,
+            StopReason::BudgetMet,
+        );
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let hash_seed = cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF;
@@ -116,7 +139,13 @@ pub fn saags_summarize(g: &Graph, k_supernodes: usize, cfg: &SaagsConfig) -> Sum
         .collect();
     let mut live = p.live_ids();
 
-    while p.num_groups() > k_supernodes && live.len() > 1 {
+    let stop = loop {
+        if p.num_groups() <= k_supernodes || live.len() <= 1 {
+            break StopReason::BudgetMet;
+        }
+        if let Some(reason) = control.interrupted(started) {
+            break reason;
+        }
         let samples = ((live.len() as f64).log2().ceil() as usize).max(1);
         let mut best: Option<(u32, u32, f64)> = None;
         for _ in 0..samples {
@@ -134,10 +163,13 @@ pub fn saags_summarize(g: &Graph, k_supernodes: usize, cfg: &SaagsConfig) -> Sum
             // neighbor multisets align relative to their sizes.
             let denom = (ca.total * cb.total).max(1) as f64;
             let score = ca.inner_product(cb) as f64 / denom;
+            stats.evals += 1;
             if best.is_none_or(|(_, _, bs)| score > bs) {
                 best = Some((a, b, score));
             }
         }
+        stats.iterations += 1;
+        control.notify(&stats);
         let Some((a, b, _)) = best else {
             // Both samples collided (i == j every time); extremely
             // unlikely but guard against a livelock by merging head/tail.
@@ -150,6 +182,7 @@ pub fn saags_summarize(g: &Graph, k_supernodes: usize, cfg: &SaagsConfig) -> Sum
                 .unwrap()
                 .merge_from(&dead_sketch);
             live.retain(|&x| x != dead);
+            stats.merges += 1;
             continue;
         };
         let keep = p.merge(a, b);
@@ -160,8 +193,9 @@ pub fn saags_summarize(g: &Graph, k_supernodes: usize, cfg: &SaagsConfig) -> Sum
             .unwrap()
             .merge_from(&dead_sketch);
         live.retain(|&x| x != dead);
-    }
-    p.into_summary(BlockWeight::Count)
+        stats.merges += 1;
+    };
+    (p.into_summary(BlockWeight::Count), stats, stop)
 }
 
 #[cfg(test)]

@@ -63,7 +63,7 @@ fn bench_components(c: &mut Criterion) {
 
     c.bench_function("error/personalized_error_eval", |b| {
         let s = summarize(&g, &[0], 0.5 * g.size_bits(), &PegasusConfig::default());
-        b.iter(|| black_box(personalized_error(&g, &s, &w)))
+        b.iter(|| black_box(personalized_error(&g, &s, &w).unwrap()))
     });
 
     let community = planted_partition(5_000, 50, 35_000, 5_000, 2);

@@ -43,7 +43,7 @@ fn main() {
                 ..Default::default()
             };
             let s = summarize(g, &queries, budget, &cfg);
-            let err = personalized_error(g, &s, &w_eval);
+            let err = personalized_error(g, &s, &w_eval).expect("matching node counts");
             let mut row = format!("{:<8} {:<10} {:>12.1} |", d.name, label, err);
             for gt in &truths {
                 let (sm, sc) = gt.score_summary(&s);

@@ -93,8 +93,10 @@ fn main() {
                     };
                     let s = summarize(g, &targets, budget, &cfg);
                     let w_u = NodeWeights::personalized(g, &[u], alpha);
-                    let err = personalized_error(g, &s, &w_u);
-                    let base = personalized_error(g, &uniform, &w_u).max(1e-12);
+                    let err = personalized_error(g, &s, &w_u).expect("matching node counts");
+                    let base = personalized_error(g, &uniform, &w_u)
+                        .expect("matching node counts")
+                        .max(1e-12);
                     rel_sum += err / base;
                 }
                 row += &format!("{:>10.3}", rel_sum / test_nodes.len() as f64);
@@ -104,8 +106,10 @@ fn main() {
             let mut ssumm_rel = 0.0;
             for &u in &test_nodes {
                 let w_u = NodeWeights::personalized(g, &[u], alpha);
-                let err = personalized_error(g, &ssumm, &w_u);
-                let base = personalized_error(g, &uniform, &w_u).max(1e-12);
+                let err = personalized_error(g, &ssumm, &w_u).expect("matching node counts");
+                let base = personalized_error(g, &uniform, &w_u)
+                    .expect("matching node counts")
+                    .max(1e-12);
                 ssumm_rel += err / base;
             }
             row += &format!("{:>10.3}", ssumm_rel / test_nodes.len() as f64);

@@ -11,11 +11,11 @@
 //! cargo run --release -p pgs-bench --bin exp_fig8_speed
 //! ```
 
-use pgs_baselines::{kgrass_summarize, s2l_summarize, saags_summarize};
-use pgs_baselines::{KGrassConfig, S2lConfig, SaagsConfig};
+use pgs_baselines::{KGrass, S2l, Saags};
 use pgs_bench::{baseline_feasible, dataset, sample_queries, timed};
-use pgs_core::pegasus::{summarize, PegasusConfig};
-use pgs_core::{ssumm_summarize, SsummConfig, Summary};
+use pgs_core::api::{Budget, Pegasus, Ssumm, SummarizeRequest, Summarizer};
+use pgs_core::pegasus::PegasusConfig;
+use pgs_core::{SsummConfig, Summary};
 use pgs_queries::{hops_exact, hops_summary, rwr_exact, rwr_summary};
 
 fn main() {
@@ -84,36 +84,42 @@ fn main() {
             );
         };
 
-        let (p, t) = timed(|| {
-            summarize(
-                g,
-                &queries,
-                budget,
-                &PegasusConfig {
-                    num_threads: pgs_bench::num_threads(),
-                    ..Default::default()
-                },
-            )
-        });
+        // Every contender runs through the same request path: one
+        // budget-normalizing `SummarizeRequest` per family, dispatched
+        // over `dyn Summarizer`.
+        let bits_req = SummarizeRequest::new(Budget::Bits(budget)).targets(&queries);
+        let uniform_bits_req = SummarizeRequest::new(Budget::Bits(budget));
+        let count_req = SummarizeRequest::new(Budget::Supernodes(k));
+        let run = |alg: &dyn Summarizer, req: &SummarizeRequest| {
+            timed(|| alg.run(g, req).expect("valid request").summary)
+        };
+
+        let (p, t) = run(
+            &Pegasus(PegasusConfig {
+                num_threads: pgs_bench::num_threads(),
+                ..Default::default()
+            }),
+            &bits_req,
+        );
         report("PeGaSus", p, t);
-        let (s, t) = timed(|| {
-            ssumm_summarize(
-                g,
-                budget,
-                &SsummConfig {
-                    num_threads: pgs_bench::num_threads(),
-                    ..Default::default()
-                },
-            )
-        });
+        let (s, t) = run(
+            &Ssumm(SsummConfig {
+                num_threads: pgs_bench::num_threads(),
+                ..Default::default()
+            }),
+            &uniform_bits_req,
+        );
         report("SSumM", s, t);
         if baseline_feasible(g) {
-            let (x, t) = timed(|| saags_summarize(g, k, &SaagsConfig::default()));
-            report("SAAGs", x, t);
-            let (x, t) = timed(|| s2l_summarize(g, k, &S2lConfig::default()));
-            report("S2L", x, t);
-            let (x, t) = timed(|| kgrass_summarize(g, k, &KGrassConfig::default()));
-            report("k-GraSS", x, t);
+            let baselines: [(&str, &dyn Summarizer); 3] = [
+                ("SAAGs", &Saags::default()),
+                ("S2L", &S2l::default()),
+                ("k-GraSS", &KGrass::default()),
+            ];
+            for (label, alg) in baselines {
+                let (x, t) = run(alg, &count_req);
+                report(label, x, t);
+            }
         } else {
             println!(
                 "{:<14} o.o.t. (size threshold, as in the paper)",

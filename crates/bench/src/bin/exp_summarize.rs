@@ -27,7 +27,8 @@
 use std::fmt::Write as _;
 
 use pgs_bench::{env_or, num_threads, timed};
-use pgs_core::pegasus::{summarize_with_stats, PegasusConfig, RunStats};
+use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest, Summarizer};
+use pgs_core::pegasus::{PegasusConfig, RunStats};
 use pgs_core::working::MergeEvaluator;
 use pgs_core::Summary;
 use pgs_graph::gen::barabasi_albert;
@@ -36,6 +37,7 @@ struct Run {
     label: &'static str,
     wall_secs: f64,
     stats: RunStats,
+    stop: StopReason,
 }
 
 impl Run {
@@ -88,30 +90,31 @@ fn main() {
         ("scan", MergeEvaluator::Scan),
         ("legacy_hash", MergeEvaluator::LegacyHash),
     ];
-    let mut best: [Option<(Summary, RunStats)>; 3] = [None, None, None];
+    let mut best: [Option<(Summary, RunStats, StopReason)>; 3] = [None, None, None];
     let mut walls = [f64::INFINITY; 3];
     for _ in 0..reps {
         for (slot, &(label, evaluator)) in EVALUATORS.iter().enumerate() {
-            let cfg = PegasusConfig {
+            let alg = Pegasus(PegasusConfig {
                 num_threads: threads,
                 evaluator,
                 ..Default::default()
-            };
-            let ((summary, stats), wall) =
-                timed(|| summarize_with_stats(&g, &[0, 1, 2], budget, &cfg));
+            });
+            let req = SummarizeRequest::new(Budget::Bits(budget)).targets(&[0, 1, 2]);
+            let (out, wall) = timed(|| alg.run(&g, &req).expect("valid request"));
+            let (summary, stats, stop) = (out.summary, out.stats, out.stop);
             walls[slot] = walls[slot].min(wall);
             best[slot] = match best[slot].take() {
-                None => Some((summary, stats)),
-                Some((prev, prev_stats)) => {
+                None => Some((summary, stats, stop)),
+                Some((prev, prev_stats, prev_stop)) => {
                     assert_eq!(
                         fingerprint(&prev),
                         fingerprint(&summary),
                         "{label}: summaries varied across repetitions — determinism bug"
                     );
                     if stats.eval_secs < prev_stats.eval_secs {
-                        Some((summary, stats))
+                        Some((summary, stats, stop))
                     } else {
-                        Some((prev, prev_stats))
+                        Some((prev, prev_stats, prev_stop))
                     }
                 }
             };
@@ -128,7 +131,7 @@ fn main() {
     let mut scan_identical = true;
     let mut legacy_identical = true;
     for (slot, &(label, evaluator)) in EVALUATORS.iter().enumerate() {
-        let (summary, stats) = best[slot].take().expect("reps >= 1");
+        let (summary, stats, stop) = best[slot].take().expect("reps >= 1");
         let wall_secs = walls[slot];
         let fp = fingerprint(&summary);
         match &reference {
@@ -149,15 +152,17 @@ fn main() {
             label,
             wall_secs,
             stats,
+            stop,
         };
         eprintln!(
             "# {label:>12}: {wall_secs:>7.2}s end-to-end, {:.2}s in evaluate, \
-             {} merge-evals ({:.0}/s), {} merges, |S| {}",
+             {} merge-evals ({:.0}/s), {} merges, |S| {}, stop {}",
             stats.eval_secs,
             stats.evals,
             run.evals_per_sec(),
             stats.merges,
-            summary.num_supernodes()
+            summary.num_supernodes(),
+            stop
         );
         runs.push(run);
     }
@@ -209,14 +214,15 @@ fn main() {
             "    {{\"evaluator\": \"{}\", \"wall_secs\": {:.4}, \
              \"eval_secs\": {:.4}, \"merge_evals\": {}, \
              \"merge_evals_per_sec\": {:.1}, \"merges\": {}, \
-             \"iterations\": {}}}{comma}",
+             \"iterations\": {}, \"stop_reason\": \"{}\"}}{comma}",
             run.label,
             run.wall_secs,
             run.stats.eval_secs,
             run.stats.evals,
             run.evals_per_sec(),
             run.stats.merges,
-            run.stats.iterations
+            run.stats.iterations,
+            run.stop
         )
         .unwrap();
     }

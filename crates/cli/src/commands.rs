@@ -1,8 +1,9 @@
 //! Subcommand implementations and minimal flag parsing.
 
+use pgs_baselines::{KGrass, KGrassConfig, S2l, S2lConfig, Saags, SaagsConfig};
+use pgs_core::api::{Budget, Pegasus, Ssumm, SummarizeRequest, Summarizer};
 use pgs_core::exec::Exec;
-use pgs_core::pegasus::{summarize_with_stats, PegasusConfig};
-use pgs_core::ssumm::ssumm_summarize_with_stats;
+use pgs_core::pegasus::PegasusConfig;
 use pgs_core::summary_io::{read_summary, write_summary};
 use pgs_core::working::MergeEvaluator;
 use pgs_core::SsummConfig;
@@ -20,8 +21,11 @@ pgs — personalized graph summarization (PeGaSus, ICDE 2022)
 
 USAGE:
   pgs info <edges.txt>
-  pgs summarize <edges.txt> -o <out.summary> [--ratio 0.5] [--targets 1,2,3]
-                [--alpha 1.25] [--beta 0.1] [--method pegasus|ssumm] [--seed 0]
+  pgs summarize <edges.txt> -o <out.summary>
+                [--algorithm pegasus|ssumm|kgrass|s2l|saags]   (default pegasus)
+                [--budget-ratio 0.5 | --budget-bits K | --budget-supernodes S]
+                [--targets 1,2,3] [--alpha 1.25] [--beta 0.1] [--seed 0]
+                [--deadline-secs T]   (stop at the next commit boundary past T)
                 [--threads N]   (0 = all hardware threads; same output at any N)
                 [--evaluator cached|scan|legacy]   (non-default = baseline evaluators)
   pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
@@ -30,6 +34,14 @@ USAGE:
             [--top 10] [--seed 0] [--truth <edges.txt>]
             [--threads N]   (0 = all hardware threads; same output at any N)
   pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
+
+All five algorithms dispatch through the unified Summarizer request API:
+pegasus/ssumm take bit budgets (--budget-bits, or --budget-ratio of the
+input size; --ratio/--bits remain as aliases), the kgrass/s2l/saags
+baselines take supernode counts (--budget-supernodes; ratios map to
+ceil(ratio·|V|)). --targets personalizes PeGaSus; the others reject it
+with a typed error. Every run prints iterations/merges/merge-evals and
+the stop reason (budget-met | max-iters | cancelled | deadline-exceeded).
 
 Query batch mode compiles the summary into one reusable QueryEngine plan,
 answers all nodes (from the --nodes id file, or --sample k nodes drawn with
@@ -106,7 +118,8 @@ pub fn info(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `pgs summarize <edges.txt> -o out [--ratio r | --bits k] ...`.
+/// `pgs summarize <edges.txt> -o out [--algorithm a] [budget flags] ...`:
+/// every algorithm dispatches through `dyn Summarizer`.
 pub fn summarize(raw: &[String]) -> Result<(), String> {
     let args = Args::parse(raw)?;
     let path = args
@@ -119,9 +132,37 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
         .ok_or("missing -o <out.summary>")?;
     let g = load_graph(path)?;
 
-    let ratio: f64 = args.get_parse("ratio", 0.5)?;
-    let budget: f64 = args.get_parse("bits", ratio * g.size_bits())?;
-    let method = args.get("method").unwrap_or("pegasus");
+    // Budget: explicit supernode count > explicit bits > ratio (0.5
+    // default). --ratio and --bits stay as aliases of --budget-*.
+    let budget = if args.get("budget-supernodes").is_some() {
+        Budget::Supernodes(args.get_parse("budget-supernodes", 0usize)?)
+    } else if args.get("budget-bits").is_some() || args.get("bits").is_some() {
+        let bits: f64 = args.get_parse("budget-bits", args.get_parse("bits", 0.0)?)?;
+        Budget::Bits(bits)
+    } else {
+        let ratio: f64 = args.get_parse("budget-ratio", args.get_parse("ratio", 0.5)?)?;
+        Budget::Ratio(ratio)
+    };
+
+    let targets: Vec<u32> = match args.get("targets") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad target id {t:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let mut req = SummarizeRequest::new(budget).targets(&targets);
+    if args.get("deadline-secs").is_some() {
+        let secs: f64 = args.get_parse("deadline-secs", 0.0)?;
+        let deadline = std::time::Duration::try_from_secs_f64(secs)
+            .map_err(|_| format!("--deadline-secs must be non-negative seconds, got {secs}"))?;
+        req = req.deadline(deadline);
+    }
+
     let seed: u64 = args.get_parse("seed", 0)?;
     let num_threads: usize = args.get_parse("threads", 0)?;
     let evaluator = match args.get("evaluator").unwrap_or("cached") {
@@ -131,60 +172,64 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown evaluator {other:?} (cached|scan|legacy)")),
     };
 
-    let (summary, stats) = match method {
-        "pegasus" => {
-            let targets: Vec<u32> = match args.get("targets") {
-                None => Vec::new(),
-                Some(list) => list
-                    .split(',')
-                    .map(|t| {
-                        t.trim()
-                            .parse::<u32>()
-                            .map_err(|_| format!("bad target id {t:?}"))
-                    })
-                    .collect::<Result<_, _>>()?,
-            };
-            for &t in &targets {
-                if (t as usize) >= g.num_nodes() {
-                    return Err(format!("target {t} out of range (|V| = {})", g.num_nodes()));
-                }
-            }
-            let cfg = PegasusConfig {
-                alpha: args.get_parse("alpha", 1.25)?,
-                beta: args.get_parse("beta", 0.1)?,
-                t_max: args.get_parse("tmax", 20)?,
-                seed,
-                num_threads,
-                evaluator,
-                ..Default::default()
-            };
-            summarize_with_stats(&g, &targets, budget, &cfg)
+    // --method stays as an alias of --algorithm.
+    let algorithm = args
+        .get("algorithm")
+        .or_else(|| args.get("method"))
+        .unwrap_or("pegasus");
+    let summarizer: Box<dyn Summarizer> = match algorithm {
+        "pegasus" => Box::new(Pegasus(PegasusConfig {
+            alpha: args.get_parse("alpha", 1.25)?,
+            beta: args.get_parse("beta", 0.1)?,
+            t_max: args.get_parse("tmax", 20)?,
+            seed,
+            num_threads,
+            evaluator,
+            ..Default::default()
+        })),
+        "ssumm" => Box::new(Ssumm(SsummConfig {
+            t_max: args.get_parse("tmax", 20)?,
+            seed,
+            num_threads,
+            evaluator,
+            ..Default::default()
+        })),
+        "kgrass" => Box::new(KGrass(KGrassConfig {
+            c: args.get_parse("c", 1.0)?,
+            seed,
+        })),
+        "s2l" => Box::new(S2l(S2lConfig {
+            iterations: args.get_parse("iterations", 5)?,
+            seed,
+        })),
+        "saags" => Box::new(Saags(SaagsConfig { seed })),
+        other => {
+            return Err(format!(
+                "unknown algorithm {other:?} (pegasus|ssumm|kgrass|s2l|saags)"
+            ))
         }
-        "ssumm" => {
-            let cfg = SsummConfig {
-                t_max: args.get_parse("tmax", 20)?,
-                seed,
-                num_threads,
-                evaluator,
-                ..Default::default()
-            };
-            ssumm_summarize_with_stats(&g, budget, &cfg)
-        }
-        other => return Err(format!("unknown method {other:?} (pegasus|ssumm)")),
     };
 
-    write_summary(&summary, out).map_err(|e| format!("writing {out}: {e}"))?;
+    let run = summarizer.run(&g, &req).map_err(|e| e.to_string())?;
+    let summary = &run.summary;
+    write_summary(summary, out).map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "wrote {out}: |S|={} |P|={} {:.0} bits (ratio {:.3}); {} iterations, {} merges, \
-         {} merge-evals{}",
+        "wrote {out}: |S|={} |P|={} {:.0} bits (ratio {:.3}); algorithm {}, {} iterations, \
+         {} merges, {} merge-evals, stop {}{}",
         summary.num_supernodes(),
         summary.num_superedges(),
         summary.size_bits(),
         summary.size_bits() / g.size_bits(),
-        stats.iterations,
-        stats.merges,
-        stats.evals,
-        if stats.sparsified { ", sparsified" } else { "" }
+        summarizer.name(),
+        run.stats.iterations,
+        run.stats.merges,
+        run.stats.evals,
+        run.stop,
+        if run.stats.sparsified {
+            ", sparsified"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -546,6 +591,107 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("--sample"), "{err}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_five_algorithms_run_via_algorithm_flag() {
+        let dir = std::env::temp_dir().join("pgs_cli_algorithms");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let g = pgs_graph::gen::planted_partition(200, 4, 800, 120, 9);
+        pgs_graph::io::write_edge_list(&g, &edges).unwrap();
+
+        for (alg, budget_flags) in [
+            ("pegasus", &["--budget-ratio", "0.5"][..]),
+            ("ssumm", &["--budget-ratio", "0.5"][..]),
+            ("kgrass", &["--budget-supernodes", "40"][..]),
+            ("s2l", &["--budget-supernodes", "40"][..]),
+            ("saags", &["--budget-supernodes", "40"][..]),
+        ] {
+            let out = dir.join(format!("{alg}.summary"));
+            let mut argv = vec![
+                edges.to_str().unwrap().to_string(),
+                "-o".into(),
+                out.to_str().unwrap().to_string(),
+                "--algorithm".into(),
+                alg.to_string(),
+            ];
+            argv.extend(budget_flags.iter().map(|s| s.to_string()));
+            summarize(&argv).unwrap_or_else(|e| panic!("{alg}: {e}"));
+            assert!(out.exists(), "{alg}");
+        }
+
+        // A supernode budget on a bit-budgeted algorithm is a typed error.
+        let err = summarize(&strs(&[
+            edges.to_str().unwrap(),
+            "-o",
+            dir.join("x").to_str().unwrap(),
+            "--algorithm",
+            "pegasus",
+            "--budget-supernodes",
+            "40",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not support"), "{err}");
+
+        // Personalizing a baseline is a typed error too.
+        let err = summarize(&strs(&[
+            edges.to_str().unwrap(),
+            "-o",
+            dir.join("x").to_str().unwrap(),
+            "--algorithm",
+            "kgrass",
+            "--budget-supernodes",
+            "40",
+            "--targets",
+            "0,1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not support"), "{err}");
+
+        // Unknown algorithms are rejected with the token list.
+        let err = summarize(&strs(&[
+            edges.to_str().unwrap(),
+            "-o",
+            dir.join("x").to_str().unwrap(),
+            "--algorithm",
+            "frobnicate",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown algorithm"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_flag_is_validated_and_honored() {
+        let dir = std::env::temp_dir().join("pgs_cli_deadline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let g = pgs_graph::gen::planted_partition(200, 4, 800, 120, 1);
+        pgs_graph::io::write_edge_list(&g, &edges).unwrap();
+        let out = dir.join("g.summary");
+
+        // A zero deadline still returns a valid (identity) summary.
+        summarize(&strs(&[
+            edges.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--deadline-secs",
+            "0",
+        ]))
+        .unwrap();
+        assert!(out.exists());
+
+        let err = summarize(&strs(&[
+            edges.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+            "--deadline-secs",
+            "-1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

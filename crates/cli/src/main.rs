@@ -2,15 +2,21 @@
 //!
 //! ```text
 //! pgs info <edges.txt>
-//! pgs summarize <edges.txt> -o <out.summary> [--ratio 0.5] [--targets 1,2,3]
-//!               [--alpha 1.25] [--beta 0.1] [--method pegasus|ssumm] [--seed 0]
-//!               [--threads N]
+//! pgs summarize <edges.txt> -o <out.summary>
+//!               [--algorithm pegasus|ssumm|kgrass|s2l|saags]
+//!               [--budget-ratio 0.5 | --budget-bits K | --budget-supernodes S]
+//!               [--targets 1,2,3] [--alpha 1.25] [--beta 0.1] [--seed 0]
+//!               [--deadline-secs T] [--threads N]
 //! pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
 //!           [--truth <edges.txt>]
 //! pgs query <out.summary> --type rwr|hop|php (--nodes <ids.txt> | --sample <k>)
 //!           [--top 10] [--seed 0] [--threads N] [--truth <edges.txt>]
 //! pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
 //! ```
+//!
+//! `summarize` serves all five algorithms through the unified
+//! `pgs_core::api::Summarizer` request path: typed validation errors,
+//! per-run stop reasons, and an optional wall-clock deadline.
 //!
 //! The second `query` form serves a whole batch: the summary is compiled
 //! once into a `pgs_queries::QueryEngine` plan, the independent query

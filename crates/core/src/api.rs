@@ -1,0 +1,704 @@
+//! The unified request/response API: one fallible, cancellable,
+//! observable entry point for every summarizer in the workspace
+//! (DESIGN.md §8).
+//!
+//! The historical surface grew one differently-shaped free function per
+//! algorithm (`summarize`, `ssumm_summarize`, three more in
+//! `pgs-baselines`), validated inputs with `assert!`, and offered no way
+//! to cancel, bound, or observe a run — none of which survives contact
+//! with a long-lived multi-tenant server. This module replaces that
+//! surface with:
+//!
+//! * [`SummarizeRequest`] — a builder bundling a [`Budget`] (bits, a
+//!   compression ratio, or a supernode count), a [`Personalization`]
+//!   (uniform, target nodes, or prebuilt [`NodeWeights`]), and a
+//!   [`RunControl`] (cooperative cancel flag, wall-clock deadline,
+//!   per-iteration progress observer).
+//! * [`Summarizer`] — the object-safe trait every algorithm implements:
+//!   `run(&self, g, &req) -> Result<RunOutput, PgsError>`. [`Pegasus`]
+//!   and [`Ssumm`] live here; the `pgs-baselines` crate implements it
+//!   for k-GraSS, S2L, and SAAGs.
+//! * [`PgsError`] — typed validation errors (empty graph, non-finite or
+//!   non-positive budget, out-of-range target, `α < 1`, `β ∉ [0, 1]`,
+//!   weight-length mismatch, unsupported request axes) instead of
+//!   panics: the request path never panics on bad input.
+//! * [`RunOutput`] — the summary plus final [`RunStats`] plus the
+//!   [`StopReason`] the run ended with.
+//!
+//! The legacy free functions remain as thin wrappers over this path and
+//! are pinned bitwise-equal to it (`tests/api_requests.rs` and the
+//! workspace-level `tests/api_equivalence.rs`).
+//!
+//! # Budget normalization
+//!
+//! PeGaSus and SSumM are bit-budgeted (Eq. 3): [`Budget::Bits`] passes
+//! through, [`Budget::Ratio`] multiplies by `Size(G)`, and
+//! [`Budget::Supernodes`] is rejected as [`PgsError::Unsupported`] — a
+//! summary's bit size depends on its superedge set, so no faithful
+//! count→bits mapping exists. The baselines are supernode-count
+//! budgeted: [`Budget::Supernodes`] clamps to at most `|V|`, and
+//! [`Budget::Ratio`]/[`Budget::Bits`] map to
+//! `clamp(⌈ratio · |V|⌉, 1, |V|)` (bits first convert to a ratio of
+//! `Size(G)`).
+//!
+//! # Example
+//!
+//! ```
+//! use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest, Summarizer};
+//! use pgs_graph::gen::barabasi_albert;
+//!
+//! let g = barabasi_albert(300, 3, 7);
+//! let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0, 1]);
+//! let out = Pegasus::default().run(&g, &req).unwrap();
+//! assert_eq!(out.stop, StopReason::BudgetMet);
+//! assert!(out.summary.size_bits() <= 0.5 * g.size_bits());
+//!
+//! // Invalid requests are typed errors, never panics.
+//! let bad = SummarizeRequest::new(Budget::Bits(f64::NAN));
+//! assert!(Pegasus::default().run(&g, &bad).is_err());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::pegasus::{pegasus_loop, PegasusConfig, RunStats};
+use crate::ssumm::{ssumm_loop, SsummConfig};
+use crate::summary::Summary;
+use crate::weights::NodeWeights;
+use pgs_graph::{Graph, NodeId};
+
+/// A shareable per-iteration progress observer (see
+/// [`RunControl::observer`]).
+pub type ProgressObserver = Arc<dyn Fn(&RunStats) + Send + Sync>;
+
+/// Typed failure of a summarization request (or of the error
+/// evaluators): everything the legacy surface expressed as `assert!`,
+/// now returned at the public boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PgsError {
+    /// The input graph has no nodes.
+    EmptyGraph,
+    /// A bit budget that is not a finite, positive number.
+    InvalidBudgetBits(f64),
+    /// A compression ratio that is not a finite, positive number.
+    InvalidBudgetRatio(f64),
+    /// A supernode budget of zero.
+    ZeroSupernodeBudget,
+    /// A personalization target outside `0..|V|`.
+    TargetOutOfRange {
+        /// The offending node id.
+        target: NodeId,
+        /// `|V|` of the graph the request ran against.
+        num_nodes: usize,
+    },
+    /// An explicitly empty target set (use [`Personalization::Uniform`]
+    /// for `T = V`).
+    EmptyTargets,
+    /// A degree of personalization `α` that is not finite and `≥ 1`.
+    InvalidAlpha(f64),
+    /// A threshold quantile `β` outside `[0, 1]`.
+    InvalidBeta(f64),
+    /// A prebuilt weight vector whose length differs from `|V|`.
+    WeightLengthMismatch {
+        /// Nodes the weight vector covers.
+        weights: usize,
+        /// Nodes the graph has.
+        nodes: usize,
+    },
+    /// Graph and summary disagree on `|V|` (error evaluation).
+    NodeCountMismatch {
+        /// `|V|` of the graph.
+        graph: usize,
+        /// `|V|` the summary was built over.
+        summary: usize,
+    },
+    /// The algorithm cannot honor one axis of the request.
+    Unsupported {
+        /// Which summarizer rejected the request.
+        algorithm: &'static str,
+        /// The request axis it cannot honor.
+        feature: &'static str,
+    },
+}
+
+impl std::fmt::Display for PgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PgsError::EmptyGraph => write!(f, "empty graph: summarization needs at least one node"),
+            PgsError::InvalidBudgetBits(b) => {
+                write!(f, "bit budget must be finite and positive, got {b}")
+            }
+            PgsError::InvalidBudgetRatio(r) => {
+                write!(f, "budget ratio must be finite and positive, got {r}")
+            }
+            PgsError::ZeroSupernodeBudget => write!(f, "supernode budget must be at least 1"),
+            PgsError::TargetOutOfRange { target, num_nodes } => {
+                write!(f, "target {target} out of range (|V| = {num_nodes})")
+            }
+            PgsError::EmptyTargets => write!(
+                f,
+                "target node set must be non-empty (use Personalization::Uniform for T = V)"
+            ),
+            PgsError::InvalidAlpha(a) => write!(
+                f,
+                "degree of personalization alpha must be finite and >= 1, got {a}"
+            ),
+            PgsError::InvalidBeta(b) => {
+                write!(f, "threshold quantile beta must lie in [0, 1], got {b}")
+            }
+            PgsError::WeightLengthMismatch { weights, nodes } => write!(
+                f,
+                "weight vector covers {weights} nodes but the graph has {nodes}"
+            ),
+            PgsError::NodeCountMismatch { graph, summary } => write!(
+                f,
+                "summary/graph node count mismatch: graph has {graph}, summary covers {summary}"
+            ),
+            PgsError::Unsupported { algorithm, feature } => {
+                write!(f, "{algorithm} does not support {feature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PgsError {}
+
+/// How large the summary may be. See the module docs for how each
+/// variant normalizes per algorithm family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Budget {
+    /// Absolute bit budget `k` (Eq. 3 accounting).
+    Bits(f64),
+    /// Compression ratio `Size(G̅) / Size(G)` (bit-budgeted algorithms)
+    /// or `|S| / |V|` (supernode-budgeted baselines).
+    Ratio(f64),
+    /// Exact supernode count `|S|` (the baselines' native budget).
+    Supernodes(usize),
+}
+
+impl Budget {
+    /// Normalizes to a bit budget for the bit-budgeted algorithms
+    /// (PeGaSus, SSumM). `algorithm` names the caller in errors.
+    pub fn to_bits(self, g: &Graph, algorithm: &'static str) -> Result<f64, PgsError> {
+        match self {
+            Budget::Bits(b) if b.is_finite() && b > 0.0 => Ok(b),
+            Budget::Bits(b) => Err(PgsError::InvalidBudgetBits(b)),
+            Budget::Ratio(r) if r.is_finite() && r > 0.0 => Ok(r * g.size_bits()),
+            Budget::Ratio(r) => Err(PgsError::InvalidBudgetRatio(r)),
+            Budget::Supernodes(_) => Err(PgsError::Unsupported {
+                algorithm,
+                feature: "supernode-count budgets (use Budget::Bits or Budget::Ratio)",
+            }),
+        }
+    }
+
+    /// Normalizes to a supernode count for the count-budgeted baselines:
+    /// ratios (and bit budgets, via `bits / Size(G)`) map to
+    /// `clamp(⌈ratio · |V|⌉, 1, |V|)`. Explicit supernode counts clamp
+    /// to `|V|` too, so every variant expresses the same ceiling.
+    pub fn to_supernodes(self, g: &Graph) -> Result<usize, PgsError> {
+        let n = g.num_nodes();
+        let from_ratio = |r: f64| ((r * n as f64).ceil() as usize).clamp(1, n.max(1));
+        match self {
+            Budget::Supernodes(0) => Err(PgsError::ZeroSupernodeBudget),
+            Budget::Supernodes(k) => Ok(k.min(n.max(1))),
+            Budget::Ratio(r) if r.is_finite() && r > 0.0 => Ok(from_ratio(r)),
+            Budget::Ratio(r) => Err(PgsError::InvalidBudgetRatio(r)),
+            Budget::Bits(b) if b.is_finite() && b > 0.0 => {
+                Ok(from_ratio(b / g.size_bits().max(f64::MIN_POSITIVE)))
+            }
+            Budget::Bits(b) => Err(PgsError::InvalidBudgetBits(b)),
+        }
+    }
+}
+
+/// Whose reconstruction error the summary optimizes (Eq. 1–2).
+#[derive(Clone, Debug, Default)]
+pub enum Personalization {
+    /// Uniform pair weights — the non-personalized setting (`T = V`).
+    #[default]
+    Uniform,
+    /// Personalize to these target nodes (Eq. 2 weights at the
+    /// algorithm's `α`).
+    Targets(Vec<NodeId>),
+    /// Prebuilt node weights — reuse one BFS across many runs.
+    Weights(NodeWeights),
+}
+
+/// Cooperative run control: cancel flag, wall-clock deadline, progress
+/// observer. All fields optional; the default imposes nothing and costs
+/// nothing on the hot path.
+///
+/// Checks sit at *commit boundaries* (the top of each PeGaSus/SSumM
+/// iteration, each baseline merge step), so an interrupted run always
+/// returns a structurally valid summary — merely a less compressed one —
+/// and an uninterrupted run is bitwise identical to one launched without
+/// any control.
+#[derive(Clone, Default)]
+pub struct RunControl {
+    /// Cooperative cancellation: set to `true` (any ordering) to stop
+    /// the run at the next commit boundary with [`StopReason::Cancelled`].
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Wall-clock budget measured from run start; exceeded ⇒
+    /// [`StopReason::DeadlineExceeded`] at the next commit boundary.
+    pub deadline: Option<Duration>,
+    /// Called with the running [`RunStats`] after every committed
+    /// iteration.
+    pub observer: Option<ProgressObserver>,
+}
+
+impl std::fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunControl")
+            .field(
+                "cancel",
+                &self.cancel.as_ref().map(|c| c.load(Ordering::Relaxed)),
+            )
+            .field("deadline", &self.deadline)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl RunControl {
+    /// The stop reason in force at a commit boundary, if any. Cancel
+    /// wins over the deadline when both have tripped.
+    #[inline]
+    pub fn interrupted(&self, started: Instant) -> Option<StopReason> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if started.elapsed() >= deadline {
+                return Some(StopReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// Notifies the observer (if any) of one committed iteration.
+    #[inline]
+    pub fn notify(&self, stats: &RunStats) {
+        if let Some(obs) = &self.observer {
+            obs(stats);
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The summary reached the requested budget.
+    BudgetMet,
+    /// The iteration cap elapsed first (bit-budgeted runs then sparsify
+    /// down to the budget; `RunStats::sparsified` records that).
+    MaxIters,
+    /// The cooperative cancel flag was set.
+    Cancelled,
+    /// The wall-clock deadline elapsed.
+    DeadlineExceeded,
+}
+
+impl StopReason {
+    /// Stable lowercase token for CLIs and benchmark JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::BudgetMet => "budget-met",
+            StopReason::MaxIters => "max-iters",
+            StopReason::Cancelled => "cancelled",
+            StopReason::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Everything a finished run hands back.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// The (possibly partial, always structurally valid) summary.
+    pub summary: Summary,
+    /// Final run statistics.
+    pub stats: RunStats,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+/// One summarization request: budget + personalization + run control,
+/// assembled builder-style. Algorithm-specific knobs (α, β, seeds,
+/// thread counts, …) live on the [`Summarizer`] implementations, so one
+/// request can be replayed against any algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct SummarizeRequest {
+    budget: Option<Budget>,
+    personalization: Personalization,
+    control: RunControl,
+}
+
+impl SummarizeRequest {
+    /// A request for the given budget, uniform personalization, no run
+    /// control.
+    pub fn new(budget: Budget) -> Self {
+        SummarizeRequest {
+            budget: Some(budget),
+            personalization: Personalization::Uniform,
+            control: RunControl::default(),
+        }
+    }
+
+    /// Sets the personalization axis wholesale.
+    pub fn personalization(mut self, p: Personalization) -> Self {
+        self.personalization = p;
+        self
+    }
+
+    /// Personalizes to these target nodes (an empty slice means `T = V`,
+    /// matching the legacy free functions).
+    pub fn targets(mut self, targets: &[NodeId]) -> Self {
+        self.personalization = if targets.is_empty() {
+            Personalization::Uniform
+        } else {
+            Personalization::Targets(targets.to_vec())
+        };
+        self
+    }
+
+    /// Personalizes with prebuilt node weights.
+    pub fn weights(mut self, w: NodeWeights) -> Self {
+        self.personalization = Personalization::Weights(w);
+        self
+    }
+
+    /// Attaches a cooperative cancel flag.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.control.cancel = Some(flag);
+        self
+    }
+
+    /// Attaches a wall-clock deadline (measured from run start).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.control.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a per-iteration progress observer.
+    pub fn observer(mut self, f: impl Fn(&RunStats) + Send + Sync + 'static) -> Self {
+        self.control.observer = Some(Arc::new(f));
+        self
+    }
+
+    /// Replaces the whole [`RunControl`].
+    pub fn control(mut self, control: RunControl) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// The requested budget.
+    ///
+    /// A default-constructed request carries none; [`Summarizer::run`]
+    /// reports that as [`PgsError::InvalidBudgetBits`]`(NaN)`.
+    pub fn budget(&self) -> Budget {
+        self.budget.unwrap_or(Budget::Bits(f64::NAN))
+    }
+
+    /// The requested personalization.
+    pub fn personalization_ref(&self) -> &Personalization {
+        &self.personalization
+    }
+
+    /// The run control in force.
+    pub fn control_ref(&self) -> &RunControl {
+        &self.control
+    }
+
+    /// Validates the personalization axis against `g` and resolves it to
+    /// node weights at degree `alpha` — the shared PeGaSus-family path.
+    pub fn resolve_weights(&self, g: &Graph, alpha: f64) -> Result<NodeWeights, PgsError> {
+        match &self.personalization {
+            Personalization::Uniform => Ok(NodeWeights::uniform(g.num_nodes())),
+            Personalization::Targets(targets) => {
+                if targets.is_empty() {
+                    return Err(PgsError::EmptyTargets);
+                }
+                for &t in targets {
+                    if (t as usize) >= g.num_nodes() {
+                        return Err(PgsError::TargetOutOfRange {
+                            target: t,
+                            num_nodes: g.num_nodes(),
+                        });
+                    }
+                }
+                Ok(NodeWeights::personalized(g, targets, alpha))
+            }
+            Personalization::Weights(w) => {
+                if w.len() != g.num_nodes() {
+                    return Err(PgsError::WeightLengthMismatch {
+                        weights: w.len(),
+                        nodes: g.num_nodes(),
+                    });
+                }
+                Ok(w.clone())
+            }
+        }
+    }
+
+    /// `Err(Unsupported)` unless the personalization is uniform — the
+    /// validation every non-personalized algorithm shares.
+    pub fn require_uniform(&self, algorithm: &'static str) -> Result<(), PgsError> {
+        match self.personalization {
+            Personalization::Uniform => Ok(()),
+            _ => Err(PgsError::Unsupported {
+                algorithm,
+                feature: "personalization (it optimizes the uniform reconstruction error)",
+            }),
+        }
+    }
+}
+
+/// The one interface every summarizer serves: a fallible, cancellable,
+/// observable run against a shared request shape. Object-safe — servers
+/// dispatch through `dyn Summarizer`.
+pub trait Summarizer {
+    /// Stable lowercase algorithm name (CLI `--algorithm` tokens).
+    fn name(&self) -> &'static str;
+
+    /// Validates the request, runs the algorithm, and returns the
+    /// summary with stats and stop reason. Never panics on invalid
+    /// requests — every validation failure is a typed [`PgsError`].
+    fn run(&self, g: &Graph, req: &SummarizeRequest) -> Result<RunOutput, PgsError>;
+}
+
+/// PeGaSus (Alg. 1) behind the [`Summarizer`] interface.
+#[derive(Clone, Debug, Default)]
+pub struct Pegasus(pub PegasusConfig);
+
+impl Summarizer for Pegasus {
+    fn name(&self) -> &'static str {
+        "pegasus"
+    }
+
+    fn run(&self, g: &Graph, req: &SummarizeRequest) -> Result<RunOutput, PgsError> {
+        let cfg = &self.0;
+        if g.num_nodes() == 0 {
+            return Err(PgsError::EmptyGraph);
+        }
+        if !cfg.alpha.is_finite() || cfg.alpha < 1.0 {
+            return Err(PgsError::InvalidAlpha(cfg.alpha));
+        }
+        if !cfg.beta.is_finite() || !(0.0..=1.0).contains(&cfg.beta) {
+            return Err(PgsError::InvalidBeta(cfg.beta));
+        }
+        let budget_bits = req.budget().to_bits(g, self.name())?;
+        let weights = req.resolve_weights(g, cfg.alpha)?;
+        let (summary, stats, stop) = pegasus_loop(g, &weights, budget_bits, cfg, req.control_ref());
+        Ok(finish_run(g, summary, stats, stop))
+    }
+}
+
+/// SSumM (Sect. III-G) behind the [`Summarizer`] interface. Uniform
+/// personalization only — it optimizes the non-personalized error.
+#[derive(Clone, Debug, Default)]
+pub struct Ssumm(pub SsummConfig);
+
+impl Summarizer for Ssumm {
+    fn name(&self) -> &'static str {
+        "ssumm"
+    }
+
+    fn run(&self, g: &Graph, req: &SummarizeRequest) -> Result<RunOutput, PgsError> {
+        if g.num_nodes() == 0 {
+            return Err(PgsError::EmptyGraph);
+        }
+        req.require_uniform(self.name())?;
+        let budget_bits = req.budget().to_bits(g, self.name())?;
+        let (summary, stats, stop) = ssumm_loop(g, budget_bits, &self.0, req.control_ref());
+        Ok(finish_run(g, summary, stats, stop))
+    }
+}
+
+/// Shared run finalization: caps this thread's reusable evaluation
+/// scratch to the active graph (the ROADMAP "thread-local scratch
+/// lifetime" hook — a long-lived server thread stops pinning dense
+/// lanes sized to the largest graph it ever summarized) and assembles
+/// the [`RunOutput`].
+pub fn finish_run(g: &Graph, summary: Summary, stats: RunStats, stop: StopReason) -> RunOutput {
+    crate::working::shrink_thread_scratch(g.num_nodes());
+    RunOutput {
+        summary,
+        stats,
+        stop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_graph::gen::barabasi_albert;
+    use pgs_graph::Graph;
+
+    #[test]
+    fn budget_normalization_rules() {
+        let g = barabasi_albert(100, 3, 1);
+        assert_eq!(Budget::Bits(512.0).to_bits(&g, "x").unwrap(), 512.0);
+        let half = Budget::Ratio(0.5).to_bits(&g, "x").unwrap();
+        assert!((half - 0.5 * g.size_bits()).abs() < 1e-9);
+        assert!(matches!(
+            Budget::Supernodes(10).to_bits(&g, "x"),
+            Err(PgsError::Unsupported { .. })
+        ));
+
+        assert_eq!(Budget::Supernodes(17).to_supernodes(&g).unwrap(), 17);
+        assert_eq!(Budget::Ratio(0.25).to_supernodes(&g).unwrap(), 25);
+        assert_eq!(Budget::Ratio(5.0).to_supernodes(&g).unwrap(), 100);
+        let via_bits = Budget::Bits(0.25 * g.size_bits())
+            .to_supernodes(&g)
+            .unwrap();
+        assert_eq!(via_bits, 25);
+    }
+
+    #[test]
+    fn invalid_budgets_are_typed_errors() {
+        let g = barabasi_albert(50, 2, 2);
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -3.0] {
+            assert!(Budget::Bits(bad).to_bits(&g, "x").is_err(), "{bad}");
+            assert!(Budget::Ratio(bad).to_bits(&g, "x").is_err(), "{bad}");
+            assert!(Budget::Bits(bad).to_supernodes(&g).is_err(), "{bad}");
+            assert!(Budget::Ratio(bad).to_supernodes(&g).is_err(), "{bad}");
+        }
+        assert_eq!(
+            Budget::Supernodes(0).to_supernodes(&g),
+            Err(PgsError::ZeroSupernodeBudget)
+        );
+    }
+
+    #[test]
+    fn request_validation_errors() {
+        let g = barabasi_albert(40, 2, 3);
+        let alg = Pegasus::default();
+
+        let empty = Graph::empty(0);
+        let req = SummarizeRequest::new(Budget::Ratio(0.5));
+        assert_eq!(alg.run(&empty, &req).unwrap_err(), PgsError::EmptyGraph);
+
+        let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[1000]);
+        assert_eq!(
+            alg.run(&g, &req).unwrap_err(),
+            PgsError::TargetOutOfRange {
+                target: 1000,
+                num_nodes: 40
+            }
+        );
+
+        let req = SummarizeRequest::new(Budget::Ratio(0.5))
+            .personalization(Personalization::Targets(Vec::new()));
+        assert_eq!(alg.run(&g, &req).unwrap_err(), PgsError::EmptyTargets);
+
+        let bad_alpha = Pegasus(PegasusConfig {
+            alpha: 0.5,
+            ..Default::default()
+        });
+        let req = SummarizeRequest::new(Budget::Ratio(0.5));
+        assert_eq!(
+            bad_alpha.run(&g, &req).unwrap_err(),
+            PgsError::InvalidAlpha(0.5)
+        );
+
+        let bad_beta = Pegasus(PegasusConfig {
+            beta: 1.5,
+            ..Default::default()
+        });
+        assert_eq!(
+            bad_beta.run(&g, &req).unwrap_err(),
+            PgsError::InvalidBeta(1.5)
+        );
+
+        let req = SummarizeRequest::new(Budget::Ratio(0.5)).weights(NodeWeights::uniform(3));
+        assert_eq!(
+            alg.run(&g, &req).unwrap_err(),
+            PgsError::WeightLengthMismatch {
+                weights: 3,
+                nodes: 40
+            }
+        );
+
+        // A default request carries no budget; that too is a typed error.
+        assert!(matches!(
+            alg.run(&g, &SummarizeRequest::default()),
+            Err(PgsError::InvalidBudgetBits(_))
+        ));
+    }
+
+    #[test]
+    fn ssumm_rejects_personalization() {
+        let g = barabasi_albert(40, 2, 4);
+        let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0]);
+        assert!(matches!(
+            Ssumm::default().run(&g, &req),
+            Err(PgsError::Unsupported {
+                algorithm: "ssumm",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn errors_display_without_panicking() {
+        let samples = [
+            PgsError::EmptyGraph,
+            PgsError::InvalidBudgetBits(f64::NAN),
+            PgsError::TargetOutOfRange {
+                target: 9,
+                num_nodes: 3,
+            },
+            PgsError::Unsupported {
+                algorithm: "s2l",
+                feature: "personalization",
+            },
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(PgsError::TargetOutOfRange {
+            target: 9,
+            num_nodes: 3
+        }
+        .to_string()
+        .contains("out of range"));
+    }
+
+    #[test]
+    fn stop_reason_tokens_are_stable() {
+        assert_eq!(StopReason::BudgetMet.as_str(), "budget-met");
+        assert_eq!(StopReason::MaxIters.as_str(), "max-iters");
+        assert_eq!(StopReason::Cancelled.as_str(), "cancelled");
+        assert_eq!(StopReason::DeadlineExceeded.as_str(), "deadline-exceeded");
+    }
+
+    #[test]
+    fn run_control_interrupt_priority() {
+        let started = Instant::now();
+        let control = RunControl {
+            cancel: Some(Arc::new(AtomicBool::new(true))),
+            deadline: Some(Duration::ZERO),
+            observer: None,
+        };
+        // Cancel wins when both have tripped.
+        assert_eq!(control.interrupted(started), Some(StopReason::Cancelled));
+        let deadline_only = RunControl {
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        assert_eq!(
+            deadline_only.interrupted(started),
+            Some(StopReason::DeadlineExceeded)
+        );
+        assert_eq!(RunControl::default().interrupted(started), None);
+    }
+}

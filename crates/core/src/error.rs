@@ -4,6 +4,7 @@
 
 use pgs_graph::{FxHashMap, Graph, NodeId};
 
+use crate::api::PgsError;
 use crate::summary::{Summary, SuperId};
 use crate::weights::NodeWeights;
 
@@ -16,13 +17,22 @@ use crate::weights::NodeWeights;
 /// a superedge `{A,B}` contributes the weight of its missing pairs
 /// (`tot_AB − e_AB`), and actual edges not covered by a superedge
 /// contribute their own weight.
-pub fn personalized_error(g: &Graph, s: &Summary, w: &NodeWeights) -> f64 {
-    assert_eq!(
-        g.num_nodes(),
-        s.num_nodes(),
-        "summary/graph node count mismatch"
-    );
-    assert_eq!(g.num_nodes(), w.len(), "weights/graph node count mismatch");
+///
+/// Mismatched node counts between graph, summary, and weights are
+/// typed [`PgsError`]s (this boundary used to `assert!`).
+pub fn personalized_error(g: &Graph, s: &Summary, w: &NodeWeights) -> Result<f64, PgsError> {
+    if g.num_nodes() != s.num_nodes() {
+        return Err(PgsError::NodeCountMismatch {
+            graph: g.num_nodes(),
+            summary: s.num_nodes(),
+        });
+    }
+    if g.num_nodes() != w.len() {
+        return Err(PgsError::WeightLengthMismatch {
+            weights: w.len(),
+            nodes: g.num_nodes(),
+        });
+    }
 
     // Aggregate ŵ sums per supernode.
     let s_count = s.num_supernodes();
@@ -60,12 +70,12 @@ pub fn personalized_error(g: &Graph, s: &Summary, w: &NodeWeights) -> f64 {
         missing += (tot - e).max(0.0);
     }
 
-    2.0 * (uncovered + missing)
+    Ok(2.0 * (uncovered + missing))
 }
 
 /// Non-personalized reconstruction error: Eq. (1) with uniform weights,
 /// i.e. twice the number of disagreeing unordered pairs.
-pub fn reconstruction_error(g: &Graph, s: &Summary) -> f64 {
+pub fn reconstruction_error(g: &Graph, s: &Summary) -> Result<f64, PgsError> {
     personalized_error(g, s, &NodeWeights::uniform(g.num_nodes()))
 }
 
@@ -100,7 +110,7 @@ mod tests {
     fn identity_summary_has_zero_error() {
         let g = barabasi_albert(100, 3, 1);
         let s = Summary::identity(&g);
-        assert_eq!(reconstruction_error(&g, &s), 0.0);
+        assert_eq!(reconstruction_error(&g, &s).unwrap(), 0.0);
     }
 
     #[test]
@@ -113,7 +123,7 @@ mod tests {
         let superedges: Vec<(u32, u32, f32)> =
             vec![(0, 1, 1.0), (2, 3, 1.0), (4, 4, 1.0), (1, 5, 1.0)];
         let s = Summary::new(30, assignment, &superedges);
-        let fast = personalized_error(&g, &s, &w);
+        let fast = personalized_error(&g, &s, &w).unwrap();
         let exact = personalized_error_exact(&g, &s, &w);
         assert!(
             (fast - exact).abs() < 1e-9 * exact.max(1.0),
@@ -128,7 +138,7 @@ mod tests {
         // (spurious) and 0-1 (missing) = 2 unordered = 4 ordered.
         let g = graph_from_edges(3, &[(0, 1), (0, 2)]);
         let s = Summary::new(3, vec![0, 0, 1], &[(0, 1, 1.0)]);
-        assert!((reconstruction_error(&g, &s) - 4.0).abs() < 1e-12);
+        assert!((reconstruction_error(&g, &s).unwrap() - 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -137,14 +147,14 @@ mod tests {
         // only edge 0-1 exists: 2 missing pairs = 4 ordered errors.
         let g = graph_from_edges(3, &[(0, 1)]);
         let s = Summary::new(3, vec![0, 0, 0], &[(0, 0, 1.0)]);
-        assert!((reconstruction_error(&g, &s) - 4.0).abs() < 1e-12);
+        assert!((reconstruction_error(&g, &s).unwrap() - 4.0).abs() < 1e-12);
     }
 
     #[test]
     fn dropping_superedges_costs_their_edges() {
         let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
         let s = Summary::new(4, vec![0, 1, 2, 3], &[(0, 1, 1.0)]); // edge 2-3 uncovered
-        assert!((reconstruction_error(&g, &s) - 2.0).abs() < 1e-12);
+        assert!((reconstruction_error(&g, &s).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -155,11 +165,32 @@ mod tests {
         let drop_near = Summary::new(4, vec![0, 1, 2, 3], &[(1, 2, 1.0), (2, 3, 1.0)]);
         let drop_far = Summary::new(4, vec![0, 1, 2, 3], &[(0, 1, 1.0), (1, 2, 1.0)]);
         let w = NodeWeights::personalized(&g, &[0], 2.0);
-        let err_near = personalized_error(&g, &drop_near, &w);
-        let err_far = personalized_error(&g, &drop_far, &w);
+        let err_near = personalized_error(&g, &drop_near, &w).unwrap();
+        let err_far = personalized_error(&g, &drop_far, &w).unwrap();
         assert!(
             err_near > err_far,
             "dropping near-target info must cost more: {err_near} vs {err_far}"
+        );
+    }
+
+    #[test]
+    fn mismatched_inputs_are_typed_errors() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let wrong_summary = Summary::new(3, vec![0, 1, 2], &[]);
+        assert_eq!(
+            personalized_error(&g, &wrong_summary, &NodeWeights::uniform(4)),
+            Err(PgsError::NodeCountMismatch {
+                graph: 4,
+                summary: 3
+            })
+        );
+        let s = Summary::identity(&g);
+        assert_eq!(
+            personalized_error(&g, &s, &NodeWeights::uniform(2)),
+            Err(PgsError::WeightLengthMismatch {
+                weights: 2,
+                nodes: 4
+            })
         );
     }
 
@@ -169,6 +200,6 @@ mod tests {
         let s = Summary::identity(&g);
         let w = NodeWeights::personalized(&g, &[3], 1.25);
         assert_eq!(personalized_error_exact(&g, &s, &w), 0.0);
-        assert_eq!(personalized_error(&g, &s, &w), 0.0);
+        assert_eq!(personalized_error(&g, &s, &w).unwrap(), 0.0);
     }
 }

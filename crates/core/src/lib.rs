@@ -25,21 +25,33 @@
 //! | Alg. 1 driver | [`pegasus`] |
 //! | Sect. III-G SSumM baseline \[7\] | [`ssumm`] |
 //! | Eq. (1) error evaluation | [`error`] |
+//! | Unified request/response API | [`api`] |
 //!
 //! ## Quickstart
 //!
+//! Every summarizer is served through one request path ([`api`],
+//! DESIGN.md §8): build a [`SummarizeRequest`], run it through a
+//! [`Summarizer`], get a [`RunOutput`] or a typed [`PgsError`] back.
+//!
 //! ```
+//! use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest, Summarizer};
 //! use pgs_graph::gen::barabasi_albert;
-//! use pgs_core::pegasus::{summarize, PegasusConfig};
 //!
 //! let g = barabasi_albert(500, 4, 42);
-//! let targets = [0, 1, 2];                      // personalize to these nodes
-//! let budget = 0.5 * g.size_bits();             // compression ratio 0.5
-//! let summary = summarize(&g, &targets, budget, &PegasusConfig::default());
-//! assert!(summary.size_bits() <= budget);
-//! assert_eq!(summary.num_nodes(), 500);
+//! let req = SummarizeRequest::new(Budget::Ratio(0.5)) // or Bits / Supernodes
+//!     .targets(&[0, 1, 2]);                           // personalize to these nodes
+//! let out = Pegasus::default().run(&g, &req).unwrap();
+//! assert_eq!(out.stop, StopReason::BudgetMet);
+//! assert!(out.summary.size_bits() <= 0.5 * g.size_bits());
+//! assert_eq!(out.summary.num_nodes(), 500);
+//! assert!(out.stats.merges > 0);
 //! ```
+//!
+//! The legacy free functions ([`pegasus::summarize`],
+//! [`ssumm::ssumm_summarize`]) remain as thin wrappers pinned
+//! bitwise-equal to the request path.
 
+pub mod api;
 pub mod cost;
 pub mod error;
 pub mod exec;
@@ -54,6 +66,10 @@ pub mod threshold;
 pub mod weights;
 pub mod working;
 
+pub use api::{
+    Budget, Pegasus, Personalization, PgsError, RunControl, RunOutput, Ssumm, StopReason,
+    SummarizeRequest, Summarizer,
+};
 pub use pegasus::{summarize, PegasusConfig};
 pub use ssumm::{ssumm_summarize, SsummConfig};
 pub use summary::{Summary, SuperId};

@@ -17,6 +17,7 @@
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
+use crate::api::{RunControl, StopReason};
 use crate::cost::CostModel;
 use crate::exec::Exec;
 use crate::shingle::{candidate_groups, ShingleParams};
@@ -133,6 +134,28 @@ pub fn summarize_with_weights(
     budget_bits: f64,
     cfg: &PegasusConfig,
 ) -> (Summary, RunStats) {
+    let (summary, stats, _) = pegasus_loop(g, weights, budget_bits, cfg, &RunControl::default());
+    (summary, stats)
+}
+
+/// The Alg.-1 driver with run control threaded in — the engine behind
+/// both the legacy free functions (default control: bitwise identical
+/// to the historical loop) and [`crate::api::Pegasus`].
+///
+/// Cancel/deadline checks sit at the top of each iteration — a commit
+/// boundary: the previous iteration's merge log is fully committed, so
+/// an interrupted run returns a structurally valid partial summary.
+/// Interrupted runs skip final sparsification (they return promptly and
+/// report [`StopReason::Cancelled`] / [`StopReason::DeadlineExceeded`]
+/// instead of a met budget).
+pub(crate) fn pegasus_loop(
+    g: &Graph,
+    weights: &NodeWeights,
+    budget_bits: f64,
+    cfg: &PegasusConfig,
+    control: &RunControl,
+) -> (Summary, RunStats, StopReason) {
+    let started = std::time::Instant::now();
     let mut ws = WorkingSummary::new(g, weights, CostModel::ErrorCorrection);
     let mut threshold = AdaptiveThreshold::new(cfg.beta);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -146,7 +169,16 @@ pub fn summarize_with_weights(
 
     let mut t = 1;
     let mut stall_cap = f64::INFINITY;
-    while t <= cfg.t_max && ws.size_bits() > budget_bits {
+    let stop = loop {
+        if ws.size_bits() <= budget_bits {
+            break StopReason::BudgetMet;
+        }
+        if t > cfg.t_max {
+            break StopReason::MaxIters;
+        }
+        if let Some(reason) = control.interrupted(started) {
+            break reason;
+        }
         let groups = candidate_groups(&ws, &mut rng, &shingle_params, &exec);
         let before = ws.num_supernodes();
         let theta = threshold.theta().min(stall_cap);
@@ -194,15 +226,19 @@ pub fn summarize_with_weights(
             stall_cap = crate::threshold::ssumm_schedule(t, cfg.t_max).min(stall_cap);
         }
         stats.iterations = t;
+        control.notify(&stats);
         t += 1;
-    }
+    };
     stats.final_theta = threshold.theta();
 
-    if ws.size_bits() > budget_bits {
+    // Only uninterrupted runs sparsify down to the budget; a cancelled
+    // or deadline-stopped run hands back its partial summary promptly.
+    if matches!(stop, StopReason::BudgetMet | StopReason::MaxIters) && ws.size_bits() > budget_bits
+    {
         stats.sparsified = true;
         sparsify(&mut ws, budget_bits, &exec);
     }
-    (ws.into_summary(), stats)
+    (ws.into_summary(), stats, stop)
 }
 
 #[cfg(test)]
@@ -234,7 +270,7 @@ mod tests {
         assert!(!stats.sparsified);
         // Only strictly cost-reducing merges happen; error should be small
         // relative to total possible error.
-        let err = reconstruction_error(&g, &s);
+        let err = reconstruction_error(&g, &s).unwrap();
         assert!(err < 2.0 * g.num_edges() as f64);
     }
 
@@ -282,8 +318,8 @@ mod tests {
         );
         let uniform = summarize(&g, &[], budget, &PegasusConfig::default());
         let w_eval = NodeWeights::personalized(&g, &target, 1.5);
-        let err_p = personalized_error(&g, &personalized, &w_eval);
-        let err_u = personalized_error(&g, &uniform, &w_eval);
+        let err_p = personalized_error(&g, &personalized, &w_eval).unwrap();
+        let err_u = personalized_error(&g, &uniform, &w_eval).unwrap();
         assert!(
             err_p < err_u,
             "personalized error {err_p} should beat non-personalized {err_u}"

@@ -111,6 +111,22 @@ impl DenseLane {
             self.touched.sort_unstable();
         }
     }
+
+    /// Caps the lane's dense arrays to `cap` supernode-id slots,
+    /// returning the backing allocations beyond it. Stamps below the cap
+    /// stay valid (values are only live under the current epoch, and
+    /// every consumer opens a fresh epoch via [`Scratch::begin`] before
+    /// reading).
+    fn shrink_to_ids(&mut self, cap: usize) {
+        if self.stamp.len() > cap {
+            self.stamp.truncate(cap);
+            self.stamp.shrink_to_fit();
+            self.val.truncate(cap);
+            self.val.shrink_to_fit();
+            self.touched.clear();
+            self.touched.shrink_to_fit();
+        }
+    }
 }
 
 /// Reusable evaluation scratch: two epoch-stamped dense lanes (one per
@@ -147,6 +163,23 @@ impl Scratch {
     fn ensure_b(&mut self, n: usize) {
         self.b.ensure(n);
     }
+
+    /// Caps both dense lanes to at most `cap` supernode-id slots,
+    /// returning any memory beyond that to the allocator — the scratch
+    /// lifetime hook (ROADMAP): a lane sized for the largest graph a
+    /// thread ever processed shrinks back to the active graph. A later
+    /// run against a bigger graph simply regrows it.
+    pub fn shrink_to(&mut self, cap: usize) {
+        self.a.shrink_to_ids(cap);
+        self.b.shrink_to_ids(cap);
+    }
+
+    /// Frees both lanes entirely (capacity and epoch state). Safe at any
+    /// quiescent point: the next [`Scratch::begin`] restarts from a
+    /// fresh epoch over zeroed stamps.
+    pub fn release(&mut self) {
+        *self = Scratch::default();
+    }
 }
 
 thread_local! {
@@ -158,6 +191,24 @@ thread_local! {
 /// share one allocation across all the groups they process.
 pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
     THREAD_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Caps the *current thread's* reusable evaluation scratch to `cap`
+/// supernode-id slots ([`Scratch::shrink_to`]). Called by the request
+/// API at run finalization so a long-lived server thread keeps lanes
+/// sized to the graph it is actually serving, not the largest one it
+/// ever saw. (Under the vendored scoped executor, evaluate-phase worker
+/// threads are per-phase and their lanes free with the threads; this
+/// hook covers the persistent driver thread — and every worker, under a
+/// pooled executor, if routed through it.)
+pub fn shrink_thread_scratch(cap: usize) {
+    with_thread_scratch(|s| s.shrink_to(cap));
+}
+
+/// Frees the current thread's reusable evaluation scratch entirely
+/// ([`Scratch::release`]) — for workers being retired or parked.
+pub fn release_thread_scratch() {
+    with_thread_scratch(|s| s.release());
 }
 
 /// Outcome of evaluating a candidate merge `{A, B}` (Eq. 10–11).
@@ -1557,6 +1608,33 @@ mod tests {
         assert_eq!(scratch.a.get(2, scratch.epoch), None);
         scratch.a.add(2, 2.5, scratch.epoch);
         assert_eq!(scratch.a.get(2, scratch.epoch), Some(2.5));
+    }
+
+    #[test]
+    fn scratch_shrink_and_release_preserve_correctness() {
+        let g = barabasi_albert(60, 3, 2);
+        let (w, m) = uniform_ws(&g);
+        let ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        let before = ws.eval_merge(3, 7, &mut scratch);
+        assert!(scratch.a.stamp.len() >= 60);
+
+        // Cap below the graph size, then evaluate again: lanes regrow
+        // and the result is bit-identical.
+        scratch.shrink_to(10);
+        assert!(scratch.a.stamp.len() <= 10 && scratch.b.stamp.len() <= 10);
+        let after = ws.eval_merge(3, 7, &mut scratch);
+        assert_eq!(before.delta.to_bits(), after.delta.to_bits());
+
+        // Full release also round-trips.
+        scratch.release();
+        assert_eq!(scratch.a.stamp.len(), 0);
+        let again = ws.eval_merge(3, 7, &mut scratch);
+        assert_eq!(before.delta.to_bits(), again.delta.to_bits());
+
+        // The thread-local hooks are callable at any quiescent point.
+        shrink_thread_scratch(16);
+        release_thread_scratch();
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! the summarizer's evaluate phase uses — and reassembles by machine
 //! index. The built cluster is therefore identical at any parallelism.
 
+use pgs_core::api::{Budget, Pegasus, PgsError, Ssumm, SummarizeRequest, Summarizer};
 use pgs_core::exec::Exec;
-use pgs_core::pegasus::{summarize, PegasusConfig};
-use pgs_core::ssumm::{ssumm_summarize, SsummConfig};
+use pgs_core::pegasus::PegasusConfig;
+use pgs_core::ssumm::SsummConfig;
 use pgs_core::Summary;
 use pgs_graph::{Graph, NodeId};
 use pgs_partition::Method;
@@ -82,7 +83,11 @@ pub struct Cluster {
 impl Cluster {
     /// Preprocessing of Alg. 3: partition `V` with Louvain (or the
     /// backend's own partitioner), then build one store per machine
-    /// within `budget_bits_per_machine`.
+    /// within `budget_bits_per_machine`. Thin wrapper over
+    /// [`Cluster::try_build`] for callers with pre-validated inputs.
+    ///
+    /// # Panics
+    /// Panics on the [`PgsError`]s [`Cluster::try_build`] reports.
     pub fn build(
         g: &Graph,
         m: usize,
@@ -90,6 +95,21 @@ impl Cluster {
         backend: &Backend,
         seed: u64,
     ) -> Cluster {
+        Self::try_build(g, m, budget_bits_per_machine, backend, seed)
+            .unwrap_or_else(|e| panic!("cluster build failed: {e}"))
+    }
+
+    /// [`Cluster::build`] through the request API: summary backends run
+    /// [`Pegasus`]/[`Ssumm`] via [`Summarizer::run`], so an invalid
+    /// per-machine budget (or an empty graph) surfaces as a typed
+    /// [`PgsError`] instead of a panic deep inside a worker.
+    pub fn try_build(
+        g: &Graph,
+        m: usize,
+        budget_bits_per_machine: f64,
+        backend: &Backend,
+        seed: u64,
+    ) -> Result<Cluster, PgsError> {
         assert!(m >= 1, "need at least one machine");
         let part = match backend {
             // Alg. 3 partitions with Louvain; the subgraph baselines use
@@ -114,25 +134,35 @@ impl Cluster {
                 // is identical at any split (the engine's determinism
                 // guarantee), so overriding the inner parallelism is safe.
                 let exec = Exec::new(cfg.num_threads);
-                let inner = PegasusConfig {
+                let inner = Pegasus(PegasusConfig {
                     num_threads: (exec.threads() / m.max(1)).max(1),
                     ..cfg.clone()
-                };
+                });
                 exec.map_indexed(&subsets, |_, subset| {
-                    MachineStore::Summary(summarize(g, subset, budget_bits_per_machine, &inner))
+                    // An empty subset means that machine personalizes to
+                    // nothing in particular: `targets` maps it to the
+                    // uniform weights the legacy path used.
+                    let req = SummarizeRequest::new(Budget::Bits(budget_bits_per_machine))
+                        .targets(subset);
+                    inner
+                        .run(g, &req)
+                        .map(|out| MachineStore::Summary(out.summary))
                 })
+                .into_iter()
+                .collect::<Result<_, _>>()?
             }
             Backend::Ssumm(cfg) => {
                 // One non-personalized summary, logically replicated;
                 // `cfg.num_threads` already governs its build.
-                let s = ssumm_summarize(g, budget_bits_per_machine, cfg);
+                let req = SummarizeRequest::new(Budget::Bits(budget_bits_per_machine));
+                let s = Ssumm(cfg.clone()).run(g, &req)?.summary;
                 (0..m).map(|_| MachineStore::Summary(s.clone())).collect()
             }
             Backend::Subgraph(_) => Exec::new(0).map_indexed(&subsets, |_, subset| {
                 MachineStore::Subgraph(local_subgraph(g, subset, budget_bits_per_machine))
             }),
         };
-        Cluster { part, machines }
+        Ok(Cluster { part, machines })
     }
 
     /// Number of machines `m`.
@@ -351,6 +381,22 @@ mod tests {
                     serial_php,
                     "php, t={threads}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        let g = test_graph();
+        let bad_budgets = [
+            (f64::NAN, Backend::Pegasus(Default::default())),
+            (-1.0, Backend::Ssumm(Default::default())),
+        ];
+        for (budget, backend) in bad_budgets {
+            match Cluster::try_build(&g, 4, budget, &backend, 1) {
+                Err(PgsError::InvalidBudgetBits(_)) => {}
+                Err(other) => panic!("wrong error: {other}"),
+                Ok(_) => panic!("budget {budget} should be rejected"),
             }
         }
     }

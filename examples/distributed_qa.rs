@@ -42,7 +42,9 @@ fn main() {
         "backend", "RWR smape", "RWR spear", "HOP smape", "HOP spear"
     );
     for (name, backend) in contenders {
-        let cluster = Cluster::build(&g, machines, budget, &backend, 3);
+        // try_build routes the summary backends through the request
+        // API: a bad budget would surface as a typed error here.
+        let cluster = Cluster::try_build(&g, machines, budget, &backend, 3).expect("valid budget");
         let mut rwr_s = 0.0;
         let mut rwr_c = 0.0;
         let mut hop_s = 0.0;

@@ -19,17 +19,23 @@ fn main() {
     );
 
     // 2. Personalize to three "users of interest" and compress to half
-    //    the original bit size.
+    //    the original bit size, through the unified request API: the
+    //    request is fallible (typed errors instead of panics) and
+    //    reports why the run stopped.
     let targets = [0, 1234, 4321];
-    let budget = 0.5 * g.size_bits();
     let cfg = PegasusConfig::default(); // α = 1.25, β = 0.1, t_max = 20
-    let summary = summarize(&g, &targets, budget, &cfg);
+    let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&targets);
+    let run = Pegasus(cfg.clone()).run(&g, &req).expect("valid request");
+    let summary = run.summary;
     println!(
-        "summary: {} supernodes, {} superedges, {:.0} bits (ratio {:.2})",
+        "summary: {} supernodes, {} superedges, {:.0} bits (ratio {:.2}); \
+         {} iterations, stop: {}",
         summary.num_supernodes(),
         summary.num_superedges(),
         summary.size_bits(),
-        summary.size_bits() / g.size_bits()
+        summary.size_bits() / g.size_bits(),
+        run.stats.iterations,
+        run.stop
     );
 
     // 3. Answer node-similarity queries directly from the summary and
@@ -47,7 +53,10 @@ fn main() {
     // 4. The same queries from a NON-personalized summary of equal size
     //    are noticeably less accurate at the targets — the paper's core
     //    claim (Fig. 5 / Fig. 7). Shown here with hop-distance queries.
-    let uniform = summarize(&g, &[], budget, &cfg);
+    let uniform = Pegasus(cfg)
+        .run(&g, &SummarizeRequest::new(Budget::Ratio(0.5)))
+        .expect("valid request")
+        .summary;
     let mut pers = 0.0;
     let mut nonp = 0.0;
     for &q in &targets {

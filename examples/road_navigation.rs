@@ -36,15 +36,25 @@ fn main() {
         g.num_edges()
     );
 
-    // The traveler sits at the grid center.
+    // The traveler sits at the grid center. Both summaries go through
+    // the unified request API at the same bit budget.
     let traveler = ((rows / 2) * cols + cols / 2) as NodeId;
     let budget = 0.35 * g.size_bits();
     let cfg = PegasusConfig {
         alpha: 1.25, // Fig. 10: moderate α suits large-diameter graphs
         ..Default::default()
     };
-    let local = summarize(&g, &[traveler], budget, &cfg);
-    let global = summarize(&g, &[], budget, &PegasusConfig::default());
+    let local = Pegasus(cfg)
+        .run(
+            &g,
+            &SummarizeRequest::new(Budget::Bits(budget)).targets(&[traveler]),
+        )
+        .expect("valid request")
+        .summary;
+    let global = Pegasus::default()
+        .run(&g, &SummarizeRequest::new(Budget::Bits(budget)))
+        .expect("valid request")
+        .summary;
     println!(
         "summaries: local |S|={}, global |S|={} ({} bits budget)",
         local.num_supernodes(),

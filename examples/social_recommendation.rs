@@ -40,15 +40,23 @@ fn main() {
         g.num_edges()
     );
 
-    // The cohort we serve: 50 users from communities 0 and 1.
+    // The cohort we serve: 50 users from communities 0 and 1. Both
+    // summaries are requests against the unified API — same budget,
+    // different personalization.
     let cohort: Vec<NodeId> = (0..50).collect();
-    let budget = 0.4 * g.size_bits();
+    let budget = Budget::Ratio(0.4);
     let cfg = PegasusConfig {
         alpha: 1.5,
         ..Default::default()
     };
-    let personalized = summarize(&g, &cohort, budget, &cfg);
-    let generic = summarize(&g, &[], budget, &PegasusConfig::default());
+    let personalized = Pegasus(cfg)
+        .run(&g, &SummarizeRequest::new(budget).targets(&cohort))
+        .expect("valid request")
+        .summary;
+    let generic = Pegasus::default()
+        .run(&g, &SummarizeRequest::new(budget))
+        .expect("valid request")
+        .summary;
     println!(
         "summaries built: personalized |S|={} |P|={}, generic |S|={} |P|={}",
         personalized.num_supernodes(),

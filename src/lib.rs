@@ -19,6 +19,11 @@
 //!
 //! ## Quickstart
 //!
+//! Every algorithm is served through the unified request API
+//! (`pgs_core::api`, DESIGN.md §8): build a [`SummarizeRequest`], run
+//! it through any [`Summarizer`], get a [`RunOutput`] — or a typed
+//! [`PgsError`] — back.
+//!
 //! ```
 //! use pegasus_summary::prelude::*;
 //!
@@ -27,7 +32,10 @@
 //! let targets = [3, 77];
 //!
 //! // Summarize to half the original bit size, personalized to them.
-//! let summary = summarize(&g, &targets, 0.5 * g.size_bits(), &PegasusConfig::default());
+//! let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&targets);
+//! let out = Pegasus::default().run(&g, &req).unwrap();
+//! assert_eq!(out.stop, StopReason::BudgetMet);
+//! let summary = out.summary;
 //! assert!(summary.size_bits() <= 0.5 * g.size_bits());
 //!
 //! // Answer a node-similarity query straight from the summary.
@@ -35,7 +43,18 @@
 //! let exact = rwr_exact(&g, targets[0], 0.05);
 //! let err = smape(&exact, &approx);
 //! assert!(err < 0.9); // far better than an uninformed answer
+//!
+//! // The same request shape drives every other algorithm.
+//! let baseline = KGrass::default()
+//!     .run(&g, &SummarizeRequest::new(Budget::Supernodes(200)))
+//!     .unwrap();
+//! assert_eq!(baseline.summary.num_supernodes(), 200);
 //! ```
+//!
+//! [`SummarizeRequest`]: prelude::SummarizeRequest
+//! [`Summarizer`]: prelude::Summarizer
+//! [`RunOutput`]: prelude::RunOutput
+//! [`PgsError`]: prelude::PgsError
 
 pub use pgs_baselines as baselines;
 pub use pgs_core as core;
@@ -47,11 +66,13 @@ pub use pgs_queries as queries;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use pgs_baselines::{kgrass_summarize, s2l_summarize, saags_summarize};
-    pub use pgs_baselines::{KGrassConfig, S2lConfig, SaagsConfig};
+    pub use pgs_baselines::{KGrass, KGrassConfig, S2l, S2lConfig, Saags, SaagsConfig};
     pub use pgs_core::error::{personalized_error, reconstruction_error};
     pub use pgs_core::summary_io::{read_summary, write_summary};
     pub use pgs_core::{
-        ssumm_summarize, summarize, NodeWeights, PegasusConfig, SsummConfig, Summary,
+        ssumm_summarize, summarize, Budget, NodeWeights, Pegasus, PegasusConfig, Personalization,
+        PgsError, RunControl, RunOutput, Ssumm, SsummConfig, StopReason, SummarizeRequest,
+        Summarizer, Summary,
     };
     pub use pgs_distributed::{Backend, Cluster};
     pub use pgs_graph::gen::{

@@ -1,0 +1,211 @@
+//! Workspace-level contract of the unified request API: every one of
+//! the five algorithms is runnable through `Summarizer::run`, and the
+//! new path is byte-identical to its legacy free function — for the
+//! parallel engines at 1/2/8 threads, for the serial baselines at their
+//! native supernode budgets. Plus: baseline cancellation at commit
+//! boundaries and typed errors on every invalid-request axis.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pegasus_summary::prelude::*;
+
+fn social_graph(seed: u64) -> Graph {
+    planted_partition(500, 10, 3_000, 400, seed)
+}
+
+/// Byte-level identity: same partition, same superedge set, same
+/// superedge weight bits.
+fn assert_identical(a: &Summary, b: &Summary, context: &str) {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "{context}: |V|");
+    assert_eq!(a.num_supernodes(), b.num_supernodes(), "{context}: |S|");
+    for u in 0..a.num_nodes() as u32 {
+        assert_eq!(
+            a.supernode_of(u),
+            b.supernode_of(u),
+            "{context}: node {u} assignment"
+        );
+    }
+    let edges = |s: &Summary| {
+        let mut e: Vec<(u32, u32, u32)> = s
+            .superedges()
+            .map(|(x, y, w)| (x, y, w.to_bits()))
+            .collect();
+        e.sort_unstable();
+        e
+    };
+    assert_eq!(edges(a), edges(b), "{context}: superedges");
+}
+
+#[test]
+fn all_five_algorithms_match_their_legacy_functions() {
+    let g = social_graph(1);
+    let bits = 0.4 * g.size_bits();
+    let k = 80usize;
+    let targets = [0u32, 7];
+
+    // Parallel engines: pinned at 1, 2, and 8 threads.
+    for threads in [1usize, 2, 8] {
+        let pcfg = PegasusConfig {
+            num_threads: threads,
+            ..Default::default()
+        };
+        let legacy = summarize(&g, &targets, bits, &pcfg);
+        let out = Pegasus(pcfg)
+            .run(
+                &g,
+                &SummarizeRequest::new(Budget::Bits(bits)).targets(&targets),
+            )
+            .unwrap();
+        assert_identical(&legacy, &out.summary, &format!("pegasus t={threads}"));
+
+        let scfg = SsummConfig {
+            num_threads: threads,
+            ..Default::default()
+        };
+        let legacy = ssumm_summarize(&g, bits, &scfg);
+        let out = Ssumm(scfg)
+            .run(&g, &SummarizeRequest::new(Budget::Bits(bits)))
+            .unwrap();
+        assert_identical(&legacy, &out.summary, &format!("ssumm t={threads}"));
+    }
+
+    // Serial baselines at their native supernode budget.
+    let req = SummarizeRequest::new(Budget::Supernodes(k));
+    let legacy = kgrass_summarize(&g, k, &KGrassConfig::default());
+    let out = KGrass::default().run(&g, &req).unwrap();
+    assert_identical(&legacy, &out.summary, "kgrass");
+    assert_eq!(out.stop, StopReason::BudgetMet);
+
+    let legacy = s2l_summarize(&g, k, &S2lConfig::default());
+    let out = S2l::default().run(&g, &req).unwrap();
+    assert_identical(&legacy, &out.summary, "s2l");
+
+    let legacy = saags_summarize(&g, k, &SaagsConfig::default());
+    let out = Saags::default().run(&g, &req).unwrap();
+    assert_identical(&legacy, &out.summary, "saags");
+}
+
+#[test]
+fn every_algorithm_reports_uniform_run_stats() {
+    let g = social_graph(2);
+    let algs: [(&str, Box<dyn Summarizer>, Budget); 5] = [
+        ("pegasus", Box::new(Pegasus::default()), Budget::Ratio(0.5)),
+        ("ssumm", Box::new(Ssumm::default()), Budget::Ratio(0.5)),
+        (
+            "kgrass",
+            Box::new(KGrass::default()),
+            Budget::Supernodes(100),
+        ),
+        ("s2l", Box::new(S2l::default()), Budget::Supernodes(100)),
+        ("saags", Box::new(Saags::default()), Budget::Supernodes(100)),
+    ];
+    for (name, alg, budget) in &algs {
+        assert_eq!(alg.name(), *name);
+        let out = alg.run(&g, &SummarizeRequest::new(*budget)).unwrap();
+        assert!(out.stats.iterations > 0, "{name}: iterations");
+        assert!(out.stats.evals > 0, "{name}: evals");
+        assert_eq!(out.stop, StopReason::BudgetMet, "{name}: stop");
+    }
+}
+
+#[test]
+fn baseline_cancellation_yields_valid_partial_summaries() {
+    // A pre-set cancel flag trips at the very first commit boundary:
+    // k-GraSS and SAAGs return the untouched singleton partition, S2L
+    // the all-in-cluster-zero assignment — all structurally valid.
+    let g = social_graph(3);
+    let cancelled = || {
+        let flag = Arc::new(AtomicBool::new(true));
+        SummarizeRequest::new(Budget::Supernodes(50)).cancel_flag(flag)
+    };
+    let algs: [Box<dyn Summarizer>; 3] = [
+        Box::new(KGrass::default()),
+        Box::new(S2l::default()),
+        Box::new(Saags::default()),
+    ];
+    for alg in &algs {
+        let out = alg.run(&g, &cancelled()).unwrap();
+        assert_eq!(out.stop, StopReason::Cancelled, "{}", alg.name());
+        let s = &out.summary;
+        assert_eq!(s.num_nodes(), g.num_nodes(), "{}", alg.name());
+        let mut seen = vec![false; g.num_nodes()];
+        for sn in 0..s.num_supernodes() as u32 {
+            for &u in s.members(sn) {
+                assert!(!seen[u as usize], "{}: node {u} twice", alg.name());
+                seen[u as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|x| x), "{}: partition", alg.name());
+    }
+}
+
+#[test]
+fn mid_run_cancellation_stops_kgrass_between_merges() {
+    let g = social_graph(4);
+    let flag = Arc::new(AtomicBool::new(false));
+    let setter = Arc::clone(&flag);
+    // Stop after ~25 merge steps (observer fires once per step).
+    let req = SummarizeRequest::new(Budget::Supernodes(10))
+        .cancel_flag(Arc::clone(&flag))
+        .observer(move |stats| {
+            if stats.iterations >= 25 {
+                setter.store(true, Ordering::Relaxed);
+            }
+        });
+    let out = KGrass::default().run(&g, &req).unwrap();
+    assert_eq!(out.stop, StopReason::Cancelled);
+    // Far from the requested 10 supernodes, but some merging happened.
+    assert!(out.summary.num_supernodes() > 10);
+    assert!(out.summary.num_supernodes() < g.num_nodes());
+}
+
+#[test]
+fn invalid_requests_error_on_every_algorithm() {
+    let g = social_graph(5);
+    let algs: [Box<dyn Summarizer>; 5] = [
+        Box::new(Pegasus::default()),
+        Box::new(Ssumm::default()),
+        Box::new(KGrass::default()),
+        Box::new(S2l::default()),
+        Box::new(Saags::default()),
+    ];
+    let empty = Graph::empty(0);
+    for alg in &algs {
+        let req = SummarizeRequest::new(Budget::Ratio(0.5));
+        assert_eq!(
+            alg.run(&empty, &req).unwrap_err(),
+            PgsError::EmptyGraph,
+            "{}",
+            alg.name()
+        );
+        for bad in [
+            Budget::Bits(f64::NAN),
+            Budget::Bits(-1.0),
+            Budget::Ratio(0.0),
+            Budget::Ratio(f64::INFINITY),
+        ] {
+            assert!(
+                alg.run(&g, &SummarizeRequest::new(bad)).is_err(),
+                "{}: {bad:?}",
+                alg.name()
+            );
+        }
+    }
+    // Personalization: only PeGaSus accepts it.
+    let personalized = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0]);
+    assert!(Pegasus::default().run(&g, &personalized).is_ok());
+    for alg in &algs[1..] {
+        let budget = if alg.name() == "ssumm" {
+            Budget::Ratio(0.5)
+        } else {
+            Budget::Supernodes(50)
+        };
+        let req = SummarizeRequest::new(budget).targets(&[0]);
+        assert!(
+            matches!(alg.run(&g, &req), Err(PgsError::Unsupported { .. })),
+            "{}",
+            alg.name()
+        );
+    }
+}

@@ -86,8 +86,8 @@ fn personalized_error_improves_at_single_target() {
     let focused = summarize(&g, &target, budget, &cfg);
     let uniform = summarize(&g, &[], budget, &PegasusConfig::default());
     let w = NodeWeights::personalized(&g, &target, 1.5);
-    let err_focused = personalized_error(&g, &focused, &w);
-    let err_uniform = personalized_error(&g, &uniform, &w);
+    let err_focused = personalized_error(&g, &focused, &w).unwrap();
+    let err_uniform = personalized_error(&g, &uniform, &w).unwrap();
     assert!(
         err_focused < err_uniform,
         "personalized {err_focused} should beat uniform {err_uniform}"
@@ -209,7 +209,7 @@ fn larger_alpha_lowers_relative_personalized_error() {
         // Relative personalized error: error at target / error of the
         // non-personalized summary under the same target weights.
         let w = NodeWeights::personalized(&g, &target, 2.0);
-        let err = personalized_error(&g, &s, &w);
+        let err = personalized_error(&g, &s, &w).unwrap();
         if err <= previous * 1.1 {
             oks += 1; // allow mild non-monotonic noise, require trend
         }

@@ -67,7 +67,7 @@ proptest! {
             pairs.into_iter().map(|(a, b)| (a, b, 1.0)).collect();
         let s = Summary::new(g.num_nodes(), labels, &superedges);
         let w = NodeWeights::personalized(&g, &[0], 1.5);
-        let fast = personalized_error(&g, &s, &w);
+        let fast = personalized_error(&g, &s, &w).unwrap();
         let exact = personalized_error_exact(&g, &s, &w);
         prop_assert!((fast - exact).abs() < 1e-6 * exact.max(1.0),
             "fast {} vs exact {}", fast, exact);
