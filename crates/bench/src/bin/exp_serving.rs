@@ -1,0 +1,195 @@
+//! Multi-tenant serving throughput experiment: replays the canonical
+//! serving workload — N tenants, each sweeping M budgets over its own
+//! target set — through `pgs_serve::SummaryService` and writes a
+//! machine-readable `BENCH_serving.json` with end-to-end throughput,
+//! p50/p99 submit-to-done latency, and the weight-cache hit rate (the
+//! shared-BFS effect: each tenant's sweep resolves Eq.-2 weights once
+//! and reuses them `M-1` times).
+//!
+//! ```text
+//! cargo run --release --bin exp_serving [-- [--smoke] <out.json>]
+//! PGS_SERVE_NODES=20000 PGS_SERVE_TENANTS=16 cargo run --release --bin exp_serving
+//! ```
+//!
+//! `--smoke` shrinks everything for CI (and still asserts a non-zero
+//! cache hit rate, so the serving path cannot silently rot). Knobs:
+//! `PGS_SERVE_NODES` (default 6_000), `PGS_SERVE_DEG` (5),
+//! `PGS_SERVE_TENANTS` (8), `PGS_SERVE_WORKERS` (0 = hardware
+//! threads). Inner summarizer parallelism is pinned to 1 — the pool is
+//! the concurrency axis under measurement.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use pgs_bench::{env_or, timed};
+use pgs_core::api::{Budget, Pegasus, SummarizeRequest};
+use pgs_core::pegasus::PegasusConfig;
+use pgs_graph::gen::barabasi_albert;
+use pgs_serve::{ServiceConfig, SubmitRequest, SummaryHandle, SummaryService};
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let mut out_path = "BENCH_serving.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let nodes: usize = env_or("PGS_SERVE_NODES", if smoke { 1_200 } else { 6_000 });
+    let deg: usize = env_or("PGS_SERVE_DEG", 5);
+    let tenants: usize = env_or("PGS_SERVE_TENANTS", if smoke { 3 } else { 8 });
+    let workers: usize = env_or("PGS_SERVE_WORKERS", 0);
+    let budgets: &[f64] = if smoke {
+        &[0.6, 0.4]
+    } else {
+        &[0.7, 0.55, 0.4, 0.25]
+    };
+
+    let (g, gen_secs) = timed(|| Arc::new(barabasi_albert(nodes, deg, 42)));
+    eprintln!(
+        "# graph: |V| = {}, |E| = {}; {tenants} tenants × {} budgets; \
+         workers {workers} (hardware {}); generated in {gen_secs:.2}s",
+        g.num_nodes(),
+        g.num_edges(),
+        budgets.len(),
+        rayon::current_num_threads()
+    );
+
+    let svc = SummaryService::new(
+        Arc::clone(&g),
+        Arc::new(Pegasus(PegasusConfig {
+            num_threads: 1,
+            ..Default::default()
+        })),
+        ServiceConfig {
+            workers,
+            ..Default::default()
+        },
+    );
+
+    // Submit budget-major (every tenant's ratio-0.7 request, then every
+    // ratio-0.55, …): adjacent submissions belong to *different*
+    // tenants, the adversarial interleaving for the per-tenant cache.
+    let (handles, submit_secs): (Vec<SummaryHandle>, f64) = timed(|| {
+        budgets
+            .iter()
+            .flat_map(|&ratio| {
+                (0..tenants).map(move |t| (ratio, t)).map(|(ratio, t)| {
+                    let targets: Vec<u32> = (0..3)
+                        .map(|k| ((t * 131 + k * 17) % nodes) as u32)
+                        .collect();
+                    let req = SummarizeRequest::new(Budget::Ratio(ratio)).targets(&targets);
+                    svc.submit(SubmitRequest::new(format!("tenant-{t:02}"), req))
+                })
+            })
+            .collect()
+    });
+
+    let (latencies, wall_secs) = timed(|| {
+        let mut lat: Vec<f64> = handles
+            .iter()
+            .map(|h| {
+                h.wait().expect("valid request");
+                h.timings().expect("finished").total_secs()
+            })
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        lat
+    });
+    let wall_secs = wall_secs + submit_secs;
+    let total = handles.len();
+    let throughput = total as f64 / wall_secs.max(1e-12);
+    let cache = svc.cache_stats();
+    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    let mean = latencies.iter().sum::<f64>() / total as f64;
+
+    eprintln!(
+        "# {total} requests in {wall_secs:.2}s: {throughput:.2} req/s; latency \
+         p50 {p50:.3}s p99 {p99:.3}s mean {mean:.3}s; cache {} hits / {} misses \
+         (hit rate {:.3})",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate()
+    );
+    // The shared-BFS invariant this binary guards in CI: each tenant's
+    // sweep resolves one BFS and hits the cache for every other budget.
+    assert_eq!(cache.misses, tenants as u64, "one BFS per tenant");
+    assert_eq!(
+        cache.hits,
+        (tenants * (budgets.len() - 1)) as u64,
+        "every later budget in a sweep must hit"
+    );
+    assert!(cache.hit_rate() > 0.0, "cache hit rate must be > 0");
+
+    let tenant_stats = svc.tenant_stats();
+    for s in &tenant_stats {
+        assert_eq!(s.completed, budgets.len() as u64, "{} terminated", s.tenant);
+    }
+
+    // Hand-rolled JSON (the workspace is offline — no serde).
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"benchmark\": \"serving_throughput\",").unwrap();
+    writeln!(json, "  \"smoke\": {smoke},").unwrap();
+    writeln!(json, "  \"graph\": {{").unwrap();
+    writeln!(json, "    \"generator\": \"barabasi_albert\",").unwrap();
+    writeln!(json, "    \"nodes\": {},", g.num_nodes()).unwrap();
+    writeln!(json, "    \"edges\": {},", g.num_edges()).unwrap();
+    writeln!(json, "    \"seed\": 42").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"tenants\": {tenants},").unwrap();
+    writeln!(json, "  \"budgets\": {budgets:?},").unwrap();
+    writeln!(json, "  \"workers\": {workers},").unwrap();
+    writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        rayon::current_num_threads()
+    )
+    .unwrap();
+    writeln!(json, "  \"requests\": {total},").unwrap();
+    writeln!(json, "  \"wall_secs\": {wall_secs:.4},").unwrap();
+    writeln!(json, "  \"throughput_req_per_sec\": {throughput:.4},").unwrap();
+    writeln!(json, "  \"latency_secs\": {{").unwrap();
+    writeln!(json, "    \"p50\": {p50:.5},").unwrap();
+    writeln!(json, "    \"p99\": {p99:.5},").unwrap();
+    writeln!(json, "    \"mean\": {mean:.5}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"cache\": {{").unwrap();
+    writeln!(json, "    \"hits\": {},", cache.hits).unwrap();
+    writeln!(json, "    \"misses\": {},", cache.misses).unwrap();
+    writeln!(json, "    \"hit_rate\": {:.4}", cache.hit_rate()).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"tenants_detail\": [").unwrap();
+    for (i, s) in tenant_stats.iter().enumerate() {
+        let comma = if i + 1 < tenant_stats.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"tenant\": \"{}\", \"completed\": {}, \"budget_met\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"wait_secs\": {:.4}, \
+             \"run_secs\": {:.4}}}{comma}",
+            s.tenant,
+            s.completed,
+            s.budget_met,
+            s.cache_hits,
+            s.cache_misses,
+            s.wait_secs,
+            s.run_secs
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, &json).expect("writing BENCH_serving.json");
+    eprintln!("# wrote {out_path}");
+    println!("{json}");
+}

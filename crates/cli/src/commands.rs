@@ -12,6 +12,7 @@ use pgs_graph::traverse::effective_diameter;
 use pgs_graph::Graph;
 use pgs_partition::Method;
 use pgs_queries as q;
+use pgs_serve::{ServiceConfig, SubmitRequest, SummaryService};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -34,6 +35,13 @@ USAGE:
             [--top 10] [--seed 0] [--truth <edges.txt>]
             [--threads N]   (0 = all hardware threads; same output at any N)
   pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
+  pgs serve <edges.txt> --requests <reqs.txt>
+            [--algorithm pegasus|ssumm|kgrass|s2l|saags]   (default pegasus)
+            [--workers N]   (pool size; 0 = all hardware threads)
+            [--inflight K]   (per-tenant concurrent runs, default 1)
+            [--tenant-deadline-ms T]   (wall clock per request, from submission)
+            [--cache C]   (weight-cache entries, default 256; 0 disables)
+            [--alpha 1.25] [--beta 0.1] [--seed 0] [--threads N]
 
 All five algorithms dispatch through the unified Summarizer request API:
 pegasus/ssumm take bit budgets (--budget-bits, or --budget-ratio of the
@@ -48,6 +56,15 @@ answers all nodes (from the --nodes id file, or --sample k nodes drawn with
 --seed) in parallel over --threads workers, and prints TSV rows
 `query  rank  node  score` (top --top nodes per query; accuracy vs --truth
 goes to stderr). Answers are byte-identical at any --threads value.
+
+serve replays a request file through the multi-tenant SummaryService
+(bounded worker pool, per-tenant FIFO + priority scheduling, shared-BFS
+weight cache). Request file: one `tenant budget targets priority` line
+per request, where budget is a ratio (0.5), `bits:K`, or `sn:S`;
+targets is a comma list of node ids or `-` for uniform; priority
+(optional, default 0) runs higher first across tenants. Completed
+requests stream out as TSV `tenant  id  stop  supernodes  ratio
+wait_ms  run_ms`; per-tenant stats and the cache hit rate go to stderr.
 
 Edge lists: one `u v` pair per line, `#`/`%` comments (SNAP/KONECT style).
 ";
@@ -163,6 +180,36 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
         req = req.deadline(deadline);
     }
 
+    let summarizer = build_algorithm(&args)?;
+    let run = summarizer.run(&g, &req).map_err(|e| e.to_string())?;
+    let summary = &run.summary;
+    write_summary(summary, out).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: |S|={} |P|={} {:.0} bits (ratio {:.3}); algorithm {}, {} iterations, \
+         {} merges, {} merge-evals, stop {}{}",
+        summary.num_supernodes(),
+        summary.num_superedges(),
+        summary.size_bits(),
+        summary.size_bits() / g.size_bits(),
+        summarizer.name(),
+        run.stats.iterations,
+        run.stats.merges,
+        run.stats.evals,
+        run.stop,
+        if run.stats.sparsified {
+            ", sparsified"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+/// Builds the `--algorithm` summarizer from the shared flag set
+/// (`--alpha`, `--beta`, `--tmax`, `--seed`, `--threads`,
+/// `--evaluator`; `--method` stays as an alias of `--algorithm`).
+/// Shared by `summarize` and `serve`.
+fn build_algorithm(args: &Args) -> Result<Box<dyn Summarizer + Send + Sync>, String> {
     let seed: u64 = args.get_parse("seed", 0)?;
     let num_threads: usize = args.get_parse("threads", 0)?;
     let evaluator = match args.get("evaluator").unwrap_or("cached") {
@@ -171,13 +218,11 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
         "legacy" => MergeEvaluator::LegacyHash,
         other => return Err(format!("unknown evaluator {other:?} (cached|scan|legacy)")),
     };
-
-    // --method stays as an alias of --algorithm.
     let algorithm = args
         .get("algorithm")
         .or_else(|| args.get("method"))
         .unwrap_or("pegasus");
-    let summarizer: Box<dyn Summarizer> = match algorithm {
+    Ok(match algorithm {
         "pegasus" => Box::new(Pegasus(PegasusConfig {
             alpha: args.get_parse("alpha", 1.25)?,
             beta: args.get_parse("beta", 0.1)?,
@@ -208,30 +253,7 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
                 "unknown algorithm {other:?} (pegasus|ssumm|kgrass|s2l|saags)"
             ))
         }
-    };
-
-    let run = summarizer.run(&g, &req).map_err(|e| e.to_string())?;
-    let summary = &run.summary;
-    write_summary(summary, out).map_err(|e| format!("writing {out}: {e}"))?;
-    println!(
-        "wrote {out}: |S|={} |P|={} {:.0} bits (ratio {:.3}); algorithm {}, {} iterations, \
-         {} merges, {} merge-evals, stop {}{}",
-        summary.num_supernodes(),
-        summary.num_superedges(),
-        summary.size_bits(),
-        summary.size_bits() / g.size_bits(),
-        summarizer.name(),
-        run.stats.iterations,
-        run.stats.merges,
-        run.stats.evals,
-        run.stop,
-        if run.stats.sparsified {
-            ", sparsified"
-        } else {
-            ""
-        }
-    );
-    Ok(())
+    })
 }
 
 /// Top-k node indices (ascending scores for hop distances, descending
@@ -409,6 +431,165 @@ pub fn query(raw: &[String]) -> Result<(), String> {
             sc / n
         );
     }
+    Ok(())
+}
+
+/// One line of a `pgs serve` request file: budget token (`0.5` ratio,
+/// `bits:K`, `sn:S`).
+fn parse_budget_token(tok: &str) -> Result<Budget, String> {
+    if let Some(bits) = tok.strip_prefix("bits:") {
+        let b: f64 = bits
+            .parse()
+            .map_err(|_| format!("bad bit budget {bits:?}"))?;
+        Ok(Budget::Bits(b))
+    } else if let Some(sn) = tok.strip_prefix("sn:") {
+        let k: usize = sn
+            .parse()
+            .map_err(|_| format!("bad supernode budget {sn:?}"))?;
+        Ok(Budget::Supernodes(k))
+    } else {
+        let r: f64 = tok
+            .parse()
+            .map_err(|_| format!("bad budget ratio {tok:?} (ratio, bits:K, or sn:S)"))?;
+        Ok(Budget::Ratio(r))
+    }
+}
+
+/// Parses a serve request file: `tenant budget targets [priority]` per
+/// line, `#`/`%` comments. Targets are a comma list of node ids or `-`.
+fn parse_request_file(path: &str, num_nodes: usize) -> Result<Vec<SubmitRequest>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let at = |msg: String| format!("{path}:{}: {msg}", lineno + 1);
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if !(3..=4).contains(&toks.len()) {
+            return Err(at(format!(
+                "expected `tenant budget targets [priority]`, got {} fields",
+                toks.len()
+            )));
+        }
+        let budget = parse_budget_token(toks[1]).map_err(at)?;
+        let mut req = SummarizeRequest::new(budget);
+        if toks[2] != "-" {
+            let targets: Vec<u32> = toks[2]
+                .split(',')
+                .map(|t| {
+                    t.trim()
+                        .parse::<u32>()
+                        .map_err(|_| at(format!("bad target id {t:?}")))
+                })
+                .collect::<Result<_, _>>()?;
+            if let Some(&bad) = targets.iter().find(|&&t| (t as usize) >= num_nodes) {
+                return Err(at(format!("target {bad} out of range (|V| = {num_nodes})")));
+            }
+            req = req.targets(&targets);
+        }
+        let priority: u8 = match toks.get(3) {
+            None => 0,
+            Some(p) => p
+                .parse()
+                .map_err(|_| at(format!("bad priority {p:?} (0-255)")))?,
+        };
+        out.push(SubmitRequest::new(toks[0], req).priority(priority));
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no requests found"));
+    }
+    Ok(out)
+}
+
+/// `pgs serve <edges.txt> --requests <reqs.txt> [flags]`: replay a
+/// request file through the multi-tenant `SummaryService`.
+pub fn serve(raw: &[String]) -> Result<(), String> {
+    const SERVE_USAGE: &str =
+        "usage: pgs serve <edges.txt> --requests <reqs.txt> [--algorithm a] [--workers N] \
+         [--inflight K] [--tenant-deadline-ms T] [--cache C] [flags]";
+    let args = Args::parse(raw)?;
+    let path = args.positional.first().ok_or(SERVE_USAGE)?;
+    let reqs_path = args.get("requests").ok_or(SERVE_USAGE)?;
+    let g = load_graph(path)?;
+    let size_g = g.size_bits();
+    let submissions = parse_request_file(reqs_path, g.num_nodes())?;
+    let total = submissions.len();
+
+    let tenant_deadline = match args.get("tenant-deadline-ms") {
+        None => None,
+        Some(_) => {
+            let ms: f64 = args.get_parse("tenant-deadline-ms", 0.0)?;
+            Some(
+                std::time::Duration::try_from_secs_f64(ms / 1000.0)
+                    .map_err(|_| format!("--tenant-deadline-ms must be non-negative, got {ms}"))?,
+            )
+        }
+    };
+    let cfg = ServiceConfig {
+        workers: args.get_parse("workers", 0)?,
+        per_tenant_inflight: args.get_parse("inflight", 1)?,
+        tenant_deadline,
+        cache_capacity: args.get_parse("cache", 256)?,
+    };
+    let svc = SummaryService::new(
+        std::sync::Arc::new(g),
+        std::sync::Arc::from(build_algorithm(&args)?),
+        cfg,
+    );
+
+    let started = std::time::Instant::now();
+    let handles: Vec<_> = submissions.into_iter().map(|s| svc.submit(s)).collect();
+    println!("# tenant\tid\tstop\tsupernodes\tratio\twait_ms\trun_ms");
+    for h in &handles {
+        match h.wait() {
+            Ok(out) => {
+                let t = h.timings().expect("finished");
+                println!(
+                    "{}\t{}\t{}\t{}\t{:.4}\t{:.2}\t{:.2}",
+                    h.tenant(),
+                    h.id(),
+                    out.stop,
+                    out.summary.num_supernodes(),
+                    out.summary.size_bits() / size_g,
+                    t.wait_secs * 1e3,
+                    t.run_secs * 1e3,
+                );
+            }
+            Err(e) => println!("{}\t{}\terror\t-\t-\t-\t-\t# {e}", h.tenant(), h.id()),
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+    for s in svc.tenant_stats() {
+        eprintln!(
+            "# tenant {}: {} submitted, {} completed ({} budget-met, {} max-iters, \
+             {} cancelled, {} deadline-exceeded), {} errors, cache {}h/{}m, \
+             wait {:.2}s, run {:.2}s",
+            s.tenant,
+            s.submitted,
+            s.completed,
+            s.budget_met,
+            s.max_iters,
+            s.cancelled,
+            s.deadline_exceeded,
+            s.errors,
+            s.cache_hits,
+            s.cache_misses,
+            s.wait_secs,
+            s.run_secs,
+        );
+    }
+    let c = svc.cache_stats();
+    eprintln!(
+        "# {total} requests in {wall:.2}s ({:.1} req/s) on {} worker(s); \
+         weight cache: {} hits / {} misses (hit rate {:.2})",
+        total as f64 / wall.max(1e-12),
+        Exec::new(args.get_parse("workers", 0)?).threads(),
+        c.hits,
+        c.misses,
+        c.hit_rate(),
+    );
     Ok(())
 }
 
@@ -693,6 +874,86 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("non-negative"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_replays_a_request_file() {
+        let dir = std::env::temp_dir().join("pgs_cli_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("g.txt");
+        let g = pgs_graph::gen::planted_partition(200, 4, 800, 120, 13);
+        pgs_graph::io::write_edge_list(&g, &edges).unwrap();
+
+        // Two tenants, mixed budgets/priorities; alice's sweep shares
+        // one cached BFS.
+        let reqs = dir.join("reqs.txt");
+        std::fs::write(
+            &reqs,
+            "# tenant budget targets priority\n\
+             alice 0.6 0,1 1\n\
+             alice 0.4 0,1 1\n\
+             bob   0.5 7\n\
+             bob   bits:20000 -  2\n",
+        )
+        .unwrap();
+        serve(&strs(&[
+            edges.to_str().unwrap(),
+            "--requests",
+            reqs.to_str().unwrap(),
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+
+        // Count-budgeted algorithms serve too.
+        std::fs::write(&reqs, "carol sn:40 - 0\n").unwrap();
+        serve(&strs(&[
+            edges.to_str().unwrap(),
+            "--requests",
+            reqs.to_str().unwrap(),
+            "--algorithm",
+            "kgrass",
+        ]))
+        .unwrap();
+
+        // Malformed lines are rejected with the line number.
+        std::fs::write(&reqs, "alice nonsense 0,1\n").unwrap();
+        let err = serve(&strs(&[
+            edges.to_str().unwrap(),
+            "--requests",
+            reqs.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains(":1:"), "{err}");
+        std::fs::write(&reqs, "alice 0.5 999999\n").unwrap();
+        let err = serve(&strs(&[
+            edges.to_str().unwrap(),
+            "--requests",
+            reqs.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        std::fs::write(&reqs, "# only comments\n").unwrap();
+        let err = serve(&strs(&[
+            edges.to_str().unwrap(),
+            "--requests",
+            reqs.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no requests"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_budget_token_forms() {
+        assert_eq!(parse_budget_token("0.5").unwrap(), Budget::Ratio(0.5));
+        assert_eq!(
+            parse_budget_token("bits:1234").unwrap(),
+            Budget::Bits(1234.0)
+        );
+        assert_eq!(parse_budget_token("sn:40").unwrap(), Budget::Supernodes(40));
+        assert!(parse_budget_token("sn:x").is_err());
+        assert!(parse_budget_token("frob").is_err());
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! pgs query <out.summary> --type rwr|hop|php (--nodes <ids.txt> | --sample <k>)
 //!           [--top 10] [--seed 0] [--threads N] [--truth <edges.txt>]
 //! pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
+//! pgs serve <edges.txt> --requests <reqs.txt> [--workers N] [--inflight K]
+//!           [--tenant-deadline-ms T] [--cache C]
 //! ```
 //!
 //! `summarize` serves all five algorithms through the unified
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         Some("summarize") => commands::summarize(&args[1..]),
         Some("query") => commands::query(&args[1..]),
         Some("partition") => commands::partition(&args[1..]),
+        Some("serve") => commands::serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             return ExitCode::SUCCESS;

@@ -120,6 +120,10 @@ pub enum PgsError {
         /// The request axis it cannot honor.
         feature: &'static str,
     },
+    /// The run panicked (a bug in an algorithm implementation or a
+    /// user-supplied observer). Reported by serving layers that isolate
+    /// panics so one bad request cannot take down the worker pool.
+    RunPanicked,
 }
 
 impl std::fmt::Display for PgsError {
@@ -158,6 +162,10 @@ impl std::fmt::Display for PgsError {
             PgsError::Unsupported { algorithm, feature } => {
                 write!(f, "{algorithm} does not support {feature}")
             }
+            PgsError::RunPanicked => write!(
+                f,
+                "summarization run panicked (algorithm or observer bug); the worker recovered"
+            ),
         }
     }
 }
@@ -224,6 +232,31 @@ pub enum Personalization {
     Targets(Vec<NodeId>),
     /// Prebuilt node weights — reuse one BFS across many runs.
     Weights(NodeWeights),
+}
+
+impl Personalization {
+    /// Canonical form of the targets axis for keying shared-BFS weight
+    /// caches: the target ids sorted and deduplicated. Two `Targets`
+    /// requests with the same canonical key resolve (at equal `α`) to
+    /// bitwise-identical [`NodeWeights`] — Eq.-2 weights depend only on
+    /// the target *set*, and the multi-source BFS is order-insensitive —
+    /// so a serving layer may compute the BFS once and replay it as
+    /// [`Personalization::Weights`].
+    ///
+    /// `None` when there is nothing to cache: uniform weights need no
+    /// BFS, prebuilt weights are already materialized, and an empty
+    /// target list is invalid (it errors in [`SummarizeRequest::resolve_weights`]).
+    pub fn target_key(&self) -> Option<Vec<NodeId>> {
+        match self {
+            Personalization::Targets(targets) if !targets.is_empty() => {
+                let mut key = targets.clone();
+                key.sort_unstable();
+                key.dedup();
+                Some(key)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Cooperative run control: cancel flag, wall-clock deadline, progress
@@ -420,10 +453,17 @@ impl SummarizeRequest {
 
     /// Validates the personalization axis against `g` and resolves it to
     /// node weights at degree `alpha` — the shared PeGaSus-family path.
+    /// `alpha` itself is validated too (`Targets` needs it): callers
+    /// that resolve *before* the algorithm's own config checks — e.g. a
+    /// serving layer's submit-side weight cache — still get a typed
+    /// [`PgsError::InvalidAlpha`], never a panic.
     pub fn resolve_weights(&self, g: &Graph, alpha: f64) -> Result<NodeWeights, PgsError> {
         match &self.personalization {
             Personalization::Uniform => Ok(NodeWeights::uniform(g.num_nodes())),
             Personalization::Targets(targets) => {
+                if !alpha.is_finite() || alpha < 1.0 {
+                    return Err(PgsError::InvalidAlpha(alpha));
+                }
                 if targets.is_empty() {
                     return Err(PgsError::EmptyTargets);
                 }
@@ -473,6 +513,16 @@ pub trait Summarizer {
     /// summary with stats and stop reason. Never panics on invalid
     /// requests — every validation failure is a typed [`PgsError`].
     fn run(&self, g: &Graph, req: &SummarizeRequest) -> Result<RunOutput, PgsError>;
+
+    /// The degree of personalization `α` at which this summarizer
+    /// resolves [`Personalization::Targets`] into Eq.-2 weights, or
+    /// `None` if it rejects non-uniform personalization. Serving layers
+    /// key shared-BFS weight caches on
+    /// `(`[`Personalization::target_key`]`, α)` — equal keys at equal
+    /// `α` mean bitwise-identical weights.
+    fn personalization_alpha(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// PeGaSus (Alg. 1) behind the [`Summarizer`] interface.
@@ -482,6 +532,10 @@ pub struct Pegasus(pub PegasusConfig);
 impl Summarizer for Pegasus {
     fn name(&self) -> &'static str {
         "pegasus"
+    }
+
+    fn personalization_alpha(&self) -> Option<f64> {
+        Some(self.0.alpha)
     }
 
     fn run(&self, g: &Graph, req: &SummarizeRequest) -> Result<RunOutput, PgsError> {
@@ -619,6 +673,19 @@ mod tests {
             PgsError::InvalidBeta(1.5)
         );
 
+        // resolve_weights validates alpha itself (the serving layer
+        // resolves before the algorithm's config checks run).
+        let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0]);
+        for bad_alpha in [0.5, f64::NAN, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    req.resolve_weights(&g, bad_alpha),
+                    Err(PgsError::InvalidAlpha(_))
+                ),
+                "{bad_alpha}"
+            );
+        }
+
         let req = SummarizeRequest::new(Budget::Ratio(0.5)).weights(NodeWeights::uniform(3));
         assert_eq!(
             alg.run(&g, &req).unwrap_err(),
@@ -679,6 +746,48 @@ mod tests {
         assert_eq!(StopReason::MaxIters.as_str(), "max-iters");
         assert_eq!(StopReason::Cancelled.as_str(), "cancelled");
         assert_eq!(StopReason::DeadlineExceeded.as_str(), "deadline-exceeded");
+    }
+
+    #[test]
+    fn target_key_is_canonical() {
+        let scrambled = Personalization::Targets(vec![9, 3, 9, 0, 3]);
+        let sorted = Personalization::Targets(vec![0, 3, 9]);
+        assert_eq!(scrambled.target_key(), Some(vec![0, 3, 9]));
+        assert_eq!(scrambled.target_key(), sorted.target_key());
+        assert_eq!(Personalization::Uniform.target_key(), None);
+        assert_eq!(Personalization::Targets(Vec::new()).target_key(), None);
+        assert_eq!(
+            Personalization::Weights(NodeWeights::uniform(5)).target_key(),
+            None
+        );
+    }
+
+    #[test]
+    fn equal_target_keys_resolve_to_identical_weights() {
+        // The contract serving-layer weight caches rely on: same
+        // canonical key + same alpha => bitwise-identical weights.
+        let g = barabasi_albert(120, 3, 5);
+        let a = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[7, 2, 7, 40]);
+        let b = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[40, 2, 7]);
+        assert_eq!(
+            a.personalization_ref().target_key(),
+            b.personalization_ref().target_key()
+        );
+        let wa = a.resolve_weights(&g, 1.5).unwrap();
+        let wb = b.resolve_weights(&g, 1.5).unwrap();
+        let bits = |w: &NodeWeights| w.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&wa), bits(&wb));
+    }
+
+    #[test]
+    fn personalization_alpha_reflects_support() {
+        assert_eq!(Pegasus::default().personalization_alpha(), Some(1.25));
+        let custom = Pegasus(PegasusConfig {
+            alpha: 2.0,
+            ..Default::default()
+        });
+        assert_eq!(custom.personalization_alpha(), Some(2.0));
+        assert_eq!(Ssumm::default().personalization_alpha(), None);
     }
 
     #[test]

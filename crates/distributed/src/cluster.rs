@@ -7,6 +7,8 @@
 //! the summarizer's evaluate phase uses — and reassembles by machine
 //! index. The built cluster is therefore identical at any parallelism.
 
+use std::sync::Arc;
+
 use pgs_core::api::{Budget, Pegasus, PgsError, Ssumm, SummarizeRequest, Summarizer};
 use pgs_core::exec::Exec;
 use pgs_core::pegasus::PegasusConfig;
@@ -15,6 +17,7 @@ use pgs_core::Summary;
 use pgs_graph::{Graph, NodeId};
 use pgs_partition::Method;
 use pgs_queries::{hops_summary, php_summary, rwr_summary, QueryEngine};
+use pgs_serve::{ServiceConfig, SubmitRequest, SummaryService};
 
 use crate::subgraph::local_subgraph;
 
@@ -162,6 +165,64 @@ impl Cluster {
                 MachineStore::Subgraph(local_subgraph(g, subset, budget_bits_per_machine))
             }),
         };
+        Ok(Cluster { part, machines })
+    }
+
+    /// Alg.-3 preprocessing routed through the multi-tenant serving
+    /// layer: partitions `V` with Louvain, then submits one
+    /// personalized summarization request per machine (tenant
+    /// `machine-<i>`) to a [`SummaryService`] over the Pegasus backend
+    /// and assembles the stores from the handles. The service's worker
+    /// pool replaces [`Cluster::try_build`]'s ad-hoc per-machine
+    /// fan-out — same batch, but with the serving layer's queueing,
+    /// deadlines, and stats — and the output is byte-identical to
+    /// `try_build` with [`Backend::Pegasus`] (the engine is
+    /// deterministic at any parallelism; pinned in the tests below).
+    ///
+    /// Inner summarizer parallelism follows [`Cluster::try_build`]'s
+    /// split: `cfg.num_threads` (0 = hardware) divided across the `m`
+    /// machine builds, so pool workers × evaluate-phase threads never
+    /// oversubscribes. Output is identical at any split.
+    pub fn try_build_served(
+        g: &Arc<Graph>,
+        m: usize,
+        budget_bits_per_machine: f64,
+        cfg: &PegasusConfig,
+        seed: u64,
+        svc_cfg: ServiceConfig,
+    ) -> Result<Cluster, PgsError> {
+        assert!(m >= 1, "need at least one machine");
+        let part = Method::Louvain.partition(g, m, seed);
+        let mut subsets: Vec<Vec<NodeId>> = vec![Vec::new(); m];
+        for (u, &p) in part.iter().enumerate() {
+            subsets[p as usize].push(u as NodeId);
+        }
+        let inner = Pegasus(PegasusConfig {
+            num_threads: (Exec::new(cfg.num_threads).threads() / m.max(1)).max(1),
+            ..cfg.clone()
+        });
+        // Every machine personalizes to a distinct subset, so the
+        // submit-side weight cache could never hit — disabling it keeps
+        // each machine's Eq.-2 BFS inside its (parallel) worker run
+        // instead of resolving serially on this thread at submit time.
+        let svc_cfg = ServiceConfig {
+            cache_capacity: 0,
+            ..svc_cfg
+        };
+        let svc = SummaryService::new(Arc::clone(g), Arc::new(inner), svc_cfg);
+        let handles: Vec<_> = subsets
+            .iter()
+            .enumerate()
+            .map(|(i, subset)| {
+                let req =
+                    SummarizeRequest::new(Budget::Bits(budget_bits_per_machine)).targets(subset);
+                svc.submit(SubmitRequest::new(format!("machine-{i}"), req))
+            })
+            .collect();
+        let machines: Vec<MachineStore> = handles
+            .iter()
+            .map(|h| h.wait().map(|out| MachineStore::Summary(out.summary)))
+            .collect::<Result<_, _>>()?;
         Ok(Cluster { part, machines })
     }
 
@@ -382,6 +443,66 @@ mod tests {
                     "php, t={threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn served_build_is_byte_identical_to_direct_build() {
+        let g = Arc::new(test_graph());
+        let budget = 0.5 * g.size_bits();
+        let cfg = PegasusConfig::default();
+        let direct = Cluster::build(&g, 4, budget, &Backend::Pegasus(cfg.clone()), 9);
+        for workers in [1usize, 2, 8] {
+            let served = Cluster::try_build_served(
+                &g,
+                4,
+                budget,
+                &cfg,
+                9,
+                ServiceConfig {
+                    workers,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(served.part, direct.part, "workers={workers}");
+            for i in 0..4 {
+                let (MachineStore::Summary(a), MachineStore::Summary(b)) =
+                    (direct.machine(i), served.machine(i))
+                else {
+                    panic!("both builds store summaries");
+                };
+                assert_eq!(a.num_supernodes(), b.num_supernodes(), "machine {i}");
+                let edges = |s: &Summary| {
+                    let mut e: Vec<(u32, u32, u32)> = s
+                        .superedges()
+                        .map(|(x, y, w)| (x, y, w.to_bits()))
+                        .collect();
+                    e.sort_unstable();
+                    e
+                };
+                assert_eq!(edges(a), edges(b), "machine {i} superedges");
+                for u in g.nodes() {
+                    assert_eq!(a.supernode_of(u), b.supernode_of(u), "machine {i} node {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn served_build_surfaces_typed_errors() {
+        let g = Arc::new(test_graph());
+        match Cluster::try_build_served(
+            &g,
+            4,
+            f64::NAN,
+            &PegasusConfig::default(),
+            1,
+            ServiceConfig::default(),
+        ) {
+            Err(PgsError::InvalidBudgetBits(_)) => {}
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("NaN budget should be rejected"),
         }
     }
 

@@ -1,0 +1,59 @@
+//! # pgs-serve — multi-tenant summary serving
+//!
+//! The serving layer the paper's applications section implies but never
+//! builds: personalized summaries are per-user artifacts ("millions of
+//! users"), so production needs something that multiplexes many tenants
+//! over the one fallible, cancellable [`Summarizer`] request path —
+//! with fairness, deadlines, and shared per-tenant preprocessing.
+//!
+//! * [`SummaryService`] — bounded worker pool (dedicated threads,
+//!   sized by [`pgs_core::exec::Exec`]'s thread policy), per-tenant
+//!   FIFO + cross-tenant priority
+//!   scheduling, per-tenant in-flight caps and wall-clock deadlines,
+//!   typed [`SummaryHandle`]s (`poll` / `wait` / `cancel`).
+//! * [`WeightCache`] — epoch-stamped LRU cache of Eq.-2
+//!   [`NodeWeights`](pgs_core::NodeWeights) keyed by
+//!   `(tenant, targets, α)`, so one BFS serves a tenant's whole budget
+//!   sweep.
+//!
+//! Results are byte-identical to running the same requests serially
+//! through the same [`Summarizer`] — at any worker count, scheduling
+//! order, or cache state (pinned by `tests/service_stress.rs`).
+//! DESIGN.md §9 documents the architecture and exactly which
+//! guarantees are per-handle vs cross-tenant.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest};
+//! use pgs_serve::{ServiceConfig, SubmitRequest, SummaryService};
+//! use pgs_graph::gen::barabasi_albert;
+//!
+//! let g = Arc::new(barabasi_albert(300, 3, 7));
+//! let svc = SummaryService::new(g, Arc::new(Pegasus::default()), ServiceConfig::default());
+//!
+//! // One tenant sweeping budgets: the first request resolves the
+//! // Eq.-2 BFS, the rest hit the weight cache.
+//! let handles: Vec<_> = [0.8, 0.5, 0.3]
+//!     .iter()
+//!     .map(|&r| {
+//!         let req = SummarizeRequest::new(Budget::Ratio(r)).targets(&[0, 1]);
+//!         svc.submit(SubmitRequest::new("alice", req))
+//!     })
+//!     .collect();
+//! for h in &handles {
+//!     assert_eq!(h.wait().unwrap().stop, StopReason::BudgetMet);
+//! }
+//! assert_eq!(svc.cache_stats().misses, 1); // one BFS for the sweep
+//! assert_eq!(svc.cache_stats().hits, 2);
+//! ```
+//!
+//! [`Summarizer`]: pgs_core::api::Summarizer
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{CacheStats, WeightCache, WeightKey};
+pub use service::{
+    JobStatus, JobTimings, ServiceConfig, SharedSummarizer, SubmitRequest, SummaryHandle,
+    SummaryService, TenantStats,
+};

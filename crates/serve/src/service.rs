@@ -1,0 +1,773 @@
+//! The multi-tenant summary service (DESIGN.md §9).
+//!
+//! [`SummaryService`] multiplexes many tenants over one
+//! [`Summarizer`]: callers [`submit`](SummaryService::submit) a
+//! [`SubmitRequest`] (tenant id + [`SummarizeRequest`] + priority) and
+//! get back a [`SummaryHandle`] they can `poll`, `wait` on, or
+//! `cancel`. Requests run on a bounded pool of dedicated worker
+//! threads, sized by [`pgs_core::exec::Exec`]'s thread policy (the
+//! same knob the summarizers' evaluate phases use), with:
+//!
+//! * **Fair scheduling** — one FIFO queue per tenant, at most
+//!   [`ServiceConfig::per_tenant_inflight`] of a tenant's requests
+//!   running at once. A free worker picks among the *head* request of
+//!   each under-cap tenant, highest [`SubmitRequest::priority`] first,
+//!   submission order breaking ties — so priorities act across tenants
+//!   while order within a tenant is always preserved.
+//! * **Per-tenant deadlines** — [`ServiceConfig::tenant_deadline`]
+//!   bounds each request's wall clock *from submission*: queue wait is
+//!   charged against it, and the remainder becomes the run's
+//!   cooperative deadline (combined with any deadline already on the
+//!   request), so an expired request surfaces
+//!   [`StopReason::DeadlineExceeded`] with a valid partial summary.
+//! * **A shared-BFS weight cache** — the first run for a
+//!   `(tenant, targets, α)` key resolves Eq.-2 weights once; later
+//!   runs (a budget sweep, say) replay them as
+//!   [`Personalization::Weights`], bitwise-identical to resolving
+//!   fresh (see [`crate::cache`]).
+//!
+//! Because every summarizer in the workspace is deterministic and
+//! thread-count independent, a request's result is byte-identical to
+//! running the same `SummarizeRequest` directly through the same
+//! `Summarizer` — whatever the worker count, scheduling interleaving,
+//! or cache state. The stress suite in `tests/service_stress.rs` pins
+//! that at 1/2/8 workers.
+//!
+//! Dropping the service drains it: queued and running requests finish
+//! (cancel handles first for a fast teardown), then the pool joins.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pgs_core::api::{PgsError, RunOutput, StopReason, SummarizeRequest, Summarizer};
+use pgs_core::exec::Exec;
+use pgs_core::pegasus::RunStats;
+use pgs_core::Summary;
+use pgs_graph::Graph;
+
+use crate::cache::{CacheStats, WeightCache, WeightKey};
+
+/// The shareable algorithm a service dispatches to.
+pub type SharedSummarizer = Arc<dyn Summarizer + Send + Sync>;
+
+/// Service-level policy knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool (`0` = one per hardware thread, via
+    /// [`Exec`]'s policy). Each worker runs one request at a time; the
+    /// summarizer's own `num_threads` governs parallelism *inside* a
+    /// run, so total parallelism is `workers × inner threads`.
+    pub workers: usize,
+    /// How many of one tenant's requests may run concurrently
+    /// (minimum 1). The rest of that tenant's queue waits, keeping one
+    /// tenant from monopolizing the pool.
+    pub per_tenant_inflight: usize,
+    /// Wall-clock budget per request measured **from submission**
+    /// (queue wait included). `None` imposes nothing.
+    pub tenant_deadline: Option<Duration>,
+    /// Weight-cache entries kept service-wide (`0` disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            per_tenant_inflight: 1,
+            tenant_deadline: None,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// One unit of work: who is asking, what they want, how urgently.
+#[derive(Clone, Debug)]
+pub struct SubmitRequest {
+    /// Tenant identifier (scopes scheduling fairness, stats, and the
+    /// weight cache).
+    pub tenant: String,
+    /// The summarization request to run.
+    pub request: SummarizeRequest,
+    /// Scheduling priority across tenants: higher runs first. Within a
+    /// tenant, submission order always wins (FIFO).
+    pub priority: u8,
+}
+
+impl SubmitRequest {
+    /// A normal-priority request for `tenant`.
+    pub fn new(tenant: impl Into<String>, request: SummarizeRequest) -> Self {
+        SubmitRequest {
+            tenant: tenant.into(),
+            request,
+            priority: 0,
+        }
+    }
+
+    /// Sets the scheduling priority (higher = more urgent).
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Where a submitted request currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for a worker (or for the tenant's in-flight cap).
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Finished; the result is available.
+    Done,
+}
+
+/// Latency breakdown of a finished request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobTimings {
+    /// Seconds between submission and a worker picking the job up.
+    pub wait_secs: f64,
+    /// Seconds the worker spent on it (validation + run).
+    pub run_secs: f64,
+    /// Position in the service-wide completion order (0 = first
+    /// request to finish), for scheduling assertions and logs.
+    pub completed_seq: u64,
+}
+
+impl JobTimings {
+    /// Total submit-to-done latency in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.wait_secs + self.run_secs
+    }
+}
+
+/// Per-tenant serving counters (see [`SummaryService::tenant_stats`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantStats {
+    /// Tenant these counters belong to.
+    pub tenant: String,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests finished with a summary (any [`StopReason`]).
+    pub completed: u64,
+    /// ... of which stopped at [`StopReason::BudgetMet`].
+    pub budget_met: u64,
+    /// ... of which stopped at [`StopReason::MaxIters`].
+    pub max_iters: u64,
+    /// ... of which stopped at [`StopReason::Cancelled`].
+    pub cancelled: u64,
+    /// ... of which stopped at [`StopReason::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Requests that failed validation (typed [`PgsError`]s).
+    pub errors: u64,
+    /// Weight-cache hits attributed to this tenant's submissions.
+    pub cache_hits: u64,
+    /// Weight-cache misses (BFS resolutions) for this tenant.
+    pub cache_misses: u64,
+    /// Total seconds this tenant's finished requests spent queued.
+    pub wait_secs: f64,
+    /// Total seconds workers spent on this tenant's finished requests.
+    pub run_secs: f64,
+}
+
+struct Finished {
+    result: Result<RunOutput, PgsError>,
+    timings: JobTimings,
+}
+
+enum JobState {
+    Queued(Box<SummarizeRequest>),
+    Running,
+    Done(Box<Finished>),
+}
+
+struct Job {
+    id: u64,
+    tenant: String,
+    priority: u8,
+    /// Global submission sequence — the FIFO/priority tiebreaker.
+    seq: u64,
+    submitted: Instant,
+    /// The graph this request was submitted against (pinned here so a
+    /// later [`SummaryService::swap_graph`] cannot retarget it).
+    graph: Arc<Graph>,
+    /// Cooperative cancel flag shared with the run's `RunControl`.
+    cancel: Arc<AtomicBool>,
+    state: Mutex<JobState>,
+    done_cv: Condvar,
+}
+
+#[derive(Default)]
+struct TenantSched {
+    queue: VecDeque<Arc<Job>>,
+    inflight: usize,
+    stats: TenantStats,
+}
+
+struct Sched {
+    /// `BTreeMap` so worker scans are deterministic in tenant order.
+    tenants: BTreeMap<String, TenantSched>,
+    /// Jobs queued across all tenants (workers exit when this hits 0
+    /// under shutdown).
+    queued: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    algorithm: SharedSummarizer,
+    cfg: ServiceConfig,
+    /// Current graph + its epoch; swapped atomically under the lock.
+    graph: Mutex<(Arc<Graph>, u64)>,
+    cache: Mutex<WeightCache>,
+    sched: Mutex<Sched>,
+    work_cv: Condvar,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    completed_seq: AtomicU64,
+}
+
+/// A typed handle to one submitted request.
+#[derive(Clone)]
+pub struct SummaryHandle {
+    job: Arc<Job>,
+}
+
+impl SummaryHandle {
+    /// Service-unique request id (submission order).
+    pub fn id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// The tenant this request was submitted for.
+    pub fn tenant(&self) -> &str {
+        &self.job.tenant
+    }
+
+    /// Non-blocking status check.
+    pub fn poll(&self) -> JobStatus {
+        match *self.job.state.lock().unwrap() {
+            JobState::Queued(_) => JobStatus::Queued,
+            JobState::Running => JobStatus::Running,
+            JobState::Done(_) => JobStatus::Done,
+        }
+    }
+
+    /// Requests cooperative cancellation. A running job stops at its
+    /// next commit boundary with [`StopReason::Cancelled`] and a valid
+    /// partial summary; a still-queued job short-circuits to an
+    /// identity summary with the same stop reason (skipping even
+    /// request validation — cancellation wins). Idempotent.
+    pub fn cancel(&self) {
+        self.job.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the request finishes and returns (a clone of) its
+    /// result. Callable from any thread, any number of times.
+    pub fn wait(&self) -> Result<RunOutput, PgsError> {
+        let mut state = self.job.state.lock().unwrap();
+        loop {
+            if let JobState::Done(done) = &*state {
+                return done.result.clone();
+            }
+            state = self.job.done_cv.wait(state).unwrap();
+        }
+    }
+
+    /// [`SummaryHandle::wait`] bounded by `timeout`; `None` if the
+    /// request is still pending when it elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<RunOutput, PgsError>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.job.state.lock().unwrap();
+        loop {
+            if let JobState::Done(done) = &*state {
+                return Some(done.result.clone());
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let (guard, _) = self.job.done_cv.wait_timeout(state, remaining).unwrap();
+            state = guard;
+        }
+    }
+
+    /// Latency breakdown, available once the request is done.
+    pub fn timings(&self) -> Option<JobTimings> {
+        match &*self.job.state.lock().unwrap() {
+            JobState::Done(done) => Some(done.timings),
+            _ => None,
+        }
+    }
+}
+
+/// The multi-tenant serving front end. See the module docs for the
+/// scheduling and caching policy, and DESIGN.md §9 for the guarantees.
+pub struct SummaryService {
+    inner: Arc<Inner>,
+    pool: Vec<JoinHandle<()>>,
+}
+
+impl SummaryService {
+    /// Spawns a service over `graph` dispatching to `algorithm`. The
+    /// worker count is `cfg.workers` resolved by [`Exec`]'s thread
+    /// policy (`0` = hardware threads); each worker is a dedicated OS
+    /// thread — never a task on a shared executor pool, so a parked
+    /// (idle or long-running) worker cannot starve unrelated parallel
+    /// work in the process. Workers live until the service drops.
+    pub fn new(graph: Arc<Graph>, algorithm: SharedSummarizer, cfg: ServiceConfig) -> Self {
+        let workers = Exec::new(cfg.workers).threads();
+        let inner = Arc::new(Inner {
+            algorithm,
+            cache: Mutex::new(WeightCache::new(cfg.cache_capacity)),
+            cfg,
+            graph: Mutex::new((graph, 0)),
+            sched: Mutex::new(Sched {
+                tenants: BTreeMap::new(),
+                queued: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+            completed_seq: AtomicU64::new(0),
+        });
+        let pool = (0..workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("pgs-serve-{w}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning service worker")
+            })
+            .collect();
+        SummaryService { inner, pool }
+    }
+
+    /// Enqueues one request and returns its handle immediately.
+    ///
+    /// If the algorithm personalizes (see
+    /// [`Summarizer::personalization_alpha`]) and the request carries
+    /// [`Personalization::Targets`], the weight cache is consulted
+    /// *here, on the caller's thread*: a miss resolves the Eq.-2 BFS
+    /// synchronously and caches it, a hit reuses the cached vector —
+    /// either way the request proceeds as
+    /// [`Personalization::Weights`], bitwise-identical to resolving in
+    /// the run. Requests whose targets fail validation are enqueued
+    /// untouched so the worker surfaces the typed error.
+    ///
+    /// [`Personalization::Targets`]: pgs_core::api::Personalization::Targets
+    /// [`Personalization::Weights`]: pgs_core::api::Personalization::Weights
+    pub fn submit(&self, sub: SubmitRequest) -> SummaryHandle {
+        let SubmitRequest {
+            tenant,
+            mut request,
+            priority,
+        } = sub;
+        let inner = &*self.inner;
+        let (graph, epoch) = {
+            let g = inner.graph.lock().unwrap();
+            (Arc::clone(&g.0), g.1)
+        };
+
+        // Weight cache: tenant-scoped, epoch-stamped, submit-side. The
+        // lock covers only lookup/insert, never the BFS itself, so one
+        // tenant's slow resolution cannot stall other submitters; the
+        // price is that two *concurrent* submissions of the same key
+        // may both resolve (last insert wins — identical bits either
+        // way). Sequential submitters, the sweep case, always hit.
+        let mut cache_outcome: Option<bool> = None;
+        if inner.cfg.cache_capacity > 0 {
+            if let Some(alpha) = inner.algorithm.personalization_alpha() {
+                if let Some(key) = WeightKey::new(&tenant, request.personalization_ref(), alpha) {
+                    // Cheap pre-validation (the checks `resolve_weights`
+                    // would fail on, minus the BFS): an invalid request
+                    // bypasses the cache entirely — its counters then
+                    // track actual BFS work, not doomed submissions —
+                    // and the worker surfaces the typed error.
+                    let valid = alpha.is_finite()
+                        && alpha >= 1.0
+                        && key
+                            .targets()
+                            .iter()
+                            .all(|&t| (t as usize) < graph.num_nodes());
+                    if valid {
+                        let hit = inner.cache.lock().unwrap().lookup(&key, epoch);
+                        if let Some(w) = hit {
+                            request = request.weights(w);
+                            cache_outcome = Some(true);
+                        } else if let Ok(w) = request.resolve_weights(&graph, alpha) {
+                            inner.cache.lock().unwrap().insert(key, w.clone(), epoch);
+                            request = request.weights(w);
+                            cache_outcome = Some(false);
+                        }
+                    }
+                }
+            }
+        }
+
+        // One cancel flag shared between the handle and the run: reuse
+        // the request's own flag if the caller attached one.
+        let cancel = match &request.control_ref().cancel {
+            Some(flag) => Arc::clone(flag),
+            None => Arc::new(AtomicBool::new(false)),
+        };
+        request = request.cancel_flag(Arc::clone(&cancel));
+
+        let job = Arc::new(Job {
+            id: inner.next_id.fetch_add(1, Ordering::Relaxed),
+            tenant: tenant.clone(),
+            priority,
+            seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
+            submitted: Instant::now(),
+            graph,
+            cancel,
+            state: Mutex::new(JobState::Queued(Box::new(request))),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut sched = inner.sched.lock().unwrap();
+            let t = sched.tenants.entry(tenant).or_default();
+            t.stats.submitted += 1;
+            match cache_outcome {
+                Some(true) => t.stats.cache_hits += 1,
+                Some(false) => t.stats.cache_misses += 1,
+                None => {}
+            }
+            t.queue.push_back(Arc::clone(&job));
+            sched.queued += 1;
+        }
+        inner.work_cv.notify_one();
+        SummaryHandle { job }
+    }
+
+    /// Swaps the graph future submissions run against and bumps the
+    /// cache epoch, invalidating every cached weight vector. The cache
+    /// is also cleared eagerly — weight vectors sized to the old graph
+    /// should not sit in memory waiting for LRU pressure — but the
+    /// epoch stamp remains the correctness mechanism: any entry that
+    /// somehow carried the old epoch would be dropped on lookup, never
+    /// served. Requests already submitted keep the graph they were
+    /// submitted with. Returns the new epoch.
+    pub fn swap_graph(&self, graph: Arc<Graph>) -> u64 {
+        let epoch = {
+            let mut g = self.inner.graph.lock().unwrap();
+            g.0 = graph;
+            g.1 += 1;
+            g.1
+        };
+        self.inner.cache.lock().unwrap().clear();
+        epoch
+    }
+
+    /// The graph submissions currently run against.
+    pub fn graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.inner.graph.lock().unwrap().0)
+    }
+
+    /// The current graph epoch (starts at 0, +1 per
+    /// [`SummaryService::swap_graph`]).
+    pub fn graph_epoch(&self) -> u64 {
+        self.inner.graph.lock().unwrap().1
+    }
+
+    /// Stable name of the algorithm this service dispatches to.
+    pub fn algorithm_name(&self) -> &'static str {
+        self.inner.algorithm.name()
+    }
+
+    /// Weight-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.lock().unwrap().stats()
+    }
+
+    /// Per-tenant counters, in tenant order.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        let sched = self.inner.sched.lock().unwrap();
+        sched
+            .tenants
+            .iter()
+            .map(|(name, t)| {
+                let mut stats = t.stats.clone();
+                stats.tenant = name.clone();
+                stats
+            })
+            .collect()
+    }
+
+    /// Requests queued but not yet picked up.
+    pub fn pending(&self) -> usize {
+        self.inner.sched.lock().unwrap().queued
+    }
+}
+
+impl Drop for SummaryService {
+    /// Graceful drain: workers finish every queued and running request
+    /// (cancelled ones short-circuit), then the pool joins.
+    fn drop(&mut self) {
+        {
+            let mut sched = self.inner.sched.lock().unwrap();
+            sched.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        for worker in self.pool.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Picks the next runnable job: among head-of-queue jobs of tenants
+/// under their in-flight cap, the highest priority wins, earliest
+/// submission breaking ties. Returns `None` when nothing is runnable
+/// (empty queues *or* every queued tenant at its cap).
+fn pop_next(sched: &mut Sched, per_tenant_inflight: usize) -> Option<Arc<Job>> {
+    let cap = per_tenant_inflight.max(1);
+    let best_tenant = sched
+        .tenants
+        .iter()
+        .filter(|(_, t)| t.inflight < cap)
+        .filter_map(|(name, t)| t.queue.front().map(|job| (name, job.priority, job.seq)))
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
+        .map(|(name, _, _)| name.clone())?;
+    let t = sched.tenants.get_mut(&best_tenant).expect("tenant exists");
+    let job = t.queue.pop_front().expect("non-empty queue");
+    t.inflight += 1;
+    sched.queued -= 1;
+    Some(job)
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut sched = inner.sched.lock().unwrap();
+            loop {
+                if let Some(job) = pop_next(&mut sched, inner.cfg.per_tenant_inflight) {
+                    break Some(job);
+                }
+                if sched.shutdown && sched.queued == 0 {
+                    break None;
+                }
+                sched = inner.work_cv.wait(sched).unwrap();
+            }
+        };
+        match job {
+            Some(job) => run_job(inner, &job),
+            None => return,
+        }
+    }
+}
+
+/// Runs one job end to end: take the request, shape its deadline from
+/// the tenant budget, run (or short-circuit a pre-run cancellation),
+/// publish the result, update the tenant's counters, release its
+/// in-flight slot.
+fn run_job(inner: &Inner, job: &Arc<Job>) {
+    let picked = Instant::now();
+    let wait = picked.duration_since(job.submitted);
+    let request = {
+        let mut state = job.state.lock().unwrap();
+        match std::mem::replace(&mut *state, JobState::Running) {
+            JobState::Queued(req) => req,
+            other => {
+                // Unreachable by construction (one worker pops a job
+                // exactly once); restore and bail defensively.
+                *state = other;
+                return;
+            }
+        }
+    };
+
+    let result = if job.cancel.load(Ordering::Relaxed) {
+        // Cancelled while queued: never start the engine. The identity
+        // summary is the valid "no work done" result every engine
+        // returns when interrupted before its first commit.
+        Ok(RunOutput {
+            summary: Summary::identity(&job.graph),
+            stats: RunStats::default(),
+            stop: StopReason::Cancelled,
+        })
+    } else {
+        let mut request = *request;
+        if let Some(budget) = inner.cfg.tenant_deadline {
+            // Queue wait is charged against the tenant budget; the
+            // remainder (possibly zero — the engines treat a zero
+            // deadline as already expired) bounds the run itself,
+            // tightened further by any deadline the caller set.
+            let remaining = budget.saturating_sub(wait);
+            let effective = match request.control_ref().deadline {
+                Some(own) => own.min(remaining),
+                None => remaining,
+            };
+            request = request.deadline(effective);
+        }
+        // Panic isolation: an algorithm bug or a panicking user
+        // observer must not unwind the worker — that would leak the
+        // tenant's in-flight slot, hang the handle's `wait`, and
+        // deadlock the drain on drop. The panic payload still reaches
+        // stderr via the default hook; the handle gets a typed error.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inner.algorithm.run(&job.graph, &request)
+        }))
+        .unwrap_or(Err(PgsError::RunPanicked))
+    };
+
+    let timings = JobTimings {
+        wait_secs: wait.as_secs_f64(),
+        run_secs: picked.elapsed().as_secs_f64(),
+        completed_seq: inner.completed_seq.fetch_add(1, Ordering::Relaxed),
+    };
+    let outcome = result.as_ref().map(|out| out.stop).map_err(|_| ());
+    // Counters first, completion second: anyone woken by the handle's
+    // condvar must already see this job in the tenant's stats.
+    {
+        let mut sched = inner.sched.lock().unwrap();
+        let t = sched
+            .tenants
+            .get_mut(&job.tenant)
+            .expect("tenant registered at submit");
+        t.inflight -= 1;
+        t.stats.wait_secs += timings.wait_secs;
+        t.stats.run_secs += timings.run_secs;
+        match outcome {
+            Ok(stop) => {
+                t.stats.completed += 1;
+                match stop {
+                    StopReason::BudgetMet => t.stats.budget_met += 1,
+                    StopReason::MaxIters => t.stats.max_iters += 1,
+                    StopReason::Cancelled => t.stats.cancelled += 1,
+                    StopReason::DeadlineExceeded => t.stats.deadline_exceeded += 1,
+                }
+            }
+            Err(()) => t.stats.errors += 1,
+        }
+    }
+    {
+        let mut state = job.state.lock().unwrap();
+        *state = JobState::Done(Box::new(Finished { result, timings }));
+        job.done_cv.notify_all();
+    }
+    // A freed in-flight slot (or drained queue) may unblock any worker.
+    inner.work_cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgs_core::api::{Budget, Pegasus};
+    use pgs_graph::gen::barabasi_albert;
+
+    fn service(workers: usize) -> SummaryService {
+        let g = Arc::new(barabasi_albert(200, 3, 7));
+        SummaryService::new(
+            g,
+            Arc::new(Pegasus::default()),
+            ServiceConfig {
+                workers,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let svc = service(2);
+        let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0, 1]);
+        let h = svc.submit(SubmitRequest::new("alice", req));
+        let out = h.wait().unwrap();
+        assert_eq!(out.stop, StopReason::BudgetMet);
+        assert_eq!(h.poll(), JobStatus::Done);
+        assert!(h.timings().unwrap().total_secs() >= 0.0);
+        let stats = svc.tenant_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].tenant, "alice");
+        assert_eq!(stats[0].submitted, 1);
+        assert_eq!(stats[0].completed, 1);
+        assert_eq!(stats[0].budget_met, 1);
+    }
+
+    #[test]
+    fn budget_sweep_hits_the_weight_cache() {
+        let svc = service(1);
+        let handles: Vec<SummaryHandle> = [0.8, 0.6, 0.4]
+            .iter()
+            .map(|&ratio| {
+                let req = SummarizeRequest::new(Budget::Ratio(ratio)).targets(&[3, 9]);
+                svc.submit(SubmitRequest::new("alice", req))
+            })
+            .collect();
+        for h in &handles {
+            h.wait().unwrap();
+        }
+        let cache = svc.cache_stats();
+        assert_eq!(cache.misses, 1, "one BFS for the whole sweep");
+        assert_eq!(cache.hits, 2);
+        let stats = svc.tenant_stats();
+        assert_eq!(stats[0].cache_hits, 2);
+        assert_eq!(stats[0].cache_misses, 1);
+    }
+
+    #[test]
+    fn invalid_requests_surface_typed_errors_through_the_handle() {
+        let svc = service(1);
+        let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[100_000]);
+        let h = svc.submit(SubmitRequest::new("bob", req));
+        assert!(matches!(h.wait(), Err(PgsError::TargetOutOfRange { .. })));
+        assert_eq!(svc.tenant_stats()[0].errors, 1);
+        // Doomed submissions bypass the cache: service-wide and
+        // per-tenant cache counters agree (both zero).
+        let cache = svc.cache_stats();
+        assert_eq!((cache.hits, cache.misses), (0, 0));
+        assert_eq!(svc.tenant_stats()[0].cache_misses, 0);
+    }
+
+    #[test]
+    fn invalid_alpha_surfaces_as_typed_error_not_a_submit_panic() {
+        // Submit-side weight resolution runs before the algorithm's own
+        // config validation; an invalid α must come back through the
+        // handle, never panic the caller's thread.
+        let g = Arc::new(barabasi_albert(100, 3, 5));
+        let bad = Pegasus(pgs_core::pegasus::PegasusConfig {
+            alpha: 0.5,
+            ..Default::default()
+        });
+        let svc = SummaryService::new(g, Arc::new(bad), ServiceConfig::default());
+        let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0, 1]);
+        let h = svc.submit(SubmitRequest::new("t", req));
+        assert!(matches!(h.wait(), Err(PgsError::InvalidAlpha(a)) if a == 0.5));
+        assert_eq!(svc.cache_stats().misses, 0, "no BFS was attempted");
+    }
+
+    #[test]
+    fn swap_graph_bumps_epoch_and_invalidates_cache() {
+        let svc = service(1);
+        let req = || SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0]);
+        svc.submit(SubmitRequest::new("a", req())).wait().unwrap();
+        assert_eq!(svc.cache_stats().misses, 1);
+        assert_eq!(svc.graph_epoch(), 0);
+        let g2 = Arc::new(barabasi_albert(150, 3, 8));
+        assert_eq!(svc.swap_graph(Arc::clone(&g2)), 1);
+        assert_eq!(
+            svc.cache_stats().entries,
+            0,
+            "swap clears old-graph entries eagerly"
+        );
+        let out = svc.submit(SubmitRequest::new("a", req())).wait().unwrap();
+        // Ran against the new graph with freshly resolved weights.
+        assert_eq!(out.summary.num_nodes(), 150);
+        assert_eq!(svc.cache_stats().misses, 2, "old epoch never served");
+    }
+
+    #[test]
+    fn drop_drains_outstanding_work() {
+        let svc = service(2);
+        let handles: Vec<SummaryHandle> = (0..6)
+            .map(|i| {
+                let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[i]);
+                svc.submit(SubmitRequest::new(format!("t{}", i % 3), req))
+            })
+            .collect();
+        drop(svc);
+        for h in handles {
+            assert_eq!(h.poll(), JobStatus::Done, "drop drains, not discards");
+            h.wait().unwrap();
+        }
+    }
+}

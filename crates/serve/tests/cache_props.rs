@@ -1,0 +1,138 @@
+//! Property tests for the shared-BFS weight cache: over arbitrary
+//! target sets, alphas, tenants, and epoch/eviction schedules,
+//!
+//! * a cache hit returns `NodeWeights` **bitwise identical** to a fresh
+//!   `SummarizeRequest::resolve_weights` of the same request, and
+//! * an entry resolved against one graph epoch is never served at
+//!   another — eviction and replacement shuffle entries, staleness is
+//!   decided by the epoch stamp alone.
+
+use proptest::prelude::*;
+
+use pgs_core::api::{Budget, Personalization, SummarizeRequest};
+use pgs_core::NodeWeights;
+use pgs_graph::gen::barabasi_albert;
+use pgs_graph::Graph;
+use pgs_serve::{WeightCache, WeightKey};
+
+fn bits(w: &NodeWeights) -> Vec<u64> {
+    w.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+fn resolve(g: &Graph, targets: &[u32], alpha: f64) -> NodeWeights {
+    SummarizeRequest::new(Budget::Ratio(0.5))
+        .targets(targets)
+        .resolve_weights(g, alpha)
+        .expect("targets validated by the strategy")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hit ⇒ bitwise-identical to resolving fresh, whatever the target
+    /// order or duplication at lookup time (the canonical key unifies
+    /// them).
+    #[test]
+    fn cache_hit_is_bitwise_identical_to_fresh_resolve(
+        targets in prop::collection::vec(0u32..80, 1..8),
+        extra_dup in 0usize..4,
+        alpha in 1.0f64..2.5,
+        seed in 1u64..5,
+    ) {
+        let g = barabasi_albert(80, 3, seed);
+        let mut cache = WeightCache::new(8);
+
+        let p = Personalization::Targets(targets.clone());
+        let key = WeightKey::new("tenant", &p, alpha).unwrap();
+        cache.insert(key, resolve(&g, &targets, alpha), 0);
+
+        // Look up through a scrambled-but-equivalent target list.
+        let mut scrambled = targets.clone();
+        scrambled.reverse();
+        scrambled.extend(targets.iter().take(extra_dup.min(targets.len())));
+        let key2 = WeightKey::new(
+            "tenant",
+            &Personalization::Targets(scrambled.clone()),
+            alpha,
+        )
+        .unwrap();
+        let hit = cache.lookup(&key2, 0);
+        prop_assert!(hit.is_some(), "equivalent target sets share one entry");
+        prop_assert_eq!(bits(&hit.unwrap()), bits(&resolve(&g, &scrambled, alpha)));
+
+        // Different tenant or different alpha: never shared.
+        let other_tenant = WeightKey::new("other", &p, alpha).unwrap();
+        prop_assert!(cache.lookup(&other_tenant, 0).is_none());
+        let other_alpha = WeightKey::new("tenant", &p, alpha + 0.125).unwrap();
+        prop_assert!(cache.lookup(&other_alpha, 0).is_none());
+    }
+
+    /// Epoch discipline: whatever sequence of lookups and inserts runs
+    /// against two generations of the graph, a hit always carries the
+    /// weights of the epoch it is asked for — stale entries die on
+    /// lookup instead of being served.
+    #[test]
+    fn eviction_and_replacement_never_serve_stale_weights(
+        schedule in prop::collection::vec((0u64..2, prop::collection::vec(0u32..60, 1..5)), 4..24),
+        capacity in 1usize..4,
+        alpha in 1.0f64..2.0,
+    ) {
+        // Two graph generations with different sizes, so serving a
+        // stale vector would even be the wrong length.
+        let graphs = [barabasi_albert(60, 3, 11), barabasi_albert(50, 2, 12)];
+        let mut cache = WeightCache::new(capacity);
+
+        for (epoch, raw_targets) in schedule {
+            let g = &graphs[epoch as usize];
+            let targets: Vec<u32> = raw_targets
+                .iter()
+                .map(|&t| t % g.num_nodes() as u32)
+                .collect();
+            let key = WeightKey::new("t", &Personalization::Targets(targets.clone()), alpha)
+                .unwrap();
+            let expected = resolve(g, &targets, alpha);
+            match cache.lookup(&key, epoch) {
+                Some(hit) => {
+                    prop_assert!(hit.len() == g.num_nodes(), "stale length served");
+                    prop_assert_eq!(bits(&hit), bits(&expected));
+                }
+                None => cache.insert(key, expected, epoch),
+            }
+            prop_assert!(cache.len() <= capacity, "capacity respected");
+        }
+    }
+
+    /// LRU evictions only ever cost extra BFS work — a key evicted and
+    /// re-resolved still round-trips bitwise.
+    #[test]
+    fn evicted_keys_reresolve_identically(
+        keys in prop::collection::vec(prop::collection::vec(0u32..40, 1..4), 3..10),
+        alpha in 1.0f64..2.0,
+    ) {
+        let g = barabasi_albert(40, 2, 21);
+        let mut cache = WeightCache::new(2);
+        for targets in &keys {
+            let key = WeightKey::new("t", &Personalization::Targets(targets.clone()), alpha)
+                .unwrap();
+            if cache.lookup(&key, 0).is_none() {
+                cache.insert(key, resolve(&g, targets, alpha), 0);
+            }
+        }
+        // Re-visit every key: hit or (evicted) re-resolve, the weights
+        // are the same bits.
+        for targets in &keys {
+            let key = WeightKey::new("t", &Personalization::Targets(targets.clone()), alpha)
+                .unwrap();
+            let expected = resolve(&g, targets, alpha);
+            let got = match cache.lookup(&key, 0) {
+                Some(hit) => hit,
+                None => {
+                    let w = expected.clone();
+                    cache.insert(key, w.clone(), 0);
+                    w
+                }
+            };
+            prop_assert_eq!(bits(&got), bits(&expected));
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! The serving layer's concurrency contract:
+//!
+//! * N tenants × M requests with mixed budgets and priorities all
+//!   terminate, and every tenant's results are **byte-identical** to
+//!   running the same `SummarizeRequest`s serially through the same
+//!   `dyn Summarizer` — at 1, 2, and 8 worker threads.
+//! * Cancelled handles (queued or mid-run) report
+//!   `StopReason::Cancelled`; deadline-expired handles (per-request or
+//!   tenant-budget) report `StopReason::DeadlineExceeded` — always with
+//!   a structurally valid summary.
+//! * Per-run observer callbacks stay monotone per handle however the
+//!   pool interleaves runs (extends the single-run observer-order test
+//!   of `crates/core/tests/api_requests.rs`).
+//! * Scheduling: priority acts across tenants, FIFO within a tenant.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use pgs_core::api::{
+    Budget, Pegasus, PgsError, RunOutput, StopReason, SummarizeRequest, Summarizer,
+};
+use pgs_core::pegasus::PegasusConfig;
+use pgs_core::Summary;
+use pgs_graph::gen::planted_partition;
+use pgs_graph::Graph;
+use pgs_serve::{JobStatus, ServiceConfig, SubmitRequest, SummaryHandle, SummaryService};
+
+fn stress_graph() -> Arc<Graph> {
+    Arc::new(planted_partition(400, 8, 1600, 250, 3))
+}
+
+/// Inner parallelism pinned to 1 so `workers` is the only concurrency
+/// axis under test (output is identical either way — determinism is
+/// pinned elsewhere).
+fn algorithm() -> Arc<Pegasus> {
+    Arc::new(Pegasus(PegasusConfig {
+        num_threads: 1,
+        ..Default::default()
+    }))
+}
+
+/// Byte-level identity: same partition, same superedge set, same
+/// superedge weight bits.
+fn assert_identical(a: &Summary, b: &Summary, context: &str) {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "{context}: |V|");
+    assert_eq!(a.num_supernodes(), b.num_supernodes(), "{context}: |S|");
+    for u in 0..a.num_nodes() as u32 {
+        assert_eq!(
+            a.supernode_of(u),
+            b.supernode_of(u),
+            "{context}: node {u} assignment"
+        );
+    }
+    let edges = |s: &Summary| {
+        let mut e: Vec<(u32, u32, u32)> = s
+            .superedges()
+            .map(|(x, y, w)| (x, y, w.to_bits()))
+            .collect();
+        e.sort_unstable();
+        e
+    };
+    assert_eq!(edges(a), edges(b), "{context}: superedges");
+}
+
+/// A structurally valid summary: the supernodes partition `V`.
+fn assert_valid_partition(g: &Graph, s: &Summary, context: &str) {
+    assert_eq!(s.num_nodes(), g.num_nodes(), "{context}");
+    let mut seen = vec![false; g.num_nodes()];
+    for sn in 0..s.num_supernodes() as u32 {
+        for &u in s.members(sn) {
+            assert!(!seen[u as usize], "{context}: node {u} in two supernodes");
+            seen[u as usize] = true;
+            assert_eq!(s.supernode_of(u), sn, "{context}");
+        }
+    }
+    assert!(
+        seen.into_iter().all(|x| x),
+        "{context}: nodes missing from partition"
+    );
+}
+
+/// The N-tenants × M-budgets workload: every tenant personalizes to its
+/// own target set and sweeps mixed budgets at a mix of priorities.
+fn workload() -> Vec<(String, Vec<SummarizeRequest>, u8)> {
+    let budgets = [0.6, 0.45, 0.3];
+    (0..4)
+        .map(|t| {
+            let targets: Vec<u32> = (0..3).map(|k| (t * 57 + k * 11) as u32).collect();
+            let reqs = budgets
+                .iter()
+                .map(|&r| SummarizeRequest::new(Budget::Ratio(r)).targets(&targets))
+                .collect();
+            (format!("tenant-{t}"), reqs, (t % 3) as u8)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_results_byte_identical_to_serial_at_1_2_8_workers() {
+    let g = stress_graph();
+    let alg = algorithm();
+    let work = workload();
+
+    // The serial oracle: same requests, same order, straight through
+    // `dyn Summarizer`.
+    let serial: Vec<Vec<RunOutput>> = work
+        .iter()
+        .map(|(_, reqs, _)| {
+            reqs.iter()
+                .map(|req| {
+                    let alg: &dyn Summarizer = &*alg;
+                    alg.run(&g, req).unwrap()
+                })
+                .collect()
+        })
+        .collect();
+
+    for workers in [1usize, 2, 8] {
+        let svc = SummaryService::new(
+            Arc::clone(&g),
+            alg.clone(),
+            ServiceConfig {
+                workers,
+                ..Default::default()
+            },
+        );
+        let handles: Vec<Vec<SummaryHandle>> = work
+            .iter()
+            .map(|(tenant, reqs, priority)| {
+                reqs.iter()
+                    .map(|req| {
+                        svc.submit(
+                            SubmitRequest::new(tenant.clone(), req.clone()).priority(*priority),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
+        for (t, tenant_handles) in handles.iter().enumerate() {
+            for (i, h) in tenant_handles.iter().enumerate() {
+                // Every handle terminates.
+                let out = h.wait().expect("valid request");
+                let want = &serial[t][i];
+                let ctx = format!("workers={workers} tenant={t} req={i}");
+                assert_eq!(out.stop, want.stop, "{ctx}");
+                assert_eq!(out.stats.iterations, want.stats.iterations, "{ctx}");
+                assert_eq!(out.stats.merges, want.stats.merges, "{ctx}");
+                assert_eq!(out.stats.evals, want.stats.evals, "{ctx}");
+                assert_identical(&want.summary, &out.summary, &ctx);
+            }
+        }
+
+        // The sweep shares one BFS per tenant: 1 miss + (M-1) hits each.
+        let cache = svc.cache_stats();
+        assert_eq!(cache.misses, work.len() as u64, "workers={workers}");
+        assert_eq!(cache.hits, 2 * work.len() as u64, "workers={workers}");
+        let stats = svc.tenant_stats();
+        assert_eq!(stats.len(), work.len());
+        for s in &stats {
+            assert_eq!(s.submitted, 3, "{}", s.tenant);
+            assert_eq!(s.completed, 3, "{}", s.tenant);
+            assert_eq!(s.budget_met, 3, "{}", s.tenant);
+            assert_eq!(s.errors, 0, "{}", s.tenant);
+        }
+    }
+}
+
+/// A request whose observer parks its worker until `released`, then
+/// cancels itself — the deterministic way to hold a worker busy while
+/// the test arranges queue state behind it.
+fn blocker(released: &Arc<AtomicBool>) -> (SummarizeRequest, Arc<AtomicBool>) {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let gate = Arc::clone(released);
+    let flag = Arc::clone(&cancel);
+    let req = SummarizeRequest::new(Budget::Ratio(0.05))
+        .targets(&[0])
+        .cancel_flag(Arc::clone(&cancel))
+        .observer(move |_| {
+            while !gate.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            flag.store(true, Ordering::Relaxed);
+        });
+    (req, cancel)
+}
+
+fn spin_until_running(h: &SummaryHandle) {
+    while h.poll() != JobStatus::Running {
+        assert_ne!(h.poll(), JobStatus::Done, "blocker finished prematurely");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn cancelled_handles_report_cancelled_with_valid_summaries() {
+    let g = stress_graph();
+    let svc = SummaryService::new(
+        Arc::clone(&g),
+        algorithm(),
+        ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+
+    let released = Arc::new(AtomicBool::new(false));
+    let (req, _) = blocker(&released);
+    // Highest priority: the single worker picks it first.
+    let running = svc.submit(SubmitRequest::new("run", req).priority(255));
+    spin_until_running(&running);
+
+    // Queued behind the busy worker; cancelling them here is race-free.
+    let queued: Vec<SummaryHandle> = (0..3)
+        .map(|i| {
+            let req = SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[i]);
+            svc.submit(SubmitRequest::new(format!("q{i}"), req))
+        })
+        .collect();
+    for h in &queued {
+        h.cancel();
+    }
+    released.store(true, Ordering::Release);
+
+    // Mid-run cancellation: the blocker cancelled itself cooperatively.
+    let out = running.wait().unwrap();
+    assert_eq!(out.stop, StopReason::Cancelled);
+    assert!(out.stats.iterations >= 1, "cancelled *during* the run");
+    assert_valid_partition(&g, &out.summary, "mid-run cancel");
+
+    // Queued cancellation: short-circuited to a valid identity summary.
+    for (i, h) in queued.iter().enumerate() {
+        let out = h.wait().unwrap();
+        assert_eq!(out.stop, StopReason::Cancelled, "queued handle {i}");
+        assert_eq!(out.summary.num_supernodes(), g.num_nodes());
+        assert_valid_partition(&g, &out.summary, "queued cancel");
+    }
+    let cancelled: u64 = svc.tenant_stats().iter().map(|s| s.cancelled).sum();
+    assert_eq!(cancelled, 4);
+}
+
+#[test]
+fn deadline_expired_handles_report_deadline_exceeded() {
+    let g = stress_graph();
+
+    // Per-request deadline: already expired at run start.
+    let svc = SummaryService::new(Arc::clone(&g), algorithm(), ServiceConfig::default());
+    let req = SummarizeRequest::new(Budget::Ratio(0.3))
+        .targets(&[5])
+        .deadline(Duration::ZERO);
+    let out = svc.submit(SubmitRequest::new("t", req)).wait().unwrap();
+    assert_eq!(out.stop, StopReason::DeadlineExceeded);
+    assert_valid_partition(&g, &out.summary, "request deadline");
+    drop(svc);
+
+    // Tenant budget measured from submission: queue wait alone exhausts
+    // a 1 ns budget, so the run starts with a zero deadline.
+    let svc = SummaryService::new(
+        Arc::clone(&g),
+        algorithm(),
+        ServiceConfig {
+            workers: 1,
+            tenant_deadline: Some(Duration::from_nanos(1)),
+            ..Default::default()
+        },
+    );
+    let handles: Vec<SummaryHandle> = (0..3)
+        .map(|i| {
+            let req = SummarizeRequest::new(Budget::Ratio(0.3)).targets(&[i]);
+            svc.submit(SubmitRequest::new("slow", req))
+        })
+        .collect();
+    for h in &handles {
+        let out = h.wait().unwrap();
+        assert_eq!(out.stop, StopReason::DeadlineExceeded);
+        assert_eq!(out.summary.num_supernodes(), g.num_nodes(), "no work done");
+        assert_valid_partition(&g, &out.summary, "tenant deadline");
+    }
+    assert_eq!(svc.tenant_stats()[0].deadline_exceeded, 3);
+}
+
+#[test]
+fn observer_callbacks_stay_monotone_per_handle_under_interleaving() {
+    let g = stress_graph();
+    let svc = SummaryService::new(
+        Arc::clone(&g),
+        algorithm(),
+        ServiceConfig {
+            workers: 8,
+            ..Default::default()
+        },
+    );
+
+    // 8 tenants × 2 requests on 8 workers: runs genuinely interleave.
+    let mut traces: Vec<(Arc<Mutex<Vec<usize>>>, SummaryHandle)> = Vec::new();
+    for t in 0..8u32 {
+        for r in 0..2u32 {
+            let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&seen);
+            let req = SummarizeRequest::new(Budget::Ratio(0.3))
+                .targets(&[t * 31 + r])
+                .observer(move |stats| {
+                    sink.lock().unwrap().push(stats.iterations);
+                });
+            let h = svc.submit(SubmitRequest::new(format!("t{t}"), req));
+            traces.push((seen, h));
+        }
+    }
+    for (i, (seen, h)) in traces.iter().enumerate() {
+        let out = h.wait().unwrap();
+        let seen = seen.lock().unwrap();
+        let expected: Vec<usize> = (1..=out.stats.iterations).collect();
+        assert_eq!(
+            *seen, expected,
+            "handle {i}: one callback per iteration, in order, no cross-talk"
+        );
+    }
+}
+
+#[test]
+fn priority_acts_across_tenants_fifo_within() {
+    let g = stress_graph();
+    let svc = SummaryService::new(
+        Arc::clone(&g),
+        algorithm(),
+        ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+
+    let released = Arc::new(AtomicBool::new(false));
+    let (req, _) = blocker(&released);
+    let block = svc.submit(SubmitRequest::new("zz", req).priority(255));
+    spin_until_running(&block);
+
+    // Queued while the only worker is parked: tenant a twice (low
+    // priority), then tenant b once (high priority).
+    let mk = |t: u32| SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[t]);
+    let a1 = svc.submit(SubmitRequest::new("a", mk(1)).priority(0));
+    let a2 = svc.submit(SubmitRequest::new("a", mk(2)).priority(0));
+    let b1 = svc.submit(SubmitRequest::new("b", mk(3)).priority(5));
+    released.store(true, Ordering::Release);
+
+    for h in [&block, &a1, &a2, &b1] {
+        h.wait().unwrap();
+    }
+    let seq = |h: &SummaryHandle| h.timings().unwrap().completed_seq;
+    assert!(seq(&block) < seq(&b1), "blocker finished first");
+    assert!(
+        seq(&b1) < seq(&a1),
+        "higher priority tenant b jumped tenant a's earlier submission"
+    );
+    assert!(seq(&a1) < seq(&a2), "FIFO within tenant a");
+}
+
+#[test]
+fn panicking_observer_is_isolated_and_the_pool_survives() {
+    let g = stress_graph();
+    let svc = SummaryService::new(
+        Arc::clone(&g),
+        algorithm(),
+        ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    // A user-supplied observer that panics mid-run must not take the
+    // (only) worker down with it.
+    let bad = SummarizeRequest::new(Budget::Ratio(0.3))
+        .targets(&[0])
+        .observer(|_| panic!("observer bug"));
+    let h_bad = svc.submit(SubmitRequest::new("evil", bad));
+    let good = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[1]);
+    let h_good = svc.submit(SubmitRequest::new("good", good));
+
+    assert!(matches!(h_bad.wait(), Err(PgsError::RunPanicked)));
+    let out = h_good.wait().unwrap();
+    assert_eq!(out.stop, StopReason::BudgetMet, "worker survived the panic");
+    let stats = svc.tenant_stats();
+    assert_eq!(stats[0].tenant, "evil");
+    assert_eq!(stats[0].errors, 1);
+    assert_eq!(stats[1].completed, 1);
+    drop(svc); // drain must not deadlock on the recovered worker
+}
+
+#[test]
+fn error_requests_terminate_with_typed_errors_under_load() {
+    let g = stress_graph();
+    let svc = SummaryService::new(
+        Arc::clone(&g),
+        algorithm(),
+        ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    );
+    let bad = [
+        SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[1_000_000]),
+        SummarizeRequest::new(Budget::Bits(f64::NAN)),
+        SummarizeRequest::new(Budget::Supernodes(10)),
+    ];
+    let good = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0]);
+    let hb: Vec<SummaryHandle> = bad
+        .iter()
+        .map(|r| svc.submit(SubmitRequest::new("mixed", r.clone())))
+        .collect();
+    let hg = svc.submit(SubmitRequest::new("mixed", good));
+    assert!(matches!(
+        hb[0].wait(),
+        Err(PgsError::TargetOutOfRange { .. })
+    ));
+    assert!(matches!(hb[1].wait(), Err(PgsError::InvalidBudgetBits(_))));
+    assert!(matches!(hb[2].wait(), Err(PgsError::Unsupported { .. })));
+    assert_eq!(hg.wait().unwrap().stop, StopReason::BudgetMet);
+    let stats = &svc.tenant_stats()[0];
+    assert_eq!(stats.errors, 3);
+    assert_eq!(stats.completed, 1);
+}

@@ -1,0 +1,77 @@
+//! A tenant's budget sweep through the serving layer.
+//!
+//! The canonical serving workload from the paper's applications
+//! section: one user (tenant) wants their personalized summary at
+//! several compression levels — say to pick the smallest one that
+//! still answers their queries well. Submitting the sweep through
+//! `SummaryService` shares the expensive part across the runs: the
+//! Eq.-2 weight BFS is resolved once and every later budget hits the
+//! weight cache.
+//!
+//! ```text
+//! cargo run --release --example tenant_sweep
+//! ```
+
+use std::sync::Arc;
+
+use pegasus_summary::prelude::*;
+use pegasus_summary::serve::{ServiceConfig, SubmitRequest, SummaryService};
+
+fn main() {
+    // A scale-free "social network" and the nodes alice cares about.
+    let g = Arc::new(barabasi_albert(4_000, 5, 42));
+    let targets = [0u32, 17, 99];
+    println!(
+        "graph: {} nodes, {} edges, {:.0} bits",
+        g.num_nodes(),
+        g.num_edges(),
+        g.size_bits()
+    );
+
+    let svc = SummaryService::new(
+        Arc::clone(&g),
+        Arc::new(Pegasus::default()),
+        ServiceConfig::default(),
+    );
+
+    // Submit the whole sweep up front; the handles resolve as workers
+    // get to them.
+    let budgets = [0.8, 0.6, 0.4, 0.25];
+    let handles: Vec<_> = budgets
+        .iter()
+        .map(|&ratio| {
+            let req = SummarizeRequest::new(Budget::Ratio(ratio)).targets(&targets);
+            svc.submit(SubmitRequest::new("alice", req))
+        })
+        .collect();
+
+    let eval_weights = NodeWeights::personalized(&g, &targets, 1.25);
+    println!("\n ratio   |S|     |P|     bits       error@alice   stop");
+    for (&ratio, h) in budgets.iter().zip(&handles) {
+        let out = h.wait().expect("valid request");
+        let err = personalized_error(&g, &out.summary, &eval_weights).expect("matching graph");
+        println!(
+            " {ratio:<6}  {:<6}  {:<6}  {:<9.0}  {err:<12.1}  {}",
+            out.summary.num_supernodes(),
+            out.summary.num_superedges(),
+            out.summary.size_bits(),
+            out.stop
+        );
+    }
+
+    let cache = svc.cache_stats();
+    println!(
+        "\nweight cache: {} miss (the one BFS), {} hits — the rest of the \
+         sweep reused it (hit rate {:.2})",
+        cache.misses,
+        cache.hits,
+        cache.hit_rate()
+    );
+    let stats = &svc.tenant_stats()[0];
+    println!(
+        "tenant {}: {} completed, total wait {:.2}s, total run {:.2}s",
+        stats.tenant, stats.completed, stats.wait_secs, stats.run_secs
+    );
+    assert_eq!(cache.misses, 1);
+    assert_eq!(cache.hits, (budgets.len() - 1) as u64);
+}

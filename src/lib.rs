@@ -16,6 +16,7 @@
 //! | [`queries`] (`pgs-queries`) | RWR / HOP / PHP on graphs & summaries, SMAPE/Spearman |
 //! | [`partition`] (`pgs-partition`) | Louvain, BLP, SHP |
 //! | [`distributed`] (`pgs-distributed`) | Alg. 3 cluster simulator |
+//! | [`serve`] (`pgs-serve`) | Multi-tenant serving: request queue, worker pool, weight cache |
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,7 @@ pub use pgs_distributed as distributed;
 pub use pgs_graph as graph;
 pub use pgs_partition as partition;
 pub use pgs_queries as queries;
+pub use pgs_serve as serve;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -85,4 +87,5 @@ pub mod prelude {
         get_neighbors, hops_exact, hops_summary, hops_to_f64, pagerank_exact, pagerank_summary,
         php_exact, php_summary, rwr_exact, rwr_summary, smape, spearman,
     };
+    pub use pgs_serve::{ServiceConfig, SubmitRequest, SummaryHandle, SummaryService};
 }

@@ -1,0 +1,96 @@
+//! Deadline semantics below one iteration: `RunControl` deadlines are
+//! only checked at commit boundaries, so a deadline shorter than a
+//! single iteration must still surface `StopReason::DeadlineExceeded`
+//! at the *first* boundary — with a valid (identity-or-partial)
+//! summary, never a hang or a panic — for all five algorithms.
+
+use std::time::Duration;
+
+use pegasus_summary::prelude::*;
+
+fn five_algorithms() -> Vec<(Box<dyn Summarizer>, Budget)> {
+    vec![
+        (
+            Box::new(Pegasus::default()) as Box<dyn Summarizer>,
+            Budget::Ratio(0.25),
+        ),
+        (Box::new(Ssumm::default()), Budget::Ratio(0.25)),
+        (Box::new(KGrass::default()), Budget::Supernodes(10)),
+        (Box::new(S2l::default()), Budget::Supernodes(10)),
+        (Box::new(Saags::default()), Budget::Supernodes(10)),
+    ]
+}
+
+/// A structurally valid summary: the supernodes partition `V`.
+fn assert_valid_partition(g: &Graph, s: &Summary, context: &str) {
+    assert_eq!(s.num_nodes(), g.num_nodes(), "{context}");
+    let mut seen = vec![false; g.num_nodes()];
+    for sn in 0..s.num_supernodes() as u32 {
+        for &u in s.members(sn) {
+            assert!(!seen[u as usize], "{context}: node {u} in two supernodes");
+            seen[u as usize] = true;
+        }
+    }
+    assert!(
+        seen.into_iter().all(|x| x),
+        "{context}: nodes missing from partition"
+    );
+}
+
+#[test]
+fn sub_iteration_deadline_returns_deadline_exceeded_for_all_five() {
+    let g = planted_partition(300, 6, 1200, 200, 3);
+    // 1 ns has always elapsed by the first commit-boundary check (every
+    // loop does setup work first), so this models "deadline shorter
+    // than one iteration" without timing flakiness.
+    for deadline in [Duration::from_nanos(1), Duration::ZERO] {
+        for (alg, budget) in five_algorithms() {
+            let req = SummarizeRequest::new(budget).deadline(deadline);
+            let out = alg.run(&g, &req).unwrap_or_else(|e| {
+                panic!("{} with {deadline:?} deadline errored: {e}", alg.name())
+            });
+            let ctx = format!("{} deadline={deadline:?}", alg.name());
+            assert_eq!(out.stop, StopReason::DeadlineExceeded, "{ctx}");
+            assert_eq!(out.stats.merges, 0, "{ctx}: no iteration could commit");
+            assert_eq!(
+                out.summary.num_supernodes(),
+                g.num_nodes(),
+                "{ctx}: interrupted before the first merge ⇒ identity summary"
+            );
+            assert_valid_partition(&g, &out.summary, &ctx);
+        }
+    }
+}
+
+#[test]
+fn generous_deadline_is_a_noop_for_all_five() {
+    // The other side of the contract: a deadline the run never reaches
+    // changes nothing, for every algorithm.
+    let g = planted_partition(300, 6, 1200, 200, 3);
+    for (alg, budget) in five_algorithms() {
+        let free = alg
+            .run(&g, &SummarizeRequest::new(budget))
+            .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        let bounded = alg
+            .run(
+                &g,
+                &SummarizeRequest::new(budget).deadline(Duration::from_secs(3600)),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        assert_eq!(free.stop, bounded.stop, "{}", alg.name());
+        assert_eq!(
+            free.summary.num_supernodes(),
+            bounded.summary.num_supernodes(),
+            "{}",
+            alg.name()
+        );
+        for u in g.nodes() {
+            assert_eq!(
+                free.summary.supernode_of(u),
+                bounded.summary.supernode_of(u),
+                "{}: node {u}",
+                alg.name()
+            );
+        }
+    }
+}
