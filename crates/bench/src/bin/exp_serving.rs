@@ -17,6 +17,12 @@
 //! `PGS_SERVE_TENANTS` (8), `PGS_SERVE_WORKERS` (0 = hardware
 //! threads). Inner summarizer parallelism is pinned to 1 — the pool is
 //! the concurrency axis under measurement.
+//!
+//! `PGS_SERVE_FAULT_SEED=<nonzero>` arms the chaos mode CI exercises:
+//! the first submission carries a seeded `FaultPlan` that panics its
+//! worker mid-run, the service retries it from the last checkpoint,
+//! and the binary asserts every request still completes with at least
+//! one recorded retry and zero errors.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -24,6 +30,7 @@ use std::sync::Arc;
 use pgs_bench::{env_or, timed};
 use pgs_core::api::{Budget, Pegasus, SummarizeRequest};
 use pgs_core::pegasus::PegasusConfig;
+use pgs_core::FaultPlan;
 use pgs_graph::gen::barabasi_albert;
 use pgs_serve::{ServiceConfig, SubmitRequest, SummaryHandle, SummaryService};
 
@@ -49,6 +56,9 @@ fn main() {
     let deg: usize = env_or("PGS_SERVE_DEG", 5);
     let tenants: usize = env_or("PGS_SERVE_TENANTS", if smoke { 3 } else { 8 });
     let workers: usize = env_or("PGS_SERVE_WORKERS", 0);
+    // 0 = no fault injection; any other value seeds a worker-panic
+    // plan on the first submission (recovered via checkpoint retry).
+    let fault_seed: u64 = env_or("PGS_SERVE_FAULT_SEED", 0);
     let budgets: &[f64] = if smoke {
         &[0.6, 0.4]
     } else {
@@ -73,6 +83,10 @@ fn main() {
         })),
         ServiceConfig {
             workers,
+            // Retry is free when nothing panics; arming it even in the
+            // clean run keeps the measured path honest about its cost.
+            retry_budget: 2,
+            retry_backoff: std::time::Duration::from_millis(1),
             ..Default::default()
         },
     );
@@ -88,8 +102,12 @@ fn main() {
                     let targets: Vec<u32> = (0..3)
                         .map(|k| ((t * 131 + k * 17) % nodes) as u32)
                         .collect();
-                    let req = SummarizeRequest::new(Budget::Ratio(ratio)).targets(&targets);
+                    let mut req = SummarizeRequest::new(Budget::Ratio(ratio)).targets(&targets);
+                    if fault_seed != 0 && t == 0 && ratio == budgets[0] {
+                        req = req.fault_plan(Arc::new(FaultPlan::seeded_panic(fault_seed, 6)));
+                    }
                     svc.submit(SubmitRequest::new(format!("tenant-{t:02}"), req))
+                        .expect("unbounded queues admit everything")
                 })
             })
             .collect()
@@ -134,6 +152,15 @@ fn main() {
     let tenant_stats = svc.tenant_stats();
     for s in &tenant_stats {
         assert_eq!(s.completed, budgets.len() as u64, "{} terminated", s.tenant);
+        assert_eq!(s.errors, 0, "{} must not surface errors", s.tenant);
+    }
+    let total_retries: u64 = tenant_stats.iter().map(|s| s.retries).sum();
+    if fault_seed != 0 {
+        assert!(
+            total_retries >= 1,
+            "fault seed {fault_seed} must force at least one retry"
+        );
+        eprintln!("# fault seed {fault_seed}: recovered via {total_retries} retry attempt(s)");
     }
 
     // Hand-rolled JSON (the workspace is offline — no serde).
@@ -150,6 +177,8 @@ fn main() {
     writeln!(json, "  \"tenants\": {tenants},").unwrap();
     writeln!(json, "  \"budgets\": {budgets:?},").unwrap();
     writeln!(json, "  \"workers\": {workers},").unwrap();
+    writeln!(json, "  \"fault_seed\": {fault_seed},").unwrap();
+    writeln!(json, "  \"retries\": {total_retries},").unwrap();
     writeln!(
         json,
         "  \"hardware_threads\": {},",

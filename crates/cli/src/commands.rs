@@ -508,7 +508,8 @@ fn parse_request_file(path: &str, num_nodes: usize) -> Result<Vec<SubmitRequest>
 pub fn serve(raw: &[String]) -> Result<(), String> {
     const SERVE_USAGE: &str =
         "usage: pgs serve <edges.txt> --requests <reqs.txt> [--algorithm a] [--workers N] \
-         [--inflight K] [--tenant-deadline-ms T] [--cache C] [flags]";
+         [--inflight K] [--tenant-deadline-ms T] [--cache C] [--queue-depth Q] \
+         [--global-queue G] [--retries R] [--retry-backoff-ms B] [--checkpoint-every E] [flags]";
     let args = Args::parse(raw)?;
     let path = args.positional.first().ok_or(SERVE_USAGE)?;
     let reqs_path = args.get("requests").ok_or(SERVE_USAGE)?;
@@ -527,11 +528,19 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
             )
         }
     };
+    let retry_backoff_ms: f64 = args.get_parse("retry-backoff-ms", 10.0)?;
     let cfg = ServiceConfig {
         workers: args.get_parse("workers", 0)?,
         per_tenant_inflight: args.get_parse("inflight", 1)?,
         tenant_deadline,
         cache_capacity: args.get_parse("cache", 256)?,
+        tenant_queue_depth: args.get_parse("queue-depth", 0)?,
+        global_queue_depth: args.get_parse("global-queue", 0)?,
+        retry_budget: args.get_parse("retries", 0)?,
+        retry_backoff: std::time::Duration::try_from_secs_f64(retry_backoff_ms / 1000.0).map_err(
+            |_| format!("--retry-backoff-ms must be non-negative, got {retry_backoff_ms}"),
+        )?,
+        checkpoint_every: args.get_parse("checkpoint-every", 1)?,
     };
     let svc = SummaryService::new(
         std::sync::Arc::new(g),
@@ -540,9 +549,25 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     );
 
     let started = std::time::Instant::now();
-    let handles: Vec<_> = submissions.into_iter().map(|s| svc.submit(s)).collect();
+    // Overload is an expected, per-request outcome under bounded
+    // queues — it gets a TSV row, not a process failure. Only
+    // infrastructure errors (bad files, bad flags) exit non-zero.
+    let handles: Vec<_> = submissions
+        .into_iter()
+        .map(|sub| {
+            let tenant = sub.tenant.clone();
+            svc.submit(sub).map_err(|e| (tenant, e))
+        })
+        .collect();
     println!("# tenant\tid\tstop\tsupernodes\tratio\twait_ms\trun_ms");
     for h in &handles {
+        let h = match h {
+            Ok(h) => h,
+            Err((tenant, e)) => {
+                println!("{tenant}\t-\trejected\t-\t-\t-\t-\t# {e}");
+                continue;
+            }
+        };
         match h.wait() {
             Ok(out) => {
                 let t = h.timings().expect("finished");
@@ -564,7 +589,8 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     for s in svc.tenant_stats() {
         eprintln!(
             "# tenant {}: {} submitted, {} completed ({} budget-met, {} max-iters, \
-             {} cancelled, {} deadline-exceeded), {} errors, cache {}h/{}m, \
+             {} cancelled, {} deadline-exceeded, {} retries-exhausted), {} errors, \
+             {} shed, {} rejected, {} retries, cache {}h/{}m, \
              wait {:.2}s, run {:.2}s",
             s.tenant,
             s.submitted,
@@ -573,7 +599,11 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
             s.max_iters,
             s.cancelled,
             s.deadline_exceeded,
+            s.retries_exhausted,
             s.errors,
+            s.shed,
+            s.rejected,
+            s.retries,
             s.cache_hits,
             s.cache_misses,
             s.wait_secs,

@@ -62,6 +62,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::checkpoint::{CheckpointError, RunCheckpoint};
+use crate::fault::FaultPlan;
 use crate::pegasus::{pegasus_loop, PegasusConfig, RunStats};
 use crate::ssumm::{ssumm_loop, SsummConfig};
 use crate::summary::Summary;
@@ -71,6 +73,25 @@ use pgs_graph::{Graph, NodeId};
 /// A shareable per-iteration progress observer (see
 /// [`RunControl::observer`]).
 pub type ProgressObserver = Arc<dyn Fn(&RunStats) + Send + Sync>;
+
+/// A checkpoint sink: receives `(iteration, encoded blob)` at commit
+/// boundaries and persists it somewhere a retry can read it back.
+/// Returning `Err` counts as a failed write — the run continues and the
+/// previous good checkpoint stays in force.
+pub type CheckpointSink = Arc<dyn Fn(u64, Vec<u8>) -> Result<(), CheckpointError> + Send + Sync>;
+
+/// Checkpointing policy attached to a run: where snapshots go and how
+/// often they are taken.
+#[derive(Clone)]
+pub struct Checkpointing {
+    /// Receives each encoded [`RunCheckpoint`].
+    pub sink: CheckpointSink,
+    /// Snapshot after every `every`-th committed iteration (≥ 1;
+    /// 0 behaves as 1). Each snapshot is a full serialized
+    /// [`crate::working::WorkingSummary`], so per-iteration
+    /// checkpointing costs `O(|V| + |P|)` per iteration.
+    pub every: u64,
+}
 
 /// Typed failure of a summarization request (or of the error
 /// evaluators): everything the legacy surface expressed as `assert!`,
@@ -124,6 +145,20 @@ pub enum PgsError {
     /// user-supplied observer). Reported by serving layers that isolate
     /// panics so one bad request cannot take down the worker pool.
     RunPanicked,
+    /// The serving layer refused (or shed) the request because its
+    /// admission bounds are full. The request never ran; resubmitting
+    /// after roughly `retry_after_hint` is expected to be admitted.
+    Overloaded {
+        /// Rough wait before a resubmit is likely to be admitted,
+        /// estimated from queue depth and observed service times.
+        retry_after_hint: Duration,
+    },
+    /// A resume blob that could not be decoded or does not belong to
+    /// this run (wrong algorithm or graph).
+    CheckpointInvalid {
+        /// The underlying [`CheckpointError`], rendered.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for PgsError {
@@ -166,6 +201,14 @@ impl std::fmt::Display for PgsError {
                 f,
                 "summarization run panicked (algorithm or observer bug); the worker recovered"
             ),
+            PgsError::Overloaded { retry_after_hint } => write!(
+                f,
+                "service overloaded; retry after ~{} ms",
+                retry_after_hint.as_millis()
+            ),
+            PgsError::CheckpointInvalid { reason } => {
+                write!(f, "invalid resume checkpoint: {reason}")
+            }
         }
     }
 }
@@ -279,6 +322,16 @@ pub struct RunControl {
     /// Called with the running [`RunStats`] after every committed
     /// iteration.
     pub observer: Option<ProgressObserver>,
+    /// Checkpoint snapshots at iteration-commit boundaries (DESIGN.md
+    /// §10). `None` costs nothing on the hot path.
+    pub checkpoint: Option<Checkpointing>,
+    /// Injected faults for resilience tests ([`FaultPlan`]); `None` in
+    /// production.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// An encoded [`RunCheckpoint`] to resume from instead of starting
+    /// fresh. Validated against the run's algorithm and graph before the
+    /// loop starts; a mismatch is [`PgsError::CheckpointInvalid`].
+    pub resume: Option<Arc<Vec<u8>>>,
 }
 
 impl std::fmt::Debug for RunControl {
@@ -290,6 +343,12 @@ impl std::fmt::Debug for RunControl {
             )
             .field("deadline", &self.deadline)
             .field("observer", &self.observer.is_some())
+            .field(
+                "checkpoint_every",
+                &self.checkpoint.as_ref().map(|c| c.every),
+            )
+            .field("fault_plan", &self.fault_plan.is_some())
+            .field("resume", &self.resume.as_ref().map(|b| b.len()))
             .finish()
     }
 }
@@ -319,6 +378,71 @@ impl RunControl {
             obs(stats);
         }
     }
+
+    /// The engines' per-iteration fault point: fires any injected fault
+    /// scheduled for iteration `t` (no-op without a plan).
+    #[inline]
+    pub fn fault_point(&self, t: u64) {
+        if let Some(plan) = &self.fault_plan {
+            plan.fire(t);
+        }
+    }
+
+    /// Takes a checkpoint after committed iteration `t` when the policy
+    /// says so: builds the snapshot lazily, encodes it, and hands it to
+    /// the sink. Write failures (real or injected) bump
+    /// `stats.checkpoint_failures` and the run carries on — the previous
+    /// good checkpoint stays in force.
+    pub fn maybe_checkpoint(
+        &self,
+        t: u64,
+        stats: &mut RunStats,
+        build: impl FnOnce() -> RunCheckpoint,
+    ) {
+        let Some(cp) = &self.checkpoint else {
+            return;
+        };
+        if !t.is_multiple_of(cp.every.max(1)) {
+            return;
+        }
+        let injected_failure = self
+            .fault_plan
+            .as_ref()
+            .is_some_and(|plan| plan.checkpoint_write_fails(t));
+        let result = if injected_failure {
+            Err(CheckpointError::WriteFailed(
+                "injected fault: checkpoint write failure".into(),
+            ))
+        } else {
+            (cp.sink)(t, build().encode())
+        };
+        match result {
+            Ok(()) => stats.checkpoints += 1,
+            Err(_) => stats.checkpoint_failures += 1,
+        }
+    }
+
+    /// Decodes and validates the resume blob for a run of `algorithm`
+    /// over `num_nodes` nodes, or `Ok(None)` when starting fresh.
+    pub fn decode_resume(
+        &self,
+        algorithm: u8,
+        num_nodes: usize,
+    ) -> Result<Option<RunCheckpoint>, PgsError> {
+        match &self.resume {
+            None => Ok(None),
+            Some(bytes) => {
+                let ck = RunCheckpoint::decode(bytes).map_err(|e| PgsError::CheckpointInvalid {
+                    reason: e.to_string(),
+                })?;
+                ck.validate_for(algorithm, num_nodes)
+                    .map_err(|e| PgsError::CheckpointInvalid {
+                        reason: e.to_string(),
+                    })?;
+                Ok(Some(ck))
+            }
+        }
+    }
 }
 
 /// Why a run stopped.
@@ -333,6 +457,9 @@ pub enum StopReason {
     Cancelled,
     /// The wall-clock deadline elapsed.
     DeadlineExceeded,
+    /// The serving layer exhausted its retry budget recovering a crashed
+    /// run; the summary is the last good checkpoint (or identity).
+    RetriesExhausted,
 }
 
 impl StopReason {
@@ -343,6 +470,7 @@ impl StopReason {
             StopReason::MaxIters => "max-iters",
             StopReason::Cancelled => "cancelled",
             StopReason::DeadlineExceeded => "deadline-exceeded",
+            StopReason::RetriesExhausted => "retries-exhausted",
         }
     }
 }
@@ -424,6 +552,26 @@ impl SummarizeRequest {
     /// Attaches a per-iteration progress observer.
     pub fn observer(mut self, f: impl Fn(&RunStats) + Send + Sync + 'static) -> Self {
         self.control.observer = Some(Arc::new(f));
+        self
+    }
+
+    /// Attaches a checkpoint sink invoked every `every` committed
+    /// iterations with `(iteration, encoded RunCheckpoint)`.
+    pub fn checkpoint(mut self, every: u64, sink: CheckpointSink) -> Self {
+        self.control.checkpoint = Some(Checkpointing { sink, every });
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan (tests only).
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.control.fault_plan = Some(plan);
+        self
+    }
+
+    /// Resumes the run from an encoded [`RunCheckpoint`] instead of
+    /// starting fresh.
+    pub fn resume_from(mut self, bytes: Arc<Vec<u8>>) -> Self {
+        self.control.resume = Some(bytes);
         self
     }
 
@@ -551,7 +699,10 @@ impl Summarizer for Pegasus {
         }
         let budget_bits = req.budget().to_bits(g, self.name())?;
         let weights = req.resolve_weights(g, cfg.alpha)?;
-        let (summary, stats, stop) = pegasus_loop(g, &weights, budget_bits, cfg, req.control_ref());
+        let control = req.control_ref();
+        let resume = control.decode_resume(crate::checkpoint::ALGO_PEGASUS, g.num_nodes())?;
+        let (summary, stats, stop) =
+            pegasus_loop(g, &weights, budget_bits, cfg, control, resume.as_ref());
         Ok(finish_run(g, summary, stats, stop))
     }
 }
@@ -572,7 +723,9 @@ impl Summarizer for Ssumm {
         }
         req.require_uniform(self.name())?;
         let budget_bits = req.budget().to_bits(g, self.name())?;
-        let (summary, stats, stop) = ssumm_loop(g, budget_bits, &self.0, req.control_ref());
+        let control = req.control_ref();
+        let resume = control.decode_resume(crate::checkpoint::ALGO_SSUMM, g.num_nodes())?;
+        let (summary, stats, stop) = ssumm_loop(g, budget_bits, &self.0, control, resume.as_ref());
         Ok(finish_run(g, summary, stats, stop))
     }
 }
@@ -746,6 +899,7 @@ mod tests {
         assert_eq!(StopReason::MaxIters.as_str(), "max-iters");
         assert_eq!(StopReason::Cancelled.as_str(), "cancelled");
         assert_eq!(StopReason::DeadlineExceeded.as_str(), "deadline-exceeded");
+        assert_eq!(StopReason::RetriesExhausted.as_str(), "retries-exhausted");
     }
 
     #[test]
@@ -796,7 +950,7 @@ mod tests {
         let control = RunControl {
             cancel: Some(Arc::new(AtomicBool::new(true))),
             deadline: Some(Duration::ZERO),
-            observer: None,
+            ..Default::default()
         };
         // Cancel wins when both have tripped.
         assert_eq!(control.interrupted(started), Some(StopReason::Cancelled));

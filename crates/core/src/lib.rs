@@ -52,9 +52,11 @@
 //! bitwise-equal to the request path.
 
 pub mod api;
+pub mod checkpoint;
 pub mod cost;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod legacy_eval;
 pub mod pegasus;
 pub mod shingle;
@@ -67,9 +69,11 @@ pub mod weights;
 pub mod working;
 
 pub use api::{
-    Budget, Pegasus, Personalization, PgsError, RunControl, RunOutput, Ssumm, StopReason,
-    SummarizeRequest, Summarizer,
+    Budget, CheckpointSink, Checkpointing, Pegasus, Personalization, PgsError, RunControl,
+    RunOutput, Ssumm, StopReason, SummarizeRequest, Summarizer,
 };
+pub use checkpoint::{CheckpointError, RunCheckpoint};
+pub use fault::FaultPlan;
 pub use pegasus::{summarize, PegasusConfig};
 pub use ssumm::{ssumm_summarize, SsummConfig};
 pub use summary::{Summary, SuperId};

@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use crate::api::{RunControl, StopReason};
+use crate::checkpoint::{iteration_seed, RunCheckpoint, ALGO_PEGASUS};
 use crate::cost::CostModel;
 use crate::exec::Exec;
 use crate::shingle::{candidate_groups, ShingleParams};
@@ -89,6 +90,11 @@ pub struct RunStats {
     /// Wall-clock seconds spent in the parallel evaluate phases — the
     /// denominator of the merge-evals/sec throughput metric.
     pub eval_secs: f64,
+    /// Checkpoints written successfully (cumulative across resume).
+    pub checkpoints: u64,
+    /// Checkpoint writes that failed (real or injected); the run keeps
+    /// going on the previous good checkpoint.
+    pub checkpoint_failures: u64,
 }
 
 /// Summarizes `g` personalized to `targets` within `budget_bits`
@@ -134,13 +140,13 @@ pub fn summarize_with_weights(
     budget_bits: f64,
     cfg: &PegasusConfig,
 ) -> (Summary, RunStats) {
-    let (summary, stats, _) = pegasus_loop(g, weights, budget_bits, cfg, &RunControl::default());
+    let (summary, stats, _) =
+        pegasus_loop(g, weights, budget_bits, cfg, &RunControl::default(), None);
     (summary, stats)
 }
 
 /// The Alg.-1 driver with run control threaded in — the engine behind
-/// both the legacy free functions (default control: bitwise identical
-/// to the historical loop) and [`crate::api::Pegasus`].
+/// both the legacy free functions and [`crate::api::Pegasus`].
 ///
 /// Cancel/deadline checks sit at the top of each iteration — a commit
 /// boundary: the previous iteration's merge log is fully committed, so
@@ -148,27 +154,44 @@ pub fn summarize_with_weights(
 /// Interrupted runs skip final sparsification (they return promptly and
 /// report [`StopReason::Cancelled`] / [`StopReason::DeadlineExceeded`]
 /// instead of a met budget).
+///
+/// Each iteration draws its randomness from a fresh RNG seeded with
+/// [`iteration_seed`]`(cfg.seed, t)` rather than one sequential stream,
+/// so a run resumed from a `resume` checkpoint at iteration `k` replays
+/// iterations `k..` bit-identically to the uninterrupted run — the
+/// checkpoint/resume correctness contract of DESIGN.md §10.
 pub(crate) fn pegasus_loop(
     g: &Graph,
     weights: &NodeWeights,
     budget_bits: f64,
     cfg: &PegasusConfig,
     control: &RunControl,
+    resume: Option<&RunCheckpoint>,
 ) -> (Summary, RunStats, StopReason) {
     let started = std::time::Instant::now();
-    let mut ws = WorkingSummary::new(g, weights, CostModel::ErrorCorrection);
-    let mut threshold = AdaptiveThreshold::new(cfg.beta);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut scratch = Scratch::default();
     let exec = Exec::new(cfg.num_threads);
     let shingle_params = ShingleParams {
         max_group: cfg.max_group,
         depth: cfg.shingle_depth,
     };
-    let mut stats = RunStats::default();
+    let (mut ws, mut threshold, mut stats, mut t, mut stall_cap) = match resume {
+        Some(ck) => (
+            ck.restore_working(g, weights, CostModel::ErrorCorrection),
+            AdaptiveThreshold::restore(cfg.beta, f64::from_bits(ck.theta_bits)),
+            ck.stats,
+            ck.next_iteration as usize,
+            f64::from_bits(ck.stall_cap_bits),
+        ),
+        None => (
+            WorkingSummary::new(g, weights, CostModel::ErrorCorrection),
+            AdaptiveThreshold::new(cfg.beta),
+            RunStats::default(),
+            1,
+            f64::INFINITY,
+        ),
+    };
 
-    let mut t = 1;
-    let mut stall_cap = f64::INFINITY;
     let stop = loop {
         if ws.size_bits() <= budget_bits {
             break StopReason::BudgetMet;
@@ -179,6 +202,8 @@ pub(crate) fn pegasus_loop(
         if let Some(reason) = control.interrupted(started) {
             break reason;
         }
+        control.fault_point(t as u64);
+        let mut rng = StdRng::seed_from_u64(iteration_seed(cfg.seed, t as u64));
         let groups = candidate_groups(&ws, &mut rng, &shingle_params, &exec);
         let before = ws.num_supernodes();
         let theta = threshold.theta().min(stall_cap);
@@ -227,6 +252,19 @@ pub(crate) fn pegasus_loop(
         }
         stats.iterations = t;
         control.notify(&stats);
+        // Snapshot after the commit + threshold/stall updates: this is
+        // the consistency point a resumed run restarts from (at t + 1).
+        let snapshot = stats;
+        control.maybe_checkpoint(t as u64, &mut stats, || {
+            RunCheckpoint::capture(
+                ALGO_PEGASUS,
+                (t + 1) as u64,
+                threshold.theta(),
+                stall_cap,
+                snapshot,
+                &ws,
+            )
+        });
         t += 1;
     };
     stats.final_theta = threshold.theta();

@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use crate::api::{RunControl, StopReason};
+use crate::checkpoint::{iteration_seed, RunCheckpoint, ALGO_SSUMM};
 use crate::cost::CostModel;
 use crate::exec::Exec;
 use crate::pegasus::RunStats;
@@ -69,34 +70,45 @@ pub fn ssumm_summarize_with_stats(
     budget_bits: f64,
     cfg: &SsummConfig,
 ) -> (Summary, RunStats) {
-    let (summary, stats, _) = ssumm_loop(g, budget_bits, cfg, &RunControl::default());
+    let (summary, stats, _) = ssumm_loop(g, budget_bits, cfg, &RunControl::default(), None);
     (summary, stats)
 }
 
 /// The SSumM merge loop with run control threaded in, mirroring
 /// [`crate::pegasus::pegasus_loop`]: cancel/deadline checks at the top
 /// of each iteration (a commit boundary), interrupted runs skip final
-/// sparsification, default control is bitwise identical to the
-/// historical loop.
+/// sparsification, per-iteration RNG derivation so a `resume` checkpoint
+/// replays the remaining iterations bit-identically.
 pub(crate) fn ssumm_loop(
     g: &Graph,
     budget_bits: f64,
     cfg: &SsummConfig,
     control: &RunControl,
+    resume: Option<&RunCheckpoint>,
 ) -> (Summary, RunStats, StopReason) {
     let started = std::time::Instant::now();
     let weights = NodeWeights::uniform(g.num_nodes());
-    let mut ws = WorkingSummary::new(g, &weights, CostModel::SsummMin);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut scratch = Scratch::default();
     let exec = Exec::new(cfg.num_threads);
     let shingle_params = ShingleParams {
         max_group: cfg.max_group,
         depth: cfg.shingle_depth,
     };
-    let mut stats = RunStats::default();
+    // SSumM's threshold is a pure function of `t`, so the checkpoint's
+    // theta/stall_cap words are ignored on restore.
+    let (mut ws, mut stats, mut t) = match resume {
+        Some(ck) => (
+            ck.restore_working(g, &weights, CostModel::SsummMin),
+            ck.stats,
+            ck.next_iteration as usize,
+        ),
+        None => (
+            WorkingSummary::new(g, &weights, CostModel::SsummMin),
+            RunStats::default(),
+            1,
+        ),
+    };
 
-    let mut t = 1;
     let stop = loop {
         if ws.size_bits() <= budget_bits {
             break StopReason::BudgetMet;
@@ -107,6 +119,8 @@ pub(crate) fn ssumm_loop(
         if let Some(reason) = control.interrupted(started) {
             break reason;
         }
+        control.fault_point(t as u64);
+        let mut rng = StdRng::seed_from_u64(iteration_seed(cfg.seed, t as u64));
         let theta = ssumm_schedule(t, cfg.t_max);
         let before = ws.num_supernodes();
         // Same evaluate/commit engine as PeGaSus (SSumM just discards
@@ -131,6 +145,17 @@ pub(crate) fn ssumm_loop(
         stats.final_theta = theta;
         stats.iterations = t;
         control.notify(&stats);
+        let snapshot = stats;
+        control.maybe_checkpoint(t as u64, &mut stats, || {
+            RunCheckpoint::capture(
+                ALGO_SSUMM,
+                (t + 1) as u64,
+                theta,
+                f64::INFINITY,
+                snapshot,
+                &ws,
+            )
+        });
         t += 1;
     };
 

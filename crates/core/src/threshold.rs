@@ -31,6 +31,18 @@ impl AdaptiveThreshold {
         }
     }
 
+    /// Rebuilds the state at an iteration boundary from a checkpointed
+    /// `θ`. The rejection list `L` is always empty at boundaries
+    /// ([`Self::end_iteration`] clears it), so `θ` is the entire state.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= beta <= 1`.
+    pub fn restore(beta: f64, theta: f64) -> Self {
+        let mut thr = AdaptiveThreshold::new(beta);
+        thr.theta = theta;
+        thr
+    }
+
     /// The current threshold `θ`.
     #[inline]
     pub fn theta(&self) -> f64 {

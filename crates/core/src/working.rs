@@ -206,9 +206,11 @@ pub fn shrink_thread_scratch(cap: usize) {
 }
 
 /// Frees the current thread's reusable evaluation scratch entirely
-/// ([`Scratch::release`]) — for workers being retired or parked.
+/// ([`Scratch::release`]), along with its pooled group-cache arena —
+/// for workers being retired or parked.
 pub fn release_thread_scratch() {
     with_thread_scratch(|s| s.release());
+    GROUP_CACHE_POOL.with(|cell| *cell.borrow_mut() = None);
 }
 
 /// Outcome of evaluating a candidate merge `{A, B}` (Eq. 10–11).
@@ -535,10 +537,85 @@ impl<'a> WorkingSummary<'a> {
         }
     }
 
+    /// Rebuilds a mid-run summary from checkpointed parts: per live
+    /// supernode its id, **verbatim** `Σ ŵ_u` / `Σ ŵ_u²` (rounding from
+    /// the incremental merge sums preserved), and members in their
+    /// original in-memory order; plus the superedge pair set. The
+    /// resulting state is indistinguishable from the one
+    /// [`WorkingSummary::merge`] built live — the checkpoint/resume
+    /// byte-identity contract (DESIGN.md §10).
+    ///
+    /// # Panics
+    /// Panics unless the member lists partition `0..|V|` and superedge
+    /// pairs are unique — [`crate::checkpoint::RunCheckpoint::decode`]
+    /// validates both before this runs.
+    pub fn from_checkpoint<'s>(
+        g: &'a Graph,
+        w: &'a NodeWeights,
+        model: CostModel,
+        supers: impl Iterator<Item = (SuperId, f64, f64, &'s [NodeId])>,
+        superedges: &[(SuperId, SuperId)],
+    ) -> Self {
+        assert_eq!(g.num_nodes(), w.len(), "weights must cover all nodes");
+        let n = g.num_nodes();
+        let mut node_super: Vec<SuperId> = vec![SuperId::MAX; n];
+        let mut members: Vec<Option<Vec<NodeId>>> = vec![None; n];
+        let mut wsum = vec![0.0; n];
+        let mut sqsum = vec![0.0; n];
+        let mut live = 0usize;
+        for (id, ws_, sq, mem) in supers {
+            for &u in mem {
+                node_super[u as usize] = id;
+            }
+            members[id as usize] = Some(mem.to_vec());
+            wsum[id as usize] = ws_;
+            sqsum[id as usize] = sq;
+            live += 1;
+        }
+        assert!(
+            node_super.iter().all(|&s| s != SuperId::MAX),
+            "checkpoint members must partition the node set"
+        );
+        let mut adj: Vec<FxHashSet<SuperId>> = vec![FxHashSet::default(); n];
+        for &(a, b) in superedges {
+            adj[a as usize].insert(b);
+            if a != b {
+                adj[b as usize].insert(a);
+            }
+        }
+        WorkingSummary {
+            g,
+            w,
+            params: CostParams::new(n, model),
+            node_super,
+            members,
+            wsum,
+            sqsum,
+            adj,
+            live,
+            num_superedges: superedges.len(),
+        }
+    }
+
     /// The input graph.
     #[inline]
     pub fn graph(&self) -> &Graph {
         self.g
+    }
+
+    /// `Σ ŵ_u` of a live supernode, for checkpointing (the raw column
+    /// value — stored verbatim so resume preserves merge-sum rounding).
+    #[inline]
+    pub fn wsum_raw(&self, s: SuperId) -> f64 {
+        debug_assert!(self.is_live(s), "dead supernode");
+        self.wsum[s as usize]
+    }
+
+    /// `Σ ŵ_u²` of a live supernode, for checkpointing.
+    #[inline]
+    pub fn sqsum_raw(&self, s: SuperId) -> f64 {
+        debug_assert!(self.is_live(s), "dead supernode");
+        self.sqsum[s as usize]
     }
 
     /// The node weights in force.
@@ -820,7 +897,15 @@ struct GroupCache {
     /// Locally-dead supernode → its surviving merge target (one step;
     /// reads follow the chain).
     forward: FxHashMap<SuperId, SuperId>,
+    /// Total length of the spans currently mapped — the live fraction of
+    /// the arena. Everything beyond it is retired garbage; once garbage
+    /// is the majority the arena compacts in place
+    /// ([`GroupCache::compact`]).
+    live_len: usize,
 }
+
+/// Arena entries below which compaction is never worth the copy.
+const COMPACT_MIN_ARENA: usize = 256;
 
 /// One cached weight-vector span: an arena window plus a staleness bit.
 ///
@@ -903,6 +988,15 @@ impl GroupCache {
         dirty: bool,
         present: impl Fn(usize, SuperId) -> bool,
     ) -> Span {
+        // Replacing a member's span retires the old one; compact first if
+        // retired entries dominate the arena (long-running groups churn
+        // spans every refresh/merge, and nothing else reclaims them).
+        if let Some(old) = self.spans.remove(&s) {
+            self.live_len -= old.len as usize;
+        }
+        if self.keys.len() >= COMPACT_MIN_ARENA && self.keys.len() >= 2 * self.live_len {
+            self.compact();
+        }
         let start = self.keys.len() as u32;
         for (i, &x) in lane.touched.iter().enumerate() {
             self.keys.push(x);
@@ -915,8 +1009,73 @@ impl GroupCache {
             dirty,
         };
         self.spans.insert(s, span);
+        self.live_len += span.len as usize;
         span
     }
+
+    /// Drops a member's span (it merged away locally).
+    fn retire(&mut self, s: SuperId) {
+        if let Some(span) = self.spans.remove(&s) {
+            self.live_len -= span.len as usize;
+        }
+    }
+
+    /// Compacts the arena in place: live spans slide down in arena
+    /// order, retired entries vanish, capacity is kept for reuse. Span
+    /// contents are copied verbatim (same keys, same value bits, same
+    /// presence and dirty state), so every subsequent read is unchanged.
+    fn compact(&mut self) {
+        let mut order: Vec<(u32, SuperId)> = self
+            .spans
+            .iter()
+            .map(|(&owner, span)| (span.start, owner))
+            .collect();
+        order.sort_unstable();
+        let mut write = 0usize;
+        for (start, owner) in order {
+            let len = self.spans[&owner].len as usize;
+            let start = start as usize;
+            if start != write {
+                self.keys.copy_within(start..start + len, write);
+                self.vals.copy_within(start..start + len, write);
+                self.pres.copy_within(start..start + len, write);
+                self.spans.get_mut(&owner).expect("live span").start = write as u32;
+            }
+            write += len;
+        }
+        self.keys.truncate(write);
+        self.vals.truncate(write);
+        self.pres.truncate(write);
+        debug_assert_eq!(write, self.live_len);
+    }
+
+    /// Clears all state, keeping allocations — the pooled-reuse hook.
+    fn reset(&mut self) {
+        self.keys.clear();
+        self.vals.clear();
+        self.pres.clear();
+        self.spans.clear();
+        self.forward.clear();
+        self.live_len = 0;
+    }
+}
+
+thread_local! {
+    static GROUP_CACHE_POOL: RefCell<Option<GroupCache>> = const { RefCell::new(None) };
+}
+
+/// A cleared [`GroupCache`], reusing the previous group's arena and map
+/// allocations when this thread processed one before.
+fn pooled_group_cache() -> GroupCache {
+    GROUP_CACHE_POOL
+        .with(|cell| cell.borrow_mut().take())
+        .unwrap_or_default()
+}
+
+/// Returns a group's cache to this thread's pool for the next group.
+fn recycle_group_cache(mut cache: GroupCache) {
+    cache.reset();
+    GROUP_CACHE_POOL.with(|cell| *cell.borrow_mut() = Some(cache));
 }
 
 /// A frozen [`WorkingSummary`] plus a group-local overlay: the parallel
@@ -977,7 +1136,7 @@ impl<'w, 'a> GroupView<'w, 'a> {
         group: &[SuperId],
         scratch: &mut Scratch,
     ) -> Self {
-        let mut cache = GroupCache::default();
+        let mut cache = pooled_group_cache();
         let n = ws.g.num_nodes();
         for &s in group {
             scratch.begin(n);
@@ -1026,9 +1185,12 @@ impl<'w, 'a> GroupView<'w, 'a> {
         scratch: &mut Scratch,
     ) -> DeltaEval {
         debug_assert!(a != b && !self.dead.contains(&a) && !self.dead.contains(&b));
-        let sa = self.refreshed_span(a, scratch);
-        let sb = self.refreshed_span(b, scratch);
+        // Refresh both before reading either span: a refresh bump-stores
+        // and may compact the arena, relocating previously read spans.
+        self.refreshed_span(a, scratch);
+        self.refreshed_span(b, scratch);
         let cache = self.cache.as_ref().expect("GroupView built without cache");
+        let (sa, sb) = (cache.spans[&a], cache.spans[&b]);
         self.eval_from_spans(cache, sa, sb, a, b)
     }
 
@@ -1164,7 +1326,7 @@ impl<'w, 'a> GroupView<'w, 'a> {
             cache.load(keep, &mut scratch.a, scratch.epoch);
             cache.load(dead, &mut scratch.a, scratch.epoch);
             scratch.a.sort_touched();
-            cache.spans.remove(&dead);
+            cache.retire(dead);
             // The merged span is born dirty (hierarchical values, no
             // presence bits — the next evaluation refreshes it against
             // the overlay); clean spans referencing either endpoint go
@@ -1395,6 +1557,9 @@ pub fn evaluate_group_with(
                 outcome.rejected.push(score);
                 fails += 1;
             }
+        }
+        if let Some(cache) = view.cache.take() {
+            recycle_group_cache(cache);
         }
         outcome
     })
@@ -1766,6 +1931,124 @@ mod tests {
             assert_eq!(cached.rejected, scan.rejected, "seed {seed}");
             assert_eq!(cached.evals, scan.evals, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn from_checkpoint_reproduces_live_state() {
+        // Merge a few pairs live, capture the parts, rebuild, and check
+        // the rebuilt summary is indistinguishable: same members (order
+        // included), same weight-sum bits, same superedges, and
+        // bit-identical merge evaluations from the restored state.
+        let g = barabasi_albert(80, 3, 11);
+        let (w, m) = uniform_ws(&g);
+        let mut ws = WorkingSummary::new(&g, &w, m);
+        let mut scratch = Scratch::default();
+        ws.merge(0, 1, &mut scratch);
+        ws.merge(2, 3, &mut scratch);
+        ws.merge(ws.supernode_of(0), 10, &mut scratch);
+
+        let live = ws.live_ids();
+        let parts: Vec<(SuperId, f64, f64, Vec<NodeId>)> = live
+            .iter()
+            .map(|&s| (s, ws.wsum_raw(s), ws.sqsum_raw(s), ws.members(s).to_vec()))
+            .collect();
+        let mut edges: Vec<(SuperId, SuperId)> = Vec::new();
+        for &s in &live {
+            for x in ws.superedge_neighbors(s) {
+                if s <= x {
+                    edges.push((s, x));
+                }
+            }
+        }
+        edges.sort_unstable();
+        let restored = WorkingSummary::from_checkpoint(
+            &g,
+            &w,
+            CostModel::ErrorCorrection,
+            parts
+                .iter()
+                .map(|(s, ws_, sq, mem)| (*s, *ws_, *sq, mem.as_slice())),
+            &edges,
+        );
+        assert_eq!(restored.num_supernodes(), ws.num_supernodes());
+        assert_eq!(restored.num_superedges(), ws.num_superedges());
+        for &s in &live {
+            assert_eq!(restored.members(s), ws.members(s));
+            assert_eq!(restored.wsum_raw(s).to_bits(), ws.wsum_raw(s).to_bits());
+            assert_eq!(restored.sqsum_raw(s).to_bits(), ws.sqsum_raw(s).to_bits());
+        }
+        for u in g.nodes() {
+            assert_eq!(restored.supernode_of(u), ws.supernode_of(u));
+        }
+        let (a, b) = (live[0], live[live.len() - 1]);
+        let e1 = ws.eval_merge(a, b, &mut scratch);
+        let e2 = restored.eval_merge(a, b, &mut scratch);
+        assert_eq!(e1.delta.to_bits(), e2.delta.to_bits());
+        assert_eq!(e1.relative.to_bits(), e2.relative.to_bits());
+    }
+
+    #[test]
+    fn group_cache_compaction_bounds_arena_and_preserves_values() {
+        // Repeatedly re-storing a member's span retires the old copy;
+        // without compaction the arena grows linearly with churn. Drive
+        // enough churn to trip compaction and verify both the bound and
+        // that live spans read back unchanged.
+        let mut cache = GroupCache::default();
+        let mut lane = DenseLane::default();
+        lane.ensure(64);
+        let epoch = 1;
+        for x in 0..32u32 {
+            lane.add(x, x as f64 + 0.5, epoch);
+        }
+        lane.sort_touched();
+        for round in 0..100 {
+            for s in 0..4u32 {
+                cache.store_from_lane(s, &lane, false, |_, _| false);
+            }
+            assert!(
+                cache.keys.len() <= (2 * cache.live_len).max(COMPACT_MIN_ARENA + 4 * 32),
+                "round {round}: arena {} entries for {} live",
+                cache.keys.len(),
+                cache.live_len
+            );
+        }
+        assert_eq!(cache.live_len, 4 * 32);
+        for s in 0..4u32 {
+            let (ks, vs, _) = cache.slices(cache.spans[&s]);
+            assert_eq!(ks, (0..32u32).collect::<Vec<_>>().as_slice());
+            for (i, &v) in vs.iter().enumerate() {
+                assert_eq!(v.to_bits(), (i as f64 + 0.5).to_bits());
+            }
+        }
+        // Retiring spans keeps the accounting consistent through the
+        // next compaction.
+        cache.retire(0);
+        cache.retire(1);
+        assert_eq!(cache.live_len, 2 * 32);
+        for _ in 0..100 {
+            cache.store_from_lane(2, &lane, true, |_, _| false);
+        }
+        assert!(cache.keys.len() <= (2 * cache.live_len).max(COMPACT_MIN_ARENA + 32));
+        assert!(cache.spans[&2].dirty, "dirty bit survives compaction");
+    }
+
+    #[test]
+    fn group_cache_pool_reuse_is_invisible_to_results() {
+        // Two groups evaluated back-to-back on one thread share the
+        // pooled arena; outcomes must match a fresh-per-group run
+        // (pinned indirectly: same outcome as the scan evaluator, which
+        // never touches the pool).
+        let g = barabasi_albert(150, 4, 17);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        for (lo, hi) in [(0u32, 50u32), (50, 100), (100, 150)] {
+            let group: Vec<SuperId> = (lo..hi).collect();
+            let cached = evaluate_group_with(&ws, &group, 0.0, 99, false, MergeEvaluator::Cached);
+            let scan = evaluate_group_with(&ws, &group, 0.0, 99, false, MergeEvaluator::Scan);
+            assert_eq!(cached.merges, scan.merges);
+            assert_eq!(cached.rejected, scan.rejected);
+        }
+        release_thread_scratch();
     }
 
     #[test]

@@ -284,7 +284,7 @@ fn run_control_default_is_inert() {
         .control(RunControl {
             cancel: Some(Arc::new(AtomicBool::new(false))),
             deadline: Some(Duration::from_secs(3600)),
-            observer: None,
+            ..Default::default()
         });
     let out = Pegasus(cfg).run(&g, &req).unwrap();
     assert_identical(&legacy, &out.summary, "inert control");

@@ -1,0 +1,258 @@
+//! The DESIGN.md §10 checkpoint/resume contract, pinned from outside
+//! the crate: for a fixed seed and fault plan, a run killed at
+//! iteration `k` and resumed from its last checkpoint produces a
+//! summary **byte-identical** to the uninterrupted run — at 1, 2, and
+//! 8 worker threads, for PeGaSus and SSumM — and invalid resume blobs
+//! surface as typed [`PgsError::CheckpointInvalid`], never a panic.
+
+use std::sync::{Arc, Mutex};
+
+use pgs_core::api::{Budget, Pegasus, Ssumm, SummarizeRequest, Summarizer};
+use pgs_core::checkpoint::{ALGO_PEGASUS, ALGO_SSUMM};
+use pgs_core::{
+    CheckpointSink, FaultPlan, PegasusConfig, PgsError, RunCheckpoint, SsummConfig, Summary,
+};
+use pgs_graph::gen::{barabasi_albert, planted_partition};
+use pgs_graph::Graph;
+
+/// Structural fingerprint: per-node assignment, sorted superedges, and
+/// the exact size-bits value.
+fn fingerprint(s: &Summary) -> (Vec<u32>, Vec<(u32, u32)>, u64) {
+    let assignment: Vec<u32> = (0..s.num_nodes() as u32)
+        .map(|u| s.supernode_of(u))
+        .collect();
+    let mut superedges: Vec<(u32, u32)> = s.superedges().map(|(a, b, _)| (a, b)).collect();
+    superedges.sort_unstable();
+    (assignment, superedges, s.size_bits().to_bits())
+}
+
+/// Shared store of every `(iteration, blob)` a sink has written.
+type BlobStore = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
+
+/// A sink collecting every `(iteration, blob)` the engine writes.
+fn collecting_sink() -> (CheckpointSink, BlobStore) {
+    let store: BlobStore = Arc::new(Mutex::new(Vec::new()));
+    let writer = Arc::clone(&store);
+    let sink: CheckpointSink = Arc::new(move |t, blob| {
+        writer.lock().unwrap().push((t, blob));
+        Ok(())
+    });
+    (sink, store)
+}
+
+fn pegasus_at(threads: usize, seed: u64) -> Pegasus {
+    Pegasus(PegasusConfig {
+        num_threads: threads,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn pegasus_resume_is_byte_identical_at_any_thread_count_and_cut() {
+    let g = barabasi_albert(500, 4, 3);
+    for threads in [1usize, 2, 8] {
+        for seed in [0u64, 1, 7, 42] {
+            let algo = pegasus_at(threads, seed);
+            let req = SummarizeRequest::new(Budget::Ratio(0.35)).targets(&[0, 5]);
+            let (sink, store) = collecting_sink();
+            let full = algo
+                .run(&g, &req.clone().checkpoint(1, sink))
+                .expect("uninterrupted run");
+            let checkpoints = store.lock().unwrap().clone();
+            assert!(
+                full.stats.checkpoints as usize == checkpoints.len() && !checkpoints.is_empty(),
+                "every iteration must checkpoint"
+            );
+            // Resume from EVERY recorded cut, not just one.
+            for (t, blob) in &checkpoints {
+                let resumed = algo
+                    .run(&g, &req.clone().resume_from(Arc::new(blob.clone())))
+                    .unwrap_or_else(|e| panic!("resume from t={t} failed: {e}"));
+                assert_eq!(
+                    fingerprint(&full.summary),
+                    fingerprint(&resumed.summary),
+                    "threads={threads} seed={seed} cut t={t}"
+                );
+                assert_eq!(full.stats.iterations, resumed.stats.iterations);
+                assert_eq!(full.stats.merges, resumed.stats.merges);
+                assert_eq!(
+                    full.stats.final_theta.to_bits(),
+                    resumed.stats.final_theta.to_bits()
+                );
+                assert_eq!(full.stop, resumed.stop);
+            }
+        }
+    }
+}
+
+#[test]
+fn pegasus_killed_by_fault_then_resumed_matches_uninterrupted() {
+    let g = planted_partition(400, 8, 1600, 120, 9);
+    for threads in [1usize, 2, 8] {
+        for seed in [0u64, 3, 11, 19, 23, 31, 57, 101] {
+            let algo = pegasus_at(threads, seed);
+            let req = SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[1]);
+            let full = algo.run(&g, &req.clone()).expect("clean run");
+            let total_iters = full.stats.iterations as u64;
+
+            // Kill at a seed-derived iteration, checkpointing each one.
+            let plan = Arc::new(FaultPlan::seeded_panic(seed, total_iters.max(1)));
+            let (sink, store) = collecting_sink();
+            let doomed = req
+                .clone()
+                .checkpoint(1, sink)
+                .fault_plan(Arc::clone(&plan));
+            let crash =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| algo.run(&g, &doomed)));
+            assert!(crash.is_err(), "the injected panic must propagate");
+            assert_eq!(plan.armed(), 0, "the fault fired");
+
+            // Resume from the last good checkpoint (if the plan killed
+            // iteration 1 there is none: rerun from scratch instead —
+            // exactly the serving layer's policy).
+            let last = store.lock().unwrap().last().cloned();
+            let resumed = match last {
+                Some((_, blob)) => algo
+                    .run(&g, &req.clone().resume_from(Arc::new(blob)))
+                    .expect("resumed run"),
+                None => algo.run(&g, &req.clone()).expect("fresh rerun"),
+            };
+            assert_eq!(
+                fingerprint(&full.summary),
+                fingerprint(&resumed.summary),
+                "threads={threads} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ssumm_resume_is_byte_identical() {
+    let g = barabasi_albert(400, 3, 5);
+    for threads in [1usize, 2, 8] {
+        let algo = Ssumm(SsummConfig {
+            num_threads: threads,
+            seed: 9,
+            ..Default::default()
+        });
+        let req = SummarizeRequest::new(Budget::Ratio(0.3));
+        let (sink, store) = collecting_sink();
+        let full = algo
+            .run(&g, &req.clone().checkpoint(1, sink))
+            .expect("uninterrupted run");
+        let checkpoints = store.lock().unwrap().clone();
+        assert!(!checkpoints.is_empty());
+        for (t, blob) in &checkpoints {
+            let resumed = algo
+                .run(&g, &req.clone().resume_from(Arc::new(blob.clone())))
+                .unwrap_or_else(|e| panic!("resume from t={t} failed: {e}"));
+            assert_eq!(
+                fingerprint(&full.summary),
+                fingerprint(&resumed.summary),
+                "threads={threads} cut t={t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_write_failure_is_counted_not_fatal() {
+    let g = barabasi_albert(300, 4, 2);
+    let algo = pegasus_at(2, 5);
+    let req = SummarizeRequest::new(Budget::Ratio(0.35)).targets(&[0]);
+    let clean = algo.run(&g, &req.clone()).expect("clean run");
+
+    let plan = Arc::new(FaultPlan::new().fail_checkpoint_at(1).fail_checkpoint_at(2));
+    let (sink, store) = collecting_sink();
+    let out = algo
+        .run(&g, &req.checkpoint(1, sink).fault_plan(plan))
+        .expect("run survives failed checkpoint writes");
+    assert_eq!(fingerprint(&clean.summary), fingerprint(&out.summary));
+    assert_eq!(out.stats.checkpoint_failures, 2);
+    let written: Vec<u64> = store.lock().unwrap().iter().map(|(t, _)| *t).collect();
+    assert!(
+        !written.contains(&1) && !written.contains(&2),
+        "failed iterations must not reach the sink: {written:?}"
+    );
+    assert_eq!(
+        out.stats.checkpoints as usize,
+        written.len(),
+        "successful writes are the exact count"
+    );
+}
+
+#[test]
+fn sparse_checkpoint_cadence_respects_every() {
+    let g = barabasi_albert(300, 4, 8);
+    let algo = pegasus_at(1, 0);
+    let (sink, store) = collecting_sink();
+    let req = SummarizeRequest::new(Budget::Ratio(0.3))
+        .targets(&[0])
+        .checkpoint(3, sink);
+    let out = algo.run(&g, &req).expect("run");
+    for (t, _) in store.lock().unwrap().iter() {
+        assert_eq!(t % 3, 0, "cadence-3 sink saw iteration {t}");
+    }
+    assert_eq!(out.stats.checkpoints as usize, store.lock().unwrap().len());
+}
+
+#[test]
+fn invalid_resume_blobs_are_typed_errors() {
+    let g = barabasi_albert(200, 3, 4);
+    let algo = pegasus_at(1, 0);
+    let base = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0]);
+
+    // Garbage bytes.
+    let garbage = base.clone().resume_from(Arc::new(vec![0xFFu8; 64]));
+    assert!(matches!(
+        algo.run(&g, &garbage),
+        Err(PgsError::CheckpointInvalid { .. })
+    ));
+
+    // Structurally valid blob for the WRONG algorithm.
+    let (sink, store) = collecting_sink();
+    Ssumm(SsummConfig::default())
+        .run(
+            &g,
+            &SummarizeRequest::new(Budget::Ratio(0.3)).checkpoint(1, sink),
+        )
+        .expect("ssumm run");
+    if let Some((_, blob)) = store.lock().unwrap().first().cloned() {
+        let ck = RunCheckpoint::decode(&blob).expect("valid blob");
+        assert_eq!(ck.algorithm, ALGO_SSUMM);
+        assert_ne!(ck.algorithm, ALGO_PEGASUS);
+        let cross = base.clone().resume_from(Arc::new(blob));
+        assert!(matches!(
+            algo.run(&g, &cross),
+            Err(PgsError::CheckpointInvalid { .. })
+        ));
+    }
+
+    // Right algorithm, wrong graph size.
+    let (sink, store) = collecting_sink();
+    algo.run(&g, &base.clone().checkpoint(1, sink))
+        .expect("pegasus run");
+    let first = store.lock().unwrap().first().cloned();
+    if let Some((_, blob)) = first {
+        let small = barabasi_albert(50, 3, 4);
+        let cross = base.clone().resume_from(Arc::new(blob));
+        assert!(matches!(
+            algo.run(&small, &cross),
+            Err(PgsError::CheckpointInvalid { .. })
+        ));
+    }
+}
+
+#[test]
+fn stall_fault_is_harmless() {
+    let g: Graph = barabasi_albert(250, 3, 6);
+    let algo = pegasus_at(2, 1);
+    let req = SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[0]);
+    let clean = algo.run(&g, &req.clone()).expect("clean run");
+    let plan = Arc::new(FaultPlan::new().stall_at(1, std::time::Duration::from_millis(5)));
+    let stalled = algo
+        .run(&g, &req.fault_plan(plan))
+        .expect("stalled run completes");
+    assert_eq!(fingerprint(&clean.summary), fingerprint(&stalled.summary));
+}

@@ -13,7 +13,9 @@
 //! 2. **End-to-end byte identity.** Full `summarize` runs driven by the
 //!    cached evaluator produce byte-identical summaries to runs driven
 //!    by the legacy scan evaluator, at 1, 2, and 8 worker threads, with
-//!    identical run statistics.
+//!    matching run statistics (`final_theta` to near-equality — the §7
+//!    scoped exception allows final-ulp drift across evaluators after
+//!    intra-group merges; all counts exact).
 
 use proptest::prelude::*;
 
@@ -157,10 +159,15 @@ fn assert_stats_match(cached: &RunStats, scan: &RunStats, ctx: &str) {
     assert_eq!(cached.merges, scan.merges, "{ctx}: merges");
     assert_eq!(cached.evals, scan.evals, "{ctx}: evals");
     assert_eq!(cached.sparsified, scan.sparsified, "{ctx}: sparsified");
-    assert_eq!(
-        cached.final_theta.to_bits(),
-        scan.final_theta.to_bits(),
-        "{ctx}: final_theta"
+    // final_theta is a selected rejection quantile; per the §7 scoped
+    // exception, post-local-merge cached evaluations may differ from a
+    // rescan in the final ulp, so across *evaluators* theta is pinned to
+    // near-equality, not bit-equality (same-evaluator runs stay
+    // byte-identical — that contract is pinned elsewhere).
+    let (a, b) = (cached.final_theta, scan.final_theta);
+    assert!(
+        (a - b).abs() <= 1e-12 * a.abs().max(b.abs()),
+        "{ctx}: final_theta {a} vs {b}"
     );
 }
 

@@ -218,7 +218,7 @@ impl Cluster {
                     SummarizeRequest::new(Budget::Bits(budget_bits_per_machine)).targets(subset);
                 svc.submit(SubmitRequest::new(format!("machine-{i}"), req))
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let machines: Vec<MachineStore> = handles
             .iter()
             .map(|h| h.wait().map(|out| MachineStore::Summary(out.summary)))

@@ -177,6 +177,25 @@ impl WeightCache {
         self.entries.clear();
     }
 
+    /// Drops every entry belonging to `tenant` (scoped invalidation for
+    /// a per-tenant graph swap). Returns the number dropped. Not an
+    /// eviction and not a miss — the entries were not unlucky, they were
+    /// retargeted.
+    pub fn invalidate_tenant(&mut self, tenant: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.tenant() != tenant);
+        before - self.entries.len()
+    }
+
+    /// Keeps only entries whose key satisfies `pred`, returning the
+    /// number dropped. Like [`WeightCache::invalidate_tenant`], dropped
+    /// entries count as neither evictions nor misses.
+    pub fn retain_where(&mut self, mut pred: impl FnMut(&WeightKey) -> bool) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| pred(k));
+        before - self.entries.len()
+    }
+
     /// Live entry count.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -272,6 +291,20 @@ mod tests {
         let k = key("t", &[0]);
         c.insert(k.clone(), NodeWeights::uniform(3), 0);
         assert!(c.lookup(&k, 0).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn scoped_invalidation_spares_other_tenants() {
+        let mut c = WeightCache::new(8);
+        c.insert(key("a", &[0]), NodeWeights::uniform(1), 0);
+        c.insert(key("a", &[1]), NodeWeights::uniform(1), 0);
+        c.insert(key("b", &[0]), NodeWeights::uniform(1), 0);
+        assert_eq!(c.invalidate_tenant("a"), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.lookup(&key("b", &[0]), 0).is_some(), "b untouched");
+        assert_eq!(c.stats().evictions, 0, "invalidation is not eviction");
+        assert_eq!(c.retain_where(|k| k.tenant() != "b"), 1);
         assert!(c.is_empty());
     }
 

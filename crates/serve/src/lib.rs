@@ -22,6 +22,15 @@
 //! DESIGN.md §9 documents the architecture and exactly which
 //! guarantees are per-handle vs cross-tenant.
 //!
+//! On top sits a resilience layer (DESIGN.md §10): bounded queues with
+//! priority-aware load shedding (typed
+//! [`PgsError::Overloaded`](pgs_core::api::PgsError::Overloaded)
+//! rejections carrying a retry hint), checkpoint/resume-based retry of
+//! runs killed by worker panics (byte-identical to an uninterrupted
+//! run), graceful degradation to a partial summary when the retry
+//! budget runs out, and per-tenant graph overrides whose cache
+//! invalidation is scoped to the tenant that changed.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest};
@@ -37,7 +46,7 @@
 //!     .iter()
 //!     .map(|&r| {
 //!         let req = SummarizeRequest::new(Budget::Ratio(r)).targets(&[0, 1]);
-//!         svc.submit(SubmitRequest::new("alice", req))
+//!         svc.submit(SubmitRequest::new("alice", req)).unwrap()
 //!     })
 //!     .collect();
 //! for h in &handles {

@@ -26,26 +26,54 @@
 //!   [`Personalization::Weights`], bitwise-identical to resolving
 //!   fresh (see [`crate::cache`]).
 //!
+//! The resilience layer (DESIGN.md §10) sits on top:
+//!
+//! * **Admission control** — [`ServiceConfig::tenant_queue_depth`] and
+//!   [`ServiceConfig::global_queue_depth`] bound the queues;
+//!   [`submit`](SummaryService::submit) is fallible and an over-limit
+//!   request is rejected with [`PgsError::Overloaded`] carrying a
+//!   load-derived retry hint. Under global pressure a *strictly
+//!   higher*-priority submission sheds the lowest-priority **queued**
+//!   job instead (running jobs are never shed); the shed handle
+//!   resolves with the same typed error — no handle ever hangs.
+//! * **Checkpoint/resume + retry** — with
+//!   [`ServiceConfig::retry_budget`] > 0, runs checkpoint at
+//!   iteration-commit boundaries and a worker panic re-enqueues the job
+//!   at the *front* of its tenant queue (FIFO preserved) with
+//!   exponential backoff plus deterministic jitter, resuming from the
+//!   last good checkpoint — byte-identical to a run that never died.
+//!   A job that exhausts the budget degrades gracefully: its last
+//!   checkpoint becomes a valid partial summary with
+//!   [`StopReason::RetriesExhausted`].
+//! * **Per-tenant graphs** — [`SummaryService::swap_tenant_graph`]
+//!   scopes a swap (and its cache invalidation) to one tenant;
+//!   [`SummaryService::swap_graph`] retains cache entries of tenants
+//!   pinned to their own graph.
+//!
 //! Because every summarizer in the workspace is deterministic and
 //! thread-count independent, a request's result is byte-identical to
 //! running the same `SummarizeRequest` directly through the same
 //! `Summarizer` — whatever the worker count, scheduling interleaving,
 //! or cache state. The stress suite in `tests/service_stress.rs` pins
-//! that at 1/2/8 workers.
+//! that at 1/2/8 workers; `tests/resilience.rs` pins the fault paths.
 //!
 //! Dropping the service drains it: queued and running requests finish
-//! (cancel handles first for a fast teardown), then the pool joins.
+//! (cancelled ones short-circuit, backoff delays are honored), then
+//! the pool joins.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use pgs_core::api::{PgsError, RunOutput, StopReason, SummarizeRequest, Summarizer};
+use pgs_core::api::{
+    CheckpointSink, PgsError, RunOutput, StopReason, SummarizeRequest, Summarizer,
+};
+use pgs_core::checkpoint::iteration_seed;
 use pgs_core::exec::Exec;
 use pgs_core::pegasus::RunStats;
-use pgs_core::Summary;
+use pgs_core::{RunCheckpoint, Summary};
 use pgs_graph::Graph;
 
 use crate::cache::{CacheStats, WeightCache, WeightKey};
@@ -70,6 +98,25 @@ pub struct ServiceConfig {
     pub tenant_deadline: Option<Duration>,
     /// Weight-cache entries kept service-wide (`0` disables caching).
     pub cache_capacity: usize,
+    /// Most requests one tenant may have *queued* (not running) at
+    /// once; the next submission is rejected with
+    /// [`PgsError::Overloaded`]. `0` = unbounded.
+    pub tenant_queue_depth: usize,
+    /// Most requests queued service-wide. A submission past this bound
+    /// sheds the lowest-priority queued job if the newcomer outranks
+    /// it, and is rejected otherwise. `0` = unbounded.
+    pub global_queue_depth: usize,
+    /// How many times a run killed by a worker panic is retried (from
+    /// its last checkpoint when one exists). `0` disables retry —
+    /// panics surface as [`PgsError::RunPanicked`], the pre-resilience
+    /// behavior.
+    pub retry_budget: u32,
+    /// Base delay before retry attempt `n` (grows as
+    /// `retry_backoff · 2ⁿ` plus deterministic jitter).
+    pub retry_backoff: Duration,
+    /// Checkpoint cadence in iterations for retryable runs (minimum 1;
+    /// only consulted when [`ServiceConfig::retry_budget`] > 0).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +126,11 @@ impl Default for ServiceConfig {
             per_tenant_inflight: 1,
             tenant_deadline: None,
             cache_capacity: 256,
+            tenant_queue_depth: 0,
+            global_queue_depth: 0,
+            retry_budget: 0,
+            retry_backoff: Duration::from_millis(10),
+            checkpoint_every: 1,
         }
     }
 }
@@ -160,8 +212,17 @@ pub struct TenantStats {
     pub cancelled: u64,
     /// ... of which stopped at [`StopReason::DeadlineExceeded`].
     pub deadline_exceeded: u64,
+    /// ... of which stopped at [`StopReason::RetriesExhausted`] (a
+    /// partial summary from the last checkpoint, or identity).
+    pub retries_exhausted: u64,
     /// Requests that failed validation (typed [`PgsError`]s).
     pub errors: u64,
+    /// Queued requests shed to admit a higher-priority submission.
+    pub shed: u64,
+    /// Submissions rejected at the door ([`PgsError::Overloaded`]).
+    pub rejected: u64,
+    /// Retry attempts after a worker panic (re-runs, not requests).
+    pub retries: u64,
     /// Weight-cache hits attributed to this tenant's submissions.
     pub cache_hits: u64,
     /// Weight-cache misses (BFS resolutions) for this tenant.
@@ -195,13 +256,28 @@ struct Job {
     graph: Arc<Graph>,
     /// Cooperative cancel flag shared with the run's `RunControl`.
     cancel: Arc<AtomicBool>,
+    /// How many times this job has died to a worker panic.
+    attempts: AtomicU32,
+    /// Latest successfully written checkpoint blob. A *separate* `Arc`
+    /// so the checkpoint sink can capture it without capturing the job
+    /// (the request owns the sink and the job owns the request — a
+    /// `Job` capture would be a reference cycle).
+    last_checkpoint: Arc<Mutex<Option<Arc<Vec<u8>>>>>,
     state: Mutex<JobState>,
     done_cv: Condvar,
 }
 
+/// A queue slot: the job plus an optional earliest-start instant
+/// (retry backoff). A head entry whose `not_before` is in the future
+/// blocks its tenant's queue — FIFO is preserved even across retries.
+struct QueuedEntry {
+    job: Arc<Job>,
+    not_before: Option<Instant>,
+}
+
 #[derive(Default)]
 struct TenantSched {
-    queue: VecDeque<Arc<Job>>,
+    queue: VecDeque<QueuedEntry>,
     inflight: usize,
     stats: TenantStats,
 }
@@ -212,14 +288,38 @@ struct Sched {
     /// Jobs queued across all tenants (workers exit when this hits 0
     /// under shutdown).
     queued: usize,
+    /// Completed-run seconds + count, service-wide — the basis of the
+    /// [`PgsError::Overloaded`] retry hint.
+    total_run_secs: f64,
+    total_completed: u64,
     shutdown: bool,
+}
+
+/// The graphs submissions resolve against: one default plus per-tenant
+/// overrides, each stamped with a globally unique epoch (every swap —
+/// default or tenant-scoped — takes the next epoch, so no two graph
+/// versions ever share a cache stamp).
+struct GraphTable {
+    default: (Arc<Graph>, u64),
+    overrides: BTreeMap<String, (Arc<Graph>, u64)>,
+    next_epoch: u64,
+}
+
+impl GraphTable {
+    fn effective(&self, tenant: &str) -> (Arc<Graph>, u64) {
+        self.overrides
+            .get(tenant)
+            .cloned()
+            .unwrap_or_else(|| self.default.clone())
+    }
 }
 
 struct Inner {
     algorithm: SharedSummarizer,
     cfg: ServiceConfig,
-    /// Current graph + its epoch; swapped atomically under the lock.
-    graph: Mutex<(Arc<Graph>, u64)>,
+    /// Resolved worker count (for the overload retry hint).
+    workers: usize,
+    graphs: Mutex<GraphTable>,
     cache: Mutex<WeightCache>,
     sched: Mutex<Sched>,
     work_cv: Condvar,
@@ -319,10 +419,17 @@ impl SummaryService {
             algorithm,
             cache: Mutex::new(WeightCache::new(cfg.cache_capacity)),
             cfg,
-            graph: Mutex::new((graph, 0)),
+            workers,
+            graphs: Mutex::new(GraphTable {
+                default: (graph, 0),
+                overrides: BTreeMap::new(),
+                next_epoch: 0,
+            }),
             sched: Mutex::new(Sched {
                 tenants: BTreeMap::new(),
                 queued: 0,
+                total_run_secs: 0.0,
+                total_completed: 0,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -342,7 +449,10 @@ impl SummaryService {
         SummaryService { inner, pool }
     }
 
-    /// Enqueues one request and returns its handle immediately.
+    /// Enqueues one request and returns its handle, or rejects it with
+    /// [`PgsError::Overloaded`] when admission control says no (see
+    /// the module docs — the error carries a load-derived hint for how
+    /// long the caller should back off before resubmitting).
     ///
     /// If the algorithm personalizes (see
     /// [`Summarizer::personalization_alpha`]) and the request carries
@@ -356,17 +466,14 @@ impl SummaryService {
     ///
     /// [`Personalization::Targets`]: pgs_core::api::Personalization::Targets
     /// [`Personalization::Weights`]: pgs_core::api::Personalization::Weights
-    pub fn submit(&self, sub: SubmitRequest) -> SummaryHandle {
+    pub fn submit(&self, sub: SubmitRequest) -> Result<SummaryHandle, PgsError> {
         let SubmitRequest {
             tenant,
             mut request,
             priority,
         } = sub;
         let inner = &*self.inner;
-        let (graph, epoch) = {
-            let g = inner.graph.lock().unwrap();
-            (Arc::clone(&g.0), g.1)
-        };
+        let (graph, epoch) = inner.graphs.lock().unwrap().effective(&tenant);
 
         // Weight cache: tenant-scoped, epoch-stamped, submit-side. The
         // lock covers only lookup/insert, never the BFS itself, so one
@@ -420,11 +527,46 @@ impl SummaryService {
             submitted: Instant::now(),
             graph,
             cancel,
+            attempts: AtomicU32::new(0),
+            last_checkpoint: Arc::new(Mutex::new(None)),
             state: Mutex::new(JobState::Queued(Box::new(request))),
             done_cv: Condvar::new(),
         });
+
+        // Admission, bookkeeping, and enqueue are one critical section:
+        // the bounds checked are exactly the queues the job lands in.
+        // Shed victims are collected under the lock but resolved (state
+        // flip + wakeup) after it, keeping lock order job-free.
+        let shed_victim: Option<(Arc<Job>, Duration)>;
         {
             let mut sched = inner.sched.lock().unwrap();
+            let hint = overload_hint(&sched, inner.workers);
+            let tenant_depth = inner.cfg.tenant_queue_depth;
+            let queue_len = sched.tenants.get(&tenant).map_or(0, |t| t.queue.len());
+            if tenant_depth > 0 && queue_len >= tenant_depth {
+                let t = sched.tenants.entry(tenant).or_default();
+                t.stats.rejected += 1;
+                return Err(PgsError::Overloaded {
+                    retry_after_hint: hint,
+                });
+            }
+            if inner.cfg.global_queue_depth > 0 && sched.queued >= inner.cfg.global_queue_depth {
+                // Over the global bound: shed the lowest-priority queued
+                // job if the newcomer strictly outranks it; otherwise
+                // the newcomer is the lowest and is itself rejected.
+                match shed_lowest_queued(&mut sched, priority) {
+                    Some(victim) => shed_victim = Some((victim, hint)),
+                    None => {
+                        let t = sched.tenants.entry(tenant).or_default();
+                        t.stats.rejected += 1;
+                        return Err(PgsError::Overloaded {
+                            retry_after_hint: hint,
+                        });
+                    }
+                }
+            } else {
+                shed_victim = None;
+            }
             let t = sched.tenants.entry(tenant).or_default();
             t.stats.submitted += 1;
             match cache_outcome {
@@ -432,41 +574,95 @@ impl SummaryService {
                 Some(false) => t.stats.cache_misses += 1,
                 None => {}
             }
-            t.queue.push_back(Arc::clone(&job));
+            t.queue.push_back(QueuedEntry {
+                job: Arc::clone(&job),
+                not_before: None,
+            });
             sched.queued += 1;
         }
+        if let Some((victim, hint)) = shed_victim {
+            resolve_shed(&victim, hint);
+        }
         inner.work_cv.notify_one();
-        SummaryHandle { job }
+        Ok(SummaryHandle { job })
     }
 
-    /// Swaps the graph future submissions run against and bumps the
-    /// cache epoch, invalidating every cached weight vector. The cache
-    /// is also cleared eagerly — weight vectors sized to the old graph
-    /// should not sit in memory waiting for LRU pressure — but the
-    /// epoch stamp remains the correctness mechanism: any entry that
-    /// somehow carried the old epoch would be dropped on lookup, never
-    /// served. Requests already submitted keep the graph they were
-    /// submitted with. Returns the new epoch.
-    pub fn swap_graph(&self, graph: Arc<Graph>) -> u64 {
+    /// Swaps the graph for **one tenant** only. Future submissions by
+    /// `tenant` run against `graph` (at a fresh epoch); every other
+    /// tenant — and the weight cache entries they have warmed — is
+    /// untouched. Only `tenant`'s cache entries are invalidated.
+    /// Returns the new epoch.
+    pub fn swap_tenant_graph(&self, tenant: &str, graph: Arc<Graph>) -> u64 {
         let epoch = {
-            let mut g = self.inner.graph.lock().unwrap();
-            g.0 = graph;
-            g.1 += 1;
-            g.1
+            let mut gt = self.inner.graphs.lock().unwrap();
+            gt.next_epoch += 1;
+            let epoch = gt.next_epoch;
+            gt.overrides.insert(tenant.to_string(), (graph, epoch));
+            epoch
         };
-        self.inner.cache.lock().unwrap().clear();
+        self.inner.cache.lock().unwrap().invalidate_tenant(tenant);
         epoch
     }
 
-    /// The graph submissions currently run against.
-    pub fn graph(&self) -> Arc<Graph> {
-        Arc::clone(&self.inner.graph.lock().unwrap().0)
+    /// Removes `tenant`'s graph override, returning them to the
+    /// service default, and invalidates their cache entries. No-op for
+    /// a tenant without an override.
+    pub fn clear_tenant_graph(&self, tenant: &str) {
+        let had = self
+            .inner
+            .graphs
+            .lock()
+            .unwrap()
+            .overrides
+            .remove(tenant)
+            .is_some();
+        if had {
+            self.inner.cache.lock().unwrap().invalidate_tenant(tenant);
+        }
     }
 
-    /// The current graph epoch (starts at 0, +1 per
-    /// [`SummaryService::swap_graph`]).
+    /// The graph `tenant`'s next submission would run against (their
+    /// override if one is set, the service default otherwise).
+    pub fn tenant_graph(&self, tenant: &str) -> Arc<Graph> {
+        self.inner.graphs.lock().unwrap().effective(tenant).0
+    }
+
+    /// Swaps the **default** graph future submissions run against and
+    /// bumps the cache epoch. Cache entries for tenants on the default
+    /// graph are dropped eagerly — weight vectors sized to the old
+    /// graph should not sit in memory waiting for LRU pressure — but
+    /// entries of tenants pinned to their own graph (via
+    /// [`SummaryService::swap_tenant_graph`]) are *retained*: their
+    /// graph did not change, so their warmed weights stay bitwise
+    /// valid. The epoch stamp remains the correctness mechanism either
+    /// way: any entry carrying a stale epoch is dropped on lookup,
+    /// never served. Requests already submitted keep the graph they
+    /// were submitted with. Returns the new epoch.
+    pub fn swap_graph(&self, graph: Arc<Graph>) -> u64 {
+        let (epoch, overridden): (u64, Vec<String>) = {
+            let mut gt = self.inner.graphs.lock().unwrap();
+            gt.next_epoch += 1;
+            gt.default = (graph, gt.next_epoch);
+            (gt.next_epoch, gt.overrides.keys().cloned().collect())
+        };
+        self.inner
+            .cache
+            .lock()
+            .unwrap()
+            .retain_where(|k| overridden.iter().any(|t| t == k.tenant()));
+        epoch
+    }
+
+    /// The default graph submissions currently run against (tenants
+    /// with an override run against [`SummaryService::tenant_graph`]).
+    pub fn graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.inner.graphs.lock().unwrap().default.0)
+    }
+
+    /// The default graph's epoch (starts at 0; every swap — default or
+    /// tenant-scoped — consumes the next epoch).
     pub fn graph_epoch(&self) -> u64 {
-        self.inner.graph.lock().unwrap().1
+        self.inner.graphs.lock().unwrap().default.1
     }
 
     /// Stable name of the algorithm this service dispatches to.
@@ -514,24 +710,122 @@ impl Drop for SummaryService {
     }
 }
 
+/// How long an overloaded caller should back off: the service-wide
+/// mean run time scaled by queue depth per worker (plus one for the
+/// incoming request), with a 50 ms floor before any run completes.
+fn overload_hint(sched: &Sched, workers: usize) -> Duration {
+    let avg = if sched.total_completed > 0 {
+        sched.total_run_secs / sched.total_completed as f64
+    } else {
+        0.05
+    };
+    let depth_per_worker = sched.queued / workers.max(1) + 1;
+    Duration::from_secs_f64(avg * depth_per_worker as f64)
+}
+
+/// Removes the globally lowest-priority *queued* job strictly below
+/// `incoming_priority` (youngest submission among equals — the least
+/// sunk wait time). Running jobs are never candidates. Adjusts queue
+/// counters and the victim tenant's `shed` stat; the caller resolves
+/// the victim's handle outside the sched lock.
+fn shed_lowest_queued(sched: &mut Sched, incoming_priority: u8) -> Option<Arc<Job>> {
+    let mut victim: Option<(u8, u64, String, usize)> = None;
+    for (name, t) in &sched.tenants {
+        for (idx, entry) in t.queue.iter().enumerate() {
+            let (p, s) = (entry.job.priority, entry.job.seq);
+            if p >= incoming_priority {
+                continue;
+            }
+            let better = match &victim {
+                None => true,
+                Some((vp, vs, _, _)) => p < *vp || (p == *vp && s > *vs),
+            };
+            if better {
+                victim = Some((p, s, name.clone(), idx));
+            }
+        }
+    }
+    let (_, _, tenant, idx) = victim?;
+    let t = sched
+        .tenants
+        .get_mut(&tenant)
+        .expect("victim tenant exists");
+    let entry = t.queue.remove(idx).expect("victim still queued");
+    t.stats.shed += 1;
+    sched.queued -= 1;
+    Some(entry.job)
+}
+
+/// Publishes `Err(Overloaded)` to a shed job's handle. The job was
+/// already removed from its queue; its timing row records queue wait
+/// only.
+fn resolve_shed(job: &Arc<Job>, hint: Duration) {
+    let timings = JobTimings {
+        wait_secs: job.submitted.elapsed().as_secs_f64(),
+        run_secs: 0.0,
+        completed_seq: u64::MAX, // never ran; out of completion order
+    };
+    let mut state = job.state.lock().unwrap();
+    *state = JobState::Done(Box::new(Finished {
+        result: Err(PgsError::Overloaded {
+            retry_after_hint: hint,
+        }),
+        timings,
+    }));
+    job.done_cv.notify_all();
+}
+
+/// Backoff before retry attempt `attempt` (1-based): exponential in
+/// the base with deterministic jitter in `[0, delay/2]` derived from
+/// the job's sequence number — reproducible, but de-synchronized
+/// across jobs.
+fn retry_delay(base: Duration, seq: u64, attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(10));
+    let jitter_ns = if exp.is_zero() {
+        0
+    } else {
+        iteration_seed(seq, attempt as u64) % (exp.as_nanos() as u64 / 2 + 1)
+    };
+    exp + Duration::from_nanos(jitter_ns)
+}
+
 /// Picks the next runnable job: among head-of-queue jobs of tenants
-/// under their in-flight cap, the highest priority wins, earliest
-/// submission breaking ties. Returns `None` when nothing is runnable
-/// (empty queues *or* every queued tenant at its cap).
-fn pop_next(sched: &mut Sched, per_tenant_inflight: usize) -> Option<Arc<Job>> {
+/// under their in-flight cap whose backoff (if any) has elapsed, the
+/// highest priority wins, earliest submission breaking ties. Returns
+/// `None` when nothing is runnable (empty queues, every queued tenant
+/// at its cap, *or* every head still backing off).
+fn pop_next(sched: &mut Sched, per_tenant_inflight: usize, now: Instant) -> Option<Arc<Job>> {
     let cap = per_tenant_inflight.max(1);
     let best_tenant = sched
         .tenants
         .iter()
         .filter(|(_, t)| t.inflight < cap)
-        .filter_map(|(name, t)| t.queue.front().map(|job| (name, job.priority, job.seq)))
+        .filter_map(|(name, t)| {
+            let entry = t.queue.front()?;
+            match entry.not_before {
+                Some(nb) if nb > now => None,
+                _ => Some((name, entry.job.priority, entry.job.seq)),
+            }
+        })
         .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
         .map(|(name, _, _)| name.clone())?;
     let t = sched.tenants.get_mut(&best_tenant).expect("tenant exists");
-    let job = t.queue.pop_front().expect("non-empty queue");
+    let entry = t.queue.pop_front().expect("non-empty queue");
     t.inflight += 1;
     sched.queued -= 1;
-    Some(job)
+    Some(entry.job)
+}
+
+/// Earliest `not_before` among head entries of under-cap tenants —
+/// the moment a sleeping worker should re-check the queues.
+fn next_ready_at(sched: &Sched, per_tenant_inflight: usize) -> Option<Instant> {
+    let cap = per_tenant_inflight.max(1);
+    sched
+        .tenants
+        .values()
+        .filter(|t| t.inflight < cap)
+        .filter_map(|t| t.queue.front().and_then(|e| e.not_before))
+        .min()
 }
 
 fn worker_loop(inner: &Inner) {
@@ -539,13 +833,26 @@ fn worker_loop(inner: &Inner) {
         let job = {
             let mut sched = inner.sched.lock().unwrap();
             loop {
-                if let Some(job) = pop_next(&mut sched, inner.cfg.per_tenant_inflight) {
+                let now = Instant::now();
+                if let Some(job) = pop_next(&mut sched, inner.cfg.per_tenant_inflight, now) {
                     break Some(job);
                 }
                 if sched.shutdown && sched.queued == 0 {
                     break None;
                 }
-                sched = inner.work_cv.wait(sched).unwrap();
+                // If a head is only blocked by backoff, sleep exactly
+                // until it ripens; otherwise wait for a signal.
+                match next_ready_at(&sched, inner.cfg.per_tenant_inflight) {
+                    Some(at) => {
+                        let timeout = at.saturating_duration_since(now);
+                        let (guard, _) = inner
+                            .work_cv
+                            .wait_timeout(sched, timeout.max(Duration::from_micros(50)))
+                            .unwrap();
+                        sched = guard;
+                    }
+                    None => sched = inner.work_cv.wait(sched).unwrap(),
+                }
             }
         };
         match job {
@@ -555,10 +862,21 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// What a worker decided to do with a popped job.
+enum Outcome {
+    /// Publish this result to the handle (the job is finished).
+    Publish(Result<RunOutput, PgsError>),
+    /// The run died but has retry budget left: re-enqueue this request
+    /// (already re-armed with the last checkpoint) after backoff.
+    Retry(Box<SummarizeRequest>),
+}
+
 /// Runs one job end to end: take the request, shape its deadline from
-/// the tenant budget, run (or short-circuit a pre-run cancellation),
-/// publish the result, update the tenant's counters, release its
-/// in-flight slot.
+/// the tenant budget, run (or short-circuit a pre-run cancellation or
+/// an expired-in-queue deadline), then either publish the result —
+/// updating the tenant's counters and releasing its in-flight slot —
+/// or, when the run panicked with retry budget remaining, re-enqueue
+/// it at the front of its tenant queue with backoff.
 fn run_job(inner: &Inner, job: &Arc<Job>) {
     let picked = Instant::now();
     let wait = picked.duration_since(job.submitted);
@@ -575,38 +893,133 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
         }
     };
 
-    let result = if job.cancel.load(Ordering::Relaxed) {
+    let outcome = if job.cancel.load(Ordering::Relaxed) {
         // Cancelled while queued: never start the engine. The identity
         // summary is the valid "no work done" result every engine
         // returns when interrupted before its first commit.
-        Ok(RunOutput {
+        Outcome::Publish(Ok(RunOutput {
             summary: Summary::identity(&job.graph),
             stats: RunStats::default(),
             stop: StopReason::Cancelled,
-        })
+        }))
     } else {
         let mut request = *request;
+        let mut expired_in_queue = false;
         if let Some(budget) = inner.cfg.tenant_deadline {
             // Queue wait is charged against the tenant budget; the
             // remainder (possibly zero — the engines treat a zero
             // deadline as already expired) bounds the run itself,
             // tightened further by any deadline the caller set.
             let remaining = budget.saturating_sub(wait);
+            // A request whose whole budget burned in the queue never
+            // reaches the engine: its answer is the identity summary
+            // with DeadlineExceeded, by definition, and skipping the
+            // dispatch keeps an overloaded pool from paying engine
+            // setup for doomed work. (A retry resuming a checkpoint is
+            // exempt — the engine restores the partial summary, which
+            // the identity shortcut would throw away.)
+            expired_in_queue = remaining.is_zero() && request.control_ref().resume.is_none();
             let effective = match request.control_ref().deadline {
                 Some(own) => own.min(remaining),
                 None => remaining,
             };
             request = request.deadline(effective);
         }
-        // Panic isolation: an algorithm bug or a panicking user
-        // observer must not unwind the worker — that would leak the
-        // tenant's in-flight slot, hang the handle's `wait`, and
-        // deadlock the drain on drop. The panic payload still reaches
-        // stderr via the default hook; the handle gets a typed error.
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            inner.algorithm.run(&job.graph, &request)
-        }))
-        .unwrap_or(Err(PgsError::RunPanicked))
+        if expired_in_queue {
+            Outcome::Publish(Ok(RunOutput {
+                summary: Summary::identity(&job.graph),
+                stats: RunStats::default(),
+                stop: StopReason::DeadlineExceeded,
+            }))
+        } else {
+            // Retryable runs checkpoint into the job's slot (unless the
+            // caller attached their own sink — theirs wins, and retry
+            // then restarts from scratch or the caller's resume blob).
+            if inner.cfg.retry_budget > 0 && request.control_ref().checkpoint.is_none() {
+                let slot = Arc::clone(&job.last_checkpoint);
+                let sink: CheckpointSink = Arc::new(move |_t, blob| {
+                    *slot.lock().unwrap() = Some(Arc::new(blob));
+                    Ok(())
+                });
+                request = request.checkpoint(inner.cfg.checkpoint_every.max(1), sink);
+            }
+            // Panic isolation: an algorithm bug or a panicking user
+            // observer must not unwind the worker — that would leak the
+            // tenant's in-flight slot, hang the handle's `wait`, and
+            // deadlock the drain on drop. The panic payload still
+            // reaches stderr via the default hook.
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                inner.algorithm.run(&job.graph, &request)
+            }));
+            match run {
+                Ok(result) => Outcome::Publish(result),
+                Err(_) => {
+                    let deaths = job.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+                    if deaths <= inner.cfg.retry_budget {
+                        let mut retry = request;
+                        let last = job.last_checkpoint.lock().unwrap().clone();
+                        if let Some(blob) = last {
+                            retry = retry.resume_from(blob);
+                        }
+                        Outcome::Retry(Box::new(retry))
+                    } else if inner.cfg.retry_budget > 0 {
+                        // Budget exhausted: degrade to the last good
+                        // checkpoint (or identity if none) — a valid
+                        // partial summary with its own stop reason,
+                        // never a hung or error-only handle.
+                        let last = job.last_checkpoint.lock().unwrap().clone();
+                        let out = match last.as_deref().map(|b| RunCheckpoint::decode(b)) {
+                            Some(Ok(ck)) => RunOutput {
+                                summary: ck.partial_summary(),
+                                stats: ck.stats,
+                                stop: StopReason::RetriesExhausted,
+                            },
+                            _ => RunOutput {
+                                summary: Summary::identity(&job.graph),
+                                stats: RunStats::default(),
+                                stop: StopReason::RetriesExhausted,
+                            },
+                        };
+                        Outcome::Publish(Ok(out))
+                    } else {
+                        Outcome::Publish(Err(PgsError::RunPanicked))
+                    }
+                }
+            }
+        }
+    };
+
+    let result = match outcome {
+        Outcome::Retry(retry) => {
+            let attempt = job.attempts.load(Ordering::Relaxed);
+            let delay = retry_delay(inner.cfg.retry_backoff, job.seq, attempt);
+            // State back to Queued *before* the queue push: once the
+            // entry is visible a worker may pop it immediately.
+            {
+                let mut state = job.state.lock().unwrap();
+                *state = JobState::Queued(retry);
+            }
+            {
+                let mut sched = inner.sched.lock().unwrap();
+                let t = sched
+                    .tenants
+                    .get_mut(&job.tenant)
+                    .expect("tenant registered at submit");
+                t.inflight -= 1;
+                t.stats.retries += 1;
+                // Front of the tenant queue: a retry must not let the
+                // tenant's younger submissions overtake it (FIFO), and
+                // `not_before` keeps the backoff honest.
+                t.queue.push_front(QueuedEntry {
+                    job: Arc::clone(job),
+                    not_before: Some(picked + delay),
+                });
+                sched.queued += 1;
+            }
+            inner.work_cv.notify_all();
+            return;
+        }
+        Outcome::Publish(result) => result,
     };
 
     let timings = JobTimings {
@@ -634,10 +1047,13 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
                     StopReason::MaxIters => t.stats.max_iters += 1,
                     StopReason::Cancelled => t.stats.cancelled += 1,
                     StopReason::DeadlineExceeded => t.stats.deadline_exceeded += 1,
+                    StopReason::RetriesExhausted => t.stats.retries_exhausted += 1,
                 }
             }
             Err(()) => t.stats.errors += 1,
         }
+        sched.total_run_secs += timings.run_secs;
+        sched.total_completed += 1;
     }
     {
         let mut state = job.state.lock().unwrap();
@@ -670,7 +1086,7 @@ mod tests {
     fn submit_wait_roundtrip() {
         let svc = service(2);
         let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0, 1]);
-        let h = svc.submit(SubmitRequest::new("alice", req));
+        let h = svc.submit(SubmitRequest::new("alice", req)).unwrap();
         let out = h.wait().unwrap();
         assert_eq!(out.stop, StopReason::BudgetMet);
         assert_eq!(h.poll(), JobStatus::Done);
@@ -690,7 +1106,7 @@ mod tests {
             .iter()
             .map(|&ratio| {
                 let req = SummarizeRequest::new(Budget::Ratio(ratio)).targets(&[3, 9]);
-                svc.submit(SubmitRequest::new("alice", req))
+                svc.submit(SubmitRequest::new("alice", req)).unwrap()
             })
             .collect();
         for h in &handles {
@@ -708,7 +1124,7 @@ mod tests {
     fn invalid_requests_surface_typed_errors_through_the_handle() {
         let svc = service(1);
         let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[100_000]);
-        let h = svc.submit(SubmitRequest::new("bob", req));
+        let h = svc.submit(SubmitRequest::new("bob", req)).unwrap();
         assert!(matches!(h.wait(), Err(PgsError::TargetOutOfRange { .. })));
         assert_eq!(svc.tenant_stats()[0].errors, 1);
         // Doomed submissions bypass the cache: service-wide and
@@ -730,7 +1146,7 @@ mod tests {
         });
         let svc = SummaryService::new(g, Arc::new(bad), ServiceConfig::default());
         let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0, 1]);
-        let h = svc.submit(SubmitRequest::new("t", req));
+        let h = svc.submit(SubmitRequest::new("t", req)).unwrap();
         assert!(matches!(h.wait(), Err(PgsError::InvalidAlpha(a)) if a == 0.5));
         assert_eq!(svc.cache_stats().misses, 0, "no BFS was attempted");
     }
@@ -739,7 +1155,10 @@ mod tests {
     fn swap_graph_bumps_epoch_and_invalidates_cache() {
         let svc = service(1);
         let req = || SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0]);
-        svc.submit(SubmitRequest::new("a", req())).wait().unwrap();
+        svc.submit(SubmitRequest::new("a", req()))
+            .unwrap()
+            .wait()
+            .unwrap();
         assert_eq!(svc.cache_stats().misses, 1);
         assert_eq!(svc.graph_epoch(), 0);
         let g2 = Arc::new(barabasi_albert(150, 3, 8));
@@ -749,7 +1168,11 @@ mod tests {
             0,
             "swap clears old-graph entries eagerly"
         );
-        let out = svc.submit(SubmitRequest::new("a", req())).wait().unwrap();
+        let out = svc
+            .submit(SubmitRequest::new("a", req()))
+            .unwrap()
+            .wait()
+            .unwrap();
         // Ran against the new graph with freshly resolved weights.
         assert_eq!(out.summary.num_nodes(), 150);
         assert_eq!(svc.cache_stats().misses, 2, "old epoch never served");
@@ -762,6 +1185,7 @@ mod tests {
             .map(|i| {
                 let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[i]);
                 svc.submit(SubmitRequest::new(format!("t{}", i % 3), req))
+                    .unwrap()
             })
             .collect();
         drop(svc);

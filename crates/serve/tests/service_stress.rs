@@ -133,6 +133,7 @@ fn concurrent_results_byte_identical_to_serial_at_1_2_8_workers() {
                         svc.submit(
                             SubmitRequest::new(tenant.clone(), req.clone()).priority(*priority),
                         )
+                        .unwrap()
                     })
                     .collect()
             })
@@ -208,7 +209,9 @@ fn cancelled_handles_report_cancelled_with_valid_summaries() {
     let released = Arc::new(AtomicBool::new(false));
     let (req, _) = blocker(&released);
     // Highest priority: the single worker picks it first.
-    let running = svc.submit(SubmitRequest::new("run", req).priority(255));
+    let running = svc
+        .submit(SubmitRequest::new("run", req).priority(255))
+        .unwrap();
     spin_until_running(&running);
 
     // Queued behind the busy worker; cancelling them here is race-free.
@@ -216,6 +219,7 @@ fn cancelled_handles_report_cancelled_with_valid_summaries() {
         .map(|i| {
             let req = SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[i]);
             svc.submit(SubmitRequest::new(format!("q{i}"), req))
+                .unwrap()
         })
         .collect();
     for h in &queued {
@@ -249,7 +253,11 @@ fn deadline_expired_handles_report_deadline_exceeded() {
     let req = SummarizeRequest::new(Budget::Ratio(0.3))
         .targets(&[5])
         .deadline(Duration::ZERO);
-    let out = svc.submit(SubmitRequest::new("t", req)).wait().unwrap();
+    let out = svc
+        .submit(SubmitRequest::new("t", req))
+        .unwrap()
+        .wait()
+        .unwrap();
     assert_eq!(out.stop, StopReason::DeadlineExceeded);
     assert_valid_partition(&g, &out.summary, "request deadline");
     drop(svc);
@@ -268,7 +276,7 @@ fn deadline_expired_handles_report_deadline_exceeded() {
     let handles: Vec<SummaryHandle> = (0..3)
         .map(|i| {
             let req = SummarizeRequest::new(Budget::Ratio(0.3)).targets(&[i]);
-            svc.submit(SubmitRequest::new("slow", req))
+            svc.submit(SubmitRequest::new("slow", req)).unwrap()
         })
         .collect();
     for h in &handles {
@@ -303,7 +311,9 @@ fn observer_callbacks_stay_monotone_per_handle_under_interleaving() {
                 .observer(move |stats| {
                     sink.lock().unwrap().push(stats.iterations);
                 });
-            let h = svc.submit(SubmitRequest::new(format!("t{t}"), req));
+            let h = svc
+                .submit(SubmitRequest::new(format!("t{t}"), req))
+                .unwrap();
             traces.push((seen, h));
         }
     }
@@ -332,15 +342,23 @@ fn priority_acts_across_tenants_fifo_within() {
 
     let released = Arc::new(AtomicBool::new(false));
     let (req, _) = blocker(&released);
-    let block = svc.submit(SubmitRequest::new("zz", req).priority(255));
+    let block = svc
+        .submit(SubmitRequest::new("zz", req).priority(255))
+        .unwrap();
     spin_until_running(&block);
 
     // Queued while the only worker is parked: tenant a twice (low
     // priority), then tenant b once (high priority).
     let mk = |t: u32| SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[t]);
-    let a1 = svc.submit(SubmitRequest::new("a", mk(1)).priority(0));
-    let a2 = svc.submit(SubmitRequest::new("a", mk(2)).priority(0));
-    let b1 = svc.submit(SubmitRequest::new("b", mk(3)).priority(5));
+    let a1 = svc
+        .submit(SubmitRequest::new("a", mk(1)).priority(0))
+        .unwrap();
+    let a2 = svc
+        .submit(SubmitRequest::new("a", mk(2)).priority(0))
+        .unwrap();
+    let b1 = svc
+        .submit(SubmitRequest::new("b", mk(3)).priority(5))
+        .unwrap();
     released.store(true, Ordering::Release);
 
     for h in [&block, &a1, &a2, &b1] {
@@ -371,9 +389,9 @@ fn panicking_observer_is_isolated_and_the_pool_survives() {
     let bad = SummarizeRequest::new(Budget::Ratio(0.3))
         .targets(&[0])
         .observer(|_| panic!("observer bug"));
-    let h_bad = svc.submit(SubmitRequest::new("evil", bad));
+    let h_bad = svc.submit(SubmitRequest::new("evil", bad)).unwrap();
     let good = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[1]);
-    let h_good = svc.submit(SubmitRequest::new("good", good));
+    let h_good = svc.submit(SubmitRequest::new("good", good)).unwrap();
 
     assert!(matches!(h_bad.wait(), Err(PgsError::RunPanicked)));
     let out = h_good.wait().unwrap();
@@ -404,9 +422,9 @@ fn error_requests_terminate_with_typed_errors_under_load() {
     let good = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0]);
     let hb: Vec<SummaryHandle> = bad
         .iter()
-        .map(|r| svc.submit(SubmitRequest::new("mixed", r.clone())))
+        .map(|r| svc.submit(SubmitRequest::new("mixed", r.clone())).unwrap())
         .collect();
-    let hg = svc.submit(SubmitRequest::new("mixed", good));
+    let hg = svc.submit(SubmitRequest::new("mixed", good)).unwrap();
     assert!(matches!(
         hb[0].wait(),
         Err(PgsError::TargetOutOfRange { .. })

@@ -42,6 +42,7 @@ fn main() {
         .map(|&ratio| {
             let req = SummarizeRequest::new(Budget::Ratio(ratio)).targets(&targets);
             svc.submit(SubmitRequest::new("alice", req))
+                .expect("unbounded queues admit everything")
         })
         .collect();
 
