@@ -1,0 +1,226 @@
+//! Candidate-generation throughput experiment (DESIGN.md §11):
+//! summarizes a generated Barabási–Albert graph with both candidate
+//! generators — `incremental` (persistent min-hash lanes repaired at
+//! commit, gain-ordered scheduling; the default) and `recompute`
+//! (per-iteration full min-hash passes; the oracle baseline) — and
+//! writes a machine-readable `BENCH_candidates.json` with grouped
+//! supernodes/sec of candidate generation and end-to-end wall time for
+//! each, plus the incremental-vs-recompute speedup. The two paths group
+//! differently by design, so output identity across paths is *not*
+//! expected; the hard assertion here is cross-repetition determinism
+//! per path (plus each path meeting the budget).
+//!
+//! ```text
+//! cargo run --release --bin exp_candidates [-- <out.json>] [--smoke]
+//! PGS_CAND_NODES=50000 PGS_CAND_DEG=10 cargo run --release --bin exp_candidates
+//! ```
+//!
+//! Knobs: `PGS_CAND_NODES` (default 20_000), `PGS_CAND_DEG` (default
+//! 10), `PGS_CAND_RATIO` (default 0.25, the compression-heavy regime),
+//! `PGS_CAND_REPS` (default 3, interleaved best-of-N), `PGS_THREADS`
+//! (default 0 = all hardware threads). `--smoke` shrinks everything for
+//! CI wiring checks (2k nodes, 2 reps).
+
+use std::fmt::Write as _;
+
+use pgs_bench::{env_or, num_threads, timed};
+use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest, Summarizer};
+use pgs_core::pegasus::{PegasusConfig, RunStats};
+use pgs_core::{CandidateGen, Summary};
+use pgs_graph::gen::barabasi_albert;
+
+struct Run {
+    label: &'static str,
+    wall_secs: f64,
+    stats: RunStats,
+    stop: StopReason,
+    supernodes: usize,
+    size_bits: f64,
+}
+
+impl Run {
+    fn grouped_per_sec(&self) -> f64 {
+        self.stats.grouped_supernodes as f64 / self.stats.candidate_secs.max(1e-12)
+    }
+
+    /// Wall normalized by committed merges: the two paths group
+    /// differently and so commit different merge counts before the
+    /// budget is met; per-merge wall is the like-for-like comparison
+    /// when eval dominates.
+    fn wall_per_merge(&self) -> f64 {
+        self.wall_secs / (self.stats.merges as f64).max(1.0)
+    }
+}
+
+fn fingerprint(s: &Summary) -> Vec<u32> {
+    (0..s.num_nodes() as u32)
+        .map(|u| s.supernode_of(u))
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| a != "--smoke")
+        .unwrap_or_else(|| "BENCH_candidates.json".to_string());
+    let nodes: usize = env_or("PGS_CAND_NODES", if smoke { 2_000 } else { 20_000 });
+    let deg: usize = env_or("PGS_CAND_DEG", if smoke { 4 } else { 10 });
+    let ratio: f64 = env_or("PGS_CAND_RATIO", 0.25);
+    let reps: usize = env_or("PGS_CAND_REPS", if smoke { 2 } else { 3 }).max(1);
+    let threads = num_threads();
+
+    let (g, gen_secs) = timed(|| barabasi_albert(nodes, deg, 42));
+    let budget = ratio * g.size_bits();
+    eprintln!(
+        "# graph: |V| = {}, |E| = {}, budget ratio {ratio}; threads {threads} \
+         (hardware {}); generated in {gen_secs:.2}s{}",
+        g.num_nodes(),
+        g.num_edges(),
+        rayon::current_num_threads(),
+        if smoke { "; SMOKE mode" } else { "" }
+    );
+
+    // Interleaved best-of-N, as in exp_summarize: both paths see the
+    // same load drift, and the fastest rep discards stolen-CPU samples.
+    // Candidate time (`stats.candidate_secs`) is the metric under test;
+    // best reps are selected by it.
+    const GENERATORS: [(&str, CandidateGen); 2] = [
+        ("incremental", CandidateGen::Incremental),
+        ("recompute", CandidateGen::Recompute),
+    ];
+    let mut best: [Option<(Summary, RunStats, StopReason)>; 2] = [None, None];
+    let mut walls = [f64::INFINITY; 2];
+    for _ in 0..reps {
+        for (slot, &(label, candidate_gen)) in GENERATORS.iter().enumerate() {
+            let alg = Pegasus(PegasusConfig {
+                num_threads: threads,
+                candidate_gen,
+                ..Default::default()
+            });
+            let req = SummarizeRequest::new(Budget::Bits(budget)).targets(&[0, 1, 2]);
+            let (out, wall) = timed(|| alg.run(&g, &req).expect("valid request"));
+            let (summary, stats, stop) = (out.summary, out.stats, out.stop);
+            walls[slot] = walls[slot].min(wall);
+            best[slot] = match best[slot].take() {
+                None => Some((summary, stats, stop)),
+                Some((prev, prev_stats, prev_stop)) => {
+                    assert_eq!(
+                        fingerprint(&prev),
+                        fingerprint(&summary),
+                        "{label}: summaries varied across repetitions — determinism bug"
+                    );
+                    if stats.candidate_secs < prev_stats.candidate_secs {
+                        Some((summary, stats, stop))
+                    } else {
+                        Some((prev, prev_stats, prev_stop))
+                    }
+                }
+            };
+        }
+    }
+
+    let mut runs = Vec::new();
+    for (slot, &(label, _)) in GENERATORS.iter().enumerate() {
+        let (summary, stats, stop) = best[slot].take().expect("reps >= 1");
+        assert!(
+            summary.size_bits() <= budget + 1e-9,
+            "{label}: budget missed"
+        );
+        let run = Run {
+            label,
+            wall_secs: walls[slot],
+            stats,
+            stop,
+            supernodes: summary.num_supernodes(),
+            size_bits: summary.size_bits(),
+        };
+        eprintln!(
+            "# {label:>12}: {:>7.2}s end-to-end, {:.3}s in candidate gen, \
+             {} grouped supernodes ({:.0}/s), {} groups, {} merges, |S| {}, stop {}",
+            run.wall_secs,
+            stats.candidate_secs,
+            stats.grouped_supernodes,
+            run.grouped_per_sec(),
+            stats.groups,
+            stats.merges,
+            run.supernodes,
+            stop
+        );
+        runs.push(run);
+    }
+
+    let inc = &runs[0];
+    let rec = &runs[1];
+    let speedup_candidates = inc.grouped_per_sec() / rec.grouped_per_sec();
+    let speedup_wall = rec.wall_secs / inc.wall_secs;
+    let speedup_wall_per_merge = rec.wall_per_merge() / inc.wall_per_merge();
+    eprintln!(
+        "# incremental vs recompute: {speedup_candidates:.2}x candidate throughput, \
+         {speedup_wall:.2}x end-to-end wall time ({speedup_wall_per_merge:.2}x per merge)"
+    );
+
+    // Hand-rolled JSON (the workspace is offline — no serde).
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"benchmark\": \"candidate_generation\",").unwrap();
+    writeln!(json, "  \"graph\": {{").unwrap();
+    writeln!(json, "    \"generator\": \"barabasi_albert\",").unwrap();
+    writeln!(json, "    \"nodes\": {},", g.num_nodes()).unwrap();
+    writeln!(json, "    \"edges\": {},", g.num_edges()).unwrap();
+    writeln!(json, "    \"seed\": 42,").unwrap();
+    writeln!(json, "    \"budget_ratio\": {ratio}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+    writeln!(json, "  \"reps_best_of\": {reps},").unwrap();
+    writeln!(json, "  \"smoke\": {smoke},").unwrap();
+    writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        rayon::current_num_threads()
+    )
+    .unwrap();
+    writeln!(json, "  \"runs\": [").unwrap();
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        writeln!(
+            json,
+            "    {{\"candidate_gen\": \"{}\", \"wall_secs\": {:.4}, \
+             \"candidate_secs\": {:.4}, \"grouped_supernodes\": {}, \
+             \"grouped_supernodes_per_sec\": {:.1}, \"groups\": {}, \
+             \"eval_secs\": {:.4}, \"merges\": {}, \"iterations\": {}, \
+             \"wall_secs_per_merge\": {:.7}, \"supernodes\": {}, \
+             \"size_bits\": {:.1}, \"stop_reason\": \"{}\"}}{comma}",
+            run.label,
+            run.wall_secs,
+            run.stats.candidate_secs,
+            run.stats.grouped_supernodes,
+            run.grouped_per_sec(),
+            run.stats.groups,
+            run.stats.eval_secs,
+            run.stats.merges,
+            run.stats.iterations,
+            run.wall_per_merge(),
+            run.supernodes,
+            run.size_bits,
+            run.stop
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ],").unwrap();
+    writeln!(
+        json,
+        "  \"speedup_candidate_throughput\": {speedup_candidates:.4},"
+    )
+    .unwrap();
+    writeln!(json, "  \"speedup_wall\": {speedup_wall:.4},").unwrap();
+    writeln!(
+        json,
+        "  \"speedup_wall_per_merge\": {speedup_wall_per_merge:.4}"
+    )
+    .unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, &json).expect("writing BENCH_candidates.json");
+    eprintln!("# wrote {out_path}");
+    println!("{json}");
+}

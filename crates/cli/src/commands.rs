@@ -6,7 +6,7 @@ use pgs_core::exec::Exec;
 use pgs_core::pegasus::PegasusConfig;
 use pgs_core::summary_io::{read_summary, write_summary};
 use pgs_core::working::MergeEvaluator;
-use pgs_core::SsummConfig;
+use pgs_core::{CandidateGen, SsummConfig};
 use pgs_graph::io::read_edge_list;
 use pgs_graph::traverse::effective_diameter;
 use pgs_graph::Graph;
@@ -29,6 +29,7 @@ USAGE:
                 [--deadline-secs T]   (stop at the next commit boundary past T)
                 [--threads N]   (0 = all hardware threads; same output at any N)
                 [--evaluator cached|scan|legacy]   (non-default = baseline evaluators)
+                [--candidate-gen incremental|recompute]   (default incremental)
   pgs query <out.summary> --type rwr|hop|php|pagerank --node <q> [--top 10]
             [--truth <edges.txt>]
   pgs query <out.summary> --type rwr|hop|php (--nodes <ids.txt> | --sample <k>)
@@ -207,8 +208,8 @@ pub fn summarize(raw: &[String]) -> Result<(), String> {
 
 /// Builds the `--algorithm` summarizer from the shared flag set
 /// (`--alpha`, `--beta`, `--tmax`, `--seed`, `--threads`,
-/// `--evaluator`; `--method` stays as an alias of `--algorithm`).
-/// Shared by `summarize` and `serve`.
+/// `--evaluator`, `--candidate-gen`; `--method` stays as an alias of
+/// `--algorithm`). Shared by `summarize` and `serve`.
 fn build_algorithm(args: &Args) -> Result<Box<dyn Summarizer + Send + Sync>, String> {
     let seed: u64 = args.get_parse("seed", 0)?;
     let num_threads: usize = args.get_parse("threads", 0)?;
@@ -217,6 +218,15 @@ fn build_algorithm(args: &Args) -> Result<Box<dyn Summarizer + Send + Sync>, Str
         "scan" => MergeEvaluator::Scan,
         "legacy" => MergeEvaluator::LegacyHash,
         other => return Err(format!("unknown evaluator {other:?} (cached|scan|legacy)")),
+    };
+    let candidate_gen = match args.get("candidate-gen").unwrap_or("incremental") {
+        "incremental" => CandidateGen::Incremental,
+        "recompute" => CandidateGen::Recompute,
+        other => {
+            return Err(format!(
+                "unknown candidate generator {other:?} (incremental|recompute)"
+            ))
+        }
     };
     let algorithm = args
         .get("algorithm")
@@ -230,6 +240,7 @@ fn build_algorithm(args: &Args) -> Result<Box<dyn Summarizer + Send + Sync>, Str
             seed,
             num_threads,
             evaluator,
+            candidate_gen,
             ..Default::default()
         })),
         "ssumm" => Box::new(Ssumm(SsummConfig {
@@ -237,6 +248,7 @@ fn build_algorithm(args: &Args) -> Result<Box<dyn Summarizer + Send + Sync>, Str
             seed,
             num_threads,
             evaluator,
+            candidate_gen,
             ..Default::default()
         })),
         "kgrass" => Box::new(KGrass(KGrassConfig {
@@ -509,7 +521,8 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     const SERVE_USAGE: &str =
         "usage: pgs serve <edges.txt> --requests <reqs.txt> [--algorithm a] [--workers N] \
          [--inflight K] [--tenant-deadline-ms T] [--cache C] [--queue-depth Q] \
-         [--global-queue G] [--retries R] [--retry-backoff-ms B] [--checkpoint-every E] [flags]";
+         [--global-queue G] [--retries R] [--retry-backoff-ms B] [--checkpoint-every E] \
+         [--checkpoint-dir D] [flags]";
     let args = Args::parse(raw)?;
     let path = args.positional.first().ok_or(SERVE_USAGE)?;
     let reqs_path = args.get("requests").ok_or(SERVE_USAGE)?;
@@ -541,6 +554,7 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
             |_| format!("--retry-backoff-ms must be non-negative, got {retry_backoff_ms}"),
         )?,
         checkpoint_every: args.get_parse("checkpoint-every", 1)?,
+        checkpoint_dir: args.get("checkpoint-dir").map(std::path::PathBuf::from),
     };
     let svc = SummaryService::new(
         std::sync::Arc::new(g),

@@ -42,7 +42,12 @@ pub const ALGO_PEGASUS: u8 = 1;
 pub const ALGO_SSUMM: u8 = 2;
 
 const MAGIC: [u8; 4] = *b"PGSC";
-const VERSION: u16 = 1;
+/// Format version. Version 2 appends a trailing section to the v1
+/// layout (candidate-generation stats + per-supernode gain EMAs for the
+/// incremental candidate path); version-1 blobs remain decodable with
+/// those fields defaulted — v1 is byte-for-byte a v2 blob minus the
+/// trailing section.
+const VERSION: u16 = 2;
 
 /// Deterministic per-iteration seed derivation: iteration `t` of a run
 /// seeded with `seed` draws every random decision (shingle hashes,
@@ -123,10 +128,20 @@ pub struct RunCheckpoint {
     pub supers: Vec<SuperRecord>,
     /// Superedges as sorted `(min, max)` pairs, self-loops as `(s, s)`.
     pub superedges: Vec<(SuperId, SuperId)>,
+    /// Per-supernode gain EMAs of the incremental candidate scheduler,
+    /// as raw f64 bits aligned with `supers`. Empty when the run uses
+    /// the recompute path (or the blob predates version 2). The
+    /// signature bank itself is *not* stored: it is a pure function of
+    /// `(graph, seed, partition)` and is rebuilt on resume
+    /// (composition under union, DESIGN.md §11).
+    pub gains: Vec<u64>,
 }
 
 impl RunCheckpoint {
     /// Snapshots a live [`WorkingSummary`] plus the driver scalars.
+    /// `gains` carries the incremental candidate scheduler's
+    /// per-supernode EMAs (indexed by supernode id; `None` for the
+    /// recompute path).
     pub fn capture(
         algorithm: u8,
         next_iteration: u64,
@@ -134,23 +149,29 @@ impl RunCheckpoint {
         stall_cap: f64,
         stats: RunStats,
         ws: &WorkingSummary<'_>,
+        gains: Option<&[f64]>,
     ) -> Self {
-        let live = ws.live_ids();
-        let supers = live
-            .iter()
-            .map(|&s| SuperRecord {
+        let mut supers = Vec::with_capacity(ws.num_supernodes());
+        let mut superedges = Vec::with_capacity(ws.num_superedges());
+        let mut gain_bits = Vec::with_capacity(if gains.is_some() {
+            ws.num_supernodes()
+        } else {
+            0
+        });
+        for s in ws.live_iter() {
+            supers.push(SuperRecord {
                 id: s,
                 wsum_bits: ws.wsum_raw(s).to_bits(),
                 sqsum_bits: ws.sqsum_raw(s).to_bits(),
                 members: ws.members(s).to_vec(),
-            })
-            .collect();
-        let mut superedges = Vec::with_capacity(ws.num_superedges());
-        for &s in &live {
+            });
             for x in ws.superedge_neighbors(s) {
                 if s <= x {
                     superedges.push((s, x));
                 }
+            }
+            if let Some(g) = gains {
+                gain_bits.push(g[s as usize].to_bits());
             }
         }
         superedges.sort_unstable();
@@ -163,7 +184,21 @@ impl RunCheckpoint {
             stats,
             supers,
             superedges,
+            gains: gain_bits,
         }
+    }
+
+    /// Expands the stored gain EMAs back to the id-indexed vector the
+    /// drivers maintain. Slots of dead (or never-stored) supernodes are
+    /// zero — they are never read, since candidate groups only contain
+    /// live supernodes, so a resumed run's schedule is bit-identical to
+    /// the uninterrupted one.
+    pub fn restore_gains(&self, num_nodes: usize) -> Vec<f64> {
+        let mut gains = vec![0.0; num_nodes];
+        for (rec, &bits) in self.supers.iter().zip(&self.gains) {
+            gains[rec.id as usize] = f64::from_bits(bits);
+        }
+        gains
     }
 
     /// Rebuilds the [`WorkingSummary`] this checkpoint describes.
@@ -262,6 +297,16 @@ impl RunCheckpoint {
             buf.extend_from_slice(&a.to_le_bytes());
             buf.extend_from_slice(&b.to_le_bytes());
         }
+        // Version-2 trailing section: candidate-generation stats and the
+        // incremental scheduler's gain EMAs (absent for the recompute
+        // path). Everything above is byte-identical to the v1 layout.
+        buf.extend_from_slice(&self.stats.candidate_secs.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.stats.groups.to_le_bytes());
+        buf.extend_from_slice(&self.stats.grouped_supernodes.to_le_bytes());
+        buf.extend_from_slice(&(self.gains.len() as u32).to_le_bytes());
+        for &bits in &self.gains {
+            buf.extend_from_slice(&bits.to_le_bytes());
+        }
         buf
     }
 
@@ -277,7 +322,7 @@ impl RunCheckpoint {
             return Err(CheckpointError::Corrupt("bad magic".into()));
         }
         let version = r.u16()?;
-        if version != VERSION {
+        if version == 0 || version > VERSION {
             return Err(CheckpointError::Corrupt(format!(
                 "unsupported checkpoint version {version}"
             )));
@@ -296,7 +341,7 @@ impl RunCheckpoint {
         let next_iteration = r.u64()?;
         let theta_bits = r.u64()?;
         let stall_cap_bits = r.u64()?;
-        let stats = RunStats {
+        let mut stats = RunStats {
             iterations: r.u64()? as usize,
             merges: r.u64()? as usize,
             final_theta: f64::from_bits(r.u64()?),
@@ -305,6 +350,7 @@ impl RunCheckpoint {
             eval_secs: f64::from_bits(r.u64()?),
             checkpoints: r.u64()?,
             checkpoint_failures: r.u64()?,
+            ..RunStats::default()
         };
         let num_supers = r.u32()? as usize;
         if num_supers == 0 || num_supers > num_nodes as usize {
@@ -391,6 +437,28 @@ impl RunCheckpoint {
             prev_edge = Some((a, b));
             superedges.push((a, b));
         }
+        // Version-2 trailing section; a v1 blob simply ends here.
+        let mut gains = Vec::new();
+        if version >= 2 {
+            stats.candidate_secs = f64::from_bits(r.u64()?);
+            stats.groups = r.u64()?;
+            stats.grouped_supernodes = r.u64()?;
+            let gain_count = r.u32()? as usize;
+            if gain_count != 0 && gain_count != supers.len() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "gain count {gain_count} does not match {} supernodes",
+                    supers.len()
+                )));
+            }
+            gains.reserve(gain_count);
+            for _ in 0..gain_count {
+                let bits = r.u64()?;
+                if !f64::from_bits(bits).is_finite() {
+                    return Err(CheckpointError::Corrupt("non-finite gain EMA".into()));
+                }
+                gains.push(bits);
+            }
+        }
         if r.pos != r.bytes.len() {
             return Err(CheckpointError::Corrupt(format!(
                 "{} trailing bytes",
@@ -406,6 +474,7 @@ impl RunCheckpoint {
             stats,
             supers,
             superedges,
+            gains,
         })
     }
 }
@@ -461,7 +530,18 @@ mod tests {
             evals: 17,
             ..Default::default()
         };
-        let ck = RunCheckpoint::capture(ALGO_PEGASUS, 4, 0.25, f64::INFINITY, stats, &ws);
+        let mut gains = vec![0.0; g.num_nodes()];
+        gains[0] = 0.75;
+        gains[4] = 1.5;
+        let ck = RunCheckpoint::capture(
+            ALGO_PEGASUS,
+            4,
+            0.25,
+            f64::INFINITY,
+            stats,
+            &ws,
+            Some(&gains),
+        );
         (g, w, ck)
     }
 
@@ -478,6 +558,75 @@ mod tests {
         assert_eq!(decoded.stats.evals, 17);
         assert_eq!(decoded.supers, ck.supers);
         assert_eq!(decoded.superedges, ck.superedges);
+        assert_eq!(decoded.gains, ck.gains);
+    }
+
+    #[test]
+    fn gains_roundtrip_through_restore() {
+        let (g, _, ck) = sample_checkpoint();
+        let decoded = RunCheckpoint::decode(&ck.encode()).unwrap();
+        let gains = decoded.restore_gains(g.num_nodes());
+        assert_eq!(gains[0], 0.75);
+        assert_eq!(gains[4], 1.5);
+        // Dead slots (merged-away ids) come back zero.
+        assert_eq!(gains[1], 0.0);
+        assert_eq!(gains[5], 0.0);
+    }
+
+    #[test]
+    fn recompute_path_stores_no_gains() {
+        let g = barabasi_albert(40, 3, 2);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let ck = RunCheckpoint::capture(
+            ALGO_PEGASUS,
+            2,
+            0.5,
+            f64::INFINITY,
+            RunStats::default(),
+            &ws,
+            None,
+        );
+        let decoded = RunCheckpoint::decode(&ck.encode()).unwrap();
+        assert!(decoded.gains.is_empty());
+        assert!(decoded.restore_gains(40).iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn version_1_blobs_still_decode() {
+        // A v1 blob is byte-for-byte a v2 blob minus the trailing
+        // section: splice one together and check the new fields default.
+        let (_, _, ck) = sample_checkpoint();
+        let v2 = ck.encode();
+        let trail = 8 + 8 + 8 + 4 + 8 * ck.gains.len();
+        let mut v1 = v2[..v2.len() - trail].to_vec();
+        v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let decoded = RunCheckpoint::decode(&v1).unwrap();
+        assert_eq!(decoded.supers, ck.supers);
+        assert_eq!(decoded.superedges, ck.superedges);
+        assert!(decoded.gains.is_empty());
+        assert_eq!(decoded.stats.candidate_secs, 0.0);
+        assert_eq!(decoded.stats.groups, 0);
+        // ...but a v1-tagged blob *with* the trailing section is corrupt.
+        let mut bad = v2.clone();
+        bad[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert!(matches!(
+            RunCheckpoint::decode(&bad),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_gain_count_is_corrupt() {
+        let (_, _, ck) = sample_checkpoint();
+        let mut blob = ck.encode();
+        // The gain count lives 4 + 8·|gains| bytes from the end.
+        let pos = blob.len() - 4 - 8 * ck.gains.len();
+        blob[pos..pos + 4].copy_from_slice(&((ck.gains.len() as u32) - 1).to_le_bytes());
+        assert!(matches!(
+            RunCheckpoint::decode(&blob),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -172,7 +172,7 @@ mod tests {
             );
         }
         let mut hash_scratch = HashScratch::default();
-        let live = ws.live_ids();
+        let live: Vec<SuperId> = ws.live_iter().take(31).collect();
         for pair in live.windows(2).take(30) {
             let (a, b) = (pair[0], pair[1]);
             let new = ws.eval_merge(a, b, &mut scratch);

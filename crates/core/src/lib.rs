@@ -75,6 +75,7 @@ pub use api::{
 pub use checkpoint::{CheckpointError, RunCheckpoint};
 pub use fault::FaultPlan;
 pub use pegasus::{summarize, PegasusConfig};
+pub use shingle::CandidateGen;
 pub use ssumm::{ssumm_summarize, SsummConfig};
 pub use summary::{Summary, SuperId};
 pub use weights::NodeWeights;

@@ -21,7 +21,10 @@ use crate::api::{RunControl, StopReason};
 use crate::checkpoint::{iteration_seed, RunCheckpoint, ALGO_PEGASUS};
 use crate::cost::CostModel;
 use crate::exec::Exec;
-use crate::shingle::{candidate_groups, ShingleParams};
+use crate::shingle::{
+    attach_signatures, candidate_groups, candidate_groups_incremental, lane_count, CandidateGen,
+    ShingleParams,
+};
 use crate::sparsify::sparsify;
 use crate::summary::Summary;
 use crate::threshold::AdaptiveThreshold;
@@ -55,6 +58,11 @@ pub struct PegasusConfig {
     /// weight-vector cache (default) or the legacy member-edge scan
     /// (kept as the benchmark / equivalence baseline, DESIGN.md §7).
     pub evaluator: MergeEvaluator,
+    /// Which candidate generator forms the per-iteration groups: the
+    /// persistent-signature incremental path (default) or the legacy
+    /// per-iteration recompute (kept as the oracle / bench baseline,
+    /// DESIGN.md §11).
+    pub candidate_gen: CandidateGen,
 }
 
 impl Default for PegasusConfig {
@@ -69,6 +77,7 @@ impl Default for PegasusConfig {
             use_absolute_cost: false,
             num_threads: 0,
             evaluator: MergeEvaluator::default(),
+            candidate_gen: CandidateGen::default(),
         }
     }
 }
@@ -95,6 +104,16 @@ pub struct RunStats {
     /// Checkpoint writes that failed (real or injected); the run keeps
     /// going on the previous good checkpoint.
     pub checkpoint_failures: u64,
+    /// Wall-clock seconds spent generating candidate groups
+    /// (Sect. III-C) — the denominator of the candidate-throughput
+    /// metric, attributed separately from `eval_secs`.
+    pub candidate_secs: f64,
+    /// Candidate groups formed across the run (thread-count independent).
+    pub groups: u64,
+    /// Supernodes placed into candidate groups across the run (each live
+    /// supernode counts at most once per iteration) — the numerator of
+    /// the candidate-throughput metric.
+    pub grouped_supernodes: u64,
 }
 
 /// Summarizes `g` personalized to `targets` within `budget_bits`
@@ -191,6 +210,21 @@ pub(crate) fn pegasus_loop(
             f64::INFINITY,
         ),
     };
+    // Incremental candidate generation: attach the persistent lane bank
+    // once (bit-identical at any thread count) and restore / zero the
+    // per-supernode gain EMAs. The bank is a pure function of (graph,
+    // seed, current partition), so attaching after a checkpoint restore
+    // reproduces exactly the signatures the uninterrupted run maintained
+    // (composition under union, DESIGN.md §11).
+    let incremental = cfg.candidate_gen == CandidateGen::Incremental;
+    let mut gains: Vec<f64> = Vec::new();
+    if incremental {
+        attach_signatures(&mut ws, cfg.seed, lane_count(cfg.shingle_depth), &exec);
+        gains = match resume {
+            Some(ck) => ck.restore_gains(g.num_nodes()),
+            None => vec![0.0; g.num_nodes()],
+        };
+    }
 
     let stop = loop {
         if ws.size_bits() <= budget_bits {
@@ -204,7 +238,15 @@ pub(crate) fn pegasus_loop(
         }
         control.fault_point(t as u64);
         let mut rng = StdRng::seed_from_u64(iteration_seed(cfg.seed, t as u64));
-        let groups = candidate_groups(&ws, &mut rng, &shingle_params, &exec);
+        let cand_start = std::time::Instant::now();
+        let groups = if incremental {
+            candidate_groups_incremental(&ws, &mut rng, &shingle_params, &gains)
+        } else {
+            candidate_groups(&ws, &mut rng, &shingle_params, &exec)
+        };
+        stats.candidate_secs += cand_start.elapsed().as_secs_f64();
+        stats.groups += groups.len() as u64;
+        stats.grouped_supernodes += groups.iter().map(|grp| grp.len() as u64).sum::<u64>();
         let before = ws.num_supernodes();
         let theta = threshold.theta().min(stall_cap);
 
@@ -230,13 +272,21 @@ pub(crate) fn pegasus_loop(
         stats.evals += outcomes.iter().map(|o| o.evals).sum::<u64>();
 
         // Commit phase (serial, deterministic group order): replay each
-        // group's merge log against the shared summary and fold its
-        // rejection samples into the adaptive threshold.
-        for outcome in &outcomes {
+        // group's merge log against the shared summary (which repairs
+        // the signature bank lane-wise in O(K) per merge), fold its
+        // rejection samples into the adaptive threshold, and update the
+        // members' gain EMAs with the group's accepted savings.
+        for ((group, _), outcome) in seeded.iter().zip(&outcomes) {
             for &(a, b) in &outcome.merges {
                 ws.merge(a, b, &mut scratch);
             }
             threshold.fold_rejections(&outcome.rejected);
+            if incremental {
+                let share = outcome.accepted_delta / group.len() as f64;
+                for &s in group {
+                    gains[s as usize] = crate::threshold::GAIN_DECAY * gains[s as usize] + share;
+                }
+            }
         }
         let merged = before - ws.num_supernodes();
         stats.merges += merged;
@@ -263,6 +313,7 @@ pub(crate) fn pegasus_loop(
                 stall_cap,
                 snapshot,
                 &ws,
+                incremental.then_some(gains.as_slice()),
             )
         });
         t += 1;

@@ -37,6 +37,23 @@ use crate::exec::Exec;
 use crate::summary::SuperId;
 use crate::working::WorkingSummary;
 
+/// Which generator forms the per-iteration candidate groups.
+///
+/// The incremental path (default) buckets supernodes by persistent
+/// min-hash signature lanes attached once per run and repaired in O(K)
+/// at every commit merge; the legacy path recomputes full min-hash
+/// passes every iteration and is kept as the oracle / bench baseline,
+/// exactly like [`crate::working::MergeEvaluator::Scan`] for the
+/// evaluator (DESIGN.md §11).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CandidateGen {
+    /// Persistent signature lanes + gain-ordered group scheduling.
+    #[default]
+    Incremental,
+    /// Per-iteration full min-hash recomputation (the original path).
+    Recompute,
+}
+
 /// Grouping parameters (paper constants in Sect. III-C).
 #[derive(Clone, Copy, Debug)]
 pub struct ShingleParams {
@@ -84,6 +101,94 @@ fn node_minhash(ws: &WorkingSummary<'_>, seed: u64, exec: &Exec) -> Vec<u64> {
         }
     });
     mh
+}
+
+/// Number of persistent hash lanes for a given shingle depth: at least
+/// 8 (so the rotation schedule still varies early iterations) and at
+/// most 32 (bounding the O(K) commit repair and the bank footprint at
+/// `32·8 = 256` bytes per graph node).
+pub(crate) fn lane_count(depth: usize) -> usize {
+    depth.clamp(8, 32)
+}
+
+/// Seed of lane `k` in the persistent bank, derived from the run seed by
+/// a double SplitMix64 so lanes are mutually independent and disjoint
+/// from the per-iteration [`crate::checkpoint::iteration_seed`] stream.
+fn lane_seed(bank_seed: u64, lane: usize) -> u64 {
+    crate::checkpoint::splitmix64(
+        bank_seed
+            ^ crate::checkpoint::splitmix64((lane as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407)),
+    )
+}
+
+/// Builds the persistent signature bank: `lanes` independent closed-
+/// neighborhood min-hash lanes over graph nodes, folded into
+/// per-supernode minima and attached to `ws`. One-time
+/// `O(K·(|V|+|E|))` cost per run; afterwards [`WorkingSummary::merge`]
+/// repairs the surviving supernode's signature as the lane-wise min of
+/// the two in O(K). Because each lane value is a min over *original
+/// graph nodes* (which never change during a run) and `u64::min` is
+/// associative and commutative, the maintained signatures stay bitwise
+/// equal to rerunning this from-scratch computation after any merge
+/// sequence — min-hash composes under union (DESIGN.md §11).
+///
+/// The node-level hash passes are embarrassingly parallel (`hash_node`
+/// is pure in `(seed, v)`), so the bank is bit-identical at any thread
+/// count.
+pub fn attach_signatures(ws: &mut WorkingSummary<'_>, bank_seed: u64, lanes: usize, exec: &Exec) {
+    let n = ws.graph().num_nodes();
+    let mut data = vec![u64::MAX; n * lanes];
+    for lane in 0..lanes {
+        let mh = node_minhash(ws, lane_seed(bank_seed, lane), exec);
+        for s in ws.live_iter() {
+            let mut best = u64::MAX;
+            for &u in ws.members(s) {
+                best = best.min(mh[u as usize]);
+            }
+            data[s as usize * lanes + lane] = best;
+        }
+    }
+    ws.set_signature_bank(lanes, data);
+}
+
+/// Buckets `ids` by their persisted signature in `lane` — the O(live)
+/// incremental counterpart of [`split_by_shingle`] (each signature is a
+/// single array read instead of a member-list rescan). Groups come back
+/// sorted by signature key with members in `ids` iteration order, the
+/// same canonical ordering the commit phase relies on.
+fn bucket_by_lane(
+    ws: &WorkingSummary<'_>,
+    ids: impl Iterator<Item = SuperId>,
+    lane: usize,
+) -> Vec<Vec<SuperId>> {
+    let mut buckets: FxHashMap<u64, Vec<SuperId>> = FxHashMap::default();
+    for s in ids {
+        buckets.entry(ws.signature(s, lane)).or_default().push(s);
+    }
+    let mut groups: Vec<(u64, Vec<SuperId>)> = buckets.into_iter().collect();
+    groups.sort_unstable_by_key(|(key, _)| *key);
+    groups.into_iter().map(|(_, grp)| grp).collect()
+}
+
+/// Orders `groups` by expected gain, descending: the sum of the
+/// members' accepted-merge EMAs (maintained by the driver, decayed by
+/// [`crate::threshold::GAIN_DECAY`]) plus a per-pair cold-start prior
+/// ([`crate::threshold::GAIN_COLD_PRIOR`]`·(|group|-1)`) so that, with
+/// no history yet, larger signature-collision mass goes first. The sort
+/// is stable, so ties keep the canonical signature-key order — the
+/// schedule is a pure function of (summary state, gains), independent
+/// of thread count.
+fn schedule_by_gain(groups: &mut Vec<Vec<SuperId>>, gains: &[f64]) {
+    let mut keyed: Vec<(f64, Vec<SuperId>)> = std::mem::take(groups)
+        .into_iter()
+        .map(|grp| {
+            let observed: f64 = grp.iter().map(|&s| gains[s as usize]).sum();
+            let prior = crate::threshold::GAIN_COLD_PRIOR * (grp.len() - 1) as f64;
+            (observed + prior, grp)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    *groups = keyed.into_iter().map(|(_, grp)| grp).collect();
 }
 
 /// Splits `ids` into groups by supernode shingle. The supernode shingles
@@ -165,6 +270,75 @@ pub fn candidate_groups(
             result.push(group);
         }
     }
+    result
+}
+
+/// The incremental counterpart of [`candidate_groups`]: groups by the
+/// persistent signature lanes attached via [`attach_signatures`]
+/// instead of recomputing min-hash passes. Iteration-to-iteration
+/// variety comes from rotating the starting lane (drawn from the driver
+/// RNG, preserving the fixed-seed determinism contract); recursive
+/// re-splitting of oversized groups consumes successive lanes instead
+/// of fresh global passes. The still-oversized random division is
+/// identical to the legacy path. Finally groups are ordered by expected
+/// gain ([`schedule_by_gain`]) so high-yield groups evaluate first and
+/// deadline/cancel cutoffs land after the most valuable work.
+///
+/// Serial and `O(live)` per round — no `Exec` involved, so the output
+/// is thread-count independent by construction.
+///
+/// # Panics
+/// Panics unless a signature bank is attached.
+pub fn candidate_groups_incremental(
+    ws: &WorkingSummary<'_>,
+    rng: &mut StdRng,
+    params: &ShingleParams,
+    gains: &[f64],
+) -> Vec<Vec<SuperId>> {
+    let lanes = ws.signature_lanes();
+    assert!(
+        lanes > 0,
+        "attach_signatures must run before the incremental path"
+    );
+    if ws.num_supernodes() < 2 {
+        return Vec::new();
+    }
+    let start = (rng.next_u64() % lanes as u64) as usize;
+    let mut groups = bucket_by_lane(ws, ws.live_iter(), start);
+
+    for r in 1..params.depth.min(lanes) {
+        if groups.iter().all(|g| g.len() <= params.max_group) {
+            break;
+        }
+        let lane = (start + r) % lanes;
+        let mut next = Vec::with_capacity(groups.len());
+        for group in groups {
+            if group.len() <= params.max_group {
+                next.push(group);
+            } else {
+                next.extend(bucket_by_lane(ws, group.into_iter(), lane));
+            }
+        }
+        groups = next;
+    }
+
+    // Random division of any still-oversized group, exactly as in the
+    // legacy path (supernodes colliding on every lane can never be
+    // separated by signatures).
+    let mut result = Vec::with_capacity(groups.len());
+    for mut group in groups {
+        if group.len() > params.max_group {
+            group.shuffle(rng);
+            for chunk in group.chunks(params.max_group) {
+                if chunk.len() > 1 {
+                    result.push(chunk.to_vec());
+                }
+            }
+        } else if group.len() > 1 {
+            result.push(group);
+        }
+    }
+    schedule_by_gain(&mut result, gains);
     result
 }
 
@@ -292,5 +466,119 @@ mod tests {
         let g = pgs_graph::Graph::empty(5);
         let groups = groups_for(&g, &ShingleParams::default(), 0);
         assert!(groups.is_empty());
+    }
+
+    fn incremental_groups_for(
+        g: &pgs_graph::Graph,
+        params: &ShingleParams,
+        seed: u64,
+        threads: usize,
+    ) -> Vec<Vec<SuperId>> {
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(g, &w, CostModel::ErrorCorrection);
+        let exec = if threads == 1 {
+            Exec::serial()
+        } else {
+            Exec::new(threads)
+        };
+        attach_signatures(&mut ws, seed, lane_count(params.depth), &exec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gains = vec![0.0; g.num_nodes()];
+        candidate_groups_incremental(&ws, &mut rng, params, &gains)
+    }
+
+    #[test]
+    fn incremental_groups_identical_at_any_thread_count() {
+        let g = barabasi_albert(300, 4, 6);
+        let reference = incremental_groups_for(&g, &ShingleParams::default(), 9, 1);
+        assert!(!reference.is_empty());
+        for threads in [2, 3, 8] {
+            let got = incremental_groups_for(&g, &ShingleParams::default(), 9, threads);
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn incremental_groups_are_disjoint_and_within_live() {
+        let g = barabasi_albert(200, 3, 7);
+        let groups = incremental_groups_for(&g, &ShingleParams::default(), 3, 1);
+        let mut seen = std::collections::HashSet::new();
+        for grp in &groups {
+            assert!(grp.len() >= 2, "singleton group leaked");
+            for &s in grp {
+                assert!(seen.insert(s), "supernode {s} in two groups");
+                assert!((s as usize) < 200);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_enforces_max_group() {
+        // The star graph collapses all leaves onto the hub's hash in
+        // every lane, forcing the random-division path.
+        let n = 60;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0u32, v)).collect();
+        let g = graph_from_edges(n as usize, &edges);
+        let params = ShingleParams {
+            max_group: 10,
+            depth: 3,
+        };
+        let groups = incremental_groups_for(&g, &params, 1, 1);
+        assert!(!groups.is_empty(), "the shared-hub leaves must form groups");
+        for grp in &groups {
+            assert!(grp.len() <= 10, "group of size {} exceeds cap", grp.len());
+        }
+    }
+
+    #[test]
+    fn gain_ordering_puts_hot_groups_first() {
+        let g = barabasi_albert(300, 4, 5);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        attach_signatures(&mut ws, 5, 8, &Exec::serial());
+        let mut rng = StdRng::seed_from_u64(5);
+        let cold =
+            candidate_groups_incremental(&ws, &mut rng, &ShingleParams::default(), &vec![0.0; 300]);
+        assert!(cold.len() >= 2, "need at least two groups for the test");
+        // Heat up every member of what is currently the *last* group;
+        // with observed gain dominating the prior it must come first.
+        let mut gains = vec![0.0; 300];
+        for &s in cold.last().unwrap() {
+            gains[s as usize] = 10.0;
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let hot = candidate_groups_incremental(&ws, &mut rng, &ShingleParams::default(), &gains);
+        assert_eq!(hot[0], *cold.last().unwrap());
+        // Same multiset of groups either way — scheduling only reorders.
+        let norm = |mut gs: Vec<Vec<SuperId>>| {
+            gs.sort();
+            gs
+        };
+        assert_eq!(norm(hot), norm(cold));
+    }
+
+    #[test]
+    fn maintained_signatures_match_recompute_after_merges() {
+        // The composition-under-union invariant on a concrete case: merge
+        // a few pairs with maintained signatures, then rebuild the bank
+        // from scratch and compare lane-wise bitwise.
+        let g = barabasi_albert(120, 3, 11);
+        let w = NodeWeights::uniform(g.num_nodes());
+        let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
+        let lanes = 8;
+        attach_signatures(&mut ws, 42, lanes, &Exec::serial());
+        let mut scratch = crate::working::Scratch::default();
+        for &(a, b) in &[(0u32, 1u32), (2, 3), (0, 2), (10, 50), (10, 51)] {
+            ws.merge(a, b, &mut scratch);
+        }
+        let maintained: Vec<(SuperId, Vec<u64>)> = ws
+            .live_iter()
+            .map(|s| (s, (0..lanes).map(|k| ws.signature(s, k)).collect()))
+            .collect();
+        attach_signatures(&mut ws, 42, lanes, &Exec::serial());
+        for (s, sig) in maintained {
+            let fresh: Vec<u64> = (0..lanes).map(|k| ws.signature(s, k)).collect();
+            assert_eq!(sig, fresh, "supernode {s}");
+        }
     }
 }

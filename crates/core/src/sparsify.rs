@@ -168,7 +168,7 @@ mod tests {
             }
             sparsify(&mut ws, budget, &Exec::new(threads));
             let mut edges: Vec<(SuperId, SuperId)> = Vec::new();
-            for s in ws.live_ids() {
+            for s in ws.live_iter() {
                 for x in ws.superedge_neighbors(s) {
                     if s <= x {
                         edges.push((s, x));

@@ -20,7 +20,10 @@ use crate::checkpoint::{iteration_seed, RunCheckpoint, ALGO_SSUMM};
 use crate::cost::CostModel;
 use crate::exec::Exec;
 use crate::pegasus::RunStats;
-use crate::shingle::{candidate_groups, ShingleParams};
+use crate::shingle::{
+    attach_signatures, candidate_groups, candidate_groups_incremental, lane_count, CandidateGen,
+    ShingleParams,
+};
 use crate::sparsify::sparsify;
 use crate::summary::Summary;
 use crate::threshold::ssumm_schedule;
@@ -44,6 +47,9 @@ pub struct SsummConfig {
     pub num_threads: usize,
     /// Merge evaluator (same engine as PeGaSus; cached by default).
     pub evaluator: MergeEvaluator,
+    /// Candidate generator (same engine as PeGaSus; incremental by
+    /// default).
+    pub candidate_gen: CandidateGen,
 }
 
 impl Default for SsummConfig {
@@ -55,6 +61,7 @@ impl Default for SsummConfig {
             shingle_depth: 10,
             num_threads: 0,
             evaluator: MergeEvaluator::default(),
+            candidate_gen: CandidateGen::default(),
         }
     }
 }
@@ -108,6 +115,17 @@ pub(crate) fn ssumm_loop(
             1,
         ),
     };
+    // Same incremental candidate engine as PeGaSus (see
+    // `pegasus_loop`): persistent lane bank + gain EMAs.
+    let incremental = cfg.candidate_gen == CandidateGen::Incremental;
+    let mut gains: Vec<f64> = Vec::new();
+    if incremental {
+        attach_signatures(&mut ws, cfg.seed, lane_count(cfg.shingle_depth), &exec);
+        gains = match resume {
+            Some(ck) => ck.restore_gains(g.num_nodes()),
+            None => vec![0.0; g.num_nodes()],
+        };
+    }
 
     let stop = loop {
         if ws.size_bits() <= budget_bits {
@@ -125,7 +143,15 @@ pub(crate) fn ssumm_loop(
         let before = ws.num_supernodes();
         // Same evaluate/commit engine as PeGaSus (SSumM just discards
         // the rejection samples — its schedule is fixed).
-        let groups = candidate_groups(&ws, &mut rng, &shingle_params, &exec);
+        let cand_start = std::time::Instant::now();
+        let groups = if incremental {
+            candidate_groups_incremental(&ws, &mut rng, &shingle_params, &gains)
+        } else {
+            candidate_groups(&ws, &mut rng, &shingle_params, &exec)
+        };
+        stats.candidate_secs += cand_start.elapsed().as_secs_f64();
+        stats.groups += groups.len() as u64;
+        stats.grouped_supernodes += groups.iter().map(|grp| grp.len() as u64).sum::<u64>();
         let seeded: Vec<(Vec<crate::summary::SuperId>, u64)> = groups
             .into_iter()
             .map(|grp| (grp, rng.next_u64()))
@@ -136,9 +162,15 @@ pub(crate) fn ssumm_loop(
         });
         stats.eval_secs += eval_start.elapsed().as_secs_f64();
         stats.evals += outcomes.iter().map(|o| o.evals).sum::<u64>();
-        for outcome in &outcomes {
+        for ((group, _), outcome) in seeded.iter().zip(&outcomes) {
             for &(a, b) in &outcome.merges {
                 ws.merge(a, b, &mut scratch);
+            }
+            if incremental {
+                let share = outcome.accepted_delta / group.len() as f64;
+                for &s in group {
+                    gains[s as usize] = crate::threshold::GAIN_DECAY * gains[s as usize] + share;
+                }
             }
         }
         stats.merges += before - ws.num_supernodes();
@@ -154,6 +186,7 @@ pub(crate) fn ssumm_loop(
                 f64::INFINITY,
                 snapshot,
                 &ws,
+                incremental.then_some(gains.as_slice()),
             )
         });
         t += 1;

@@ -482,6 +482,113 @@ pub fn eval_merge_view<V: SummaryView + ?Sized>(
     )
 }
 
+/// Null link of the intrusive live list.
+const LIVE_NIL: SuperId = SuperId::MAX;
+
+/// The persistent live-supernode set: an intrusive doubly-linked list
+/// threaded through the `SuperId` space. Ids are linked in ascending
+/// order at construction and only ever *removed* (a merge kills one
+/// id), so in-order traversal stays ascending for the whole run —
+/// the canonical enumeration order `live_ids()` used to rebuild with
+/// an `O(|V|)` scan per call. Removal is `O(1)` at commit.
+#[derive(Clone, Debug)]
+struct LiveList {
+    next: Vec<SuperId>,
+    prev: Vec<SuperId>,
+    head: SuperId,
+}
+
+impl LiveList {
+    /// Links exactly the ids for which `alive` holds, ascending.
+    fn new(n: usize, mut alive: impl FnMut(usize) -> bool) -> Self {
+        let mut next = vec![LIVE_NIL; n];
+        let mut prev = vec![LIVE_NIL; n];
+        let mut head = LIVE_NIL;
+        let mut last = LIVE_NIL;
+        for i in 0..n {
+            if !alive(i) {
+                continue;
+            }
+            let i = i as SuperId;
+            if last == LIVE_NIL {
+                head = i;
+            } else {
+                next[last as usize] = i;
+                prev[i as usize] = last;
+            }
+            last = i;
+        }
+        LiveList { next, prev, head }
+    }
+
+    /// Unlinks `s` in O(1). `s` must currently be linked.
+    #[inline]
+    fn remove(&mut self, s: SuperId) {
+        let (p, nx) = (self.prev[s as usize], self.next[s as usize]);
+        if p == LIVE_NIL {
+            self.head = nx;
+        } else {
+            self.next[p as usize] = nx;
+        }
+        if nx != LIVE_NIL {
+            self.prev[nx as usize] = p;
+        }
+    }
+}
+
+/// Ascending iterator over the live supernode ids
+/// ([`WorkingSummary::live_iter`]).
+pub struct LiveIter<'s> {
+    next: &'s [SuperId],
+    cur: SuperId,
+}
+
+impl Iterator for LiveIter<'_> {
+    type Item = SuperId;
+
+    #[inline]
+    fn next(&mut self) -> Option<SuperId> {
+        if self.cur == LIVE_NIL {
+            return None;
+        }
+        let s = self.cur;
+        self.cur = self.next[s as usize];
+        Some(s)
+    }
+}
+
+/// Persistent per-supernode min-hash signatures (DESIGN.md §11): `lanes`
+/// independent hash lanes per supernode, flat-indexed `s * lanes + k`.
+/// Lane `k` of supernode `U` holds `min_{u∈U} min_{v∈N(u)∪{u}}
+/// f_k(v)` — Eq. (12) under the `k`-th bank hash. Because `u64::min` is
+/// exactly associative and commutative, a commit-phase merge repairs the
+/// survivor's signature as the lane-wise min of the two sides in
+/// `O(lanes)`, and the maintained value is **bitwise equal** to a
+/// from-scratch recompute over the merged member set (pinned by
+/// `signatures_match_recompute_after_merges` and the proptest in
+/// `tests/core_props.rs`).
+struct SigBank {
+    lanes: usize,
+    data: Vec<u64>,
+}
+
+impl SigBank {
+    /// Folds the dead side's signature into the survivor, lane-wise.
+    #[inline]
+    fn fold_into(&mut self, keep: SuperId, dead: SuperId) {
+        let l = self.lanes;
+        let d0 = dead as usize * l;
+        let k0 = keep as usize * l;
+        for k in 0..l {
+            let dv = self.data[d0 + k];
+            let kv = &mut self.data[k0 + k];
+            if dv < *kv {
+                *kv = dv;
+            }
+        }
+    }
+}
+
 /// The summary graph under construction: supernode partition, superedge
 /// adjacency, and the incremental statistics needed to evaluate merges in
 /// `O(Σ_{u∈A∪B} |N_u|)` (Lemma 1).
@@ -505,6 +612,12 @@ pub struct WorkingSummary<'a> {
     live: usize,
     /// Number of superedges `|P|` (self-loops count once).
     num_superedges: usize,
+    /// Persistent live-id list, maintained in O(1) by `merge`.
+    live_list: LiveList,
+    /// Persistent min-hash signature lanes; attached by the incremental
+    /// candidate generator ([`crate::shingle::attach_signatures`]) and
+    /// repaired lane-wise at every commit-phase merge.
+    sigs: Option<SigBank>,
 }
 
 impl<'a> WorkingSummary<'a> {
@@ -534,6 +647,8 @@ impl<'a> WorkingSummary<'a> {
             adj,
             live: n,
             num_superedges: g.num_edges(),
+            live_list: LiveList::new(n, |_| true),
+            sigs: None,
         }
     }
 
@@ -583,6 +698,7 @@ impl<'a> WorkingSummary<'a> {
                 adj[b as usize].insert(a);
             }
         }
+        let live_list = LiveList::new(n, |i| members[i].is_some());
         WorkingSummary {
             g,
             w,
@@ -594,6 +710,8 @@ impl<'a> WorkingSummary<'a> {
             adj,
             live,
             num_superedges: superedges.len(),
+            live_list,
+            sigs: None,
         }
     }
 
@@ -663,13 +781,24 @@ impl<'a> WorkingSummary<'a> {
         (s as usize) < self.members.len() && self.members[s as usize].is_some()
     }
 
-    /// Ids of all live supernodes.
+    /// Ids of all live supernodes, ascending — a collected
+    /// [`WorkingSummary::live_iter`]. Prefer the iterator where a `Vec`
+    /// is not required: it walks the persistent live list in `O(|S|)`
+    /// without allocating (the old implementation scanned all `|V|`
+    /// member slots into a fresh `Vec` per call).
     pub fn live_ids(&self) -> Vec<SuperId> {
-        self.members
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| i as SuperId))
-            .collect()
+        let mut ids = Vec::with_capacity(self.live);
+        ids.extend(self.live_iter());
+        ids
+    }
+
+    /// Ascending iterator over the live supernode ids, backed by the
+    /// persistent live list `merge` maintains in O(1) per commit.
+    pub fn live_iter(&self) -> LiveIter<'_> {
+        LiveIter {
+            next: &self.live_list.next,
+            cur: self.live_list.head,
+        }
     }
 
     /// Member nodes of a live supernode.
@@ -678,6 +807,34 @@ impl<'a> WorkingSummary<'a> {
     /// Panics if `s` is dead.
     pub fn members(&self, s: SuperId) -> &[NodeId] {
         self.members[s as usize].as_ref().expect("dead supernode")
+    }
+
+    /// Installs the persistent signature bank (`lanes` min-hash values
+    /// per supernode, flat-indexed `s * lanes + k`). Built by
+    /// [`crate::shingle::attach_signatures`]; from here on every
+    /// [`WorkingSummary::merge`] repairs the survivor lane-wise in
+    /// `O(lanes)`.
+    pub(crate) fn set_signature_bank(&mut self, lanes: usize, data: Vec<u64>) {
+        debug_assert_eq!(data.len(), self.g.num_nodes() * lanes);
+        self.sigs = Some(SigBank { lanes, data });
+    }
+
+    /// Number of signature lanes attached (0 = no bank).
+    pub fn signature_lanes(&self) -> usize {
+        self.sigs.as_ref().map_or(0, |b| b.lanes)
+    }
+
+    /// Lane `lane` of live supernode `s`'s maintained min-hash
+    /// signature.
+    ///
+    /// # Panics
+    /// Panics if no bank is attached or `lane` is out of range.
+    #[inline]
+    pub fn signature(&self, s: SuperId, lane: usize) -> u64 {
+        let bank = self.sigs.as_ref().expect("no signature bank attached");
+        assert!(lane < bank.lanes, "lane {lane} out of range");
+        debug_assert!(self.is_live(s), "dead supernode");
+        bank.data[s as usize * bank.lanes + lane]
     }
 
     /// Supernode currently containing node `u`.
@@ -756,6 +913,10 @@ impl<'a> WorkingSummary<'a> {
         self.wsum[keep as usize] += self.wsum[dead as usize];
         self.sqsum[keep as usize] += self.sqsum[dead as usize];
         self.live -= 1;
+        self.live_list.remove(dead);
+        if let Some(bank) = &mut self.sigs {
+            bank.fold_into(keep, dead);
+        }
 
         // Selective superedge addition (Alg. 2 line 9): re-scan the merged
         // supernode's incident input edges and keep exactly the
@@ -1434,6 +1595,12 @@ pub struct GroupOutcome {
     pub rejected: Vec<f64>,
     /// Candidate-pair evaluations performed (throughput accounting).
     pub evals: u64,
+    /// Sum of the accepted merges' absolute cost reductions `ΔCost`
+    /// (Eq. 10) — the observed savings this group delivered, fed back
+    /// into the gain-ordered group scheduler (DESIGN.md §11). A pure
+    /// function of the same inputs as the merge log, so it is identical
+    /// at any thread count.
+    pub accepted_delta: f64,
 }
 
 /// Which evaluator [`evaluate_group_with`] prices candidate merges with.
@@ -1513,6 +1680,7 @@ pub fn evaluate_group_with(
             // directly instead of re-deriving it from `best` per sample.
             let mut best: Option<(usize, usize)> = None;
             let mut best_key: Option<f64> = None;
+            let mut best_delta = 0.0f64;
             for _ in 0..samples {
                 let i = rng.random_range(0..group.len());
                 let j = rng.random_range(0..group.len());
@@ -1535,6 +1703,7 @@ pub fn evaluate_group_with(
                 };
                 if best_key.is_none_or(|bk| key > bk) {
                     best_key = Some(key);
+                    best_delta = eval.delta;
                     best = Some((i, j));
                 }
             }
@@ -1547,6 +1716,7 @@ pub fn evaluate_group_with(
                 let (a, b) = (group[i], group[j]);
                 let kept = view.merge_local(a, b, scratch);
                 outcome.merges.push((a, b));
+                outcome.accepted_delta += best_delta;
                 // O(1) removal of the dead id at its known index (the
                 // survivor cannot be displaced out of the vector).
                 let dead_idx = if kept == a { j } else { i };

@@ -59,9 +59,11 @@
 //! [`Summarizer`]: pgs_core::api::Summarizer
 
 pub mod cache;
+pub mod durable;
 pub mod service;
 
 pub use cache::{CacheStats, WeightCache, WeightKey};
+pub use durable::FileCheckpointSink;
 pub use service::{
     JobStatus, JobTimings, ServiceConfig, SharedSummarizer, SubmitRequest, SummaryHandle,
     SummaryService, TenantStats,

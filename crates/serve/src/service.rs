@@ -77,6 +77,7 @@ use pgs_core::{RunCheckpoint, Summary};
 use pgs_graph::Graph;
 
 use crate::cache::{CacheStats, WeightCache, WeightKey};
+use crate::durable::{ckpt_filename, recover_checkpoints, FileCheckpointSink};
 
 /// The shareable algorithm a service dispatches to.
 pub type SharedSummarizer = Arc<dyn Summarizer + Send + Sync>;
@@ -115,8 +116,18 @@ pub struct ServiceConfig {
     /// `retry_backoff · 2ⁿ` plus deterministic jitter).
     pub retry_backoff: Duration,
     /// Checkpoint cadence in iterations for retryable runs (minimum 1;
-    /// only consulted when [`ServiceConfig::retry_budget`] > 0).
+    /// consulted when [`ServiceConfig::retry_budget`] > 0 or the
+    /// request carries a [`SubmitRequest::durable`] key under a
+    /// configured [`ServiceConfig::checkpoint_dir`]).
     pub checkpoint_every: u64,
+    /// Directory for file-backed checkpoints (see [`crate::durable`]).
+    /// `None` disables durability. When set, requests submitted with a
+    /// [`SubmitRequest::durable`] key persist their checkpoints here
+    /// (atomic temp-file + rename) and a new service instance scans the
+    /// directory at startup: a matching resubmission resumes from the
+    /// recovered blob, byte-identical to the uninterrupted run. Corrupt
+    /// files are deleted at scan and degrade to a fresh run.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -131,6 +142,7 @@ impl Default for ServiceConfig {
             retry_budget: 0,
             retry_backoff: Duration::from_millis(10),
             checkpoint_every: 1,
+            checkpoint_dir: None,
         }
     }
 }
@@ -146,6 +158,10 @@ pub struct SubmitRequest {
     /// Scheduling priority across tenants: higher runs first. Within a
     /// tenant, submission order always wins (FIFO).
     pub priority: u8,
+    /// Durable-checkpoint key (see [`ServiceConfig::checkpoint_dir`]):
+    /// a caller-chosen stable identity for this piece of work. `None`
+    /// (the default) keeps checkpoints in memory only.
+    pub durable_key: Option<String>,
 }
 
 impl SubmitRequest {
@@ -155,12 +171,22 @@ impl SubmitRequest {
             tenant: tenant.into(),
             request,
             priority: 0,
+            durable_key: None,
         }
     }
 
     /// Sets the scheduling priority (higher = more urgent).
     pub fn priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Persists this request's checkpoints under `key` in the service's
+    /// [`ServiceConfig::checkpoint_dir`] and resumes from a recovered
+    /// blob for the same key if the service found one at startup.
+    /// No-op when no checkpoint directory is configured.
+    pub fn durable(mut self, key: impl Into<String>) -> Self {
+        self.durable_key = Some(key.into());
         self
     }
 }
@@ -263,6 +289,11 @@ struct Job {
     /// (the request owns the sink and the job owns the request — a
     /// `Job` capture would be a reference cycle).
     last_checkpoint: Arc<Mutex<Option<Arc<Vec<u8>>>>>,
+    /// File sink for durable checkpoints (`None` unless the submission
+    /// carried a durable key and the service has a checkpoint
+    /// directory). Written alongside the in-memory slot; removed when
+    /// the job publishes its result.
+    durable: Option<FileCheckpointSink>,
     state: Mutex<JobState>,
     done_cv: Condvar,
 }
@@ -326,6 +357,10 @@ struct Inner {
     next_id: AtomicU64,
     next_seq: AtomicU64,
     completed_seq: AtomicU64,
+    /// Checkpoint blobs recovered from [`ServiceConfig::checkpoint_dir`]
+    /// at startup, keyed by file name. Each entry is consumed by the
+    /// first submission whose durable key maps to it.
+    recovered: Mutex<BTreeMap<String, Arc<Vec<u8>>>>,
 }
 
 /// A typed handle to one submitted request.
@@ -415,6 +450,13 @@ impl SummaryService {
     /// work in the process. Workers live until the service drops.
     pub fn new(graph: Arc<Graph>, algorithm: SharedSummarizer, cfg: ServiceConfig) -> Self {
         let workers = Exec::new(cfg.workers).threads();
+        // Startup recovery scan (see `crate::durable`): decodable blobs
+        // wait for a matching durable-key submission; corrupt files are
+        // deleted here and the affected runs start fresh.
+        let recovered = match &cfg.checkpoint_dir {
+            Some(dir) => recover_checkpoints(dir),
+            None => BTreeMap::new(),
+        };
         let inner = Arc::new(Inner {
             algorithm,
             cache: Mutex::new(WeightCache::new(cfg.cache_capacity)),
@@ -436,6 +478,7 @@ impl SummaryService {
             next_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             completed_seq: AtomicU64::new(0),
+            recovered: Mutex::new(recovered),
         });
         let pool = (0..workers)
             .map(|w| {
@@ -471,9 +514,33 @@ impl SummaryService {
             tenant,
             mut request,
             priority,
+            durable_key,
         } = sub;
         let inner = &*self.inner;
         let (graph, epoch) = inner.graphs.lock().unwrap().effective(&tenant);
+
+        // Durable checkpoints: bind the sink for this key, and seed the
+        // request with a blob recovered at startup (first submission for
+        // the key wins it). A caller-supplied resume always takes
+        // precedence; a recovered blob for a different-sized graph is
+        // discarded — the run starts fresh rather than erroring.
+        let durable = match (&inner.cfg.checkpoint_dir, &durable_key) {
+            (Some(dir), Some(key)) => {
+                let sink = FileCheckpointSink::new(dir, key);
+                if request.control_ref().resume.is_none() {
+                    let blob = inner.recovered.lock().unwrap().remove(&ckpt_filename(key));
+                    if let Some(blob) = blob {
+                        let fits = RunCheckpoint::decode(&blob)
+                            .is_ok_and(|ck| ck.num_nodes as usize == graph.num_nodes());
+                        if fits {
+                            request = request.resume_from(blob);
+                        }
+                    }
+                }
+                Some(sink)
+            }
+            _ => None,
+        };
 
         // Weight cache: tenant-scoped, epoch-stamped, submit-side. The
         // lock covers only lookup/insert, never the BFS itself, so one
@@ -529,6 +596,7 @@ impl SummaryService {
             cancel,
             attempts: AtomicU32::new(0),
             last_checkpoint: Arc::new(Mutex::new(None)),
+            durable,
             state: Mutex::new(JobState::Queued(Box::new(request))),
             done_cv: Condvar::new(),
         });
@@ -865,7 +933,7 @@ fn worker_loop(inner: &Inner) {
 /// What a worker decided to do with a popped job.
 enum Outcome {
     /// Publish this result to the handle (the job is finished).
-    Publish(Result<RunOutput, PgsError>),
+    Publish(Box<Result<RunOutput, PgsError>>),
     /// The run died but has retry budget left: re-enqueue this request
     /// (already re-armed with the last checkpoint) after backoff.
     Retry(Box<SummarizeRequest>),
@@ -897,11 +965,11 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
         // Cancelled while queued: never start the engine. The identity
         // summary is the valid "no work done" result every engine
         // returns when interrupted before its first commit.
-        Outcome::Publish(Ok(RunOutput {
+        Outcome::Publish(Box::new(Ok(RunOutput {
             summary: Summary::identity(&job.graph),
             stats: RunStats::default(),
             stop: StopReason::Cancelled,
-        }))
+        })))
     } else {
         let mut request = *request;
         let mut expired_in_queue = false;
@@ -926,20 +994,31 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
             request = request.deadline(effective);
         }
         if expired_in_queue {
-            Outcome::Publish(Ok(RunOutput {
+            Outcome::Publish(Box::new(Ok(RunOutput {
                 summary: Summary::identity(&job.graph),
                 stats: RunStats::default(),
                 stop: StopReason::DeadlineExceeded,
-            }))
+            })))
         } else {
-            // Retryable runs checkpoint into the job's slot (unless the
-            // caller attached their own sink — theirs wins, and retry
-            // then restarts from scratch or the caller's resume blob).
-            if inner.cfg.retry_budget > 0 && request.control_ref().checkpoint.is_none() {
+            // Retryable and durable runs checkpoint into the job's slot
+            // (unless the caller attached their own sink — theirs wins,
+            // and retry then restarts from scratch or the caller's
+            // resume blob). A durable job also writes each blob to its
+            // file; the in-memory slot is updated first, so a file
+            // write failure (surfaced as WriteFailed, absorbed by the
+            // engine) still leaves panic-retry on the freshest state.
+            let durable = job.durable.clone();
+            if (inner.cfg.retry_budget > 0 || durable.is_some())
+                && request.control_ref().checkpoint.is_none()
+            {
                 let slot = Arc::clone(&job.last_checkpoint);
                 let sink: CheckpointSink = Arc::new(move |_t, blob| {
-                    *slot.lock().unwrap() = Some(Arc::new(blob));
-                    Ok(())
+                    let blob = Arc::new(blob);
+                    *slot.lock().unwrap() = Some(Arc::clone(&blob));
+                    match &durable {
+                        Some(file) => file.write(&blob),
+                        None => Ok(()),
+                    }
                 });
                 request = request.checkpoint(inner.cfg.checkpoint_every.max(1), sink);
             }
@@ -952,7 +1031,7 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
                 inner.algorithm.run(&job.graph, &request)
             }));
             match run {
-                Ok(result) => Outcome::Publish(result),
+                Ok(result) => Outcome::Publish(Box::new(result)),
                 Err(_) => {
                     let deaths = job.attempts.fetch_add(1, Ordering::Relaxed) + 1;
                     if deaths <= inner.cfg.retry_budget {
@@ -980,9 +1059,9 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
                                 stop: StopReason::RetriesExhausted,
                             },
                         };
-                        Outcome::Publish(Ok(out))
+                        Outcome::Publish(Box::new(Ok(out)))
                     } else {
-                        Outcome::Publish(Err(PgsError::RunPanicked))
+                        Outcome::Publish(Box::new(Err(PgsError::RunPanicked)))
                     }
                 }
             }
@@ -1019,7 +1098,7 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
             inner.work_cv.notify_all();
             return;
         }
-        Outcome::Publish(result) => result,
+        Outcome::Publish(result) => *result,
     };
 
     let timings = JobTimings {
@@ -1054,6 +1133,17 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
         }
         sched.total_run_secs += timings.run_secs;
         sched.total_completed += 1;
+    }
+    // A run that truly finished has nothing left to resume: retire its
+    // durable checkpoint file before the result becomes visible (a
+    // crash between remove and publish merely replays the finished run
+    // from its last checkpoint). Interrupted outcomes — cancel,
+    // deadline, retries exhausted — keep the file so a resubmission of
+    // the same durable key can pick the work back up.
+    if matches!(outcome, Ok(StopReason::BudgetMet | StopReason::MaxIters)) {
+        if let Some(file) = &job.durable {
+            file.remove();
+        }
     }
     {
         let mut state = job.state.lock().unwrap();

@@ -1,0 +1,170 @@
+//! Durable checkpoints across service *instances* (DESIGN.md §10):
+//! a run interrupted in one service is picked up by a fresh service
+//! scanning the same checkpoint directory, and finishes byte-identical
+//! to an uninterrupted run. Corrupt files degrade to a fresh run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest, Summarizer};
+use pgs_core::pegasus::PegasusConfig;
+use pgs_core::Summary;
+use pgs_graph::gen::planted_partition;
+use pgs_graph::Graph;
+use pgs_serve::durable::ckpt_filename;
+use pgs_serve::{ServiceConfig, SubmitRequest, SummaryService};
+
+fn graph() -> Arc<Graph> {
+    Arc::new(planted_partition(400, 8, 1600, 250, 3))
+}
+
+fn algorithm(seed: u64) -> Arc<Pegasus> {
+    Arc::new(Pegasus(PegasusConfig {
+        num_threads: 1,
+        seed,
+        ..Default::default()
+    }))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pgs-durability-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        checkpoint_every: 1,
+        checkpoint_dir: Some(dir.to_path_buf()),
+        ..Default::default()
+    }
+}
+
+fn assert_identical(a: &Summary, b: &Summary, context: &str) {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "{context}: |V|");
+    for u in 0..a.num_nodes() as u32 {
+        assert_eq!(a.supernode_of(u), b.supernode_of(u), "{context}: node {u}");
+    }
+    assert_eq!(
+        a.size_bits().to_bits(),
+        b.size_bits().to_bits(),
+        "{context}: size bits"
+    );
+}
+
+/// Service one runs a durable job under a deadline tight enough to stop
+/// it mid-run (leaving a checkpoint file behind); service two — a fresh
+/// instance over the same directory — resumes the same key to a result
+/// byte-identical to the uninterrupted run, then retires the file.
+#[test]
+fn interrupted_durable_job_resumes_across_service_instances() {
+    let g = graph();
+    let alg = algorithm(11);
+    let req = SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[0, 7]);
+    let direct: &dyn Summarizer = &*alg;
+    let clean = direct.run(&g, &req).expect("direct run");
+    assert_eq!(clean.stop, StopReason::BudgetMet);
+
+    let dir = temp_dir("resume");
+    let key = "tenant-a/job-1";
+    {
+        let svc = SummaryService::new(Arc::clone(&g), alg.clone(), durable_config(&dir));
+        // An observer that burns the cooperative deadline after the
+        // first iteration commits: the run stops early with a durable
+        // checkpoint on disk, standing in for a process death.
+        let doomed = req
+            .clone()
+            .deadline(Duration::from_millis(40))
+            .observer(|_| std::thread::sleep(Duration::from_millis(60)));
+        let h = svc
+            .submit(SubmitRequest::new("tenant-a", doomed).durable(key))
+            .expect("admitted");
+        let out = h.wait().expect("partial result");
+        assert_eq!(out.stop, StopReason::DeadlineExceeded);
+        assert!(
+            out.stats.iterations >= 1 && out.stats.iterations < clean.stats.iterations,
+            "the run must stop mid-flight (got {} of {} iterations)",
+            out.stats.iterations,
+            clean.stats.iterations
+        );
+    }
+    let file = dir.join(ckpt_filename(key));
+    assert!(file.exists(), "interrupted run must leave its checkpoint");
+
+    {
+        let svc = SummaryService::new(Arc::clone(&g), alg.clone(), durable_config(&dir));
+        let h = svc
+            .submit(SubmitRequest::new("tenant-a", req.clone()).durable(key))
+            .expect("admitted");
+        let out = h.wait().expect("resumed run");
+        assert_eq!(out.stop, StopReason::BudgetMet);
+        assert_eq!(out.stats.iterations, clean.stats.iterations);
+        assert_identical(&clean.summary, &out.summary, "durable resume");
+    }
+    assert!(!file.exists(), "finished run must retire its checkpoint");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A corrupt checkpoint file for the key degrades to a fresh run with
+/// the same final answer — never an error — and the file is cleaned up
+/// by the startup scan.
+#[test]
+fn corrupt_durable_checkpoint_degrades_to_fresh_run() {
+    let g = graph();
+    let alg = algorithm(23);
+    let req = SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[0]);
+    let direct: &dyn Summarizer = &*alg;
+    let clean = direct.run(&g, &req).expect("direct run");
+
+    let dir = temp_dir("corrupt");
+    let key = "job-x";
+    fs::create_dir_all(&dir).unwrap();
+    let file = dir.join(ckpt_filename(key));
+    fs::write(&file, b"garbage, not a checkpoint").unwrap();
+
+    let svc = SummaryService::new(Arc::clone(&g), alg.clone(), durable_config(&dir));
+    assert!(!file.exists(), "startup scan must delete the corrupt file");
+    let h = svc
+        .submit(SubmitRequest::new("t", req).durable(key))
+        .expect("admitted");
+    let out = h.wait().expect("fresh run");
+    assert_eq!(out.stop, StopReason::BudgetMet);
+    assert_identical(&clean.summary, &out.summary, "fresh after corrupt");
+    drop(svc);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Without a durable key (or without a checkpoint directory) nothing is
+/// written to disk.
+#[test]
+fn non_durable_jobs_write_no_files() {
+    let g = graph();
+    let alg = algorithm(5);
+    let req = SummarizeRequest::new(Budget::Ratio(0.5)).targets(&[0]);
+
+    let dir = temp_dir("nofiles");
+    let svc = SummaryService::new(Arc::clone(&g), alg.clone(), durable_config(&dir));
+    let h = svc.submit(SubmitRequest::new("t", req.clone())).unwrap();
+    h.wait().unwrap();
+    assert!(
+        !dir.exists() || fs::read_dir(&dir).unwrap().next().is_none(),
+        "no durable key → no files"
+    );
+
+    let svc2 = SummaryService::new(
+        Arc::clone(&g),
+        alg,
+        ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    let h = svc2
+        .submit(SubmitRequest::new("t", req).durable("k"))
+        .unwrap();
+    h.wait().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
