@@ -60,12 +60,19 @@ goes to stderr). Answers are byte-identical at any --threads value.
 
 serve replays a request file through the multi-tenant SummaryService
 (bounded worker pool, per-tenant FIFO + priority scheduling, shared-BFS
-weight cache). Request file: one `tenant budget targets priority` line
-per request, where budget is a ratio (0.5), `bits:K`, or `sn:S`;
-targets is a comma list of node ids or `-` for uniform; priority
-(optional, default 0) runs higher first across tenants. Completed
-requests stream out as TSV `tenant  id  stop  supernodes  ratio
-wait_ms  run_ms`; per-tenant stats and the cache hit rate go to stderr.
+weight cache). Request file: one `tenant budget targets priority
+durable-key` line per request, where budget is a ratio (0.5), `bits:K`,
+or `sn:S`; targets is a comma list of node ids or `-` for uniform;
+priority (optional, default 0, `-` = 0) runs higher first across
+tenants; durable-key (optional, needs --checkpoint-dir) journals the
+admission and checkpoints the run, so a crashed process replays and
+finishes the job on the next start. --stall-timeout-ms arms a watchdog
+that frees workers whose runs stop making progress (stop reason
+`stalled`); --breaker-window/--breaker-threshold/--breaker-cooldown-ms
+fast-reject tenants whose recent runs keep failing until a cooldown
+probe succeeds. Completed requests stream out as TSV `tenant  id  stop
+supernodes  ratio  wait_ms  run_ms`; per-tenant stats (incl. stalled /
+breaker / quarantined counts) and the cache hit rate go to stderr.
 
 Edge lists: one `u v` pair per line, `#`/`%` comments (SNAP/KONECT style).
 ";
@@ -467,8 +474,11 @@ fn parse_budget_token(tok: &str) -> Result<Budget, String> {
     }
 }
 
-/// Parses a serve request file: `tenant budget targets [priority]` per
-/// line, `#`/`%` comments. Targets are a comma list of node ids or `-`.
+/// Parses a serve request file: `tenant budget targets [priority]
+/// [durable-key]` per line, `#`/`%` comments. Targets are a comma list
+/// of node ids or `-`; priority `-` means 0; a durable key enrolls the
+/// job in the admission journal + checkpoint store (requires
+/// `--checkpoint-dir`).
 fn parse_request_file(path: &str, num_nodes: usize) -> Result<Vec<SubmitRequest>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let mut out = Vec::new();
@@ -479,9 +489,9 @@ fn parse_request_file(path: &str, num_nodes: usize) -> Result<Vec<SubmitRequest>
         }
         let at = |msg: String| format!("{path}:{}: {msg}", lineno + 1);
         let toks: Vec<&str> = line.split_whitespace().collect();
-        if !(3..=4).contains(&toks.len()) {
+        if !(3..=5).contains(&toks.len()) {
             return Err(at(format!(
-                "expected `tenant budget targets [priority]`, got {} fields",
+                "expected `tenant budget targets [priority] [durable-key]`, got {} fields",
                 toks.len()
             )));
         }
@@ -503,11 +513,18 @@ fn parse_request_file(path: &str, num_nodes: usize) -> Result<Vec<SubmitRequest>
         }
         let priority: u8 = match toks.get(3) {
             None => 0,
+            Some(&"-") => 0,
             Some(p) => p
                 .parse()
                 .map_err(|_| at(format!("bad priority {p:?} (0-255)")))?,
         };
-        out.push(SubmitRequest::new(toks[0], req).priority(priority));
+        let mut sub = SubmitRequest::new(toks[0], req).priority(priority);
+        if let Some(&key) = toks.get(4) {
+            if key != "-" {
+                sub = sub.durable(key);
+            }
+        }
+        out.push(sub);
     }
     if out.is_empty() {
         return Err(format!("{path}: no requests found"));
@@ -522,7 +539,8 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
         "usage: pgs serve <edges.txt> --requests <reqs.txt> [--algorithm a] [--workers N] \
          [--inflight K] [--tenant-deadline-ms T] [--cache C] [--queue-depth Q] \
          [--global-queue G] [--retries R] [--retry-backoff-ms B] [--checkpoint-every E] \
-         [--checkpoint-dir D] [flags]";
+         [--checkpoint-dir D] [--stall-timeout-ms S] [--breaker-window W] \
+         [--breaker-threshold F] [--breaker-cooldown-ms C] [flags]";
     let args = Args::parse(raw)?;
     let path = args.positional.first().ok_or(SERVE_USAGE)?;
     let reqs_path = args.get("requests").ok_or(SERVE_USAGE)?;
@@ -542,6 +560,17 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
         }
     };
     let retry_backoff_ms: f64 = args.get_parse("retry-backoff-ms", 10.0)?;
+    let stall_timeout = match args.get("stall-timeout-ms") {
+        None => None,
+        Some(_) => {
+            let ms: f64 = args.get_parse("stall-timeout-ms", 0.0)?;
+            Some(
+                std::time::Duration::try_from_secs_f64(ms / 1000.0)
+                    .map_err(|_| format!("--stall-timeout-ms must be non-negative, got {ms}"))?,
+            )
+        }
+    };
+    let breaker_cooldown_ms: f64 = args.get_parse("breaker-cooldown-ms", 1000.0)?;
     let cfg = ServiceConfig {
         workers: args.get_parse("workers", 0)?,
         per_tenant_inflight: args.get_parse("inflight", 1)?,
@@ -555,6 +584,13 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
         )?,
         checkpoint_every: args.get_parse("checkpoint-every", 1)?,
         checkpoint_dir: args.get("checkpoint-dir").map(std::path::PathBuf::from),
+        stall_timeout,
+        breaker_window: args.get_parse("breaker-window", 0)?,
+        breaker_threshold: args.get_parse("breaker-threshold", 0.5)?,
+        breaker_cooldown: std::time::Duration::try_from_secs_f64(breaker_cooldown_ms / 1000.0)
+            .map_err(|_| {
+                format!("--breaker-cooldown-ms must be non-negative, got {breaker_cooldown_ms}")
+            })?,
     };
     let svc = SummaryService::new(
         std::sync::Arc::new(g),
@@ -563,15 +599,32 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     );
 
     let started = std::time::Instant::now();
+    // Journal replay: jobs admitted by a previous (crashed) process
+    // come back first, ahead of this run's request file.
+    let recovered = svc.recovered_handles();
+    if !recovered.is_empty() {
+        eprintln!(
+            "# replayed {} journaled job(s) from a previous run",
+            recovered.len()
+        );
+    }
+    let quarantined = svc.quarantined_keys();
+    if !quarantined.is_empty() {
+        eprintln!(
+            "# quarantined (poisoned, not replayed): {}",
+            quarantined.join(", ")
+        );
+    }
     // Overload is an expected, per-request outcome under bounded
     // queues — it gets a TSV row, not a process failure. Only
     // infrastructure errors (bad files, bad flags) exit non-zero.
-    let handles: Vec<_> = submissions
+    let handles: Vec<_> = recovered
         .into_iter()
-        .map(|sub| {
+        .map(Ok)
+        .chain(submissions.into_iter().map(|sub| {
             let tenant = sub.tenant.clone();
             svc.submit(sub).map_err(|e| (tenant, e))
-        })
+        }))
         .collect();
     println!("# tenant\tid\tstop\tsupernodes\tratio\twait_ms\trun_ms");
     for h in &handles {
@@ -603,9 +656,9 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
     for s in svc.tenant_stats() {
         eprintln!(
             "# tenant {}: {} submitted, {} completed ({} budget-met, {} max-iters, \
-             {} cancelled, {} deadline-exceeded, {} retries-exhausted), {} errors, \
-             {} shed, {} rejected, {} retries, cache {}h/{}m, \
-             wait {:.2}s, run {:.2}s",
+             {} cancelled, {} deadline-exceeded, {} retries-exhausted, {} stalled), \
+             {} errors, {} shed, {} rejected ({} breaker, {} trips), {} quarantined, \
+             {} retries, cache {}h/{}m, wait {:.2}s, run {:.2}s",
             s.tenant,
             s.submitted,
             s.completed,
@@ -614,9 +667,13 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
             s.cancelled,
             s.deadline_exceeded,
             s.retries_exhausted,
+            s.stalled,
             s.errors,
             s.shed,
             s.rejected,
+            s.breaker_rejected,
+            s.breaker_trips,
+            s.quarantined,
             s.retries,
             s.cache_hits,
             s.cache_misses,

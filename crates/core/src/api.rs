@@ -58,7 +58,7 @@
 //! assert!(Pegasus::default().run(&g, &bad).is_err());
 //! ```
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -159,6 +159,14 @@ pub enum PgsError {
         /// The underlying [`CheckpointError`], rendered.
         reason: String,
     },
+    /// The serving layer quarantined this durable key: the job exhausted
+    /// its retry allowance across process restarts (its persisted
+    /// attempt count in the admission journal ran out), so it is never
+    /// re-admitted automatically. An operator must release it.
+    Quarantined {
+        /// The durable key that is quarantined.
+        key: String,
+    },
 }
 
 impl std::fmt::Display for PgsError {
@@ -209,6 +217,11 @@ impl std::fmt::Display for PgsError {
             PgsError::CheckpointInvalid { reason } => {
                 write!(f, "invalid resume checkpoint: {reason}")
             }
+            PgsError::Quarantined { key } => write!(
+                f,
+                "durable key {key:?} is quarantined (retry allowance exhausted across restarts); \
+                 release it explicitly to resubmit"
+            ),
         }
     }
 }
@@ -332,6 +345,13 @@ pub struct RunControl {
     /// fresh. Validated against the run's algorithm and graph before the
     /// loop starts; a mismatch is [`PgsError::CheckpointInvalid`].
     pub resume: Option<Arc<Vec<u8>>>,
+    /// Liveness heartbeat for an external watchdog: engines bump this
+    /// counter at *group-evaluate* granularity (at least once per
+    /// candidate group evaluated, plus once per iteration commit), so a
+    /// supervisor observing a stuck value for longer than its stall
+    /// timeout may conclude the run is wedged and escalate to `cancel`.
+    /// `None` costs nothing on the hot path.
+    pub heartbeat: Option<Arc<AtomicU64>>,
 }
 
 impl std::fmt::Debug for RunControl {
@@ -349,6 +369,7 @@ impl std::fmt::Debug for RunControl {
             )
             .field("fault_plan", &self.fault_plan.is_some())
             .field("resume", &self.resume.as_ref().map(|b| b.len()))
+            .field("heartbeat", &self.heartbeat.is_some())
             .finish()
     }
 }
@@ -380,11 +401,23 @@ impl RunControl {
     }
 
     /// The engines' per-iteration fault point: fires any injected fault
-    /// scheduled for iteration `t` (no-op without a plan).
+    /// scheduled for iteration `t` (no-op without a plan). The cancel
+    /// flag is threaded through so blocking faults
+    /// ([`crate::fault::FaultKind::StallForever`]) stay interruptible by
+    /// a watchdog.
     #[inline]
     pub fn fault_point(&self, t: u64) {
         if let Some(plan) = &self.fault_plan {
-            plan.fire(t);
+            plan.fire_ctl(t, self.cancel.as_deref());
+        }
+    }
+
+    /// Stamps the liveness heartbeat (no-op without one). Engines call
+    /// this at group-evaluate granularity; see [`RunControl::heartbeat`].
+    #[inline]
+    pub fn beat(&self) {
+        if let Some(hb) = &self.heartbeat {
+            hb.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -460,6 +493,10 @@ pub enum StopReason {
     /// The serving layer exhausted its retry budget recovering a crashed
     /// run; the summary is the last good checkpoint (or identity).
     RetriesExhausted,
+    /// A supervising watchdog saw the run's heartbeat frozen past its
+    /// stall timeout and cancelled it; the summary is whatever had
+    /// committed by then (or the last good checkpoint, or identity).
+    Stalled,
 }
 
 impl StopReason {
@@ -471,6 +508,7 @@ impl StopReason {
             StopReason::Cancelled => "cancelled",
             StopReason::DeadlineExceeded => "deadline-exceeded",
             StopReason::RetriesExhausted => "retries-exhausted",
+            StopReason::Stalled => "stalled",
         }
     }
 }
@@ -565,6 +603,13 @@ impl SummarizeRequest {
     /// Attaches a deterministic fault-injection plan (tests only).
     pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.control.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches a liveness heartbeat counter for an external watchdog
+    /// (see [`RunControl::heartbeat`]).
+    pub fn heartbeat(mut self, hb: Arc<AtomicU64>) -> Self {
+        self.control.heartbeat = Some(hb);
         self
     }
 
@@ -900,6 +945,31 @@ mod tests {
         assert_eq!(StopReason::Cancelled.as_str(), "cancelled");
         assert_eq!(StopReason::DeadlineExceeded.as_str(), "deadline-exceeded");
         assert_eq!(StopReason::RetriesExhausted.as_str(), "retries-exhausted");
+        assert_eq!(StopReason::Stalled.as_str(), "stalled");
+    }
+
+    #[test]
+    fn heartbeat_stamps_through_run_control() {
+        let hb = Arc::new(AtomicU64::new(0));
+        let control = RunControl {
+            heartbeat: Some(Arc::clone(&hb)),
+            ..Default::default()
+        };
+        control.beat();
+        control.beat();
+        assert_eq!(hb.load(Ordering::Relaxed), 2);
+        RunControl::default().beat(); // no-op, must not panic
+
+        let g = barabasi_albert(120, 3, 9);
+        let req = SummarizeRequest::new(Budget::Ratio(0.5)).heartbeat(Arc::clone(&hb));
+        let out = Pegasus::default().run(&g, &req).unwrap();
+        assert_eq!(out.stop, StopReason::BudgetMet);
+        // Group-evaluate granularity: at least one beat per committed
+        // iteration, and strictly more when groups were evaluated.
+        assert!(
+            hb.load(Ordering::Relaxed) >= 2 + out.stats.iterations as u64,
+            "heartbeat must advance at least once per iteration"
+        );
     }
 
     #[test]

@@ -338,6 +338,17 @@ impl RunCheckpoint {
         if num_nodes == 0 {
             return Err(CheckpointError::Corrupt("zero-node checkpoint".into()));
         }
+        // Plausibility bound before any |V|-sized allocation: a valid
+        // blob lists every node once as a supernode member (≥ 4 bytes
+        // per node), so a header claiming more nodes than bytes/4 is
+        // corrupt — reject it instead of allocating gigabytes on a
+        // flipped length field.
+        if num_nodes as usize > bytes.len() / 4 {
+            return Err(CheckpointError::Corrupt(format!(
+                "implausible node count {num_nodes} for a {}-byte blob",
+                bytes.len()
+            )));
+        }
         let next_iteration = r.u64()?;
         let theta_bits = r.u64()?;
         let stall_cap_bits = r.u64()?;

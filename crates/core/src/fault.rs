@@ -20,12 +20,15 @@
 //!   covers a spread of death points without hand-picking them.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::checkpoint::splitmix64;
 
+/// The kinds of fault a plan can schedule. Public so serving layers can
+/// document which kinds they exercise; construction goes through the
+/// [`FaultPlan`] builders.
 #[derive(Debug)]
-enum FaultKind {
+pub enum FaultKind {
     /// Panic at the fault point — simulates an evaluator crash mid-run.
     Panic,
     /// Make the next checkpoint write at this iteration report failure.
@@ -33,6 +36,18 @@ enum FaultKind {
     /// Sleep for the given pause at the fault point — simulates a stall
     /// (e.g. a descheduled worker) without corrupting any state.
     Stall(Duration),
+    /// Stall indefinitely at the fault point: sleep in short ticks until
+    /// a cooperative cancel flag is raised — simulates a wedged worker
+    /// (deadlocked downstream call, livelocked evaluator) that only an
+    /// external watchdog can reclaim. A safety cap (~30 s) bounds the
+    /// block when no watchdog exists, so a buggy test cannot hang CI
+    /// forever.
+    StallForever,
+    /// Make the serving layer's next admission-journal append for this
+    /// fault's step index write a torn (truncated) record straight to the
+    /// final path, bypassing tmp+rename — simulates a crash mid-write on
+    /// a filesystem without atomic rename.
+    TornJournalWrite,
 }
 
 #[derive(Debug)]
@@ -86,6 +101,38 @@ impl FaultPlan {
         self
     }
 
+    /// Adds an indefinite stall at iteration `t`: the run blocks at the
+    /// fault point until its cancel flag is raised (or a ~30 s safety cap
+    /// elapses). Exercises watchdog escalation.
+    pub fn stall_forever_at(mut self, t: u64) -> Self {
+        self.faults.push(Fault {
+            iteration: t,
+            kind: FaultKind::StallForever,
+            armed: AtomicBool::new(true),
+        });
+        self
+    }
+
+    /// Adds a torn admission-journal write at journal step `t` (consumed
+    /// by the serving layer via [`FaultPlan::journal_write_torn`]).
+    pub fn torn_journal_write_at(mut self, t: u64) -> Self {
+        self.faults.push(Fault {
+            iteration: t,
+            kind: FaultKind::TornJournalWrite,
+            armed: AtomicBool::new(true),
+        });
+        self
+    }
+
+    /// One indefinite stall at a seed-derived iteration in
+    /// `1..=max_iteration` — the CI stall-sweep's per-seed plan (same mix
+    /// as [`FaultPlan::seeded_panic`], so the two sweeps cover the same
+    /// spread of death points).
+    pub fn seeded_stall_forever(seed: u64, max_iteration: u64) -> Self {
+        let t = 1 + splitmix64(seed) % max_iteration.max(1);
+        FaultPlan::new().stall_forever_at(t)
+    }
+
     /// One evaluator panic at a seed-derived iteration in
     /// `1..=max_iteration` — the CI chaos matrix's per-seed plan.
     pub fn seeded_panic(seed: u64, max_iteration: u64) -> Self {
@@ -94,12 +141,25 @@ impl FaultPlan {
     }
 
     /// The engine's per-iteration fault point: fires (and disarms) every
-    /// armed panic or stall scheduled for iteration `t`.
+    /// armed panic or stall scheduled for iteration `t`. Equivalent to
+    /// [`FaultPlan::fire_ctl`] without a cancel flag.
     ///
     /// # Panics
     /// Panics when an armed [`FaultPlan::panic_at`] fault matches `t` —
     /// that is the injected failure.
     pub fn fire(&self, t: u64) {
+        self.fire_ctl(t, None);
+    }
+
+    /// [`FaultPlan::fire`] with the run's cooperative cancel flag, so an
+    /// indefinite stall stays interruptible: a watchdog raising `cancel`
+    /// unblocks the fault within one tick. Without a flag (or with no
+    /// watchdog watching it) a ~30 s safety cap bounds the block.
+    ///
+    /// # Panics
+    /// Panics when an armed [`FaultPlan::panic_at`] fault matches `t`.
+    pub fn fire_ctl(&self, t: u64, cancel: Option<&AtomicBool>) {
+        const STALL_SAFETY_CAP: Duration = Duration::from_secs(30);
         for f in &self.faults {
             if f.iteration != t {
                 continue;
@@ -115,7 +175,21 @@ impl FaultPlan {
                         std::thread::sleep(pause);
                     }
                 }
-                FaultKind::FailCheckpoint => {}
+                FaultKind::StallForever => {
+                    if f.armed.swap(false, Ordering::SeqCst) {
+                        let started = Instant::now();
+                        loop {
+                            if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                                break;
+                            }
+                            if started.elapsed() >= STALL_SAFETY_CAP {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+                }
+                FaultKind::FailCheckpoint | FaultKind::TornJournalWrite => {}
             }
         }
     }
@@ -126,6 +200,17 @@ impl FaultPlan {
         self.faults.iter().any(|f| {
             f.iteration == t
                 && matches!(f.kind, FaultKind::FailCheckpoint)
+                && f.armed.swap(false, Ordering::SeqCst)
+        })
+    }
+
+    /// Consumes an armed torn-journal-write fault scheduled for journal
+    /// step `t`, if any. Called by the serving layer's admission-journal
+    /// append path.
+    pub fn journal_write_torn(&self, t: u64) -> bool {
+        self.faults.iter().any(|f| {
+            f.iteration == t
+                && matches!(f.kind, FaultKind::TornJournalWrite)
                 && f.armed.swap(false, Ordering::SeqCst)
         })
     }
@@ -178,5 +263,45 @@ mod tests {
             assert_eq!(a.faults[0].iteration, b.faults[0].iteration);
             assert!((1..=8).contains(&a.faults[0].iteration), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn stall_forever_unblocks_on_cancel() {
+        let plan = FaultPlan::new().stall_forever_at(1);
+        let cancel = AtomicBool::new(false);
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                cancel.store(true, Ordering::Relaxed);
+            });
+            plan.fire_ctl(1, Some(&cancel));
+        });
+        let blocked = started.elapsed();
+        assert!(
+            blocked >= Duration::from_millis(15) && blocked < Duration::from_secs(5),
+            "stall must hold until cancel, then release promptly (blocked {blocked:?})"
+        );
+        assert_eq!(plan.armed(), 0, "fires once");
+        plan.fire_ctl(1, Some(&cancel)); // disarmed: no further block
+    }
+
+    #[test]
+    fn seeded_stall_matches_seeded_panic_iteration() {
+        for seed in 0..16u64 {
+            let stall = FaultPlan::seeded_stall_forever(seed, 8);
+            let panic = FaultPlan::seeded_panic(seed, 8);
+            assert_eq!(stall.faults[0].iteration, panic.faults[0].iteration);
+        }
+    }
+
+    #[test]
+    fn torn_journal_write_consumes_once() {
+        let plan = FaultPlan::new().torn_journal_write_at(1);
+        plan.fire(1); // engine fault point ignores journal faults
+        assert_eq!(plan.armed(), 1);
+        assert!(!plan.journal_write_torn(0));
+        assert!(plan.journal_write_torn(1));
+        assert!(!plan.journal_write_torn(1), "fires once");
     }
 }

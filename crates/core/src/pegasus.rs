@@ -236,6 +236,7 @@ pub(crate) fn pegasus_loop(
         if let Some(reason) = control.interrupted(started) {
             break reason;
         }
+        control.beat();
         control.fault_point(t as u64);
         let mut rng = StdRng::seed_from_u64(iteration_seed(cfg.seed, t as u64));
         let cand_start = std::time::Instant::now();
@@ -259,6 +260,7 @@ pub(crate) fn pegasus_loop(
             .collect();
         let eval_start = std::time::Instant::now();
         let outcomes = exec.map_indexed(&seeded, |_, (group, seed)| {
+            control.beat();
             evaluate_group_with(
                 &ws,
                 group,

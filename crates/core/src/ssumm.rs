@@ -137,6 +137,7 @@ pub(crate) fn ssumm_loop(
         if let Some(reason) = control.interrupted(started) {
             break reason;
         }
+        control.beat();
         control.fault_point(t as u64);
         let mut rng = StdRng::seed_from_u64(iteration_seed(cfg.seed, t as u64));
         let theta = ssumm_schedule(t, cfg.t_max);
@@ -158,6 +159,7 @@ pub(crate) fn ssumm_loop(
             .collect();
         let eval_start = std::time::Instant::now();
         let outcomes = exec.map_indexed(&seeded, |_, (group, seed)| {
+            control.beat();
             evaluate_group_with(&ws, group, theta, *seed, false, cfg.evaluator)
         });
         stats.eval_secs += eval_start.elapsed().as_secs_f64();

@@ -106,6 +106,16 @@ impl NodeWeights {
         }
     }
 
+    /// Reassembles weights from already-normalized parts — the inverse
+    /// of reading ([`NodeWeights::as_slice`], [`NodeWeights::alpha`],
+    /// [`NodeWeights::z`]). Unlike [`NodeWeights::from_raw`] this stores
+    /// every field verbatim (no renormalization), so serialization
+    /// layers that persist the three parts bit-for-bit round-trip to
+    /// bitwise-identical weights.
+    pub fn from_parts(w: Vec<f64>, alpha: f64, z: f64) -> Self {
+        NodeWeights { w, alpha, z }
+    }
+
     /// Number of nodes covered.
     #[inline]
     pub fn len(&self) -> usize {

@@ -105,6 +105,12 @@ impl FileCheckpointSink {
 /// over the same corrupt file forever) and skipped — the affected run
 /// simply starts fresh. A missing or unreadable directory yields an
 /// empty map.
+///
+/// The scan is hardened against anything else living in the directory:
+/// subdirectories (even ones named `*.ckpt`), non-UTF-8 filenames, and
+/// files that cannot be *read* (permissions, dangling symlinks) are each
+/// skipped without aborting the scan — and without deleting anything,
+/// since a transient read error is not evidence of corruption.
 pub fn recover_checkpoints(dir: &Path) -> BTreeMap<String, Arc<Vec<u8>>> {
     let mut recovered = BTreeMap::new();
     let Ok(entries) = fs::read_dir(dir) else {
@@ -115,14 +121,18 @@ pub fn recover_checkpoints(dir: &Path) -> BTreeMap<String, Arc<Vec<u8>>> {
         if path.extension().and_then(|e| e.to_str()) != Some("ckpt") {
             continue;
         }
+        if path.is_dir() {
+            continue;
+        }
         let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
             continue;
         };
-        match fs::read(&path) {
-            Ok(bytes) if RunCheckpoint::decode(&bytes).is_ok() => {
+        if let Ok(bytes) = fs::read(&path) {
+            if RunCheckpoint::decode(&bytes).is_ok() {
                 recovered.insert(name, Arc::new(bytes));
-            }
-            _ => {
+            } else {
+                // Structurally corrupt: delete so a restart loop does
+                // not trip over the same file forever.
                 let _ = fs::remove_file(&path);
             }
         }
@@ -188,6 +198,57 @@ mod tests {
     #[test]
     fn missing_directory_yields_empty_map() {
         assert!(recover_checkpoints(Path::new("/nonexistent/pgs-ckpts")).is_empty());
+    }
+
+    #[test]
+    fn subdirectory_named_like_a_checkpoint_is_skipped() {
+        let dir = temp_dir("subdir");
+        fs::create_dir_all(dir.join("nested.ckpt")).unwrap();
+        fs::write(dir.join(ckpt_filename("good")), sample_blob()).unwrap();
+        let recovered = recover_checkpoints(&dir);
+        assert_eq!(recovered.len(), 1, "the good file must still be found");
+        assert!(
+            dir.join("nested.ckpt").is_dir(),
+            "the subdirectory must be left alone"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_utf8_filename_is_skipped() {
+        use std::ffi::OsStr;
+        use std::os::unix::ffi::OsStrExt;
+        let dir = temp_dir("nonutf8");
+        fs::create_dir_all(&dir).unwrap();
+        let weird = dir.join(OsStr::from_bytes(b"bad\xff\xfename.ckpt"));
+        fs::write(&weird, b"whatever").unwrap();
+        fs::write(dir.join(ckpt_filename("good")), sample_blob()).unwrap();
+        let recovered = recover_checkpoints(&dir);
+        assert_eq!(recovered.len(), 1, "the good file must still be found");
+        assert!(weird.exists(), "the unnameable file must be left alone");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unreadable_file_is_skipped_without_deletion() {
+        // A dangling symlink stands in for an unreadable file (chmod is
+        // useless under root): read fails, the scan must neither abort
+        // nor delete the entry — a transient read error is not
+        // corruption.
+        let dir = temp_dir("unreadable");
+        fs::create_dir_all(&dir).unwrap();
+        let dangling = dir.join("gone.ckpt");
+        std::os::unix::fs::symlink(dir.join("no-such-target"), &dangling).unwrap();
+        fs::write(dir.join(ckpt_filename("good")), sample_blob()).unwrap();
+        let recovered = recover_checkpoints(&dir);
+        assert_eq!(recovered.len(), 1, "the good file must still be found");
+        assert!(
+            dangling.symlink_metadata().is_ok(),
+            "the unreadable entry must not be deleted"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     fn sample_blob() -> Vec<u8> {

@@ -31,6 +31,19 @@
 //! budget runs out, and per-tenant graph overrides whose cache
 //! invalidation is scoped to the tenant that changed.
 //!
+//! The supervision layer (DESIGN.md §12) extends durability from
+//! checkpoints to *admission*: a write-ahead [`Journal`] records every
+//! durable submission before it is admitted, so a process crash at any
+//! point loses no job — a rebuilt service replays admitted-but-
+//! unfinished records (seeding from recovered checkpoints) and finishes
+//! them byte-identically. A [`Supervisor`] watchdog flags runs whose
+//! heartbeat freezes for longer than the stall timeout
+//! ([`StopReason::Stalled`](pgs_core::api::StopReason::Stalled)), so a
+//! wedged evaluator can never hold a worker forever; per-tenant
+//! [`Breaker`]s fast-reject tenants whose recent completions keep
+//! failing; and a job that exhausts its retry allowance across restarts
+//! is quarantined rather than re-admitted.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest};
@@ -60,11 +73,15 @@
 
 pub mod cache;
 pub mod durable;
+pub mod journal;
 pub mod service;
+pub mod supervise;
 
 pub use cache::{CacheStats, WeightCache, WeightKey};
 pub use durable::FileCheckpointSink;
+pub use journal::{JobRecord, Journal};
 pub use service::{
     JobStatus, JobTimings, ServiceConfig, SharedSummarizer, SubmitRequest, SummaryHandle,
     SummaryService, TenantStats,
 };
+pub use supervise::{Breaker, Supervisor};

@@ -50,6 +50,31 @@
 //!   [`SummaryService::swap_graph`] retains cache entries of tenants
 //!   pinned to their own graph.
 //!
+//! The supervision layer (DESIGN.md §12) extends both:
+//!
+//! * **Write-ahead admission journal** — a durable submission is
+//!   journaled (see [`crate::journal`]) *before* it is admitted and
+//!   retired when its result publishes, so a process crash at any
+//!   point loses no durable job: a rebuilt service replays
+//!   admitted-but-unfinished records at startup (in submission order,
+//!   seeding recovered checkpoints) and
+//!   [`SummaryService::recovered_handles`] exposes their handles.
+//!   Worker pickups bump a persisted attempt count; a record whose
+//!   attempts exhaust the retry allowance across restarts is
+//!   **quarantined** — rejected with [`PgsError::Quarantined`] until
+//!   [`SummaryService::release_quarantined`] clears it.
+//! * **Stall watchdog** — with [`ServiceConfig::stall_timeout`] set,
+//!   every run gets a heartbeat stamped at group-evaluate granularity
+//!   and a [`Supervisor`](crate::supervise::Supervisor) thread cancels
+//!   runs whose heartbeat freezes past the timeout; the worker
+//!   publishes the partial result as [`StopReason::Stalled`] and moves
+//!   on — a wedged evaluator can never hold a worker forever.
+//! * **Per-tenant circuit breakers** — with
+//!   [`ServiceConfig::breaker_window`] > 0, a tenant whose recent
+//!   completions keep failing (errors, stalls, exhausted retries) is
+//!   fast-rejected at submit ([`PgsError::Overloaded`] carrying the
+//!   remaining cooldown) until a half-open probe succeeds.
+//!
 //! Because every summarizer in the workspace is deterministic and
 //! thread-count independent, a request's result is byte-identical to
 //! running the same `SummarizeRequest` directly through the same
@@ -61,7 +86,7 @@
 //! (cancelled ones short-circuit, backoff delays are honored), then
 //! the pool joins.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -78,6 +103,8 @@ use pgs_graph::Graph;
 
 use crate::cache::{CacheStats, WeightCache, WeightKey};
 use crate::durable::{ckpt_filename, recover_checkpoints, FileCheckpointSink};
+use crate::journal::{JobRecord, Journal};
+use crate::supervise::{Breaker, Supervisor};
 
 /// The shareable algorithm a service dispatches to.
 pub type SharedSummarizer = Arc<dyn Summarizer + Send + Sync>;
@@ -128,6 +155,25 @@ pub struct ServiceConfig {
     /// recovered blob, byte-identical to the uninterrupted run. Corrupt
     /// files are deleted at scan and degrade to a fresh run.
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Longest a running request's heartbeat may stay *frozen* before
+    /// the stall watchdog cancels it (published as
+    /// [`StopReason::Stalled`] with a valid partial summary). `None`
+    /// (the default) disables supervision. Distinct from deadlines: a
+    /// deadline bounds total time, this bounds *time without progress*
+    /// — a slow run that keeps ticking is never flagged.
+    pub stall_timeout: Option<Duration>,
+    /// Completion-outcome window per tenant for the circuit breaker
+    /// (`0`, the default, disables breakers). Once a tenant's last
+    /// `breaker_window` completions are at least
+    /// [`ServiceConfig::breaker_threshold`] failures, its submissions
+    /// fast-reject with [`PgsError::Overloaded`] until a half-open
+    /// probe succeeds.
+    pub breaker_window: usize,
+    /// Failure fraction over a full window that trips the breaker.
+    pub breaker_threshold: f64,
+    /// How long a tripped breaker fast-rejects before admitting one
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -143,6 +189,10 @@ impl Default for ServiceConfig {
             retry_backoff: Duration::from_millis(10),
             checkpoint_every: 1,
             checkpoint_dir: None,
+            stall_timeout: None,
+            breaker_window: 0,
+            breaker_threshold: 0.5,
+            breaker_cooldown: Duration::from_secs(1),
         }
     }
 }
@@ -241,12 +291,23 @@ pub struct TenantStats {
     /// ... of which stopped at [`StopReason::RetriesExhausted`] (a
     /// partial summary from the last checkpoint, or identity).
     pub retries_exhausted: u64,
+    /// ... of which stopped at [`StopReason::Stalled`] (cancelled by
+    /// the watchdog after a frozen heartbeat).
+    pub stalled: u64,
     /// Requests that failed validation (typed [`PgsError`]s).
     pub errors: u64,
     /// Queued requests shed to admit a higher-priority submission.
     pub shed: u64,
-    /// Submissions rejected at the door ([`PgsError::Overloaded`]).
+    /// Submissions rejected at the door ([`PgsError::Overloaded`] or
+    /// [`PgsError::Quarantined`]).
     pub rejected: u64,
+    /// ... of which were fast-rejected by a tripped circuit breaker.
+    pub breaker_rejected: u64,
+    /// Times this tenant's circuit breaker has tripped open.
+    pub breaker_trips: u64,
+    /// Durable jobs quarantined after exhausting their retry allowance
+    /// across restarts (see [`SummaryService::quarantined_keys`]).
+    pub quarantined: u64,
     /// Retry attempts after a worker panic (re-runs, not requests).
     pub retries: u64,
     /// Weight-cache hits attributed to this tenant's submissions.
@@ -282,8 +343,17 @@ struct Job {
     graph: Arc<Graph>,
     /// Cooperative cancel flag shared with the run's `RunControl`.
     cancel: Arc<AtomicBool>,
+    /// Set by the stall watchdog when it cancels this job for a frozen
+    /// heartbeat — the worker rewrites the resulting `Cancelled` stop
+    /// into [`StopReason::Stalled`].
+    stalled: Arc<AtomicBool>,
     /// How many times this job has died to a worker panic.
     attempts: AtomicU32,
+    /// The write-ahead journal record backing this job (`None` unless
+    /// durable under a journaling service). Re-appended at every worker
+    /// pickup with a bumped attempt count; retired or quarantined when
+    /// the result publishes.
+    journal_rec: Mutex<Option<JobRecord>>,
     /// Latest successfully written checkpoint blob. A *separate* `Arc`
     /// so the checkpoint sink can capture it without capturing the job
     /// (the request owns the sink and the job owns the request — a
@@ -311,6 +381,9 @@ struct TenantSched {
     queue: VecDeque<QueuedEntry>,
     inflight: usize,
     stats: TenantStats,
+    /// Circuit breaker, created lazily when
+    /// [`ServiceConfig::breaker_window`] > 0.
+    breaker: Option<Breaker>,
 }
 
 struct Sched {
@@ -361,6 +434,23 @@ struct Inner {
     /// at startup, keyed by file name. Each entry is consumed by the
     /// first submission whose durable key maps to it.
     recovered: Mutex<BTreeMap<String, Arc<Vec<u8>>>>,
+    /// Write-ahead admission journal (`Some` iff a checkpoint directory
+    /// is configured).
+    journal: Option<Journal>,
+    /// Durable keys currently quarantined: submissions for them are
+    /// rejected with [`PgsError::Quarantined`] until released.
+    quarantined: Mutex<BTreeSet<String>>,
+    /// Stall watchdog (`Some` iff [`ServiceConfig::stall_timeout`] is
+    /// set).
+    supervisor: Option<Supervisor>,
+    /// Crash simulation ([`SummaryService::crash`]): when set, workers
+    /// stop picking up work and all journal/checkpoint retirement is
+    /// skipped, freezing on-disk state the way a process death would.
+    abandon: AtomicBool,
+    /// Jobs currently held by a worker, for crash-time cancellation.
+    running: Mutex<BTreeMap<u64, Arc<Job>>>,
+    /// Handles of jobs replayed from the journal at startup.
+    replayed: Mutex<Vec<SummaryHandle>>,
 }
 
 /// A typed handle to one submitted request.
@@ -457,6 +547,27 @@ impl SummaryService {
             Some(dir) => recover_checkpoints(dir),
             None => BTreeMap::new(),
         };
+        let journal = cfg.checkpoint_dir.as_deref().map(Journal::new);
+        let supervisor = cfg.stall_timeout.map(Supervisor::new);
+        // Journal replay (see `crate::journal`): records of jobs that
+        // were admitted but never finished. Ones whose persisted attempt
+        // count already exhausts the retry allowance are poisoned — a
+        // deterministically-crashing job must not re-burn its full
+        // budget on every restart; the rest are resubmitted below, in
+        // original admission order.
+        let quarantine_after = u64::from(cfg.retry_budget).saturating_add(1).max(2) as u32;
+        let (poisoned, live): (Vec<JobRecord>, Vec<JobRecord>) = match &journal {
+            Some(j) => j
+                .replay()
+                .into_iter()
+                .partition(|r| r.attempts >= quarantine_after),
+            None => (Vec::new(), Vec::new()),
+        };
+        let quarantined: BTreeSet<String> = journal
+            .iter()
+            .flat_map(|j| j.quarantined())
+            .map(|r| r.key)
+            .collect();
         let inner = Arc::new(Inner {
             algorithm,
             cache: Mutex::new(WeightCache::new(cfg.cache_capacity)),
@@ -479,7 +590,46 @@ impl SummaryService {
             next_seq: AtomicU64::new(0),
             completed_seq: AtomicU64::new(0),
             recovered: Mutex::new(recovered),
+            journal,
+            quarantined: Mutex::new(quarantined),
+            supervisor,
+            abandon: AtomicBool::new(false),
+            running: Mutex::new(BTreeMap::new()),
+            replayed: Mutex::new(Vec::new()),
         });
+        for rec in &poisoned {
+            if let Some(j) = &inner.journal {
+                j.quarantine(rec);
+            }
+            inner.quarantined.lock().unwrap().insert(rec.key.clone());
+            let mut sched = inner.sched.lock().unwrap();
+            let t = sched.tenants.entry(rec.tenant.clone()).or_default();
+            t.stats.quarantined += 1;
+        }
+        // Re-admit the survivors before the pool spawns: they only
+        // queue here, and bypass admission bounds — the journal record
+        // *is* their admission. The rebuilt request is bit-identical to
+        // the original wire form, so combined with a recovered
+        // checkpoint (consumed inside `do_submit` via the durable key)
+        // the finished summary matches the uninterrupted run exactly.
+        let mut handles = Vec::with_capacity(live.len());
+        for rec in live {
+            let mut request =
+                SummarizeRequest::new(rec.budget).personalization(rec.personalization.clone());
+            if let Some(d) = rec.deadline {
+                request = request.deadline(d);
+            }
+            let sub = SubmitRequest {
+                tenant: rec.tenant.clone(),
+                request,
+                priority: rec.priority,
+                durable_key: Some(rec.key.clone()),
+            };
+            if let Ok(h) = do_submit(&inner, sub, Some(rec.attempts)) {
+                handles.push(h);
+            }
+        }
+        *inner.replayed.lock().unwrap() = handles;
         let pool = (0..workers)
             .map(|w| {
                 let inner = Arc::clone(&inner);
@@ -510,149 +660,61 @@ impl SummaryService {
     /// [`Personalization::Targets`]: pgs_core::api::Personalization::Targets
     /// [`Personalization::Weights`]: pgs_core::api::Personalization::Weights
     pub fn submit(&self, sub: SubmitRequest) -> Result<SummaryHandle, PgsError> {
-        let SubmitRequest {
-            tenant,
-            mut request,
-            priority,
-            durable_key,
-        } = sub;
-        let inner = &*self.inner;
-        let (graph, epoch) = inner.graphs.lock().unwrap().effective(&tenant);
+        do_submit(&self.inner, sub, None)
+    }
 
-        // Durable checkpoints: bind the sink for this key, and seed the
-        // request with a blob recovered at startup (first submission for
-        // the key wins it). A caller-supplied resume always takes
-        // precedence; a recovered blob for a different-sized graph is
-        // discarded — the run starts fresh rather than erroring.
-        let durable = match (&inner.cfg.checkpoint_dir, &durable_key) {
-            (Some(dir), Some(key)) => {
-                let sink = FileCheckpointSink::new(dir, key);
-                if request.control_ref().resume.is_none() {
-                    let blob = inner.recovered.lock().unwrap().remove(&ckpt_filename(key));
-                    if let Some(blob) = blob {
-                        let fits = RunCheckpoint::decode(&blob)
-                            .is_ok_and(|ck| ck.num_nodes as usize == graph.num_nodes());
-                        if fits {
-                            request = request.resume_from(blob);
-                        }
-                    }
-                }
-                Some(sink)
-            }
-            _ => None,
-        };
+    /// Handles of the jobs replayed from the admission journal at
+    /// startup, in original admission order. Empty when no journal is
+    /// configured or nothing needed replay.
+    pub fn recovered_handles(&self) -> Vec<SummaryHandle> {
+        self.inner.replayed.lock().unwrap().clone()
+    }
 
-        // Weight cache: tenant-scoped, epoch-stamped, submit-side. The
-        // lock covers only lookup/insert, never the BFS itself, so one
-        // tenant's slow resolution cannot stall other submitters; the
-        // price is that two *concurrent* submissions of the same key
-        // may both resolve (last insert wins — identical bits either
-        // way). Sequential submitters, the sweep case, always hit.
-        let mut cache_outcome: Option<bool> = None;
-        if inner.cfg.cache_capacity > 0 {
-            if let Some(alpha) = inner.algorithm.personalization_alpha() {
-                if let Some(key) = WeightKey::new(&tenant, request.personalization_ref(), alpha) {
-                    // Cheap pre-validation (the checks `resolve_weights`
-                    // would fail on, minus the BFS): an invalid request
-                    // bypasses the cache entirely — its counters then
-                    // track actual BFS work, not doomed submissions —
-                    // and the worker surfaces the typed error.
-                    let valid = alpha.is_finite()
-                        && alpha >= 1.0
-                        && key
-                            .targets()
-                            .iter()
-                            .all(|&t| (t as usize) < graph.num_nodes());
-                    if valid {
-                        let hit = inner.cache.lock().unwrap().lookup(&key, epoch);
-                        if let Some(w) = hit {
-                            request = request.weights(w);
-                            cache_outcome = Some(true);
-                        } else if let Ok(w) = request.resolve_weights(&graph, alpha) {
-                            inner.cache.lock().unwrap().insert(key, w.clone(), epoch);
-                            request = request.weights(w);
-                            cache_outcome = Some(false);
-                        }
-                    }
-                }
-            }
-        }
+    /// Durable keys currently quarantined (retry allowance exhausted
+    /// across restarts). Submissions for these keys are rejected with
+    /// [`PgsError::Quarantined`].
+    pub fn quarantined_keys(&self) -> Vec<String> {
+        self.inner
+            .quarantined
+            .lock()
+            .unwrap()
+            .iter()
+            .cloned()
+            .collect()
+    }
 
-        // One cancel flag shared between the handle and the run: reuse
-        // the request's own flag if the caller attached one.
-        let cancel = match &request.control_ref().cancel {
-            Some(flag) => Arc::clone(flag),
-            None => Arc::new(AtomicBool::new(false)),
-        };
-        request = request.cancel_flag(Arc::clone(&cancel));
+    /// Releases a quarantined durable key so it can be resubmitted
+    /// (an explicit operator decision — quarantine never lifts by
+    /// itself). Returns whether the key was quarantined.
+    pub fn release_quarantined(&self, key: &str) -> bool {
+        let present = self.inner.quarantined.lock().unwrap().remove(key);
+        let on_disk = self.inner.journal.as_ref().is_some_and(|j| j.release(key));
+        present || on_disk
+    }
 
-        let job = Arc::new(Job {
-            id: inner.next_id.fetch_add(1, Ordering::Relaxed),
-            tenant: tenant.clone(),
-            priority,
-            seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
-            submitted: Instant::now(),
-            graph,
-            cancel,
-            attempts: AtomicU32::new(0),
-            last_checkpoint: Arc::new(Mutex::new(None)),
-            durable,
-            state: Mutex::new(JobState::Queued(Box::new(request))),
-            done_cv: Condvar::new(),
-        });
-
-        // Admission, bookkeeping, and enqueue are one critical section:
-        // the bounds checked are exactly the queues the job lands in.
-        // Shed victims are collected under the lock but resolved (state
-        // flip + wakeup) after it, keeping lock order job-free.
-        let shed_victim: Option<(Arc<Job>, Duration)>;
+    /// Simulated process death (crash tests): workers stop picking up
+    /// work, running jobs are cancelled at their next commit boundary,
+    /// and — unlike a graceful [`Drop`] — **no** journal record or
+    /// durable checkpoint is retired, freezing on-disk state exactly as
+    /// a `kill -9` would. A new service over the same directories then
+    /// exercises the real recovery path.
+    pub fn crash(mut self) {
+        // SeqCst pairs with the post-registration load in `run_job`:
+        // every in-flight job is either in the registry for the sweep
+        // below, or observes the flag and freezes itself.
+        self.inner.abandon.store(true, Ordering::SeqCst);
         {
-            let mut sched = inner.sched.lock().unwrap();
-            let hint = overload_hint(&sched, inner.workers);
-            let tenant_depth = inner.cfg.tenant_queue_depth;
-            let queue_len = sched.tenants.get(&tenant).map_or(0, |t| t.queue.len());
-            if tenant_depth > 0 && queue_len >= tenant_depth {
-                let t = sched.tenants.entry(tenant).or_default();
-                t.stats.rejected += 1;
-                return Err(PgsError::Overloaded {
-                    retry_after_hint: hint,
-                });
-            }
-            if inner.cfg.global_queue_depth > 0 && sched.queued >= inner.cfg.global_queue_depth {
-                // Over the global bound: shed the lowest-priority queued
-                // job if the newcomer strictly outranks it; otherwise
-                // the newcomer is the lowest and is itself rejected.
-                match shed_lowest_queued(&mut sched, priority) {
-                    Some(victim) => shed_victim = Some((victim, hint)),
-                    None => {
-                        let t = sched.tenants.entry(tenant).or_default();
-                        t.stats.rejected += 1;
-                        return Err(PgsError::Overloaded {
-                            retry_after_hint: hint,
-                        });
-                    }
-                }
-            } else {
-                shed_victim = None;
-            }
-            let t = sched.tenants.entry(tenant).or_default();
-            t.stats.submitted += 1;
-            match cache_outcome {
-                Some(true) => t.stats.cache_hits += 1,
-                Some(false) => t.stats.cache_misses += 1,
-                None => {}
-            }
-            t.queue.push_back(QueuedEntry {
-                job: Arc::clone(&job),
-                not_before: None,
-            });
-            sched.queued += 1;
+            let mut sched = self.inner.sched.lock().unwrap();
+            sched.shutdown = true;
         }
-        if let Some((victim, hint)) = shed_victim {
-            resolve_shed(&victim, hint);
+        for job in self.inner.running.lock().unwrap().values() {
+            job.cancel.store(true, Ordering::Relaxed);
         }
-        inner.work_cv.notify_one();
-        Ok(SummaryHandle { job })
+        self.inner.work_cv.notify_all();
+        for worker in self.pool.drain(..) {
+            let _ = worker.join();
+        }
+        // `Drop` still runs but finds shutdown set and an empty pool.
     }
 
     /// Swaps the graph for **one tenant** only. Future submissions by
@@ -778,17 +840,285 @@ impl Drop for SummaryService {
     }
 }
 
+/// The submission path shared by [`SummaryService::submit`] and the
+/// startup journal replay. `replayed_attempts` is `Some` for a replay:
+/// the job's attempt counters are seeded from the persisted record and
+/// admission bounds (queue depths, breaker) are bypassed — the journal
+/// record *is* the job's admission; re-judging it could silently drop
+/// a job the service already accepted.
+fn do_submit(
+    inner: &Arc<Inner>,
+    sub: SubmitRequest,
+    replayed_attempts: Option<u32>,
+) -> Result<SummaryHandle, PgsError> {
+    let SubmitRequest {
+        tenant,
+        mut request,
+        priority,
+        durable_key,
+    } = sub;
+    let bypass_admission = replayed_attempts.is_some();
+    let (graph, epoch) = inner.graphs.lock().unwrap().effective(&tenant);
+
+    // Quarantine gate first: a poisoned durable key is rejected before
+    // any other work (or side effect) happens on its behalf.
+    if !bypass_admission {
+        if let Some(key) = &durable_key {
+            if inner.journal.is_some() && inner.quarantined.lock().unwrap().contains(key) {
+                let mut sched = inner.sched.lock().unwrap();
+                let t = sched.tenants.entry(tenant).or_default();
+                t.stats.rejected += 1;
+                return Err(PgsError::Quarantined { key: key.clone() });
+            }
+        }
+    }
+
+    // Snapshot the wire form for the admission journal *before* the
+    // weight cache rewrites the personalization: the journal stores
+    // what the caller asked for (|T| target ids, not |V| floats), and
+    // replaying it through this same path re-resolves identically.
+    let wire_budget = request.budget();
+    let wire_personalization = request.personalization_ref().clone();
+    let wire_deadline = request.control_ref().deadline;
+    let fault_plan = request.control_ref().fault_plan.clone();
+
+    // Durable checkpoints: bind the sink for this key, and seed the
+    // request with a blob recovered at startup (first submission for
+    // the key wins it). A caller-supplied resume always takes
+    // precedence; a recovered blob for a different-sized graph is
+    // discarded — the run starts fresh rather than erroring.
+    let durable = match (&inner.cfg.checkpoint_dir, &durable_key) {
+        (Some(dir), Some(key)) => {
+            let sink = FileCheckpointSink::new(dir, key);
+            if request.control_ref().resume.is_none() {
+                let blob = inner.recovered.lock().unwrap().remove(&ckpt_filename(key));
+                if let Some(blob) = blob {
+                    let fits = RunCheckpoint::decode(&blob)
+                        .is_ok_and(|ck| ck.num_nodes as usize == graph.num_nodes());
+                    if fits {
+                        request = request.resume_from(blob);
+                    }
+                }
+            }
+            Some(sink)
+        }
+        _ => None,
+    };
+
+    // Weight cache: tenant-scoped, epoch-stamped, submit-side. The
+    // lock covers only lookup/insert, never the BFS itself, so one
+    // tenant's slow resolution cannot stall other submitters; the
+    // price is that two *concurrent* submissions of the same key
+    // may both resolve (last insert wins — identical bits either
+    // way). Sequential submitters, the sweep case, always hit.
+    let mut cache_outcome: Option<bool> = None;
+    if inner.cfg.cache_capacity > 0 {
+        if let Some(alpha) = inner.algorithm.personalization_alpha() {
+            if let Some(key) = WeightKey::new(&tenant, request.personalization_ref(), alpha) {
+                // Cheap pre-validation (the checks `resolve_weights`
+                // would fail on, minus the BFS): an invalid request
+                // bypasses the cache entirely — its counters then
+                // track actual BFS work, not doomed submissions —
+                // and the worker surfaces the typed error.
+                let valid = alpha.is_finite()
+                    && alpha >= 1.0
+                    && key
+                        .targets()
+                        .iter()
+                        .all(|&t| (t as usize) < graph.num_nodes());
+                if valid {
+                    let hit = inner.cache.lock().unwrap().lookup(&key, epoch);
+                    if let Some(w) = hit {
+                        request = request.weights(w);
+                        cache_outcome = Some(true);
+                    } else if let Ok(w) = request.resolve_weights(&graph, alpha) {
+                        inner.cache.lock().unwrap().insert(key, w.clone(), epoch);
+                        request = request.weights(w);
+                        cache_outcome = Some(false);
+                    }
+                }
+            }
+        }
+    }
+
+    // One cancel flag shared between the handle and the run: reuse
+    // the request's own flag if the caller attached one.
+    let cancel = match &request.control_ref().cancel {
+        Some(flag) => Arc::clone(flag),
+        None => Arc::new(AtomicBool::new(false)),
+    };
+    request = request.cancel_flag(Arc::clone(&cancel));
+
+    let job = Arc::new(Job {
+        id: inner.next_id.fetch_add(1, Ordering::Relaxed),
+        tenant: tenant.clone(),
+        priority,
+        seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
+        submitted: Instant::now(),
+        graph,
+        cancel,
+        stalled: Arc::new(AtomicBool::new(false)),
+        attempts: AtomicU32::new(replayed_attempts.unwrap_or(0)),
+        journal_rec: Mutex::new(None),
+        last_checkpoint: Arc::new(Mutex::new(None)),
+        durable,
+        state: Mutex::new(JobState::Queued(Box::new(request))),
+        done_cv: Condvar::new(),
+    });
+
+    // Write-ahead journal: persist the admission *before* the job can
+    // be observed by a worker, so a crash after this point replays it.
+    // A replay skips the write — its record is already on disk (with
+    // the original seq; attempt bumps at pickup refresh it). A torn
+    // write (injected fault) leaves a half-record that replay discards:
+    // the crash-window contract is "journaled fully or not admitted",
+    // and the caller still holds the submit error/handle to know which.
+    let journaled = if let (Some(journal), Some(key)) = (&inner.journal, &durable_key) {
+        let rec = JobRecord {
+            tenant: tenant.clone(),
+            key: key.clone(),
+            priority,
+            seq: job.seq,
+            attempts: replayed_attempts.unwrap_or(0),
+            budget: wire_budget,
+            personalization: wire_personalization,
+            deadline: wire_deadline,
+        };
+        if !bypass_admission {
+            let torn = fault_plan
+                .as_ref()
+                .is_some_and(|plan| plan.journal_write_torn(job.seq));
+            if let Err(e) = journal.append(&rec, torn) {
+                // A journal that cannot be written voids the durability
+                // contract — reject rather than silently degrade.
+                return Err(PgsError::CheckpointInvalid {
+                    reason: format!("admission journal write failed: {e}"),
+                });
+            }
+        }
+        *job.journal_rec.lock().unwrap() = Some(rec);
+        true
+    } else {
+        false
+    };
+
+    // Admission, bookkeeping, and enqueue are one critical section:
+    // the bounds checked are exactly the queues the job lands in.
+    // Shed victims are collected under the lock but resolved (state
+    // flip + wakeup) after it, keeping lock order job-free. A labeled
+    // break carries rejections out so the journal record written above
+    // can be retired after the lock is released.
+    let admitted: Result<Option<(Arc<Job>, Duration)>, PgsError> = 'adm: {
+        let mut sched = inner.sched.lock().unwrap();
+        let now = Instant::now();
+        let hint = overload_hint(&sched, inner.workers);
+        // Circuit breaker, phase 1 (pure): a tripped tenant is
+        // fast-rejected before queue bounds are even consulted.
+        if !bypass_admission && inner.cfg.breaker_window > 0 {
+            if let Some(t) = sched.tenants.get_mut(&tenant) {
+                if let Some(b) = &t.breaker {
+                    if let Err(wait) = b.check(now, inner.cfg.breaker_cooldown) {
+                        t.stats.rejected += 1;
+                        t.stats.breaker_rejected += 1;
+                        break 'adm Err(PgsError::Overloaded {
+                            retry_after_hint: wait.max(Duration::from_millis(1)),
+                        });
+                    }
+                }
+            }
+        }
+        let mut shed_victim = None;
+        if !bypass_admission {
+            let tenant_depth = inner.cfg.tenant_queue_depth;
+            let queue_len = sched.tenants.get(&tenant).map_or(0, |t| t.queue.len());
+            if tenant_depth > 0 && queue_len >= tenant_depth {
+                let t = sched.tenants.entry(tenant.clone()).or_default();
+                t.stats.rejected += 1;
+                break 'adm Err(PgsError::Overloaded {
+                    retry_after_hint: hint,
+                });
+            }
+            if inner.cfg.global_queue_depth > 0 && sched.queued >= inner.cfg.global_queue_depth {
+                // Over the global bound: shed the lowest-priority queued
+                // job if the newcomer strictly outranks it; otherwise
+                // the newcomer is the lowest and is itself rejected.
+                match shed_lowest_queued(&mut sched, priority) {
+                    Some(victim) => shed_victim = Some((victim, hint)),
+                    None => {
+                        let t = sched.tenants.entry(tenant.clone()).or_default();
+                        t.stats.rejected += 1;
+                        break 'adm Err(PgsError::Overloaded {
+                            retry_after_hint: hint,
+                        });
+                    }
+                }
+            }
+        }
+        let t = sched.tenants.entry(tenant).or_default();
+        // Circuit breaker, phase 2 (mutating): only a submission that
+        // actually enqueues may claim the half-open probe slot.
+        if !bypass_admission && inner.cfg.breaker_window > 0 {
+            t.breaker
+                .get_or_insert_with(|| Breaker::new(inner.cfg.breaker_window))
+                .note_admitted(now, inner.cfg.breaker_cooldown);
+        }
+        t.stats.submitted += 1;
+        match cache_outcome {
+            Some(true) => t.stats.cache_hits += 1,
+            Some(false) => t.stats.cache_misses += 1,
+            None => {}
+        }
+        t.queue.push_back(QueuedEntry {
+            job: Arc::clone(&job),
+            not_before: None,
+        });
+        sched.queued += 1;
+        Ok(shed_victim)
+    };
+    let shed_victim = match admitted {
+        Ok(v) => v,
+        Err(e) => {
+            // The job never entered a queue: its write-ahead record is
+            // an orphan — retire it or replay would resurrect a job the
+            // service rejected.
+            if journaled && !bypass_admission {
+                if let (Some(journal), Some(key)) = (&inner.journal, &durable_key) {
+                    journal.retire(key);
+                }
+            }
+            return Err(e);
+        }
+    };
+    if let Some((victim, hint)) = shed_victim {
+        // A shed durable job resolves Overloaded — it is finished as
+        // far as its handle is concerned, so its admission record must
+        // not resurrect it at the next restart.
+        if let Some(journal) = &inner.journal {
+            if let Some(rec) = victim.journal_rec.lock().unwrap().as_ref() {
+                journal.retire(&rec.key);
+            }
+        }
+        resolve_shed(&victim, hint);
+    }
+    inner.work_cv.notify_one();
+    Ok(SummaryHandle { job })
+}
+
 /// How long an overloaded caller should back off: the service-wide
 /// mean run time scaled by queue depth per worker (plus one for the
-/// incoming request), with a 50 ms floor before any run completes.
+/// incoming request), floored at [`MIN_RETRY_HINT`] — an empty
+/// completion history, or one whose runs were too fast to measure,
+/// must still hint a non-trivial pause.
+const MIN_RETRY_HINT: Duration = Duration::from_millis(50);
+
 fn overload_hint(sched: &Sched, workers: usize) -> Duration {
     let avg = if sched.total_completed > 0 {
         sched.total_run_secs / sched.total_completed as f64
     } else {
-        0.05
+        0.0
     };
     let depth_per_worker = sched.queued / workers.max(1) + 1;
-    Duration::from_secs_f64(avg * depth_per_worker as f64)
+    Duration::from_secs_f64(avg * depth_per_worker as f64).max(MIN_RETRY_HINT)
 }
 
 /// Removes the globally lowest-priority *queued* job strictly below
@@ -901,6 +1231,11 @@ fn worker_loop(inner: &Inner) {
         let job = {
             let mut sched = inner.sched.lock().unwrap();
             loop {
+                // A crashing service stops dead — no drain; the check
+                // precedes the pop so no further job is even picked up.
+                if sched.shutdown && (sched.queued == 0 || inner.abandon.load(Ordering::Relaxed)) {
+                    break None;
+                }
                 let now = Instant::now();
                 if let Some(job) = pop_next(&mut sched, inner.cfg.per_tenant_inflight, now) {
                     break Some(job);
@@ -960,6 +1295,34 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
             }
         }
     };
+    // Register in the running set *before* the abandon check: `crash`
+    // stores `abandon` (SeqCst) and then sweeps this registry, so a job
+    // is either registered in time to be swept, or its load below sees
+    // the flag — never neither (which would leave a worker running a
+    // job the crash can no longer cancel, wedging the pool join).
+    inner
+        .running
+        .lock()
+        .unwrap()
+        .insert(job.id, Arc::clone(job));
+    if inner.abandon.load(Ordering::SeqCst) {
+        // Crashing: freeze — put the request back and walk away. The
+        // scheduler counters are left inconsistent on purpose (the
+        // process is "dead"); the job's journal record replays it.
+        inner.running.lock().unwrap().remove(&job.id);
+        *job.state.lock().unwrap() = JobState::Queued(request);
+        return;
+    }
+    // Persist the pickup before running: the attempt count must reach
+    // disk while the job can still die, or a restart loop re-burns the
+    // full retry allowance on every incarnation.
+    if let Some(journal) = &inner.journal {
+        let mut rec = job.journal_rec.lock().unwrap();
+        if let Some(rec) = rec.as_mut() {
+            rec.attempts += 1;
+            let _ = journal.append(rec, false);
+        }
+    }
 
     let outcome = if job.cancel.load(Ordering::Relaxed) {
         // Cancelled while queued: never start the engine. The identity
@@ -1022,6 +1385,22 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
                 });
                 request = request.checkpoint(inner.cfg.checkpoint_every.max(1), sink);
             }
+            // Stall supervision: give the run a fresh heartbeat and put
+            // it under watch for the duration of the engine call. The
+            // watchdog escalates a frozen heartbeat to the job's cancel
+            // flag (marking `stalled` first), so the engine unwinds
+            // through its normal cancellation path and the worker is
+            // free again within one stall timeout plus one commit.
+            if let Some(sup) = &inner.supervisor {
+                let hb = Arc::new(AtomicU64::new(0));
+                request = request.heartbeat(Arc::clone(&hb));
+                sup.watch(
+                    job.id,
+                    hb,
+                    Arc::clone(&job.cancel),
+                    Arc::clone(&job.stalled),
+                );
+            }
             // Panic isolation: an algorithm bug or a panicking user
             // observer must not unwind the worker — that would leak the
             // tenant's in-flight slot, hang the handle's `wait`, and
@@ -1030,8 +1409,29 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
             let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 inner.algorithm.run(&job.graph, &request)
             }));
+            if let Some(sup) = &inner.supervisor {
+                sup.unwatch(job.id);
+            }
             match run {
-                Ok(result) => Outcome::Publish(Box::new(result)),
+                Ok(result) => {
+                    // A cancellation the *watchdog* initiated is not the
+                    // caller's: surface it as Stalled. Completions that
+                    // raced the verdict (budget met on the same commit)
+                    // keep their honest stop reason.
+                    let result = match result {
+                        Ok(out)
+                            if out.stop == StopReason::Cancelled
+                                && job.stalled.load(Ordering::Relaxed) =>
+                        {
+                            Ok(RunOutput {
+                                stop: StopReason::Stalled,
+                                ..out
+                            })
+                        }
+                        other => other,
+                    };
+                    Outcome::Publish(Box::new(result))
+                }
                 Err(_) => {
                     let deaths = job.attempts.fetch_add(1, Ordering::Relaxed) + 1;
                     if deaths <= inner.cfg.retry_budget {
@@ -1068,6 +1468,7 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
         }
     };
 
+    inner.running.lock().unwrap().remove(&job.id);
     let result = match outcome {
         Outcome::Retry(retry) => {
             let attempt = job.attempts.load(Ordering::Relaxed);
@@ -1107,6 +1508,28 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
         completed_seq: inner.completed_seq.fetch_add(1, Ordering::Relaxed),
     };
     let outcome = result.as_ref().map(|out| out.stop).map_err(|_| ());
+    let abandoned = inner.abandon.load(Ordering::Relaxed);
+    // Journal bookkeeping before the stats/publish sections: a finished
+    // job's admission record retires (any outcome — even a typed error
+    // must not replay forever); the one exception is a durable job that
+    // exhausted its retries, which is *quarantined* instead — moved
+    // aside, surfaced in stats, never re-admitted until released. Under
+    // a simulated crash nothing on disk moves.
+    let mut quarantined_now = false;
+    if !abandoned {
+        if let Some(journal) = &inner.journal {
+            let rec = job.journal_rec.lock().unwrap();
+            if let Some(rec) = rec.as_ref() {
+                if matches!(outcome, Ok(StopReason::RetriesExhausted)) {
+                    journal.quarantine(rec);
+                    inner.quarantined.lock().unwrap().insert(rec.key.clone());
+                    quarantined_now = true;
+                } else {
+                    journal.retire(&rec.key);
+                }
+            }
+        }
+    }
     // Counters first, completion second: anyone woken by the handle's
     // condvar must already see this job in the tenant's stats.
     {
@@ -1127,9 +1550,32 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
                     StopReason::Cancelled => t.stats.cancelled += 1,
                     StopReason::DeadlineExceeded => t.stats.deadline_exceeded += 1,
                     StopReason::RetriesExhausted => t.stats.retries_exhausted += 1,
+                    StopReason::Stalled => t.stats.stalled += 1,
                 }
             }
             Err(()) => t.stats.errors += 1,
+        }
+        if quarantined_now {
+            t.stats.quarantined += 1;
+        }
+        // The breaker judges every completion: hard failures are typed
+        // errors, watchdog stalls, and exhausted retries. Cancellation
+        // and deadline expiry are *caller* verdicts, not tenant health.
+        if inner.cfg.breaker_window > 0 {
+            let failure = matches!(
+                outcome,
+                Err(()) | Ok(StopReason::Stalled | StopReason::RetriesExhausted)
+            );
+            let b = t
+                .breaker
+                .get_or_insert_with(|| Breaker::new(inner.cfg.breaker_window));
+            b.record(
+                failure,
+                Instant::now(),
+                inner.cfg.breaker_threshold,
+                inner.cfg.breaker_cooldown,
+            );
+            t.stats.breaker_trips = b.trips;
         }
         sched.total_run_secs += timings.run_secs;
         sched.total_completed += 1;
@@ -1139,8 +1585,9 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
     // crash between remove and publish merely replays the finished run
     // from its last checkpoint). Interrupted outcomes — cancel,
     // deadline, retries exhausted — keep the file so a resubmission of
-    // the same durable key can pick the work back up.
-    if matches!(outcome, Ok(StopReason::BudgetMet | StopReason::MaxIters)) {
+    // the same durable key can pick the work back up. A simulated crash
+    // retires nothing.
+    if !abandoned && matches!(outcome, Ok(StopReason::BudgetMet | StopReason::MaxIters)) {
         if let Some(file) = &job.durable {
             file.remove();
         }
@@ -1266,6 +1713,40 @@ mod tests {
         // Ran against the new graph with freshly resolved weights.
         assert_eq!(out.summary.num_nodes(), 150);
         assert_eq!(svc.cache_stats().misses, 2, "old epoch never served");
+    }
+
+    #[test]
+    fn overload_hint_is_floored_on_empty_and_zero_cost_history() {
+        // No run has ever completed: the hint must still be a sane,
+        // non-zero backoff — not 0 ns and not an arbitrary per-call
+        // guess that vanishes the moment total_completed turns 1.
+        let empty = Sched {
+            tenants: BTreeMap::new(),
+            queued: 0,
+            total_run_secs: 0.0,
+            total_completed: 0,
+            shutdown: false,
+        };
+        assert_eq!(overload_hint(&empty, 4), MIN_RETRY_HINT);
+        // Completions exist but were too fast to measure: same floor
+        // (this was the bug — a ~0 s average yielded a ~0 ns hint).
+        let fast = Sched {
+            tenants: BTreeMap::new(),
+            queued: 7,
+            total_run_secs: 0.0,
+            total_completed: 10,
+            shutdown: false,
+        };
+        assert!(overload_hint(&fast, 2) >= MIN_RETRY_HINT);
+        // A real average still dominates once it clears the floor.
+        let slow = Sched {
+            tenants: BTreeMap::new(),
+            queued: 4,
+            total_run_secs: 10.0,
+            total_completed: 10,
+            shutdown: false,
+        };
+        assert_eq!(overload_hint(&slow, 2), Duration::from_secs_f64(3.0));
     }
 
     #[test]

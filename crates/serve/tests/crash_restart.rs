@@ -1,0 +1,357 @@
+//! Crash-safety of the write-ahead admission journal (DESIGN.md §12):
+//! a service killed at *any* point — jobs still queued, running before
+//! the first checkpoint, running after checkpoints exist, or parked in
+//! retry backoff — loses no durable job. A fresh service over the same
+//! directories replays the admitted-but-unfinished records and finishes
+//! each one **byte-identical** to an uninterrupted run, at 1, 2, and 8
+//! workers.
+//!
+//! `SummaryService::crash` stands in for `kill -9`: workers stop dead
+//! (no drain), and nothing on disk is retired — exactly the state a
+//! real process death leaves behind.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest, Summarizer};
+use pgs_core::pegasus::PegasusConfig;
+use pgs_core::{FaultPlan, Summary};
+use pgs_graph::gen::planted_partition;
+use pgs_graph::Graph;
+use pgs_serve::durable::ckpt_filename;
+use pgs_serve::{JobStatus, ServiceConfig, SubmitRequest, SummaryHandle, SummaryService};
+
+fn graph() -> Arc<Graph> {
+    Arc::new(planted_partition(400, 8, 1600, 250, 3))
+}
+
+/// Inner parallelism pinned to 1 so `workers` is the only concurrency
+/// axis; `seed` keys the engine's per-iteration RNG streams.
+fn algorithm(seed: u64) -> Arc<Pegasus> {
+    Arc::new(Pegasus(PegasusConfig {
+        num_threads: 1,
+        seed,
+        ..Default::default()
+    }))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pgs-crash-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &Path, workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        retry_budget: 2,
+        retry_backoff: Duration::from_millis(1),
+        checkpoint_every: 1,
+        checkpoint_dir: Some(dir.to_path_buf()),
+        ..Default::default()
+    }
+}
+
+fn assert_identical(a: &Summary, b: &Summary, context: &str) {
+    assert_eq!(a.num_nodes(), b.num_nodes(), "{context}: |V|");
+    for u in 0..a.num_nodes() as u32 {
+        assert_eq!(a.supernode_of(u), b.supernode_of(u), "{context}: node {u}");
+    }
+    assert_eq!(
+        a.size_bits().to_bits(),
+        b.size_bits().to_bits(),
+        "{context}: size bits"
+    );
+}
+
+/// Journal records currently on disk.
+fn job_files(dir: &Path) -> usize {
+    match fs::read_dir(dir.join("journal")) {
+        Ok(entries) => entries
+            .flatten()
+            .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("job"))
+            .count(),
+        Err(_) => 0,
+    }
+}
+
+/// A request that parks its worker until `gate` opens *or* the job is
+/// cancelled (the crash path sets the cancel flag, so a crashing
+/// service can always join its pool).
+fn blocker(gate: &Arc<AtomicBool>, cancel: &Arc<AtomicBool>) -> SummarizeRequest {
+    let gate = Arc::clone(gate);
+    let seen = Arc::clone(cancel);
+    SummarizeRequest::new(Budget::Ratio(0.4))
+        .targets(&[0])
+        .cancel_flag(Arc::clone(cancel))
+        .observer(move |_| {
+            while !gate.load(Ordering::Acquire) && !seen.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        })
+}
+
+fn spin_until_running(h: &SummaryHandle) {
+    while h.poll() != JobStatus::Running {
+        assert_ne!(h.poll(), JobStatus::Done, "blocker finished prematurely");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Kill point 1 — **queued**: every worker is busy, the durable jobs
+/// have been admitted but never picked up. The crash freezes them; the
+/// restarted service replays all of them, in admission order, to
+/// byte-identical results.
+#[test]
+fn crash_with_jobs_still_queued_loses_nothing() {
+    let g = graph();
+    let alg = algorithm(31);
+    let reqs: Vec<SummarizeRequest> = (0..3)
+        .map(|i| SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[i]))
+        .collect();
+    let direct: &dyn Summarizer = &*alg;
+    let clean: Vec<_> = reqs
+        .iter()
+        .map(|r| direct.run(&g, r).expect("direct run"))
+        .collect();
+
+    for workers in [1usize, 2, 8] {
+        let dir = temp_dir(&format!("queued-{workers}"));
+        let gate = Arc::new(AtomicBool::new(false));
+        let svc = SummaryService::new(Arc::clone(&g), alg.clone(), config(&dir, workers));
+        let blockers: Vec<SummaryHandle> = (0..workers)
+            .map(|w| {
+                let cancel = Arc::new(AtomicBool::new(false));
+                svc.submit(SubmitRequest::new(
+                    format!("gate{w}"),
+                    blocker(&gate, &cancel),
+                ))
+                .expect("blocker admitted")
+            })
+            .collect();
+        for b in &blockers {
+            spin_until_running(b);
+        }
+        let queued: Vec<SummaryHandle> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                svc.submit(SubmitRequest::new("t", r.clone()).durable(format!("job-{i}")))
+                    .expect("durable job admitted")
+            })
+            .collect();
+        for h in &queued {
+            assert_eq!(h.poll(), JobStatus::Queued, "all workers are gated");
+        }
+        svc.crash();
+        for h in &queued {
+            assert_eq!(h.poll(), JobStatus::Queued, "crash freezes, never resolves");
+        }
+        assert_eq!(job_files(&dir), 3, "every admission journaled");
+
+        let svc2 = SummaryService::new(Arc::clone(&g), alg.clone(), config(&dir, workers));
+        let recovered = svc2.recovered_handles();
+        assert_eq!(recovered.len(), 3, "workers={workers}: all jobs replayed");
+        for (i, h) in recovered.iter().enumerate() {
+            let out = h.wait().expect("replayed job finishes");
+            assert_eq!(out.stop, StopReason::BudgetMet);
+            assert_identical(
+                &clean[i].summary,
+                &out.summary,
+                &format!("workers={workers} job-{i} (queued kill point)"),
+            );
+        }
+        drop(svc2);
+        assert_eq!(job_files(&dir), 0, "finished jobs retire their records");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Kill point 2 — **running, before any checkpoint**: the job dies with
+/// nothing on disk but its journal record. Replay starts it from
+/// scratch and still matches the uninterrupted run.
+#[test]
+fn crash_mid_run_before_any_checkpoint_replays_from_scratch() {
+    let g = graph();
+    let alg = algorithm(47);
+    // The durable job is submitted through `blocker`, whose underlying
+    // request is Ratio(0.4) over target 0 — the baseline must match
+    // what the journal record will reconstruct.
+    let req = SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[0]);
+    let direct: &dyn Summarizer = &*alg;
+    let clean = direct.run(&g, &req).expect("direct run");
+
+    for workers in [1usize, 2, 8] {
+        let dir = temp_dir(&format!("prechk-{workers}"));
+        // Checkpoint cadence far past the run length: nothing durable
+        // is ever written for this job except the admission record.
+        let sparse = ServiceConfig {
+            checkpoint_every: 1_000_000,
+            ..config(&dir, workers)
+        };
+        let svc = SummaryService::new(Arc::clone(&g), alg.clone(), sparse);
+        let gate = Arc::new(AtomicBool::new(false));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let h = svc
+            .submit(SubmitRequest::new("t", blocker(&gate, &cancel)).durable("mid-run"))
+            .expect("admitted");
+        spin_until_running(&h);
+        svc.crash();
+        assert!(
+            !dir.join(ckpt_filename("mid-run")).exists(),
+            "no checkpoint was ever written"
+        );
+        assert_eq!(job_files(&dir), 1);
+
+        let svc2 = SummaryService::new(Arc::clone(&g), alg.clone(), config(&dir, workers));
+        let recovered = svc2.recovered_handles();
+        assert_eq!(recovered.len(), 1);
+        let out = recovered[0].wait().expect("replayed from scratch");
+        assert_eq!(out.stop, StopReason::BudgetMet);
+        assert_eq!(out.stats.iterations, clean.stats.iterations);
+        assert_identical(
+            &clean.summary,
+            &out.summary,
+            &format!("workers={workers} (pre-checkpoint kill point)"),
+        );
+        drop(svc2);
+        assert_eq!(job_files(&dir), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Kill point 3 — **running, after checkpoints exist**: the job dies
+/// mid-run with a durable checkpoint behind it. Replay resumes from the
+/// checkpoint (same iteration count as the clean run — the work already
+/// done is not redone from zero) and matches byte-for-byte.
+#[test]
+fn crash_mid_run_after_a_checkpoint_resumes_from_it() {
+    let g = graph();
+    let alg = algorithm(59);
+    let req = SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[2, 9]);
+    let direct: &dyn Summarizer = &*alg;
+    let clean = direct.run(&g, &req).expect("direct run");
+    assert!(
+        clean.stats.iterations > 2,
+        "need a multi-iteration run to kill mid-flight"
+    );
+
+    for workers in [1usize, 2, 8] {
+        let dir = temp_dir(&format!("postchk-{workers}"));
+        let svc = SummaryService::new(Arc::clone(&g), alg.clone(), config(&dir, workers));
+        // Park the worker after the second iteration commits — at least
+        // one checkpoint (cadence 1) is on disk by then.
+        let calls = Arc::new(AtomicU64::new(0));
+        let parked = Arc::new(AtomicBool::new(false));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let obs_calls = Arc::clone(&calls);
+        let obs_parked = Arc::clone(&parked);
+        let obs_cancel = Arc::clone(&cancel);
+        let doomed = req
+            .clone()
+            .cancel_flag(Arc::clone(&cancel))
+            .observer(move |_| {
+                if obs_calls.fetch_add(1, Ordering::SeqCst) + 1 >= 2 {
+                    obs_parked.store(true, Ordering::SeqCst);
+                    while !obs_cancel.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            });
+        let h = svc
+            .submit(SubmitRequest::new("t", doomed).durable("resumable"))
+            .expect("admitted");
+        while !parked.load(Ordering::SeqCst) {
+            assert_ne!(h.poll(), JobStatus::Done, "must park mid-run first");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        svc.crash();
+        assert!(
+            dir.join(ckpt_filename("resumable")).exists(),
+            "the mid-run checkpoint survives the crash"
+        );
+
+        let svc2 = SummaryService::new(Arc::clone(&g), alg.clone(), config(&dir, workers));
+        let recovered = svc2.recovered_handles();
+        assert_eq!(recovered.len(), 1);
+        let out = recovered[0].wait().expect("resumed");
+        assert_eq!(out.stop, StopReason::BudgetMet);
+        assert_eq!(
+            out.stats.iterations, clean.stats.iterations,
+            "resume continues the old run rather than restarting it"
+        );
+        assert_identical(
+            &clean.summary,
+            &out.summary,
+            &format!("workers={workers} (post-checkpoint kill point)"),
+        );
+        drop(svc2);
+        assert_eq!(job_files(&dir), 0);
+        assert!(!dir.join(ckpt_filename("resumable")).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Kill point 4 — **parked in retry backoff**: the first attempt died
+/// to an injected panic (after checkpointing iteration 1) and the job
+/// is waiting out its backoff when the crash lands. The restart replays
+/// it with the persisted attempt count, resumes the checkpoint, and the
+/// clean re-run (no fault plan survives a restart) matches exactly.
+#[test]
+fn crash_during_retry_backoff_replays_with_attempts_intact() {
+    let g = graph();
+    let alg = algorithm(71);
+    let req = SummarizeRequest::new(Budget::Ratio(0.4)).targets(&[4]);
+    let direct: &dyn Summarizer = &*alg;
+    let clean = direct.run(&g, &req).expect("direct run");
+
+    for workers in [1usize, 2, 8] {
+        let dir = temp_dir(&format!("backoff-{workers}"));
+        // Long backoff: the crash lands deterministically inside it.
+        let slow_retry = ServiceConfig {
+            retry_backoff: Duration::from_secs(2),
+            ..config(&dir, workers)
+        };
+        let svc = SummaryService::new(Arc::clone(&g), alg.clone(), slow_retry);
+        let plan = Arc::new(FaultPlan::new().panic_at(2));
+        let h = svc
+            .submit(
+                SubmitRequest::new("t", req.clone().fault_plan(Arc::clone(&plan)))
+                    .durable("retrying"),
+            )
+            .expect("admitted");
+        // Wait for the panic to fire, then for the job to land back in
+        // its queue (state Queued with a multi-second not_before).
+        while plan.armed() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        while h.poll() != JobStatus::Queued {
+            assert_ne!(h.poll(), JobStatus::Done, "must be parked in backoff");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        svc.crash();
+        assert_eq!(job_files(&dir), 1, "the record survives with its attempt");
+        assert!(
+            dir.join(ckpt_filename("retrying")).exists(),
+            "the pre-panic checkpoint survives"
+        );
+
+        let svc2 = SummaryService::new(Arc::clone(&g), alg.clone(), config(&dir, workers));
+        let recovered = svc2.recovered_handles();
+        assert_eq!(recovered.len(), 1, "one pickup is far under the allowance");
+        let out = recovered[0].wait().expect("replayed");
+        assert_eq!(out.stop, StopReason::BudgetMet);
+        assert_eq!(out.stats.iterations, clean.stats.iterations);
+        assert_identical(
+            &clean.summary,
+            &out.summary,
+            &format!("workers={workers} (retry-backoff kill point)"),
+        );
+        drop(svc2);
+        assert_eq!(job_files(&dir), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
