@@ -1,0 +1,114 @@
+//! CLI driver for the workspace invariant checker.
+//!
+//! ```text
+//! pgs-analysis check [--root DIR] [--format human|json] [--file F]...
+//! ```
+//!
+//! Exit codes: `0` clean (or only documented findings), `1`
+//! undocumented violations, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("pgs-analysis: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown command `{other}` (expected `check`)")),
+        None => {
+            return Err(
+                "usage: pgs-analysis check [--root DIR] [--format human|json] [--file F]...".into(),
+            )
+        }
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    let mut files: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(
+                    args.next().ok_or("--root requires a directory")?,
+                ));
+            }
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!("--format expects `human` or `json`, got {other:?}"))
+                    }
+                };
+            }
+            "--file" => {
+                files.push(PathBuf::from(args.next().ok_or("--file requires a path")?));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = if files.is_empty() {
+        let root = match root {
+            Some(r) => r,
+            None => find_workspace_root()?,
+        };
+        pgs_analysis::check_workspace(&root).map_err(|e| format!("scanning workspace: {e}"))?
+    } else {
+        let mut named = Vec::new();
+        for path in &files {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            named.push((path.to_string_lossy().into_owned(), text));
+        }
+        pgs_analysis::check_files(&named)
+    };
+
+    match format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => println!("{}", report.render_json()),
+    }
+    Ok(if report.violation_count() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// Walks up from the current directory to the workspace root (the
+/// first ancestor whose `Cargo.toml` contains a `[workspace]` table).
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("reading {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory \
+                        (pass --root explicitly)"
+                .into());
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! **PGS001 — unordered hash iteration in engine code.**
+//!
+//! Byte-identical summaries at every thread count (the PR-1 contract)
+//! require that nothing on a canonical-output path iterates a
+//! `HashMap`/`HashSet` in hash order. This rule tracks every local,
+//! parameter, and field declared with a hash-container type in the
+//! file and flags iteration over it — `.iter()`, `.keys()`,
+//! `.drain()`, `for _ in &map`, and friends.
+//!
+//! Two idioms are recognized as ordered and exempted automatically:
+//! draining into a collection that is sorted in the same or one of the
+//! next two statements (`let mut v: Vec<_> = m.drain().collect();
+//! v.sort_unstable();`), and collecting into a `BTreeMap`/`BTreeSet`.
+//! Everything else needs an inline `// pgs-allow: PGS001 <reason>`.
+
+use super::{ident, is_punct, FileCtx};
+use crate::lexer::Tok;
+use crate::report::Finding;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+const SORTERS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Runs PGS001 over one engine-crate file.
+pub fn check(f: &FileCtx) -> Vec<Finding> {
+    let toks = f.tokens();
+    let hash_names = hash_typed_names(f);
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if f.excluded(i) {
+            continue;
+        }
+        // `name.method(` where name is hash-typed and method iterates.
+        if let Some(name) = ident(&toks[i]) {
+            if hash_names.contains(&name.to_string())
+                && toks.get(i + 1).is_some_and(|t| is_punct(t, '.'))
+            {
+                if let Some(m) = toks.get(i + 2).and_then(ident) {
+                    if ITER_METHODS.contains(&m)
+                        && toks.get(i + 3).is_some_and(|t| is_punct(t, '('))
+                        && !feeds_ordered_sink(f, i)
+                    {
+                        out.push(site(f, toks[i].line, name, m));
+                    }
+                }
+            }
+            // `for pat in &name {` / `for pat in name {`.
+            if name == "in" {
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|t| is_punct(t, '&'))
+                    || toks.get(j).and_then(ident) == Some("mut")
+                {
+                    j += 1;
+                }
+                if let Some(n) = toks.get(j).and_then(ident) {
+                    if hash_names.contains(&n.to_string())
+                        && toks.get(j + 1).is_some_and(|t| is_punct(t, '{'))
+                        && !feeds_ordered_sink(f, i)
+                    {
+                        out.push(site(f, toks[i].line, n, "for-loop"));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn site(f: &FileCtx, line: u32, name: &str, method: &str) -> Finding {
+    f.finding(
+        "PGS001",
+        line,
+        "hash-iteration",
+        format!(
+            "`{name}` is a hash container; `{method}` visits it in hash order — \
+             sort before use on any canonical-output path, or document with \
+             `// pgs-allow: PGS001 <reason>`"
+        ),
+    )
+}
+
+/// Collects every identifier declared with a hash-container type:
+/// `let x: FxHashMap<..> = ..`, `let x = FxHashMap::default()`,
+/// struct fields, and function parameters (`name: &mut FxHashMap<..>`).
+fn hash_typed_names(f: &FileCtx) -> Vec<String> {
+    let toks = f.tokens();
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Declarations in test/bench code must not poison the name
+        // table for the library scan.
+        if f.excluded(i) {
+            i += 1;
+            continue;
+        }
+        match ident(&toks[i]) {
+            // `let [mut] name ... ;` — hash-typed if any hash-type
+            // identifier appears in the statement (covers both the
+            // annotation and the constructor-call form).
+            Some("let") => {
+                let mut j = i + 1;
+                if toks.get(j).and_then(ident) == Some("mut") {
+                    j += 1;
+                }
+                if let Some(name) = toks.get(j).and_then(ident) {
+                    let end = statement_end(f, j);
+                    let has_hash = toks[j..end]
+                        .iter()
+                        .filter_map(ident)
+                        .any(|w| HASH_TYPES.contains(&w));
+                    if has_hash {
+                        names.push(name.to_string());
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i = j;
+            }
+            // `name : <type containing a hash type>` — fields and
+            // params. The type region runs to the first `,;=){}` at
+            // angle/paren depth zero.
+            Some(name)
+                if toks.get(i + 1).is_some_and(|t| is_punct(t, ':'))
+                    && !toks.get(i + 2).is_some_and(|t| is_punct(t, ':')) // skip paths `a::b`
+                    && !(i > 0 && is_punct(&toks[i - 1], ':')) =>
+            {
+                let mut depth = 0i64;
+                let mut j = i + 2;
+                let mut has_hash = false;
+                while let Some(t) = toks.get(j) {
+                    match &t.tok {
+                        Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                        Tok::Punct('>') if !(j > 0 && is_punct(&toks[j - 1], '-')) => depth -= 1,
+                        Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                        Tok::Punct(',')
+                        | Tok::Punct(';')
+                        | Tok::Punct('=')
+                        | Tok::Punct('{')
+                        | Tok::Punct('}')
+                            if depth <= 0 =>
+                        {
+                            break
+                        }
+                        Tok::Ident(w) if HASH_TYPES.contains(&w.as_str()) => has_hash = true,
+                        _ => {}
+                    }
+                    if depth < 0 {
+                        break;
+                    }
+                    j += 1;
+                }
+                if has_hash {
+                    names.push(name.to_string());
+                }
+                i += 1;
+                continue;
+            }
+            _ => i += 1,
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// Token index of the start of the statement containing `i` (just
+/// past the previous `;`, `{`, or `}` at bracket depth zero, walking
+/// backwards).
+fn statement_start(f: &FileCtx, i: usize) -> usize {
+    let toks = f.tokens();
+    let mut depth = 0i64;
+    let mut j = i;
+    while j > 0 {
+        match &toks[j - 1].tok {
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            Tok::Punct(';') if depth == 0 => return j,
+            _ => {}
+        }
+        j -= 1;
+    }
+    0
+}
+
+/// Token index just past the `;` ending the statement containing `i`
+/// (bracket-depth aware; a dedenting `}` also ends it).
+fn statement_end(f: &FileCtx, i: usize) -> usize {
+    let toks = f.tokens();
+    let mut depth = 0i64;
+    let mut j = i;
+    while let Some(t) = toks.get(j) {
+        match &t.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            Tok::Punct(';') if depth <= 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Whether the iteration at token `i` feeds an ordered sink: a
+/// `sort*` call or a `BTreeMap`/`BTreeSet` collect inside the same
+/// statement (including a type annotation before `i`) or either of
+/// the next two statements.
+fn feeds_ordered_sink(f: &FileCtx, i: usize) -> bool {
+    let toks = f.tokens();
+    let start = statement_start(f, i);
+    let mut end = statement_end(f, i);
+    for _ in 0..2 {
+        end = statement_end(f, end);
+    }
+    toks[start..end.min(toks.len())]
+        .iter()
+        .any(|t| match &t.tok {
+            Tok::Ident(w) => SORTERS.contains(&w.as_str()) || w == "BTreeMap" || w == "BTreeSet",
+            _ => false,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&FileCtx::new("t.rs", src, RuleSet::all()))
+    }
+
+    #[test]
+    fn map_iteration_is_flagged() {
+        let src = "
+            fn f() {
+                let mut m: FxHashMap<u32, f64> = FxHashMap::default();
+                for (k, v) in &m { emit(k, v); }
+                let s: f64 = m.values().sum();
+            }
+        ";
+        let found = run(src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|f| f.allowed.is_none()));
+    }
+
+    #[test]
+    fn sorted_drain_is_exempt() {
+        let src = "
+            fn f(m: FxHashMap<u32, f64>) {
+                let mut v: Vec<_> = m.drain().collect();
+                v.sort_unstable_by_key(|e| e.0);
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn btree_collect_is_exempt() {
+        let src = "
+            fn f(m: FxHashMap<u32, f64>) {
+                let b: BTreeMap<u32, f64> = m.into_iter().collect();
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn vec_iteration_is_not_flagged() {
+        let src = "fn f(v: Vec<u32>) { for x in &v {} v.iter().sum::<u32>(); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn pragma_documents_the_site() {
+        let src = "
+            fn f(m: FxHashSet<u32>) {
+                // pgs-allow: PGS001 order-insensitive count
+                let n = m.iter().count();
+            }
+        ";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].allowed.as_deref(), Some("order-insensitive count"));
+    }
+
+    #[test]
+    fn struct_fields_and_params_are_tracked() {
+        let src = "
+            struct S { spans: FxHashMap<u32, u64> }
+            fn f(s: &S, out: &mut FxHashSet<u32>) {
+                for k in s.spans.keys() {}
+                out.iter().next();
+            }
+        ";
+        assert_eq!(run(src).len(), 2);
+    }
+}

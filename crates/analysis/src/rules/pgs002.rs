@@ -1,0 +1,89 @@
+//! **PGS002 — RNG seeding discipline in engine code.**
+//!
+//! Every random draw in the engines must flow from the run's seed
+//! (`iteration_seed(cfg.seed, t)` and the seeded constructors), or a
+//! checkpoint-resumed run diverges from the uninterrupted one and the
+//! fixed-seed determinism tests stop meaning anything. This rule flags
+//! entropy-sourced RNG construction: `thread_rng`, `from_entropy`,
+//! `from_os_rng`, `OsRng`, and the free `rand::random`.
+
+use super::{ident, is_punct, FileCtx};
+use crate::report::Finding;
+
+const ENTROPY_SOURCES: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
+
+/// Runs PGS002 over one engine-crate file.
+pub fn check(f: &FileCtx) -> Vec<Finding> {
+    let toks = f.tokens();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if f.excluded(i) {
+            continue;
+        }
+        let Some(name) = ident(&toks[i]) else {
+            continue;
+        };
+        let flagged = ENTROPY_SOURCES.contains(&name)
+            || (name == "random"
+                && i >= 3
+                && ident(&toks[i - 3]) == Some("rand")
+                && is_punct(&toks[i - 2], ':')
+                && is_punct(&toks[i - 1], ':'));
+        if flagged {
+            out.push(f.finding(
+                "PGS002",
+                toks[i].line,
+                "entropy-seeded-rng",
+                format!(
+                    "`{name}` draws entropy outside the seed chain — derive every engine \
+                     RNG from `iteration_seed`/seeded constructors so runs replay \
+                     bit-identically, or document with `// pgs-allow: PGS002 <reason>`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&FileCtx::new("t.rs", src, RuleSet::all()))
+    }
+
+    #[test]
+    fn entropy_constructors_are_flagged() {
+        let src = "
+            fn f() {
+                let a = rand::thread_rng();
+                let b = StdRng::from_entropy();
+                let c: u64 = rand::random();
+            }
+        ";
+        assert_eq!(run(src).len(), 3);
+    }
+
+    #[test]
+    fn seeded_construction_is_clean() {
+        let src = "
+            fn f(seed: u64, t: u64) {
+                let rng = StdRng::seed_from_u64(iteration_seed(seed, t));
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                fn noise() { let r = rand::thread_rng(); }
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+}

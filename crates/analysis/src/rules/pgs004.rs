@@ -1,0 +1,181 @@
+//! **PGS004 — panic freedom in library code.**
+//!
+//! A panic in the serving layer is a wedged worker (and, pre-PR-5, a
+//! dead pool); a panic in the CLI is a user-facing crash on malformed
+//! input. This rule flags `.unwrap()` / `.expect(...)` and the
+//! `panic!`-family macros in non-test library code.
+//!
+//! One category is policy-exempt rather than pragma-exempt: an
+//! `unwrap`/`expect` applied directly to `lock()` / `read()` /
+//! `write()` / `wait()` / `wait_timeout()` propagates mutex or condvar
+//! *poisoning* — another thread already panicked while holding the
+//! lock, the protected state is suspect, and aborting is the
+//! documented policy (DESIGN.md §13). Those sites are reported as
+//! documented `poisoning` findings, never as violations.
+
+use super::{ident, is_punct, FileCtx};
+use crate::lexer::Tok;
+use crate::report::Finding;
+
+/// Receivers whose `Result` encodes lock poisoning.
+const POISON_SOURCES: &[&str] = &["lock", "read", "write", "wait", "wait_timeout"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs PGS004 over one library file.
+pub fn check(f: &FileCtx) -> Vec<Finding> {
+    let toks = f.tokens();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if f.excluded(i) {
+            continue;
+        }
+        let Some(name) = ident(&toks[i]) else {
+            continue;
+        };
+        // `.unwrap(` / `.expect(`.
+        if (name == "unwrap" || name == "expect")
+            && i >= 1
+            && is_punct(&toks[i - 1], '.')
+            && toks.get(i + 1).is_some_and(|t| is_punct(t, '('))
+        {
+            if let Some(source) = poison_source(f, i - 1) {
+                out.push(Finding {
+                    code: "PGS004",
+                    file: f.rel.clone(),
+                    line: toks[i].line,
+                    category: "poisoning",
+                    message: format!(
+                        "`{source}().{name}()` propagates lock poisoning (documented \
+                         abort-on-poison policy)"
+                    ),
+                    allowed: Some("poisoning propagation (policy, DESIGN.md §13)".to_string()),
+                });
+            } else {
+                out.push(f.finding(
+                    "PGS004",
+                    toks[i].line,
+                    "panic-site",
+                    format!(
+                        "`.{name}()` can panic in library code — propagate a typed error \
+                         (`PgsError`/`Result`) or document with `// pgs-allow: PGS004 <reason>`"
+                    ),
+                ));
+            }
+        }
+        // `panic!(` / `unreachable!(` / `todo!(` / `unimplemented!(`.
+        if PANIC_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|t| is_punct(t, '!')) {
+            out.push(f.finding(
+                "PGS004",
+                toks[i].line,
+                "panic-macro",
+                format!(
+                    "`{name}!` aborts the thread in library code — return a typed error, \
+                     or document with `// pgs-allow: PGS004 <reason>`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// If the expression before the `.` at token `dot` is a call to a
+/// poison-carrying method (`...lock()`, `...wait(x)`, ...), returns
+/// that method's name.
+fn poison_source(f: &FileCtx, dot: usize) -> Option<&'static str> {
+    let toks = f.tokens();
+    // Walk back over the `(...)` argument list, if any.
+    let close = dot.checked_sub(1)?;
+    if !is_punct(&toks[close], ')') {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut j = close;
+    loop {
+        match &toks[j].tok {
+            Tok::Punct(')') => depth += 1,
+            Tok::Punct('(') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j = j.checked_sub(1)?;
+    }
+    let callee = j.checked_sub(1).and_then(|p| toks.get(p)).and_then(ident)?;
+    POISON_SOURCES.iter().find(|&&s| s == callee).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&FileCtx::new("t.rs", src, RuleSet::all()))
+    }
+
+    #[test]
+    fn unwrap_and_panic_macros_are_violations() {
+        let src = "
+            fn f(x: Option<u32>) -> u32 {
+                let y = x.unwrap();
+                let z = compute().expect(\"always\");
+                if y > z { panic!(\"boom\"); }
+                unreachable!()
+            }
+        ";
+        let found = run(src);
+        assert_eq!(found.len(), 4, "{found:?}");
+        assert!(found.iter().all(|f| f.allowed.is_none()));
+    }
+
+    #[test]
+    fn lock_unwrap_is_policy_exempt() {
+        let src = "
+            fn f(m: &Mutex<u32>, cv: &Condvar) {
+                let g = m.lock().unwrap();
+                let g2 = cv.wait(g).unwrap();
+                let (g3, _) = cv.wait_timeout(g2, d).unwrap();
+                let r = rw.read().unwrap();
+                let w = rw.write().expect(\"poisoned\");
+            }
+        ";
+        let found = run(src);
+        assert_eq!(found.len(), 5);
+        assert!(found.iter().all(|f| f.category == "poisoning"));
+        assert!(found.iter().all(|f| f.allowed.is_some()));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_panic_site() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); panic!(); }
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn pragma_documents_an_unwrap() {
+        let src = "
+            fn f() {
+                // pgs-allow: PGS004 length checked two lines above
+                let b = slice.try_into().unwrap();
+            }
+        ";
+        let found = run(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].allowed.is_some());
+    }
+}

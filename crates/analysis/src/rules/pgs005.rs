@@ -1,0 +1,310 @@
+//! **PGS005 — error-surface completeness for `PgsError`.**
+//!
+//! The typed error enum is the contract between the engine and every
+//! caller (CLI, service, tests). Two staleness modes creep in as the
+//! enum grows: a variant that nothing constructs any more (dead
+//! surface area callers still have to match on), and a variant the
+//! `Display` impl never renders (so the CLI prints a `Debug` dump or
+//! nothing useful at the one moment a user needs the message).
+//!
+//! This rule runs cross-file: it locates the `enum PgsError`
+//! declaration, collects its variants, then scans every file in the
+//! set for `PgsError::Variant` occurrences. An occurrence inside the
+//! `impl Display for PgsError` body counts as *rendered*; one anywhere
+//! else outside the declaration counts as *constructed*. Variants
+//! missing either kind are reported at their declaration line.
+
+use super::{ident, is_punct, FileCtx};
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::scope::matching_close;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+const ERROR_ENUM: &str = "PgsError";
+
+/// `(variant name, declaration line)` pairs from the enum body.
+type Variants = Vec<(String, u32)>;
+
+#[derive(Default)]
+struct Evidence {
+    constructed: bool,
+    rendered: bool,
+}
+
+/// Runs PGS005 over the whole file set.
+pub fn check(files: &[FileCtx]) -> Vec<Finding> {
+    // Locate the enum declaration (first match wins; the workspace has
+    // exactly one, fixtures define their own).
+    let mut decl: Option<(&FileCtx, Range<usize>, Variants)> = None;
+    for f in files {
+        if let Some((range, variants)) = enum_decl(f) {
+            decl = Some((f, range, variants));
+            break;
+        }
+    }
+    let Some((decl_file, decl_range, variants)) = decl else {
+        return Vec::new();
+    };
+
+    let mut evidence: BTreeMap<String, Evidence> = variants
+        .iter()
+        .map(|(v, _)| (v.clone(), Evidence::default()))
+        .collect();
+
+    for f in files {
+        let toks = f.tokens();
+        let display = display_impl_range(f);
+        for i in 0..toks.len() {
+            if f.excluded(i) {
+                continue;
+            }
+            // `PgsError :: Variant`
+            if ident(&toks[i]) != Some(ERROR_ENUM) {
+                continue;
+            }
+            if !(toks.get(i + 1).is_some_and(|t| is_punct(t, ':'))
+                && toks.get(i + 2).is_some_and(|t| is_punct(t, ':')))
+            {
+                continue;
+            }
+            let Some(v) = toks.get(i + 3).and_then(ident) else {
+                continue;
+            };
+            let Some(e) = evidence.get_mut(v) else {
+                continue;
+            };
+            let in_decl = std::ptr::eq(f, decl_file) && decl_range.contains(&i);
+            let in_display = display.as_ref().is_some_and(|r| r.contains(&i));
+            if in_display {
+                e.rendered = true;
+            } else if !in_decl {
+                e.constructed = true;
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (v, line) in &variants {
+        let e = &evidence[v];
+        if !e.constructed {
+            out.push(decl_file.finding(
+                "PGS005",
+                *line,
+                "never-constructed",
+                format!(
+                    "`{ERROR_ENUM}::{v}` is declared but never constructed — remove the \
+                     variant or wire up the error path, or document with \
+                     `// pgs-allow: PGS005 <reason>`"
+                ),
+            ));
+        }
+        if !e.rendered {
+            out.push(decl_file.finding(
+                "PGS005",
+                *line,
+                "never-rendered",
+                format!(
+                    "`{ERROR_ENUM}::{v}` has no arm in `impl Display for {ERROR_ENUM}` — \
+                     users would see no message for this error, or document with \
+                     `// pgs-allow: PGS005 <reason>`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Finds `enum PgsError { ... }`: returns the token range of the body
+/// (inside the braces) and the `(variant, decl_line)` list.
+fn enum_decl(f: &FileCtx) -> Option<(Range<usize>, Variants)> {
+    let toks = f.tokens();
+    for i in 0..toks.len() {
+        if f.excluded(i) || ident(&toks[i]) != Some("enum") {
+            continue;
+        }
+        if toks.get(i + 1).and_then(ident) != Some(ERROR_ENUM) {
+            continue;
+        }
+        // Skip generics, find the `{`.
+        let mut j = i + 2;
+        while let Some(t) = toks.get(j) {
+            if is_punct(t, '{') {
+                break;
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            return None;
+        }
+        let close = matching_close(toks, j);
+        let body = (j + 1)..close;
+        let mut variants = Vec::new();
+        // Variants are idents at brace/paren/bracket depth 0 within the
+        // body that start a variant item (previous significant token is
+        // `{` or `,`, skipping `#[...]` attributes).
+        let mut depth = 0i64;
+        let mut at_start = true;
+        let mut k = body.start;
+        while k < body.end {
+            match &toks[k].tok {
+                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => {
+                    depth += 1;
+                    at_start = false;
+                }
+                Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct(',') if depth == 0 => at_start = true,
+                // Attribute on a variant: `#[...]` — skip it.
+                Tok::Punct('#')
+                    if depth == 0
+                        && at_start
+                        && toks.get(k + 1).is_some_and(|t| is_punct(t, '[')) =>
+                {
+                    k = matching_close(toks, k + 1);
+                }
+                Tok::Ident(w) if depth == 0 && at_start => {
+                    variants.push((w.clone(), toks[k].line));
+                    at_start = false;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        return Some((body, variants));
+    }
+    None
+}
+
+/// Token range of the body of `impl ... Display for PgsError { ... }`.
+fn display_impl_range(f: &FileCtx) -> Option<Range<usize>> {
+    let toks = f.tokens();
+    for i in 0..toks.len() {
+        if ident(&toks[i]) != Some("impl") {
+            continue;
+        }
+        // Scan the impl header up to its `{`; require both `Display`
+        // and `for PgsError` in it.
+        let mut j = i + 1;
+        let mut saw_display = false;
+        let mut saw_target = false;
+        while let Some(t) = toks.get(j) {
+            match &t.tok {
+                Tok::Punct('{') => break,
+                Tok::Ident(w) if w == "Display" => saw_display = true,
+                Tok::Ident(w) if w == "for" => {
+                    // Accept a path ending in PgsError: `for PgsError`,
+                    // `for crate::api::PgsError`.
+                    let mut k = j + 1;
+                    while let Some(t2) = toks.get(k) {
+                        match &t2.tok {
+                            Tok::Ident(w2) if w2 == ERROR_ENUM => {
+                                saw_target = true;
+                                break;
+                            }
+                            Tok::Ident(_) | Tok::Punct(':') => k += 1,
+                            _ => break,
+                        }
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if saw_display && saw_target && j < toks.len() {
+            let close = matching_close(toks, j);
+            return Some((j + 1)..close);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("t.rs", src, RuleSet::all())
+    }
+
+    const DECL: &str = "
+        pub enum PgsError {
+            EmptyGraph,
+            InvalidAlpha(f64),
+            TargetOutOfRange { target: usize, num_nodes: usize },
+        }
+    ";
+
+    #[test]
+    fn complete_surface_is_clean() {
+        let usage = "
+            fn f() -> Result<(), PgsError> { Err(PgsError::EmptyGraph) }
+            fn g(a: f64) -> PgsError { PgsError::InvalidAlpha(a) }
+            fn h() -> PgsError { PgsError::TargetOutOfRange { target: 1, num_nodes: 0 } }
+            impl std::fmt::Display for PgsError {
+                fn fmt(&self, w: &mut std::fmt::Formatter) -> std::fmt::Result {
+                    match self {
+                        PgsError::EmptyGraph => write!(w, \"empty\"),
+                        PgsError::InvalidAlpha(a) => write!(w, \"alpha {a}\"),
+                        PgsError::TargetOutOfRange { .. } => write!(w, \"oob\"),
+                    }
+                }
+            }
+        ";
+        let files = [ctx(DECL), ctx(usage)];
+        assert!(check(&files).is_empty());
+    }
+
+    #[test]
+    fn unconstructed_and_unrendered_variants_are_flagged() {
+        let usage = "
+            fn f() -> PgsError { PgsError::EmptyGraph }
+            impl std::fmt::Display for PgsError {
+                fn fmt(&self, w: &mut std::fmt::Formatter) -> std::fmt::Result {
+                    match self {
+                        PgsError::EmptyGraph => write!(w, \"empty\"),
+                        PgsError::InvalidAlpha(a) => write!(w, \"alpha {a}\"),
+                        _ => write!(w, \"other\"),
+                    }
+                }
+            }
+        ";
+        let files = [ctx(DECL), ctx(usage)];
+        let found = check(&files);
+        // InvalidAlpha: rendered but not constructed.
+        // TargetOutOfRange: neither constructed nor rendered.
+        assert_eq!(found.len(), 3, "{found:?}");
+        assert!(found
+            .iter()
+            .any(|f| f.category == "never-constructed" && f.message.contains("InvalidAlpha")));
+        assert!(found
+            .iter()
+            .any(|f| f.category == "never-constructed" && f.message.contains("TargetOutOfRange")));
+        assert!(found
+            .iter()
+            .any(|f| f.category == "never-rendered" && f.message.contains("TargetOutOfRange")));
+    }
+
+    #[test]
+    fn declaration_does_not_count_as_construction() {
+        let files = [ctx(DECL)];
+        let found = check(&files);
+        // All three variants: never constructed + never rendered.
+        assert_eq!(found.len(), 6);
+    }
+
+    #[test]
+    fn test_only_construction_does_not_count() {
+        let usage = "
+            #[cfg(test)]
+            mod tests {
+                fn t() { let _ = PgsError::EmptyGraph; }
+            }
+        ";
+        let files = [ctx(DECL), ctx(usage)];
+        let found = check(&files);
+        assert!(found
+            .iter()
+            .any(|f| f.category == "never-constructed" && f.message.contains("EmptyGraph")));
+    }
+}

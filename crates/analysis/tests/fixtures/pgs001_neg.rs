@@ -1,0 +1,6 @@
+// PGS001 negative fixture: drains are sorted before use.
+fn canonical_output(m: FxHashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let mut out: Vec<(u32, f64)> = m.into_iter().collect();
+    out.sort_unstable_by_key(|e| e.0);
+    out
+}

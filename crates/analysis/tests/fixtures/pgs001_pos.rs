@@ -1,0 +1,8 @@
+// PGS001 positive fixture: unordered hash iteration on a canonical path.
+fn canonical_output(m: FxHashMap<u32, f64>) -> Vec<(u32, f64)> {
+    let mut out = Vec::new();
+    for (k, v) in &m {
+        out.push((*k, *v));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+// PGS002 negative fixture: every RNG flows from the iteration seed.
+fn seeded_perturbation(xs: &mut [f64], seed: u64, t: u64) {
+    let mut rng = StdRng::seed_from_u64(iteration_seed(seed, t));
+    for x in xs.iter_mut() {
+        *x += rng.random_range(-0.5..0.5);
+    }
+}

@@ -1,0 +1,7 @@
+// PGS002 positive fixture: entropy-sourced RNG in engine code.
+fn noisy_perturbation(xs: &mut [f64]) {
+    let mut rng = rand::thread_rng();
+    for x in xs.iter_mut() {
+        *x += rng.random_range(-0.5..0.5);
+    }
+}

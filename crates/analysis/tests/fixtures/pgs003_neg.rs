@@ -1,0 +1,9 @@
+// PGS003 negative fixture: nesting follows the declared order, and a
+// transitive hop (sched -> state via running) is legal too.
+// pgs-lock-order: sched -> running -> state
+
+fn forwards(inner: &Inner) {
+    let mut sched = inner.sched.lock().unwrap();
+    let st = inner.state.lock().unwrap();
+    sched.touch(&st);
+}

@@ -1,0 +1,8 @@
+// PGS003 positive fixture: nesting against the declared order.
+// pgs-lock-order: sched -> state
+
+fn backwards(inner: &Inner) {
+    let st = inner.state.lock().unwrap();
+    let mut sched = inner.sched.lock().unwrap();
+    sched.touch(&st);
+}

@@ -1,0 +1,15 @@
+// PGS004 negative fixture: poisoning propagation is policy-exempt,
+// test code is excluded, and errors are propagated.
+fn robust(m: &Mutex<u32>, x: Option<u32>) -> Result<u32, String> {
+    let guard = m.lock().unwrap();
+    x.map(|v| v + *guard).ok_or_else(|| "missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_here() {
+        let v: Option<u32> = None;
+        v.unwrap();
+    }
+}

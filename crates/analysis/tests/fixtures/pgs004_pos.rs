@@ -1,0 +1,9 @@
+// PGS004 positive fixture: undocumented panic sites in library code.
+fn fragile(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("always ok");
+    if a > b {
+        panic!("a > b");
+    }
+    a + b
+}

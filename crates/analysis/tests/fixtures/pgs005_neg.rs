@@ -1,0 +1,22 @@
+// PGS005 negative fixture: every variant is constructed and rendered.
+pub enum PgsError {
+    EmptyGraph,
+    InvalidAlpha(f64),
+}
+
+fn f() -> PgsError {
+    PgsError::EmptyGraph
+}
+
+fn g(a: f64) -> PgsError {
+    PgsError::InvalidAlpha(a)
+}
+
+impl std::fmt::Display for PgsError {
+    fn fmt(&self, w: &mut std::fmt::Formatter) -> std::fmt::Result {
+        match self {
+            PgsError::EmptyGraph => write!(w, "empty graph"),
+            PgsError::InvalidAlpha(a) => write!(w, "invalid alpha {a}"),
+        }
+    }
+}

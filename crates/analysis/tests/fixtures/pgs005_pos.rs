@@ -1,0 +1,25 @@
+// PGS005 positive fixture: one variant never constructed, one never
+// rendered by Display.
+pub enum PgsError {
+    EmptyGraph,
+    NeverBuilt,
+    NeverShown,
+}
+
+fn f() -> PgsError {
+    PgsError::EmptyGraph
+}
+
+fn g() -> PgsError {
+    PgsError::NeverShown
+}
+
+impl std::fmt::Display for PgsError {
+    fn fmt(&self, w: &mut std::fmt::Formatter) -> std::fmt::Result {
+        match self {
+            PgsError::EmptyGraph => write!(w, "empty graph"),
+            PgsError::NeverBuilt => write!(w, "unreachable in practice"),
+            _ => write!(w, "other"),
+        }
+    }
+}

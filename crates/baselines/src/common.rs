@@ -139,6 +139,7 @@ pub fn partition_to_summary(g: &Graph, node_group: &[u32], weighting: BlockWeigh
     for &gid in node_group {
         size[gid as usize] += 1;
     }
+    // pgs-allow: PGS001 Summary::new sorts superedges canonically
     let superedges: Vec<(u32, u32, f32)> = counts
         .into_iter()
         .map(|((a, b), e)| {

@@ -146,6 +146,7 @@ pub(crate) fn s2l_loop(
                 *sums[a].entry(v).or_insert(0.0) += 1.0;
             }
         }
+        // pgs-allow: PGS001 sums is Vec<FxHashMap>; the outer iteration is Vec order
         for (ci, sum) in sums.into_iter().enumerate() {
             if counts[ci] == 0 {
                 // Empty cluster: reseed from a random row.
@@ -156,6 +157,7 @@ pub(crate) fn s2l_loop(
             let inv = 1.0 / counts[ci] as f64;
             let coords: FxHashMap<NodeId, f64> =
                 sum.into_iter().map(|(v, s)| (v, s * inv)).collect();
+            // pgs-allow: PGS001 FxHashMap order is insertion-deterministic; sum replays identically
             let mass = coords.values().sum();
             centers[ci] = Center { coords, mass };
         }

@@ -30,6 +30,8 @@
 //! the SNAP/KONECT convention; summaries use the `pgs-summary v1` format
 //! of `pgs_core::summary_io`.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 mod commands;

@@ -75,6 +75,7 @@ impl Exec {
         // Worker w's k-th output is item w + k·t; drain in global order.
         let mut iters: Vec<std::vec::IntoIter<O>> = parts.into_iter().map(Vec::into_iter).collect();
         (0..n)
+            // pgs-allow: PGS004 structural invariant: worker w produced exactly its round-robin share
             .map(|i| iters[i % t].next().expect("round-robin reassembly"))
             .collect()
     }

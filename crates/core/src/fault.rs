@@ -167,6 +167,7 @@ impl FaultPlan {
             match f.kind {
                 FaultKind::Panic => {
                     if f.armed.swap(false, Ordering::SeqCst) {
+                        // pgs-allow: PGS004 deliberate injected panic — the fault being simulated
                         panic!("injected fault: evaluator panic at iteration {t}");
                     }
                 }

@@ -70,6 +70,7 @@ fn supernode_cost_from_map<V: SummaryView + ?Sized>(
 ) -> f64 {
     let log_s = v.view_log_s();
     let mut cost = 0.0;
+    // pgs-allow: PGS001 FxHashMap order is insertion-deterministic; the legacy path reproduces itself bit-exactly (DESIGN.md §7)
     for (&x, &e_raw) in map {
         let (tot, e) = if x == a {
             (tot_within(v, a), e_raw / 2.0)

@@ -51,6 +51,8 @@
 //! [`ssumm::ssumm_summarize`]) remain as thin wrappers pinned
 //! bitwise-equal to the request path.
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod checkpoint;
 pub mod cost;

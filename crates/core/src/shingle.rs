@@ -208,6 +208,7 @@ fn split_by_shingle(
             .iter()
             .map(|&u| minhash[u as usize])
             .min()
+            // pgs-allow: PGS004 a supernode always contains at least its seed node
             .expect("supernodes are non-empty")
     });
     let mut buckets: FxHashMap<u64, Vec<SuperId>> = FxHashMap::default();

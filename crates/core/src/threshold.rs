@@ -101,6 +101,7 @@ impl AdaptiveThreshold {
         // k-th largest = element at index (k-1) under descending order.
         let idx = kth - 1;
         self.rejected
+            // pgs-allow: PGS004 rejected reductions are finite by construction; NaN cannot reach the select
             .select_nth_unstable_by(idx, |a, b| b.partial_cmp(a).expect("finite reductions"));
         self.theta = self.rejected[idx];
         self.rejected.clear();

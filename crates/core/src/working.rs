@@ -806,6 +806,7 @@ impl<'a> WorkingSummary<'a> {
     /// # Panics
     /// Panics if `s` is dead.
     pub fn members(&self, s: SuperId) -> &[NodeId] {
+        // pgs-allow: PGS004 documented `# Panics` contract: callers pass live supernodes
         self.members[s as usize].as_ref().expect("dead supernode")
     }
 
@@ -831,6 +832,7 @@ impl<'a> WorkingSummary<'a> {
     /// Panics if no bank is attached or `lane` is out of range.
     #[inline]
     pub fn signature(&self, s: SuperId, lane: usize) -> u64 {
+        // pgs-allow: PGS004 documented `# Panics` contract: a bank must be attached first
         let bank = self.sigs.as_ref().expect("no signature bank attached");
         assert!(lane < bank.lanes, "lane {lane} out of range");
         debug_assert!(self.is_live(s), "dead supernode");
@@ -880,7 +882,9 @@ impl<'a> WorkingSummary<'a> {
             "merge needs two live supernodes"
         );
         // Weighted union: keep the larger side's id.
+        // pgs-allow: PGS004 liveness asserted at entry
         let size_a = self.members[a as usize].as_ref().unwrap().len();
+        // pgs-allow: PGS004 liveness asserted at entry
         let size_b = self.members[b as usize].as_ref().unwrap().len();
         let (keep, dead) = if size_a >= size_b { (a, b) } else { (b, a) };
 
@@ -900,10 +904,12 @@ impl<'a> WorkingSummary<'a> {
         // double-subtracted.
 
         // Union member sets and aggregates.
+        // pgs-allow: PGS004 liveness asserted at entry
         let dead_members = self.members[dead as usize].take().expect("dead side live");
         {
             let keep_members = self.members[keep as usize]
                 .as_mut()
+                // pgs-allow: PGS004 liveness asserted at entry
                 .expect("keep side live");
             for &u in &dead_members {
                 self.node_super[u as usize] = keep;
@@ -976,8 +982,10 @@ impl<'a> WorkingSummary<'a> {
         let n = self.g.num_nodes();
         let assignment: Vec<u32> = self.node_super.clone();
         let mut superedges = Vec::with_capacity(self.num_superedges);
+        // pgs-allow: PGS001 Summary::new sorts superedges canonically
         for (s, set) in self.adj.iter().enumerate() {
             let s = s as SuperId;
+            // pgs-allow: PGS001 Summary::new sorts superedges canonically
             for &x in set {
                 if s <= x {
                     superedges.push((s, x, 1.0f32));
@@ -1109,6 +1117,7 @@ impl GroupCache {
     /// each check is two binary searches.
     fn mark_dirty_referencing(&mut self, keep: SuperId, dead: SuperId) {
         let keys = &self.keys;
+        // pgs-allow: PGS001 order-insensitive: only sets dirty bits, no output depends on visit order
         for span in self.spans.values_mut() {
             if span.dirty {
                 continue;
@@ -1200,6 +1209,7 @@ impl GroupCache {
                 self.keys.copy_within(start..start + len, write);
                 self.vals.copy_within(start..start + len, write);
                 self.pres.copy_within(start..start + len, write);
+                // pgs-allow: PGS004 owner came from iterating these same spans
                 self.spans.get_mut(&owner).expect("live span").start = write as u32;
             }
             write += len;
@@ -1350,6 +1360,7 @@ impl<'w, 'a> GroupView<'w, 'a> {
         // and may compact the arena, relocating previously read spans.
         self.refreshed_span(a, scratch);
         self.refreshed_span(b, scratch);
+        // pgs-allow: PGS004 constructor invariant: every GroupView is built with a cache
         let cache = self.cache.as_ref().expect("GroupView built without cache");
         let (sa, sb) = (cache.spans[&a], cache.spans[&b]);
         self.eval_from_spans(cache, sa, sb, a, b)
@@ -1361,6 +1372,7 @@ impl<'w, 'a> GroupView<'w, 'a> {
     /// recomputed against the overlay, result bump-stored as the
     /// member's new clean span.
     fn refreshed_span(&mut self, s: SuperId, scratch: &mut Scratch) -> Span {
+        // pgs-allow: PGS004 constructor invariant: every GroupView is built with a cache
         let cache = self.cache.as_ref().expect("GroupView built without cache");
         let span = cache.spans[&s];
         if !span.dirty {
@@ -1375,6 +1387,7 @@ impl<'w, 'a> GroupView<'w, 'a> {
             .iter()
             .map(|&x| self.has_superedge_in(s, x))
             .collect();
+        // pgs-allow: PGS004 same Option checked non-empty at function entry
         let cache = self.cache.as_mut().expect("checked above");
         cache.store_from_lane(s, &scratch.a, false, |i, _| pres[i])
     }
@@ -1711,6 +1724,7 @@ pub fn evaluate_group_with(
                 fails += 1;
                 continue;
             };
+            // pgs-allow: PGS004 best and best_key are always set together
             let score = best_key.expect("best implies a key");
             if score >= theta {
                 let (a, b) = (group[i], group[j]);

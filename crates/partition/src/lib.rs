@@ -20,6 +20,8 @@
 //! every part is non-empty (required by Alg. 3, which personalizes one
 //! summary per part).
 
+#![forbid(unsafe_code)]
+
 pub mod blp;
 pub mod louvain;
 pub mod shp;

@@ -59,6 +59,7 @@ pub fn louvain(g: &Graph, seed: u64) -> Vec<u32> {
                 let base = to_comm.get(&cu).copied().unwrap_or(0.0)
                     - comm_degree[cu as usize] * k_u / two_m;
                 let mut best = (cu, base);
+                // pgs-allow: PGS001 FxHashMap order is insertion-deterministic; sequential pass breaks ties identically every run
                 for (&c, &w_uc) in &to_comm {
                     if c == cu {
                         continue;

@@ -30,6 +30,8 @@
 //! byte-identical results at any thread count. The original per-node
 //! implementations live on in [`reference`] as the oracle/baseline path.
 
+#![forbid(unsafe_code)]
+
 pub mod approx;
 pub mod engine;
 pub mod exact;

@@ -169,7 +169,10 @@ impl JobRecord {
             return Err(corrupt("record shorter than its checksum"));
         }
         let (body, tail) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        let tail: [u8; 8] = tail
+            .try_into()
+            .map_err(|_| corrupt("record shorter than its checksum"))?;
+        let stored = u64::from_le_bytes(tail);
         if fnv1a(body) != stored {
             return Err(corrupt("checksum mismatch"));
         }
@@ -289,15 +292,24 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, CheckpointError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(Self::array(self.take(2)?)?))
     }
 
     fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(Self::array(self.take(4)?)?))
     }
 
     fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(Self::array(self.take(8)?)?))
+    }
+
+    /// `take(N)` always returns exactly `N` bytes, so the conversion
+    /// cannot fail — but a typed error beats a panic if that invariant
+    /// ever breaks.
+    fn array<const N: usize>(bytes: &[u8]) -> Result<[u8; N], CheckpointError> {
+        bytes
+            .try_into()
+            .map_err(|_| CheckpointError::Corrupt("truncated integer field".into()))
     }
 
     fn string(&mut self) -> Result<String, CheckpointError> {

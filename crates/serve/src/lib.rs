@@ -71,6 +71,17 @@
 //!
 //! [`Summarizer`]: pgs_core::api::Summarizer
 
+#![forbid(unsafe_code)]
+
+// Lock-order manifest (checked by `pgs-analysis`, rule PGS003): when
+// two of these locks are held at once, the left one must be taken
+// first. Today's only multi-lock path is `run_job`'s quarantine
+// bookkeeping — it holds the job's `journal_rec` while inserting into
+// the service-wide `quarantined` set; the rest of the chain documents
+// the intended hierarchy (admission state before scheduler state
+// before caches) so new nestings land in a consistent direction.
+// pgs-lock-order: graphs -> journal_rec -> quarantined -> sched -> cache
+
 pub mod cache;
 pub mod durable;
 pub mod journal;

@@ -636,6 +636,7 @@ impl SummaryService {
                 std::thread::Builder::new()
                     .name(format!("pgs-serve-{w}"))
                     .spawn(move || worker_loop(&inner))
+                    // pgs-allow: PGS004 OS thread exhaustion at construction is unrecoverable
                     .expect("spawning service worker")
             })
             .collect();
@@ -1147,7 +1148,9 @@ fn shed_lowest_queued(sched: &mut Sched, incoming_priority: u8) -> Option<Arc<Jo
     let t = sched
         .tenants
         .get_mut(&tenant)
+        // pgs-allow: PGS004 victim was found in this map under this same lock
         .expect("victim tenant exists");
+    // pgs-allow: PGS004 idx came from this queue under this same lock
     let entry = t.queue.remove(idx).expect("victim still queued");
     t.stats.shed += 1;
     sched.queued -= 1;
@@ -1207,7 +1210,9 @@ fn pop_next(sched: &mut Sched, per_tenant_inflight: usize, now: Instant) -> Opti
         })
         .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
         .map(|(name, _, _)| name.clone())?;
+    // pgs-allow: PGS004 best_tenant was selected from this map under this same lock
     let t = sched.tenants.get_mut(&best_tenant).expect("tenant exists");
+    // pgs-allow: PGS004 selection required a non-empty queue under this same lock
     let entry = t.queue.pop_front().expect("non-empty queue");
     t.inflight += 1;
     sched.queued -= 1;
@@ -1484,6 +1489,7 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
                 let t = sched
                     .tenants
                     .get_mut(&job.tenant)
+                    // pgs-allow: PGS004 tenant entries are created at submit and never removed
                     .expect("tenant registered at submit");
                 t.inflight -= 1;
                 t.stats.retries += 1;
@@ -1537,6 +1543,7 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
         let t = sched
             .tenants
             .get_mut(&job.tenant)
+            // pgs-allow: PGS004 tenant entries are created at submit and never removed
             .expect("tenant registered at submit");
         t.inflight -= 1;
         t.stats.wait_secs += timings.wait_secs;

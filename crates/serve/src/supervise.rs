@@ -72,6 +72,7 @@ impl Supervisor {
         let handle = std::thread::Builder::new()
             .name("pgs-watchdog".into())
             .spawn(move || watchdog_loop(&thread_shared, stall_timeout, tick))
+            // pgs-allow: PGS004 OS thread exhaustion at construction is unrecoverable
             .expect("spawning watchdog");
         Supervisor {
             shared,
