@@ -40,7 +40,7 @@ struct Run {
 
 impl Run {
     fn grouped_per_sec(&self) -> f64 {
-        self.stats.grouped_supernodes as f64 / self.stats.candidate_secs.max(1e-12)
+        self.stats.grouped_supernodes as f64 / self.stats.phases.candidates.max(1e-12)
     }
 
     /// Wall normalized by committed merges: the two paths group
@@ -83,7 +83,7 @@ fn main() {
 
     // Interleaved best-of-N, as in exp_summarize: both paths see the
     // same load drift, and the fastest rep discards stolen-CPU samples.
-    // Candidate time (`stats.candidate_secs`) is the metric under test;
+    // Candidate time (`stats.phases.candidates`) is the metric under test;
     // best reps are selected by it.
     const GENERATORS: [(&str, CandidateGen); 2] = [
         ("incremental", CandidateGen::Incremental),
@@ -110,7 +110,7 @@ fn main() {
                         fingerprint(&summary),
                         "{label}: summaries varied across repetitions — determinism bug"
                     );
-                    if stats.candidate_secs < prev_stats.candidate_secs {
+                    if stats.phases.candidates < prev_stats.phases.candidates {
                         Some((summary, stats, stop))
                     } else {
                         Some((prev, prev_stats, prev_stop))
@@ -139,7 +139,7 @@ fn main() {
             "# {label:>12}: {:>7.2}s end-to-end, {:.3}s in candidate gen, \
              {} grouped supernodes ({:.0}/s), {} groups, {} merges, |S| {}, stop {}",
             run.wall_secs,
-            stats.candidate_secs,
+            stats.phases.candidates,
             stats.grouped_supernodes,
             run.grouped_per_sec(),
             stats.groups,
@@ -193,11 +193,11 @@ fn main() {
              \"size_bits\": {:.1}, \"stop_reason\": \"{}\"}}{comma}",
             run.label,
             run.wall_secs,
-            run.stats.candidate_secs,
+            run.stats.phases.candidates,
             run.stats.grouped_supernodes,
             run.grouped_per_sec(),
             run.stats.groups,
-            run.stats.eval_secs,
+            run.stats.phases.evaluate,
             run.stats.merges,
             run.stats.iterations,
             run.wall_per_merge(),

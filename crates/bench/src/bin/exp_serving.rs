@@ -7,7 +7,8 @@
 //! and reuses them `M-1` times).
 //!
 //! ```text
-//! cargo run --release --bin exp_serving [-- [--smoke] <out.json>]
+//! cargo run --release --bin exp_serving [-- [--smoke] [out.json]
+//!           [--metrics-dump m.json] [--events e.ndjson]]
 //! PGS_SERVE_NODES=20000 PGS_SERVE_TENANTS=16 cargo run --release --bin exp_serving
 //! ```
 //!
@@ -23,8 +24,18 @@
 //! worker mid-run, the service retries it from the last checkpoint,
 //! and the binary asserts every request still completes with at least
 //! one recorded retry and zero errors.
+//!
+//! The measured pass runs with the full observability layer attached
+//! (metrics registry, event ring, NDJSON event sink); a second bare
+//! pass over the identical workload isolates the instrumentation
+//! overhead, recorded as `observability.overhead_frac` (DESIGN.md §14
+//! budgets it at ≤2%). The metrics dump and event stream are then
+//! schema-checked: the binary fails on unknown, renamed, or missing
+//! metric keys, malformed event lines, or non-increasing sequence
+//! numbers — so a metric rename cannot slip past CI silently.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use pgs_bench::{env_or, timed};
@@ -32,7 +43,57 @@ use pgs_core::api::{Budget, Pegasus, SummarizeRequest};
 use pgs_core::pegasus::PegasusConfig;
 use pgs_core::FaultPlan;
 use pgs_graph::gen::barabasi_albert;
+use pgs_graph::Graph;
+use pgs_observe::Json;
 use pgs_serve::{ServiceConfig, SubmitRequest, SummaryHandle, SummaryService};
+
+/// The stable metric key sets of DESIGN.md §14. Renaming or adding a
+/// key without updating these lists (and the docs) fails the bench.
+const EXPECTED_COUNTERS: &[&str] = &[
+    "engine.evals",
+    "engine.iterations",
+    "engine.merges",
+    "engine.phase.candidates_us",
+    "engine.phase.commit_us",
+    "engine.phase.evaluate_us",
+    "engine.phase.sparsify_us",
+    "serve.cache.hits",
+    "serve.cache.misses",
+    "serve.jobs.completed",
+    "serve.jobs.errors",
+    "serve.jobs.quarantined",
+    "serve.jobs.rejected",
+    "serve.jobs.replayed",
+    "serve.jobs.retried",
+    "serve.jobs.shed",
+    "serve.jobs.stalled",
+    "serve.jobs.submitted",
+];
+const EXPECTED_GAUGES: &[&str] = &["serve.jobs.running", "serve.queue.depth"];
+const EXPECTED_HISTOGRAMS: &[&str] = &["serve.latency.run_us", "serve.latency.wait_us"];
+const EXPECTED_SNAPSHOT_KEYS: &[&str] = &[
+    "cache",
+    "event_seq",
+    "journal",
+    "metrics",
+    "queued",
+    "running",
+    "tenants",
+    "workers",
+];
+const EVENT_KINDS: &[&str] = &[
+    "admitted",
+    "replayed",
+    "queued",
+    "running",
+    "checkpointed",
+    "retried",
+    "shed",
+    "rejected",
+    "stalled",
+    "quarantined",
+    "completed",
+];
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -42,69 +103,52 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn main() {
-    let mut out_path = "BENCH_serving.json".to_string();
-    let mut smoke = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            out_path = arg;
-        }
-    }
-    let nodes: usize = env_or("PGS_SERVE_NODES", if smoke { 1_200 } else { 6_000 });
-    let deg: usize = env_or("PGS_SERVE_DEG", 5);
-    let tenants: usize = env_or("PGS_SERVE_TENANTS", if smoke { 3 } else { 8 });
-    let workers: usize = env_or("PGS_SERVE_WORKERS", 0);
-    // 0 = no fault injection; any other value seeds a worker-panic
-    // plan on the first submission (recovered via checkpoint retry).
-    let fault_seed: u64 = env_or("PGS_SERVE_FAULT_SEED", 0);
-    let budgets: &[f64] = if smoke {
-        &[0.6, 0.4]
-    } else {
-        &[0.7, 0.55, 0.4, 0.25]
-    };
+struct Workload {
+    nodes: usize,
+    tenants: usize,
+    workers: usize,
+    fault_seed: u64,
+    budgets: Vec<f64>,
+}
 
-    let (g, gen_secs) = timed(|| Arc::new(barabasi_albert(nodes, deg, 42)));
-    eprintln!(
-        "# graph: |V| = {}, |E| = {}; {tenants} tenants × {} budgets; \
-         workers {workers} (hardware {}); generated in {gen_secs:.2}s",
-        g.num_nodes(),
-        g.num_edges(),
-        budgets.len(),
-        rayon::current_num_threads()
-    );
+struct Pass {
+    svc: SummaryService,
+    wall_secs: f64,
+    latencies: Vec<f64>,
+}
 
+/// One full replay of the workload through a fresh service. Budget-
+/// major submission order (every tenant's first ratio, then every
+/// second, …): adjacent submissions belong to *different* tenants, the
+/// adversarial interleaving for the per-tenant cache.
+fn run_pass(g: &Arc<Graph>, w: &Workload, events_path: Option<PathBuf>) -> Pass {
     let svc = SummaryService::new(
-        Arc::clone(&g),
+        Arc::clone(g),
         Arc::new(Pegasus(PegasusConfig {
             num_threads: 1,
             ..Default::default()
         })),
         ServiceConfig {
-            workers,
+            workers: w.workers,
             // Retry is free when nothing panics; arming it even in the
             // clean run keeps the measured path honest about its cost.
             retry_budget: 2,
             retry_backoff: std::time::Duration::from_millis(1),
+            events_path,
             ..Default::default()
         },
     );
-
-    // Submit budget-major (every tenant's ratio-0.7 request, then every
-    // ratio-0.55, …): adjacent submissions belong to *different*
-    // tenants, the adversarial interleaving for the per-tenant cache.
     let (handles, submit_secs): (Vec<SummaryHandle>, f64) = timed(|| {
-        budgets
+        w.budgets
             .iter()
             .flat_map(|&ratio| {
-                (0..tenants).map(move |t| (ratio, t)).map(|(ratio, t)| {
+                (0..w.tenants).map(move |t| (ratio, t)).map(|(ratio, t)| {
                     let targets: Vec<u32> = (0..3)
-                        .map(|k| ((t * 131 + k * 17) % nodes) as u32)
+                        .map(|k| ((t * 131 + k * 17) % w.nodes) as u32)
                         .collect();
                     let mut req = SummarizeRequest::new(Budget::Ratio(ratio)).targets(&targets);
-                    if fault_seed != 0 && t == 0 && ratio == budgets[0] {
-                        req = req.fault_plan(Arc::new(FaultPlan::seeded_panic(fault_seed, 6)));
+                    if w.fault_seed != 0 && t == 0 && ratio == w.budgets[0] {
+                        req = req.fault_plan(Arc::new(FaultPlan::seeded_panic(w.fault_seed, 6)));
                     }
                     svc.submit(SubmitRequest::new(format!("tenant-{t:02}"), req))
                         .expect("unbounded queues admit everything")
@@ -112,7 +156,6 @@ fn main() {
             })
             .collect()
     });
-
     let (latencies, wall_secs) = timed(|| {
         let mut lat: Vec<f64> = handles
             .iter()
@@ -124,44 +167,205 @@ fn main() {
         lat.sort_by(f64::total_cmp);
         lat
     });
-    let wall_secs = wall_secs + submit_secs;
-    let total = handles.len();
-    let throughput = total as f64 / wall_secs.max(1e-12);
-    let cache = svc.cache_stats();
-    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
-    let mean = latencies.iter().sum::<f64>() / total as f64;
+    Pass {
+        svc,
+        wall_secs: wall_secs + submit_secs,
+        latencies,
+    }
+}
+
+/// Exact-set key check: unknown keys are as fatal as missing ones, so
+/// a metric rename breaks the bench instead of silently forking the
+/// schema consumers depend on.
+fn assert_exact_keys(section: &Json, expected: &[&str], what: &str) {
+    let mut keys: Vec<&str> = section.keys();
+    keys.sort_unstable();
+    let missing: Vec<&&str> = expected.iter().filter(|k| !keys.contains(k)).collect();
+    let unknown: Vec<&&str> = keys.iter().filter(|k| !expected.contains(k)).collect();
+    assert!(
+        missing.is_empty() && unknown.is_empty(),
+        "{what}: schema drift — missing {missing:?}, unknown {unknown:?} \
+         (update DESIGN.md §14 and EXPECTED_* in exp_serving if intentional)"
+    );
+}
+
+/// Validate the metrics dump against the stable §14 shape.
+fn validate_metrics_dump(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).expect("reading metrics dump");
+    let root = Json::parse(&text).expect("metrics dump must be valid JSON");
+    assert_exact_keys(&root, EXPECTED_SNAPSHOT_KEYS, "snapshot");
+    let metrics = root.get("metrics").expect("snapshot.metrics");
+    let counters = metrics.get("counters").expect("metrics.counters");
+    assert_exact_keys(counters, EXPECTED_COUNTERS, "counters");
+    let gauges = metrics.get("gauges").expect("metrics.gauges");
+    assert_exact_keys(gauges, EXPECTED_GAUGES, "gauges");
+    let hists = metrics.get("histograms").expect("metrics.histograms");
+    assert_exact_keys(hists, EXPECTED_HISTOGRAMS, "histograms");
+    for key in EXPECTED_HISTOGRAMS {
+        let h = hists.get(key).expect("histogram entry");
+        let bounds = h.get("bounds").and_then(Json::as_arr).expect("bounds");
+        let counts = h.get("counts").and_then(Json::as_arr).expect("counts");
+        assert_eq!(
+            counts.len(),
+            bounds.len() + 1,
+            "{key}: counts must carry one overflow bucket"
+        );
+    }
+    for t in root.get("tenants").and_then(Json::as_arr).expect("tenants") {
+        for key in ["tenant", "submitted", "completed", "wait_secs", "run_secs"] {
+            assert!(t.get(key).is_some(), "tenant entry missing {key:?}");
+        }
+    }
+}
+
+/// Validate the NDJSON event stream: every line parses, carries the
+/// documented fields, names a known kind, and seq strictly increases
+/// (ring order == sink order == seq order).
+fn validate_events(path: &std::path::Path) -> u64 {
+    let text = std::fs::read_to_string(path).expect("reading event stream");
+    let mut last_seq = 0u64;
+    let mut lines = 0u64;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let ev = Json::parse(line).expect("event line must be valid JSON");
+        let seq = ev.get("seq").and_then(Json::as_f64).expect("event.seq") as u64;
+        assert!(seq > last_seq, "event seq must strictly increase");
+        last_seq = seq;
+        let kind = ev.get("kind").and_then(Json::as_str).expect("event.kind");
+        assert!(EVENT_KINDS.contains(&kind), "unknown event kind {kind:?}");
+        for key in ["job", "tenant", "attempt"] {
+            assert!(ev.get(key).is_some(), "event missing {key:?}");
+        }
+        lines += 1;
+    }
+    assert!(lines > 0, "event stream must not be empty");
+    lines
+}
+
+fn main() {
+    let mut out_path = "BENCH_serving.json".to_string();
+    let mut smoke = false;
+    let mut metrics_path: Option<PathBuf> = None;
+    let mut events_path: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--metrics-dump" => {
+                metrics_path = Some(PathBuf::from(
+                    it.next().expect("--metrics-dump needs a path"),
+                ));
+            }
+            "--events" => {
+                events_path = Some(PathBuf::from(it.next().expect("--events needs a path")));
+            }
+            _ => out_path = arg,
+        }
+    }
+    // The sinks are part of what the measured pass measures: default
+    // them into the temp dir when not routed somewhere explicit.
+    let metrics_path =
+        metrics_path.unwrap_or_else(|| std::env::temp_dir().join("exp_serving_metrics.json"));
+    let events_path =
+        events_path.unwrap_or_else(|| std::env::temp_dir().join("exp_serving_events.ndjson"));
+
+    let w = Workload {
+        nodes: env_or("PGS_SERVE_NODES", if smoke { 1_200 } else { 6_000 }),
+        tenants: env_or("PGS_SERVE_TENANTS", if smoke { 3 } else { 8 }),
+        workers: env_or("PGS_SERVE_WORKERS", 0),
+        // 0 = no fault injection; any other value seeds a worker-panic
+        // plan on the first submission (recovered via checkpoint retry).
+        fault_seed: env_or("PGS_SERVE_FAULT_SEED", 0),
+        budgets: if smoke {
+            vec![0.6, 0.4]
+        } else {
+            vec![0.7, 0.55, 0.4, 0.25]
+        },
+    };
+    let deg: usize = env_or("PGS_SERVE_DEG", 5);
+
+    let (g, gen_secs) = timed(|| Arc::new(barabasi_albert(w.nodes, deg, 42)));
+    eprintln!(
+        "# graph: |V| = {}, |E| = {}; {} tenants × {} budgets; \
+         workers {} (hardware {}); generated in {gen_secs:.2}s",
+        g.num_nodes(),
+        g.num_edges(),
+        w.tenants,
+        w.budgets.len(),
+        w.workers,
+        rayon::current_num_threads()
+    );
+
+    // Measured pass: full observability attached (registry is always
+    // on; this adds the event ring + NDJSON sink).
+    let instr = run_pass(&g, &w, Some(events_path.clone()));
+    std::fs::write(&metrics_path, instr.svc.metrics_snapshot().to_json())
+        .expect("writing metrics dump");
+    // Bare pass: identical workload, ring only, no sinks — the delta
+    // is the observability overhead DESIGN.md §14 budgets at ≤2%.
+    let bare = run_pass(&g, &w, None);
+    let overhead_frac = (instr.wall_secs - bare.wall_secs) / bare.wall_secs.max(1e-12);
+
+    let total = instr.latencies.len();
+    let throughput = total as f64 / instr.wall_secs.max(1e-12);
+    let cache = instr.svc.cache_stats();
+    let (p50, p99) = (
+        percentile(&instr.latencies, 0.50),
+        percentile(&instr.latencies, 0.99),
+    );
+    let mean = instr.latencies.iter().sum::<f64>() / total as f64;
 
     eprintln!(
-        "# {total} requests in {wall_secs:.2}s: {throughput:.2} req/s; latency \
+        "# {total} requests in {:.2}s: {throughput:.2} req/s; latency \
          p50 {p50:.3}s p99 {p99:.3}s mean {mean:.3}s; cache {} hits / {} misses \
-         (hit rate {:.3})",
+         (hit rate {:.3}); observability overhead {:+.2}% (bare {:.2}s)",
+        instr.wall_secs,
         cache.hits,
         cache.misses,
-        cache.hit_rate()
+        cache.hit_rate(),
+        overhead_frac * 100.0,
+        bare.wall_secs,
     );
     // The shared-BFS invariant this binary guards in CI: each tenant's
     // sweep resolves one BFS and hits the cache for every other budget.
-    assert_eq!(cache.misses, tenants as u64, "one BFS per tenant");
+    assert_eq!(cache.misses, w.tenants as u64, "one BFS per tenant");
     assert_eq!(
         cache.hits,
-        (tenants * (budgets.len() - 1)) as u64,
+        (w.tenants * (w.budgets.len() - 1)) as u64,
         "every later budget in a sweep must hit"
     );
     assert!(cache.hit_rate() > 0.0, "cache hit rate must be > 0");
 
-    let tenant_stats = svc.tenant_stats();
+    let tenant_stats = instr.svc.tenant_stats();
     for s in &tenant_stats {
-        assert_eq!(s.completed, budgets.len() as u64, "{} terminated", s.tenant);
+        assert_eq!(
+            s.completed,
+            w.budgets.len() as u64,
+            "{} terminated",
+            s.tenant
+        );
         assert_eq!(s.errors, 0, "{} must not surface errors", s.tenant);
     }
     let total_retries: u64 = tenant_stats.iter().map(|s| s.retries).sum();
-    if fault_seed != 0 {
+    if w.fault_seed != 0 {
         assert!(
             total_retries >= 1,
-            "fault seed {fault_seed} must force at least one retry"
+            "fault seed {} must force at least one retry",
+            w.fault_seed
         );
-        eprintln!("# fault seed {fault_seed}: recovered via {total_retries} retry attempt(s)");
+        eprintln!(
+            "# fault seed {}: recovered via {total_retries} retry attempt(s)",
+            w.fault_seed
+        );
     }
+
+    // Schema checks: fail loudly on drift, before the JSON is written.
+    validate_metrics_dump(&metrics_path);
+    let event_lines = validate_events(&events_path);
+    eprintln!(
+        "# validated metrics dump ({}) and {event_lines} event line(s) ({})",
+        metrics_path.display(),
+        events_path.display()
+    );
 
     // Hand-rolled JSON (the workspace is offline — no serde).
     let mut json = String::new();
@@ -174,10 +378,10 @@ fn main() {
     writeln!(json, "    \"edges\": {},", g.num_edges()).unwrap();
     writeln!(json, "    \"seed\": 42").unwrap();
     writeln!(json, "  }},").unwrap();
-    writeln!(json, "  \"tenants\": {tenants},").unwrap();
-    writeln!(json, "  \"budgets\": {budgets:?},").unwrap();
-    writeln!(json, "  \"workers\": {workers},").unwrap();
-    writeln!(json, "  \"fault_seed\": {fault_seed},").unwrap();
+    writeln!(json, "  \"tenants\": {},", w.tenants).unwrap();
+    writeln!(json, "  \"budgets\": {:?},", w.budgets).unwrap();
+    writeln!(json, "  \"workers\": {},", w.workers).unwrap();
+    writeln!(json, "  \"fault_seed\": {},", w.fault_seed).unwrap();
     writeln!(json, "  \"retries\": {total_retries},").unwrap();
     writeln!(
         json,
@@ -186,12 +390,23 @@ fn main() {
     )
     .unwrap();
     writeln!(json, "  \"requests\": {total},").unwrap();
-    writeln!(json, "  \"wall_secs\": {wall_secs:.4},").unwrap();
+    writeln!(json, "  \"wall_secs\": {:.4},", instr.wall_secs).unwrap();
     writeln!(json, "  \"throughput_req_per_sec\": {throughput:.4},").unwrap();
     writeln!(json, "  \"latency_secs\": {{").unwrap();
     writeln!(json, "    \"p50\": {p50:.5},").unwrap();
     writeln!(json, "    \"p99\": {p99:.5},").unwrap();
     writeln!(json, "    \"mean\": {mean:.5}").unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"observability\": {{").unwrap();
+    writeln!(
+        json,
+        "    \"instrumented_wall_secs\": {:.4},",
+        instr.wall_secs
+    )
+    .unwrap();
+    writeln!(json, "    \"bare_wall_secs\": {:.4},", bare.wall_secs).unwrap();
+    writeln!(json, "    \"overhead_frac\": {overhead_frac:.4},").unwrap();
+    writeln!(json, "    \"event_lines\": {event_lines}").unwrap();
     writeln!(json, "  }},").unwrap();
     writeln!(json, "  \"cache\": {{").unwrap();
     writeln!(json, "    \"hits\": {},", cache.hits).unwrap();

@@ -42,7 +42,7 @@ struct Run {
 
 impl Run {
     fn evals_per_sec(&self) -> f64 {
-        self.stats.evals as f64 / self.stats.eval_secs.max(1e-12)
+        self.stats.evals as f64 / self.stats.phases.evaluate.max(1e-12)
     }
 }
 
@@ -111,7 +111,7 @@ fn main() {
                         fingerprint(&summary),
                         "{label}: summaries varied across repetitions — determinism bug"
                     );
-                    if stats.eval_secs < prev_stats.eval_secs {
+                    if stats.phases.evaluate < prev_stats.phases.evaluate {
                         Some((summary, stats, stop))
                     } else {
                         Some((prev, prev_stats, prev_stop))
@@ -157,7 +157,7 @@ fn main() {
         eprintln!(
             "# {label:>12}: {wall_secs:>7.2}s end-to-end, {:.2}s in evaluate, \
              {} merge-evals ({:.0}/s), {} merges, |S| {}, stop {}",
-            stats.eval_secs,
+            stats.phases.evaluate,
             stats.evals,
             run.evals_per_sec(),
             stats.merges,
@@ -217,7 +217,7 @@ fn main() {
              \"iterations\": {}, \"stop_reason\": \"{}\"}}{comma}",
             run.label,
             run.wall_secs,
-            run.stats.eval_secs,
+            run.stats.phases.evaluate,
             run.stats.evals,
             run.evals_per_sec(),
             run.stats.merges,

@@ -42,7 +42,11 @@ USAGE:
             [--inflight K]   (per-tenant concurrent runs, default 1)
             [--tenant-deadline-ms T]   (wall clock per request, from submission)
             [--cache C]   (weight-cache entries, default 256; 0 disables)
+            [--metrics-dump <m.json>]   (write a MetricsSnapshot after the run)
+            [--events <e.ndjson>]   (stream lifecycle events to an NDJSON sink)
+            [--event-capacity N]   (in-memory event ring size, default 256)
             [--alpha 1.25] [--beta 0.1] [--seed 0] [--threads N]
+  pgs top <metrics.json>   (one-shot text report from a --metrics-dump file)
 
 All five algorithms dispatch through the unified Summarizer request API:
 pegasus/ssumm take bit budgets (--budget-bits, or --budget-ratio of the
@@ -73,6 +77,13 @@ fast-reject tenants whose recent runs keep failing until a cooldown
 probe succeeds. Completed requests stream out as TSV `tenant  id  stop
 supernodes  ratio  wait_ms  run_ms`; per-tenant stats (incl. stalled /
 breaker / quarantined counts) and the cache hit rate go to stderr.
+--metrics-dump writes the service's full MetricsSnapshot (DESIGN.md
+§14: counters, gauges, latency histograms, per-tenant stats) as JSON
+when the run drains; --events streams every job-lifecycle event
+(admitted → queued → running → checkpointed → retried / stalled /
+completed) as NDJSON. `pgs top` renders a --metrics-dump file as a
+human-readable report: queue/jobs/cache/latency/engine sections plus a
+per-tenant table.
 
 Edge lists: one `u v` pair per line, `#`/`%` comments (SNAP/KONECT style).
 ";
@@ -540,7 +551,8 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
          [--inflight K] [--tenant-deadline-ms T] [--cache C] [--queue-depth Q] \
          [--global-queue G] [--retries R] [--retry-backoff-ms B] [--checkpoint-every E] \
          [--checkpoint-dir D] [--stall-timeout-ms S] [--breaker-window W] \
-         [--breaker-threshold F] [--breaker-cooldown-ms C] [flags]";
+         [--breaker-threshold F] [--breaker-cooldown-ms C] [--metrics-dump M] \
+         [--events E] [--event-capacity N] [flags]";
     let args = Args::parse(raw)?;
     let path = args.positional.first().ok_or(SERVE_USAGE)?;
     let reqs_path = args.get("requests").ok_or(SERVE_USAGE)?;
@@ -591,6 +603,8 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
             .map_err(|_| {
                 format!("--breaker-cooldown-ms must be non-negative, got {breaker_cooldown_ms}")
             })?,
+        event_capacity: args.get_parse("event-capacity", 256)?,
+        events_path: args.get("events").map(std::path::PathBuf::from),
     };
     let svc = SummaryService::new(
         std::sync::Arc::new(g),
@@ -692,7 +706,181 @@ pub fn serve(raw: &[String]) -> Result<(), String> {
         c.misses,
         c.hit_rate(),
     );
+    for r in svc.stall_reports() {
+        eprintln!(
+            "# stall report: job {} tenant {} ({} trailing events)",
+            r.job_id,
+            r.tenant,
+            r.events.len()
+        );
+    }
+    if let Some(dump) = args.get("metrics-dump") {
+        std::fs::write(dump, svc.metrics_snapshot().to_json())
+            .map_err(|e| format!("writing {dump}: {e}"))?;
+        eprintln!("# metrics snapshot written to {dump}");
+    }
     Ok(())
+}
+
+/// `pgs top <metrics.json>`: render a `--metrics-dump` file as a
+/// one-shot text report.
+pub fn top(raw: &[String]) -> Result<(), String> {
+    use pgs_observe::Json;
+    let args = Args::parse(raw)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: pgs top <metrics.json>   (written by pgs serve --metrics-dump)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let root = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let num = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let metrics = root.get("metrics").ok_or(format!(
+        "{path}: missing \"metrics\" — not a pgs metrics dump?"
+    ))?;
+    let counter = |k: &str| {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(k))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+
+    println!("pgs top — {path}");
+    println!(
+        "queue:   {:.0} queued, {:.0} running, {:.0} workers; {:.0} events recorded",
+        num(&root, "queued"),
+        num(&root, "running"),
+        num(&root, "workers"),
+        num(&root, "event_seq"),
+    );
+    println!(
+        "jobs:    {:.0} submitted, {:.0} completed, {:.0} errors, {:.0} rejected, \
+         {:.0} shed, {:.0} retried, {:.0} stalled, {:.0} quarantined, {:.0} replayed",
+        counter("serve.jobs.submitted"),
+        counter("serve.jobs.completed"),
+        counter("serve.jobs.errors"),
+        counter("serve.jobs.rejected"),
+        counter("serve.jobs.shed"),
+        counter("serve.jobs.retried"),
+        counter("serve.jobs.stalled"),
+        counter("serve.jobs.quarantined"),
+        counter("serve.jobs.replayed"),
+    );
+    if let Some(cache) = root.get("cache") {
+        let (h, m) = (num(cache, "hits"), num(cache, "misses"));
+        println!(
+            "cache:   {h:.0} hits / {m:.0} misses (hit rate {:.2}); {:.0} entries, \
+             {:.0} evictions, {:.0} epoch invalidations",
+            h / (h + m).max(1.0),
+            num(cache, "entries"),
+            num(cache, "evictions"),
+            num(cache, "epoch_invalidations"),
+        );
+    }
+    if let Some(j) = root.get("journal") {
+        println!(
+            "journal: {:.0} replayed, {:.0} quarantined",
+            num(j, "replayed"),
+            num(j, "quarantined"),
+        );
+    }
+    if let Some(hists) = metrics.get("histograms") {
+        for (label, key) in [
+            ("wait", "serve.latency.wait_us"),
+            ("run ", "serve.latency.run_us"),
+        ] {
+            if let Some(h) = hists.get(key) {
+                let (p50, p95) = histogram_quantiles(h);
+                let n = num(h, "count");
+                let mean_ms = if n > 0.0 {
+                    num(h, "sum") / n / 1e3
+                } else {
+                    0.0
+                };
+                println!("latency: {label} p50 {p50}  p95 {p95}  mean {mean_ms:.2}ms  (n={n:.0})");
+            }
+        }
+    }
+    println!(
+        "engine:  {:.0} iterations, {:.0} merges, {:.0} evals",
+        counter("engine.iterations"),
+        counter("engine.merges"),
+        counter("engine.evals"),
+    );
+    println!(
+        "         phases: candidates {:.3}s, evaluate {:.3}s, commit {:.3}s, sparsify {:.3}s",
+        counter("engine.phase.candidates_us") / 1e6,
+        counter("engine.phase.evaluate_us") / 1e6,
+        counter("engine.phase.commit_us") / 1e6,
+        counter("engine.phase.sparsify_us") / 1e6,
+    );
+    if let Some(tenants) = root.get("tenants").and_then(Json::as_arr) {
+        if !tenants.is_empty() {
+            println!(
+                "tenants: {:<12} {:>6} {:>6} {:>5} {:>5} {:>6} {:>9} {:>9} {:>9}",
+                "tenant", "subm", "done", "err", "shed", "retry", "wait_s", "run_s", "backoff_s"
+            );
+            for t in tenants {
+                println!(
+                    "         {:<12} {:>6.0} {:>6.0} {:>5.0} {:>5.0} {:>6.0} {:>9.3} {:>9.3} {:>9.3}",
+                    t.get("tenant").and_then(Json::as_str).unwrap_or("?"),
+                    num(t, "submitted"),
+                    num(t, "completed"),
+                    num(t, "errors"),
+                    num(t, "shed"),
+                    num(t, "retries"),
+                    num(t, "wait_secs"),
+                    num(t, "run_secs"),
+                    num(t, "backoff_secs"),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Estimate p50/p95 from a serialized histogram (`bounds` are upper
+/// edges in µs, `counts` has one trailing overflow bucket), rendered
+/// as short strings so the overflow bucket can say so.
+fn histogram_quantiles(h: &pgs_observe::Json) -> (String, String) {
+    use pgs_observe::Json;
+    let bounds: Vec<f64> = h
+        .get("bounds")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().filter_map(Json::as_f64).collect())
+        .unwrap_or_default();
+    let counts: Vec<f64> = h
+        .get("counts")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().filter_map(Json::as_f64).collect())
+        .unwrap_or_default();
+    let total: f64 = counts.iter().sum();
+    let at = |q: f64| -> String {
+        if total == 0.0 {
+            return "-".to_string();
+        }
+        let target = q * total;
+        let mut cum = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return match bounds.get(i) {
+                    Some(&b) if b >= 1e6 => format!("≤{:.1}s", b / 1e6),
+                    Some(&b) if b >= 1e3 => format!("≤{:.1}ms", b / 1e3),
+                    Some(&b) => format!("≤{b:.0}µs"),
+                    // Overflow bucket: all we know is it is past the
+                    // last finite bound.
+                    None => match bounds.last() {
+                        Some(&b) if b >= 1e6 => format!(">{:.1}s", b / 1e6),
+                        Some(&b) => format!(">{:.1}ms", b / 1e3),
+                        None => ">?".to_string(),
+                    },
+                };
+            }
+        }
+        "-".to_string()
+    };
+    (at(0.50), at(0.95))
 }
 
 /// `pgs partition <edges.txt> -m 8 [--method louvain]`.

@@ -14,6 +14,8 @@
 //! pgs partition <edges.txt> -m 8 [--method louvain|blp|shpi|shpii|shpkl]
 //! pgs serve <edges.txt> --requests <reqs.txt> [--workers N] [--inflight K]
 //!           [--tenant-deadline-ms T] [--cache C]
+//!           [--metrics-dump <m.json>] [--events <e.ndjson>]
+//! pgs top <metrics.json>
 //! ```
 //!
 //! `summarize` serves all five algorithms through the unified
@@ -44,6 +46,7 @@ fn main() -> ExitCode {
         Some("query") => commands::query(&args[1..]),
         Some("partition") => commands::partition(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),
+        Some("top") => commands::top(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", commands::USAGE);
             return ExitCode::SUCCESS;

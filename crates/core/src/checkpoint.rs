@@ -42,12 +42,14 @@ pub const ALGO_PEGASUS: u8 = 1;
 pub const ALGO_SSUMM: u8 = 2;
 
 const MAGIC: [u8; 4] = *b"PGSC";
-/// Format version. Version 2 appends a trailing section to the v1
-/// layout (candidate-generation stats + per-supernode gain EMAs for the
-/// incremental candidate path); version-1 blobs remain decodable with
-/// those fields defaulted — v1 is byte-for-byte a v2 blob minus the
-/// trailing section.
-const VERSION: u16 = 2;
+/// Format version. Each version appends a trailing section to its
+/// predecessor, so older blobs remain decodable with the newer fields
+/// defaulted: version 2 added candidate-generation stats + per-
+/// supernode gain EMAs for the incremental candidate path, version 3
+/// adds the remaining [`PhaseTimings`](crate::pegasus::PhaseTimings)
+/// words (commit / sparsify seconds). A vN blob is byte-for-byte a
+/// v(N+1) blob minus that version's trailing section.
+const VERSION: u16 = 3;
 
 /// Deterministic per-iteration seed derivation: iteration `t` of a run
 /// seeded with `seed` draws every random decision (shingle hashes,
@@ -279,7 +281,7 @@ impl RunCheckpoint {
         buf.extend_from_slice(&self.stats.final_theta.to_bits().to_le_bytes());
         buf.push(self.stats.sparsified as u8);
         buf.extend_from_slice(&self.stats.evals.to_le_bytes());
-        buf.extend_from_slice(&self.stats.eval_secs.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.stats.phases.evaluate.to_bits().to_le_bytes());
         buf.extend_from_slice(&self.stats.checkpoints.to_le_bytes());
         buf.extend_from_slice(&self.stats.checkpoint_failures.to_le_bytes());
         buf.extend_from_slice(&(self.supers.len() as u32).to_le_bytes());
@@ -300,13 +302,17 @@ impl RunCheckpoint {
         // Version-2 trailing section: candidate-generation stats and the
         // incremental scheduler's gain EMAs (absent for the recompute
         // path). Everything above is byte-identical to the v1 layout.
-        buf.extend_from_slice(&self.stats.candidate_secs.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.stats.phases.candidates.to_bits().to_le_bytes());
         buf.extend_from_slice(&self.stats.groups.to_le_bytes());
         buf.extend_from_slice(&self.stats.grouped_supernodes.to_le_bytes());
         buf.extend_from_slice(&(self.gains.len() as u32).to_le_bytes());
         for &bits in &self.gains {
             buf.extend_from_slice(&bits.to_le_bytes());
         }
+        // Version-3 trailing section: the remaining per-phase wall
+        // words of the profiling taxonomy (DESIGN.md §14).
+        buf.extend_from_slice(&self.stats.phases.commit.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.stats.phases.sparsify.to_bits().to_le_bytes());
         buf
     }
 
@@ -358,11 +364,11 @@ impl RunCheckpoint {
             final_theta: f64::from_bits(r.u64()?),
             sparsified: r.u8()? != 0,
             evals: r.u64()?,
-            eval_secs: f64::from_bits(r.u64()?),
-            checkpoints: r.u64()?,
-            checkpoint_failures: r.u64()?,
             ..RunStats::default()
         };
+        stats.phases.evaluate = f64::from_bits(r.u64()?);
+        stats.checkpoints = r.u64()?;
+        stats.checkpoint_failures = r.u64()?;
         let num_supers = r.u32()? as usize;
         if num_supers == 0 || num_supers > num_nodes as usize {
             return Err(CheckpointError::Corrupt(format!(
@@ -451,7 +457,7 @@ impl RunCheckpoint {
         // Version-2 trailing section; a v1 blob simply ends here.
         let mut gains = Vec::new();
         if version >= 2 {
-            stats.candidate_secs = f64::from_bits(r.u64()?);
+            stats.phases.candidates = f64::from_bits(r.u64()?);
             stats.groups = r.u64()?;
             stats.grouped_supernodes = r.u64()?;
             let gain_count = r.u32()? as usize;
@@ -469,6 +475,11 @@ impl RunCheckpoint {
                 }
                 gains.push(bits);
             }
+        }
+        // Version-3 trailing section; a v2 blob simply ends here.
+        if version >= 3 {
+            stats.phases.commit = f64::from_bits(r.u64()?);
+            stats.phases.sparsify = f64::from_bits(r.u64()?);
         }
         if r.pos != r.bytes.len() {
             return Err(CheckpointError::Corrupt(format!(
@@ -548,6 +559,12 @@ mod tests {
             iterations: 3,
             merges: 2,
             evals: 17,
+            phases: crate::pegasus::PhaseTimings {
+                candidates: 0.5,
+                evaluate: 1.25,
+                commit: 0.25,
+                sparsify: 0.125,
+            },
             ..Default::default()
         };
         let mut gains = vec![0.0; g.num_nodes()];
@@ -576,6 +593,7 @@ mod tests {
         assert_eq!(decoded.stall_cap_bits, ck.stall_cap_bits);
         assert_eq!(decoded.stats.iterations, 3);
         assert_eq!(decoded.stats.evals, 17);
+        assert_eq!(decoded.stats.phases, ck.stats.phases);
         assert_eq!(decoded.supers, ck.supers);
         assert_eq!(decoded.superedges, ck.superedges);
         assert_eq!(decoded.gains, ck.gains);
@@ -612,24 +630,53 @@ mod tests {
         assert!(decoded.restore_gains(40).iter().all(|&g| g == 0.0));
     }
 
+    /// Bytes of the v3 trailing section (commit + sparsify bits).
+    const V3_TRAIL: usize = 8 + 8;
+
     #[test]
     fn version_1_blobs_still_decode() {
-        // A v1 blob is byte-for-byte a v2 blob minus the trailing
-        // section: splice one together and check the new fields default.
+        // A v1 blob is byte-for-byte a v3 blob minus both trailing
+        // sections: splice one together and check the new fields
+        // default.
         let (_, _, ck) = sample_checkpoint();
-        let v2 = ck.encode();
-        let trail = 8 + 8 + 8 + 4 + 8 * ck.gains.len();
-        let mut v1 = v2[..v2.len() - trail].to_vec();
+        let v3 = ck.encode();
+        let trail = V3_TRAIL + 8 + 8 + 8 + 4 + 8 * ck.gains.len();
+        let mut v1 = v3[..v3.len() - trail].to_vec();
         v1[4..6].copy_from_slice(&1u16.to_le_bytes());
         let decoded = RunCheckpoint::decode(&v1).unwrap();
         assert_eq!(decoded.supers, ck.supers);
         assert_eq!(decoded.superedges, ck.superedges);
         assert!(decoded.gains.is_empty());
-        assert_eq!(decoded.stats.candidate_secs, 0.0);
+        assert_eq!(decoded.stats.phases.candidates, 0.0);
         assert_eq!(decoded.stats.groups, 0);
-        // ...but a v1-tagged blob *with* the trailing section is corrupt.
-        let mut bad = v2.clone();
+        // ...but a v1-tagged blob *with* the trailing sections is
+        // corrupt.
+        let mut bad = v3.clone();
         bad[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert!(matches!(
+            RunCheckpoint::decode(&bad),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn version_2_blobs_still_decode() {
+        // A v2 blob is a v3 blob minus the commit/sparsify words: the
+        // v2 fields survive, the v3-only phases default to zero.
+        let (_, _, ck) = sample_checkpoint();
+        let v3 = ck.encode();
+        let mut v2 = v3[..v3.len() - V3_TRAIL].to_vec();
+        v2[4..6].copy_from_slice(&2u16.to_le_bytes());
+        let decoded = RunCheckpoint::decode(&v2).unwrap();
+        assert_eq!(decoded.supers, ck.supers);
+        assert_eq!(decoded.gains, ck.gains);
+        assert_eq!(decoded.stats.phases.candidates, 0.5);
+        assert_eq!(decoded.stats.phases.evaluate, 1.25);
+        assert_eq!(decoded.stats.phases.commit, 0.0);
+        assert_eq!(decoded.stats.phases.sparsify, 0.0);
+        // ...and a v2-tagged blob carrying the v3 words is corrupt.
+        let mut bad = v3.clone();
+        bad[4..6].copy_from_slice(&2u16.to_le_bytes());
         assert!(matches!(
             RunCheckpoint::decode(&bad),
             Err(CheckpointError::Corrupt(_))
@@ -640,8 +687,9 @@ mod tests {
     fn mismatched_gain_count_is_corrupt() {
         let (_, _, ck) = sample_checkpoint();
         let mut blob = ck.encode();
-        // The gain count lives 4 + 8·|gains| bytes from the end.
-        let pos = blob.len() - 4 - 8 * ck.gains.len();
+        // The gain count lives V3_TRAIL + 4 + 8·|gains| bytes from the
+        // end.
+        let pos = blob.len() - V3_TRAIL - 4 - 8 * ck.gains.len();
         blob[pos..pos + 4].copy_from_slice(&((ck.gains.len() as u32) - 1).to_le_bytes());
         assert!(matches!(
             RunCheckpoint::decode(&blob),

@@ -82,6 +82,52 @@ impl Default for PegasusConfig {
     }
 }
 
+/// Wall-clock seconds per engine phase — the coherent profiling
+/// taxonomy of DESIGN.md §14, replacing the ad-hoc per-phase fields
+/// that used to live directly on [`RunStats`].
+///
+/// Every iteration of both drivers decomposes into candidate
+/// generation (Sect. III-C), parallel group evaluation (Sect. III-D),
+/// and the serial commit of the merge logs; sparsification
+/// (Sect. III-F) runs once at the end when the budget is still unmet.
+/// All four accumulate across checkpoint/resume like the other
+/// wall-clock stats, and all four live *outside* the byte-identity
+/// contract: they are measured around the phases, never read by them.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Candidate-group generation (Sect. III-C) — the denominator of
+    /// the candidate-throughput metric.
+    pub candidates: f64,
+    /// Parallel merge evaluation (Sect. III-D) — the denominator of
+    /// the merge-evals/sec throughput metric.
+    pub evaluate: f64,
+    /// Serial commit of the merge logs (threshold folds and gain-EMA
+    /// updates included — everything between evaluate and the
+    /// iteration boundary).
+    pub commit: f64,
+    /// Final sparsification (Sect. III-F), zero when the budget was
+    /// met by merging alone.
+    pub sparsify: f64,
+}
+
+impl PhaseTimings {
+    /// Sum over all phases — the engine-attributed share of a run's
+    /// wall clock.
+    pub fn total(&self) -> f64 {
+        self.candidates + self.evaluate + self.commit + self.sparsify
+    }
+}
+
+impl std::ops::AddAssign for PhaseTimings {
+    /// Field-wise accumulation (serving layers total phases per tenant).
+    fn add_assign(&mut self, other: PhaseTimings) {
+        self.candidates += other.candidates;
+        self.evaluate += other.evaluate;
+        self.commit += other.commit;
+        self.sparsify += other.sparsify;
+    }
+}
+
 /// Summary statistics of a PeGaSus run (for experiments and logging).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RunStats {
@@ -96,18 +142,14 @@ pub struct RunStats {
     /// Candidate-pair merge evaluations performed (thread-count
     /// independent, like every other count here).
     pub evals: u64,
-    /// Wall-clock seconds spent in the parallel evaluate phases — the
-    /// denominator of the merge-evals/sec throughput metric.
-    pub eval_secs: f64,
     /// Checkpoints written successfully (cumulative across resume).
     pub checkpoints: u64,
     /// Checkpoint writes that failed (real or injected); the run keeps
     /// going on the previous good checkpoint.
     pub checkpoint_failures: u64,
-    /// Wall-clock seconds spent generating candidate groups
-    /// (Sect. III-C) — the denominator of the candidate-throughput
-    /// metric, attributed separately from `eval_secs`.
-    pub candidate_secs: f64,
+    /// Per-phase wall-clock breakdown (candidate-gen / evaluate /
+    /// commit / sparsify), cumulative across resume.
+    pub phases: PhaseTimings,
     /// Candidate groups formed across the run (thread-count independent).
     pub groups: u64,
     /// Supernodes placed into candidate groups across the run (each live
@@ -245,7 +287,7 @@ pub(crate) fn pegasus_loop(
         } else {
             candidate_groups(&ws, &mut rng, &shingle_params, &exec)
         };
-        stats.candidate_secs += cand_start.elapsed().as_secs_f64();
+        stats.phases.candidates += cand_start.elapsed().as_secs_f64();
         stats.groups += groups.len() as u64;
         stats.grouped_supernodes += groups.iter().map(|grp| grp.len() as u64).sum::<u64>();
         let before = ws.num_supernodes();
@@ -270,7 +312,7 @@ pub(crate) fn pegasus_loop(
                 cfg.evaluator,
             )
         });
-        stats.eval_secs += eval_start.elapsed().as_secs_f64();
+        stats.phases.evaluate += eval_start.elapsed().as_secs_f64();
         stats.evals += outcomes.iter().map(|o| o.evals).sum::<u64>();
 
         // Commit phase (serial, deterministic group order): replay each
@@ -278,6 +320,7 @@ pub(crate) fn pegasus_loop(
         // the signature bank lane-wise in O(K) per merge), fold its
         // rejection samples into the adaptive threshold, and update the
         // members' gain EMAs with the group's accepted savings.
+        let commit_start = std::time::Instant::now();
         for ((group, _), outcome) in seeded.iter().zip(&outcomes) {
             for &(a, b) in &outcome.merges {
                 ws.merge(a, b, &mut scratch);
@@ -290,6 +333,7 @@ pub(crate) fn pegasus_loop(
                 }
             }
         }
+        stats.phases.commit += commit_start.elapsed().as_secs_f64();
         let merged = before - ws.num_supernodes();
         stats.merges += merged;
         threshold.end_iteration();
@@ -327,7 +371,9 @@ pub(crate) fn pegasus_loop(
     if matches!(stop, StopReason::BudgetMet | StopReason::MaxIters) && ws.size_bits() > budget_bits
     {
         stats.sparsified = true;
+        let sparsify_start = std::time::Instant::now();
         sparsify(&mut ws, budget_bits, &exec);
+        stats.phases.sparsify += sparsify_start.elapsed().as_secs_f64();
     }
     (ws.into_summary(), stats, stop)
 }

@@ -150,7 +150,7 @@ pub(crate) fn ssumm_loop(
         } else {
             candidate_groups(&ws, &mut rng, &shingle_params, &exec)
         };
-        stats.candidate_secs += cand_start.elapsed().as_secs_f64();
+        stats.phases.candidates += cand_start.elapsed().as_secs_f64();
         stats.groups += groups.len() as u64;
         stats.grouped_supernodes += groups.iter().map(|grp| grp.len() as u64).sum::<u64>();
         let seeded: Vec<(Vec<crate::summary::SuperId>, u64)> = groups
@@ -162,8 +162,9 @@ pub(crate) fn ssumm_loop(
             control.beat();
             evaluate_group_with(&ws, group, theta, *seed, false, cfg.evaluator)
         });
-        stats.eval_secs += eval_start.elapsed().as_secs_f64();
+        stats.phases.evaluate += eval_start.elapsed().as_secs_f64();
         stats.evals += outcomes.iter().map(|o| o.evals).sum::<u64>();
+        let commit_start = std::time::Instant::now();
         for ((group, _), outcome) in seeded.iter().zip(&outcomes) {
             for &(a, b) in &outcome.merges {
                 ws.merge(a, b, &mut scratch);
@@ -175,6 +176,7 @@ pub(crate) fn ssumm_loop(
                 }
             }
         }
+        stats.phases.commit += commit_start.elapsed().as_secs_f64();
         stats.merges += before - ws.num_supernodes();
         stats.final_theta = theta;
         stats.iterations = t;
@@ -197,7 +199,9 @@ pub(crate) fn ssumm_loop(
     if matches!(stop, StopReason::BudgetMet | StopReason::MaxIters) && ws.size_bits() > budget_bits
     {
         stats.sparsified = true;
+        let sparsify_start = std::time::Instant::now();
         sparsify(&mut ws, budget_bits, &exec);
+        stats.phases.sparsify += sparsify_start.elapsed().as_secs_f64();
     }
     (ws.into_summary(), stats, stop)
 }

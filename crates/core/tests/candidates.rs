@@ -181,7 +181,7 @@ fn both_paths_meet_budget_and_populate_candidate_stats() {
         assert!(s.size_bits() <= budget + 1e-9, "{gen:?} missed the budget");
         assert!(stats.groups > 0, "{gen:?} formed no groups");
         assert!(stats.grouped_supernodes >= stats.groups, "{gen:?} counters");
-        assert!(stats.candidate_secs > 0.0, "{gen:?} candidate time");
+        assert!(stats.phases.candidates > 0.0, "{gen:?} candidate time");
     }
     // SSumM shares the engine.
     for gen in [CandidateGen::Incremental, CandidateGen::Recompute] {

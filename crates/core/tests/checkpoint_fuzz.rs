@@ -6,7 +6,7 @@
 //! as a structurally valid decode.
 //!
 //! The exhaustive sweeps (every prefix length, every single-bit flip of
-//! every byte) run on both a v1 and a v2 blob; proptest layers random
+//! every byte) run on v1, v2, and v3 blobs; proptest layers random
 //! multi-byte mutations on top.
 
 use proptest::prelude::*;
@@ -21,8 +21,9 @@ use std::sync::Arc;
 
 const NUM_NODES: usize = 40;
 
-/// A valid v2 blob with a non-trivial partition and gains section.
-fn v2_blob() -> Vec<u8> {
+/// A valid current-version (v3) blob with a non-trivial partition,
+/// gains section, and phase-timing trail.
+fn v3_blob() -> Vec<u8> {
     let g = pgs_graph::gen::barabasi_albert(NUM_NODES, 3, 7);
     let w = NodeWeights::uniform(g.num_nodes());
     let mut ws = WorkingSummary::new(&g, &w, CostModel::ErrorCorrection);
@@ -47,8 +48,18 @@ fn v2_blob() -> Vec<u8> {
     ck.encode()
 }
 
-/// The v1 form of the same snapshot: byte-for-byte the v2 blob minus the
-/// trailing section (candidate stats + gains), re-tagged version 1.
+/// The v2 form of the same snapshot: byte-for-byte the v3 blob minus
+/// the v3 trailing section (commit + sparsify phase words), re-tagged
+/// version 2.
+fn v2_blob() -> Vec<u8> {
+    let v3 = v3_blob();
+    let mut v2 = v3[..v3.len() - 16].to_vec();
+    v2[4..6].copy_from_slice(&2u16.to_le_bytes());
+    v2
+}
+
+/// The v1 form: the v2 blob minus its trailing section (candidate
+/// stats + gains), re-tagged version 1.
 fn v1_blob() -> Vec<u8> {
     let v2 = v2_blob();
     let ck = RunCheckpoint::decode(&v2).expect("sample blob must decode");
@@ -69,7 +80,7 @@ fn assert_no_panic_decode(bytes: &[u8]) {
 
 #[test]
 fn every_prefix_truncation_is_a_typed_error() {
-    for blob in [v1_blob(), v2_blob()] {
+    for blob in [v1_blob(), v2_blob(), v3_blob()] {
         assert!(RunCheckpoint::decode(&blob).is_ok(), "sanity: full blob");
         for cut in 0..blob.len() {
             let prefix = &blob[..cut];
@@ -84,7 +95,7 @@ fn every_prefix_truncation_is_a_typed_error() {
 
 #[test]
 fn every_single_bit_flip_errors_or_decodes_validly() {
-    for blob in [v1_blob(), v2_blob()] {
+    for blob in [v1_blob(), v2_blob(), v3_blob()] {
         for pos in 0..blob.len() {
             for bit in 0..8u8 {
                 let mut mutated = blob.clone();
@@ -99,7 +110,7 @@ fn every_single_bit_flip_errors_or_decodes_validly() {
 fn corrupt_resume_blob_is_checkpoint_invalid_through_run_control() {
     // The serving-layer surface of the same property: a damaged resume
     // blob reaches callers as PgsError::CheckpointInvalid, not a panic.
-    let mut blob = v2_blob();
+    let mut blob = v3_blob();
     let mid = blob.len() / 2;
     blob.truncate(mid);
     let control = RunControl {
@@ -118,9 +129,13 @@ proptest! {
     #[test]
     fn random_byte_mutations_never_panic(
         edits in proptest::collection::vec((0usize..4096, any::<u8>()), 1..16),
-        use_v1 in any::<bool>(),
+        version in 1u16..=3,
     ) {
-        let mut blob = if use_v1 { v1_blob() } else { v2_blob() };
+        let mut blob = match version {
+            1 => v1_blob(),
+            2 => v2_blob(),
+            _ => v3_blob(),
+        };
         for (pos, val) in edits {
             let idx = pos % blob.len();
             blob[idx] = val;

@@ -1,0 +1,279 @@
+//! Bounded structured event journal: job-lifecycle transitions in a
+//! ring buffer, optionally mirrored to an NDJSON file sink.
+//!
+//! Every transition a job makes through the serving layer (admitted →
+//! queued → running → checkpointed → retried / stalled / completed,
+//! plus shed / rejected / quarantined / replayed) is recorded as one
+//! [`Event`] carrying a strictly increasing sequence number, the
+//! tenant, the attempt index, and — for terminal transitions — the
+//! engine's stop-reason token. The ring keeps the last `capacity`
+//! events for forensics (the watchdog snapshots the tail before it
+//! escalates a stall to cancel); the sink, when attached, appends one
+//! JSON object per line and flushes per record so `tail -f` works.
+//!
+//! Cost model: with capacity 0 and no sink, [`EventJournal::record`]
+//! is a single relaxed `fetch_add` (the sequence still advances so
+//! `seq()` stays meaningful) — no formatting, no locking.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::push_json_string;
+
+/// A job-lifecycle transition kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Submission passed admission control and was journaled.
+    Admitted,
+    /// A journaled record was re-admitted after a process restart.
+    Replayed,
+    /// The job entered its tenant queue.
+    Queued,
+    /// A worker picked the job up (one per attempt).
+    Running,
+    /// The run wrote a checkpoint successfully.
+    Checkpointed,
+    /// The attempt died (worker panic / stall) and the job re-queued.
+    Retried,
+    /// Admission shed this job (or it was the shed victim).
+    Shed,
+    /// Admission rejected the submission outright.
+    Rejected,
+    /// The watchdog flagged the running attempt as stalled.
+    Stalled,
+    /// The job exhausted its cross-restart retry allowance.
+    Quarantined,
+    /// The job reached a terminal state and its result was published.
+    Completed,
+}
+
+impl EventKind {
+    /// Stable lowercase token (the NDJSON `kind` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Admitted => "admitted",
+            EventKind::Replayed => "replayed",
+            EventKind::Queued => "queued",
+            EventKind::Running => "running",
+            EventKind::Checkpointed => "checkpointed",
+            EventKind::Retried => "retried",
+            EventKind::Shed => "shed",
+            EventKind::Rejected => "rejected",
+            EventKind::Stalled => "stalled",
+            EventKind::Quarantined => "quarantined",
+            EventKind::Completed => "completed",
+        }
+    }
+}
+
+/// One recorded lifecycle transition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Strictly increasing journal-wide sequence number (from 1).
+    pub seq: u64,
+    /// The service job id.
+    pub job_id: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// Attempt index at the time of the transition (0 = first run).
+    pub attempt: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// Stop-reason token for terminal transitions (`completed`,
+    /// `retried` after a failed attempt), `None` otherwise.
+    pub stop: Option<&'static str>,
+}
+
+impl Event {
+    /// One NDJSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\": ");
+        out.push_str(&self.seq.to_string());
+        out.push_str(", \"job\": ");
+        out.push_str(&self.job_id.to_string());
+        out.push_str(", \"tenant\": ");
+        push_json_string(&mut out, &self.tenant);
+        out.push_str(", \"attempt\": ");
+        out.push_str(&self.attempt.to_string());
+        out.push_str(", \"kind\": \"");
+        out.push_str(self.kind.as_str());
+        out.push('"');
+        match self.stop {
+            Some(stop) => {
+                out.push_str(", \"stop\": ");
+                push_json_string(&mut out, stop);
+            }
+            None => out.push_str(", \"stop\": null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The bounded ring + optional NDJSON sink.
+pub struct EventJournal {
+    capacity: usize,
+    next_seq: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+    sink: Option<Mutex<BufWriter<File>>>,
+}
+
+impl EventJournal {
+    /// A ring keeping the last `capacity` events, no file sink.
+    /// Capacity 0 disables retention (recording only advances `seq`).
+    pub fn new(capacity: usize) -> Self {
+        EventJournal {
+            capacity,
+            next_seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            sink: None,
+        }
+    }
+
+    /// A ring that also appends NDJSON lines to `path` (truncating any
+    /// existing file), flushed per record.
+    pub fn with_sink(capacity: usize, path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(EventJournal {
+            sink: Some(Mutex::new(BufWriter::new(file))),
+            ..EventJournal::new(capacity)
+        })
+    }
+
+    /// Whether recording does more than advance the sequence.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0 || self.sink.is_some()
+    }
+
+    /// Records one transition and returns its sequence number.
+    ///
+    /// Sequence allocation happens under the ring lock when retention
+    /// or a sink is on, so ring order, sink line order, and sequence
+    /// order always agree (the strictly-increasing-seq invariant the
+    /// concurrency tests pin).
+    pub fn record(
+        &self,
+        job_id: u64,
+        tenant: &str,
+        attempt: u32,
+        kind: EventKind,
+        stop: Option<&'static str>,
+    ) -> u64 {
+        if !self.enabled() {
+            return self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        }
+        let mut ring = self.ring.lock().unwrap();
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let ev = Event {
+            seq,
+            job_id,
+            tenant: tenant.to_string(),
+            attempt,
+            kind,
+            stop,
+        };
+        if let Some(sink) = &self.sink {
+            let mut w = sink.lock().unwrap();
+            // Sink failures are swallowed: observability must never
+            // fail the serving path it observes.
+            let _ = writeln!(w, "{}", ev.to_json());
+            let _ = w.flush();
+        }
+        if self.capacity > 0 {
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(ev);
+        }
+        seq
+    }
+
+    /// The highest sequence number issued so far (0 before any record).
+    pub fn seq(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn tail(&self) -> Vec<Event> {
+        self.ring.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_last_capacity_events_in_seq_order() {
+        let j = EventJournal::new(3);
+        for i in 0..5u64 {
+            j.record(i, "t", 0, EventKind::Queued, None);
+        }
+        let tail = j.tail();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(
+            tail.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert_eq!(j.seq(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_still_advances_seq() {
+        let j = EventJournal::new(0);
+        assert!(!j.enabled());
+        assert_eq!(j.record(1, "t", 0, EventKind::Admitted, None), 1);
+        assert_eq!(
+            j.record(1, "t", 0, EventKind::Completed, Some("budget_met")),
+            2
+        );
+        assert!(j.tail().is_empty());
+    }
+
+    #[test]
+    fn ndjson_sink_writes_one_parseable_line_per_event() {
+        let dir = std::env::temp_dir().join("pgs_observe_events_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.ndjson");
+        let j = EventJournal::with_sink(2, &path).unwrap();
+        j.record(7, "ali\"ce", 1, EventKind::Retried, Some("cancelled"));
+        j.record(7, "ali\"ce", 2, EventKind::Completed, Some("budget_met"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let ev = crate::Json::parse(lines[0]).unwrap();
+        assert_eq!(ev.get("seq").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(ev.get("tenant").and_then(|v| v.as_str()), Some("ali\"ce"));
+        assert_eq!(ev.get("kind").and_then(|v| v.as_str()), Some("retried"));
+        assert_eq!(ev.get("stop").and_then(|v| v.as_str()), Some("cancelled"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_records_issue_unique_increasing_seqs() {
+        let j = std::sync::Arc::new(EventJournal::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let j = std::sync::Arc::clone(&j);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    j.record(t, "t", 0, EventKind::Running, None);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let seqs: Vec<u64> = j.tail().iter().map(|e| e.seq).collect();
+        assert_eq!(
+            seqs,
+            (1..=800).collect::<Vec<_>>(),
+            "ring order must be strictly seq-ascending with no gaps"
+        );
+    }
+}

@@ -77,6 +77,9 @@ pub struct CacheStats {
     /// Entries dropped to make room (capacity evictions only; stale
     /// drops count as misses, not evictions).
     pub evictions: u64,
+    /// Entries dropped at lookup because their graph epoch was stale
+    /// (each such lookup also counts as a miss).
+    pub epoch_invalidations: u64,
     /// Live entries right now.
     pub entries: usize,
 }
@@ -101,6 +104,7 @@ pub struct WeightCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    epoch_invalidations: u64,
 }
 
 impl WeightCache {
@@ -115,6 +119,7 @@ impl WeightCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            epoch_invalidations: 0,
         }
     }
 
@@ -133,6 +138,7 @@ impl WeightCache {
             Some(_) => {
                 self.entries.remove(key);
                 self.misses += 1;
+                self.epoch_invalidations += 1;
                 None
             }
             None => {
@@ -217,6 +223,7 @@ impl WeightCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            epoch_invalidations: self.epoch_invalidations,
             entries: self.entries.len(),
         }
     }
@@ -252,6 +259,7 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 evictions: 0,
+                epoch_invalidations: 0,
                 entries: 1
             }
         );
@@ -264,6 +272,8 @@ mod tests {
         c.insert(k.clone(), NodeWeights::uniform(5), 0);
         assert!(c.lookup(&k, 1).is_none(), "epoch-0 weights at epoch 1");
         assert!(c.is_empty(), "stale entry must be dropped");
+        assert_eq!(c.stats().epoch_invalidations, 1, "stale drop is counted");
+        assert_eq!(c.stats().misses, 1, "...and doubles as a miss");
         // Re-resolved weights at the new epoch serve normally.
         c.insert(k.clone(), NodeWeights::uniform(7), 1);
         assert_eq!(c.lookup(&k, 1).unwrap().len(), 7);

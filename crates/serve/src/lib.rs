@@ -44,6 +44,18 @@
 //! failing; and a job that exhausts its retry allowance across restarts
 //! is quarantined rather than re-admitted.
 //!
+//! The observability layer (DESIGN.md §14) makes all of the above
+//! visible without perturbing it: a lock-light metrics registry (queue
+//! depth, per-tenant outcomes, cache and engine counters, latency
+//! histograms) surfaced as one coherent
+//! [`MetricsSnapshot`](service::MetricsSnapshot) with a stable JSON
+//! shape; a bounded [`EventJournal`](pgs_observe::EventJournal) of
+//! job-lifecycle events (admitted → queued → running → checkpointed →
+//! retried / stalled / completed) with an optional NDJSON sink; and
+//! stall forensics — the watchdog snapshots the event tail into a
+//! [`StallReport`](service::StallReport) at the moment it flags a job,
+//! before the cancellation unwinds.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use pgs_core::api::{Budget, Pegasus, StopReason, SummarizeRequest};
@@ -92,7 +104,7 @@ pub use cache::{CacheStats, WeightCache, WeightKey};
 pub use durable::FileCheckpointSink;
 pub use journal::{JobRecord, Journal};
 pub use service::{
-    JobStatus, JobTimings, ServiceConfig, SharedSummarizer, SubmitRequest, SummaryHandle,
-    SummaryService, TenantStats,
+    JobStatus, JobTimings, MetricsSnapshot, ServiceConfig, SharedSummarizer, StallReport,
+    SubmitRequest, SummaryHandle, SummaryService, TenantStats,
 };
-pub use supervise::{Breaker, Supervisor};
+pub use supervise::{Breaker, OnStall, Supervisor};

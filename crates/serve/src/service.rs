@@ -97,9 +97,13 @@ use pgs_core::api::{
 };
 use pgs_core::checkpoint::iteration_seed;
 use pgs_core::exec::Exec;
-use pgs_core::pegasus::RunStats;
+use pgs_core::pegasus::{PhaseTimings, RunStats};
 use pgs_core::{RunCheckpoint, Summary};
 use pgs_graph::Graph;
+use pgs_observe::{
+    push_json_string, Counter, Event, EventJournal, EventKind, Gauge, Histogram, MetricsValues,
+    Registry, LATENCY_BOUNDS_US,
+};
 
 use crate::cache::{CacheStats, WeightCache, WeightKey};
 use crate::durable::{ckpt_filename, recover_checkpoints, FileCheckpointSink};
@@ -174,6 +178,17 @@ pub struct ServiceConfig {
     /// How long a tripped breaker fast-rejects before admitting one
     /// half-open probe.
     pub breaker_cooldown: Duration,
+    /// Lifecycle events retained in the in-memory ring (for
+    /// [`SummaryService::events_tail`] and the stall-forensics
+    /// captures). `0` disables retention; recording then costs one
+    /// relaxed atomic per event.
+    pub event_capacity: usize,
+    /// NDJSON sink for lifecycle events (one JSON object per line,
+    /// flushed per record). `None` (the default) keeps events in the
+    /// ring only. An unopenable path degrades to ring-only with a
+    /// stderr note — observability never fails the serving path it
+    /// observes.
+    pub events_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -193,6 +208,8 @@ impl Default for ServiceConfig {
             breaker_window: 0,
             breaker_threshold: 0.5,
             breaker_cooldown: Duration::from_secs(1),
+            event_capacity: 256,
+            events_path: None,
         }
     }
 }
@@ -253,21 +270,39 @@ pub enum JobStatus {
 }
 
 /// Latency breakdown of a finished request.
+///
+/// `wait_secs`/`run_secs` describe the **final attempt** only; the
+/// `total_*` fields accumulate over every attempt of a retried job,
+/// with backoff sleeps split out on their own — queue wait is never
+/// silently inflated by time the job spent deliberately parked
+/// between attempts, or by attempts that already happened.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct JobTimings {
-    /// Seconds between submission and a worker picking the job up.
+    /// Seconds the final attempt spent runnable-but-waiting: from
+    /// submission (or backoff expiry, for a retry) to worker pickup.
     pub wait_secs: f64,
-    /// Seconds the worker spent on it (validation + run).
+    /// Seconds the final attempt's worker spent on it (validation +
+    /// run).
     pub run_secs: f64,
+    /// Queue-wait seconds summed over all attempts.
+    pub total_wait_secs: f64,
+    /// Worker seconds summed over all attempts (failed ones included).
+    pub total_run_secs: f64,
+    /// Seconds spent parked in retry backoff between attempts.
+    pub backoff_secs: f64,
+    /// Worker pickups this job went through (1 for an untroubled run;
+    /// 0 for a job resolved without ever running, e.g. shed).
+    pub attempts: u32,
     /// Position in the service-wide completion order (0 = first
     /// request to finish), for scheduling assertions and logs.
     pub completed_seq: u64,
 }
 
 impl JobTimings {
-    /// Total submit-to-done latency in seconds.
+    /// Total submit-to-done latency in seconds (all attempts, backoff
+    /// included).
     pub fn total_secs(&self) -> f64 {
-        self.wait_secs + self.run_secs
+        self.total_wait_secs + self.total_run_secs + self.backoff_secs
     }
 }
 
@@ -314,10 +349,22 @@ pub struct TenantStats {
     pub cache_hits: u64,
     /// Weight-cache misses (BFS resolutions) for this tenant.
     pub cache_misses: u64,
-    /// Total seconds this tenant's finished requests spent queued.
+    /// Total seconds this tenant's finished requests spent queued,
+    /// summed over every attempt (backoff sleeps are excluded — see
+    /// [`TenantStats::backoff_secs`]).
     pub wait_secs: f64,
-    /// Total seconds workers spent on this tenant's finished requests.
+    /// Total seconds workers spent on this tenant's finished requests,
+    /// summed over every attempt (failed ones included).
     pub run_secs: f64,
+    /// Total seconds this tenant's retried jobs spent parked in
+    /// backoff between attempts.
+    pub backoff_secs: f64,
+    /// Engine phase-time totals over this tenant's completed runs.
+    pub phases: PhaseTimings,
+    /// Merge evaluations performed by this tenant's completed runs.
+    pub evals: u64,
+    /// Merges committed by this tenant's completed runs.
+    pub merges: u64,
 }
 
 struct Finished {
@@ -329,6 +376,21 @@ enum JobState {
     Queued(Box<SummarizeRequest>),
     Running,
     Done(Box<Finished>),
+}
+
+/// Wall-clock bookkeeping for a job's attempts. `ready_at` marks when
+/// the job last became runnable — submission, or backoff expiry for a
+/// retry — so per-attempt queue wait is measured against it rather
+/// than against the original submission instant (which would silently
+/// fold prior attempts and backoff sleeps into "queue wait"; the
+/// tenant-deadline budget still charges from submission, by design).
+/// The `prior_*` fields accumulate the already-finished attempts of a
+/// retried job.
+struct AttemptClock {
+    ready_at: Instant,
+    prior_wait_secs: f64,
+    prior_run_secs: f64,
+    backoff_secs: f64,
 }
 
 struct Job {
@@ -349,6 +411,13 @@ struct Job {
     stalled: Arc<AtomicBool>,
     /// How many times this job has died to a worker panic.
     attempts: AtomicU32,
+    /// Worker pickups — a superset of deaths: the final, surviving
+    /// attempt counts too. A separate `Arc` so the checkpoint sink and
+    /// the stall hook can read the live attempt index without holding
+    /// the job (which would be a reference cycle through the request).
+    runs: Arc<AtomicU32>,
+    /// Per-attempt wall-clock bookkeeping (see [`AttemptClock`]).
+    clock: Mutex<AttemptClock>,
     /// The write-ahead journal record backing this job (`None` unless
     /// durable under a journaling service). Re-appended at every worker
     /// pickup with a bumped attempt count; retired or quarantined when
@@ -392,10 +461,14 @@ struct Sched {
     /// Jobs queued across all tenants (workers exit when this hits 0
     /// under shutdown).
     queued: usize,
-    /// Completed-run seconds + count, service-wide — the basis of the
-    /// [`PgsError::Overloaded`] retry hint.
-    total_run_secs: f64,
-    total_completed: u64,
+    /// Per-attempt worker seconds + attempt count, service-wide — the
+    /// basis of the [`PgsError::Overloaded`] retry hint. Attempts, not
+    /// completions: a retried job's failed runs held a worker just the
+    /// same, so they belong in the mean the hint scales from (feeding
+    /// it conflated completion totals was the bug — one retried job
+    /// inflated the "average run" by its whole backoff-laden history).
+    total_attempt_secs: f64,
+    total_attempts: u64,
     shutdown: bool,
 }
 
@@ -415,6 +488,198 @@ impl GraphTable {
             .get(tenant)
             .cloned()
             .unwrap_or_else(|| self.default.clone())
+    }
+}
+
+/// Pre-bound handles over the service's metrics [`Registry`]: the hot
+/// paths touch only relaxed atomics — the registry mutex is paid once,
+/// here, at construction. Counter names are part of the public metric
+/// surface (the CI smoke step fails on unknown or renamed keys).
+struct Metrics {
+    registry: Registry,
+    jobs_submitted: Arc<Counter>,
+    jobs_completed: Arc<Counter>,
+    jobs_errors: Arc<Counter>,
+    jobs_rejected: Arc<Counter>,
+    jobs_shed: Arc<Counter>,
+    jobs_retried: Arc<Counter>,
+    jobs_quarantined: Arc<Counter>,
+    jobs_stalled: Arc<Counter>,
+    jobs_replayed: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    running_jobs: Arc<Gauge>,
+    wait_us: Arc<Histogram>,
+    run_us: Arc<Histogram>,
+    engine: EngineMetrics,
+}
+
+/// The engine-side counters the per-iteration observer publishes into
+/// (cloned into each run's observer closure — cheap `Arc` bumps).
+#[derive(Clone)]
+struct EngineMetrics {
+    iterations: Arc<Counter>,
+    merges: Arc<Counter>,
+    evals: Arc<Counter>,
+    candidates_us: Arc<Counter>,
+    evaluate_us: Arc<Counter>,
+    commit_us: Arc<Counter>,
+    sparsify_us: Arc<Counter>,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        Metrics {
+            jobs_submitted: registry.counter("serve.jobs.submitted"),
+            jobs_completed: registry.counter("serve.jobs.completed"),
+            jobs_errors: registry.counter("serve.jobs.errors"),
+            jobs_rejected: registry.counter("serve.jobs.rejected"),
+            jobs_shed: registry.counter("serve.jobs.shed"),
+            jobs_retried: registry.counter("serve.jobs.retried"),
+            jobs_quarantined: registry.counter("serve.jobs.quarantined"),
+            jobs_stalled: registry.counter("serve.jobs.stalled"),
+            jobs_replayed: registry.counter("serve.jobs.replayed"),
+            cache_hits: registry.counter("serve.cache.hits"),
+            cache_misses: registry.counter("serve.cache.misses"),
+            queue_depth: registry.gauge("serve.queue.depth"),
+            running_jobs: registry.gauge("serve.jobs.running"),
+            wait_us: registry.histogram("serve.latency.wait_us", LATENCY_BOUNDS_US),
+            run_us: registry.histogram("serve.latency.run_us", LATENCY_BOUNDS_US),
+            engine: EngineMetrics {
+                iterations: registry.counter("engine.iterations"),
+                merges: registry.counter("engine.merges"),
+                evals: registry.counter("engine.evals"),
+                candidates_us: registry.counter("engine.phase.candidates_us"),
+                evaluate_us: registry.counter("engine.phase.evaluate_us"),
+                commit_us: registry.counter("engine.phase.commit_us"),
+                sparsify_us: registry.counter("engine.phase.sparsify_us"),
+            },
+            registry,
+        }
+    }
+}
+
+/// One stall-forensics capture — the "second tier" between the
+/// watchdog's frozen-heartbeat verdict and the run's cancellation
+/// unwind: the lifecycle-event tail snapshotted at the moment the
+/// watchdog flagged the job, before the cancel is observed anywhere
+/// and before later events can rotate the evidence out of the ring.
+#[derive(Clone, Debug)]
+pub struct StallReport {
+    /// The flagged job.
+    pub job_id: u64,
+    /// Its tenant.
+    pub tenant: String,
+    /// The retained event tail at escalation time (oldest first).
+    pub events: Vec<Event>,
+}
+
+/// One coherent point-in-time read of everything the service exposes
+/// about itself: scheduler state, registry values, cache and journal
+/// counters, and per-tenant stats. The JSON rendering's key shape is
+/// stable — the CI smoke step fails when a key is renamed or dropped.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Requests queued but not yet picked up.
+    pub queued: usize,
+    /// Jobs currently held by workers.
+    pub running: i64,
+    /// Resolved worker-pool size.
+    pub workers: usize,
+    /// Weight-cache counters (authoritative — the cache, not the
+    /// registry, owns these).
+    pub cache: CacheStats,
+    /// Jobs replayed from the admission journal at startup.
+    pub journal_replayed: u64,
+    /// Durable keys currently quarantined.
+    pub journal_quarantined: u64,
+    /// Lifecycle events recorded so far (monotone).
+    pub event_seq: u64,
+    /// Registry values: counters, gauges, histograms.
+    pub values: MetricsValues,
+    /// Per-tenant counters, in tenant order.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as one JSON object (hand-rolled — the
+    /// workspace is offline and serde-free).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"queued\": {}, \"running\": {}, \"workers\": {}, ",
+            self.queued, self.running, self.workers
+        );
+        let _ = write!(
+            out,
+            "\"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"epoch_invalidations\": {}, \"entries\": {}}}, ",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.epoch_invalidations,
+            self.cache.entries
+        );
+        let _ = write!(
+            out,
+            "\"journal\": {{\"replayed\": {}, \"quarantined\": {}}}, ",
+            self.journal_replayed, self.journal_quarantined
+        );
+        let _ = write!(out, "\"event_seq\": {}, ", self.event_seq);
+        out.push_str("\"metrics\": ");
+        out.push_str(&self.values.to_json());
+        out.push_str(", \"tenants\": [");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"tenant\": ");
+            push_json_string(&mut out, &t.tenant);
+            let _ = write!(
+                out,
+                ", \"submitted\": {}, \"completed\": {}, \"budget_met\": {}, \
+                 \"max_iters\": {}, \"cancelled\": {}, \"deadline_exceeded\": {}, \
+                 \"retries_exhausted\": {}, \"stalled\": {}, \"errors\": {}, \
+                 \"shed\": {}, \"rejected\": {}, \"breaker_rejected\": {}, \
+                 \"breaker_trips\": {}, \"quarantined\": {}, \"retries\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}, \"wait_secs\": {:.6}, \
+                 \"run_secs\": {:.6}, \"backoff_secs\": {:.6}, \"evals\": {}, \
+                 \"merges\": {}, \"phase_secs\": {{\"candidates\": {:.6}, \
+                 \"evaluate\": {:.6}, \"commit\": {:.6}, \"sparsify\": {:.6}}}}}",
+                t.submitted,
+                t.completed,
+                t.budget_met,
+                t.max_iters,
+                t.cancelled,
+                t.deadline_exceeded,
+                t.retries_exhausted,
+                t.stalled,
+                t.errors,
+                t.shed,
+                t.rejected,
+                t.breaker_rejected,
+                t.breaker_trips,
+                t.quarantined,
+                t.retries,
+                t.cache_hits,
+                t.cache_misses,
+                t.wait_secs,
+                t.run_secs,
+                t.backoff_secs,
+                t.evals,
+                t.merges,
+                t.phases.candidates,
+                t.phases.evaluate,
+                t.phases.commit,
+                t.phases.sparsify,
+            );
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -451,6 +716,15 @@ struct Inner {
     running: Mutex<BTreeMap<u64, Arc<Job>>>,
     /// Handles of jobs replayed from the journal at startup.
     replayed: Mutex<Vec<SummaryHandle>>,
+    /// Pre-bound metric handles (see [`Metrics`]).
+    metrics: Metrics,
+    /// Structured lifecycle-event journal: bounded ring plus optional
+    /// NDJSON sink. Never recorded into while a scheduler or cache
+    /// lock is held.
+    events: Arc<EventJournal>,
+    /// Stall-forensics captures appended by the watchdog's on-stall
+    /// hook (see [`StallReport`]).
+    stall_reports: Mutex<Vec<StallReport>>,
 }
 
 /// A typed handle to one submitted request.
@@ -568,6 +842,18 @@ impl SummaryService {
             .flat_map(|j| j.quarantined())
             .map(|r| r.key)
             .collect();
+        let events = Arc::new(match &cfg.events_path {
+            Some(path) => EventJournal::with_sink(cfg.event_capacity, path).unwrap_or_else(|e| {
+                // Degrade, don't die: a broken sink path must not take
+                // the serving layer down with it.
+                eprintln!(
+                    "pgs-serve: events sink {} unavailable ({e}); keeping ring only",
+                    path.display()
+                );
+                EventJournal::new(cfg.event_capacity)
+            }),
+            None => EventJournal::new(cfg.event_capacity),
+        });
         let inner = Arc::new(Inner {
             algorithm,
             cache: Mutex::new(WeightCache::new(cfg.cache_capacity)),
@@ -581,8 +867,8 @@ impl SummaryService {
             sched: Mutex::new(Sched {
                 tenants: BTreeMap::new(),
                 queued: 0,
-                total_run_secs: 0.0,
-                total_completed: 0,
+                total_attempt_secs: 0.0,
+                total_attempts: 0,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -596,7 +882,42 @@ impl SummaryService {
             abandon: AtomicBool::new(false),
             running: Mutex::new(BTreeMap::new()),
             replayed: Mutex::new(Vec::new()),
+            metrics: Metrics::new(),
+            events,
+            stall_reports: Mutex::new(Vec::new()),
         });
+        // Stall forensics: when the watchdog flags a job, snapshot the
+        // event-ring tail *before* anything else reacts to the
+        // cancellation — later lifecycle events would rotate the
+        // evidence out of the bounded ring. `Weak` breaks the cycle
+        // (the supervisor is owned by `Inner`).
+        if let Some(sup) = &inner.supervisor {
+            let weak = Arc::downgrade(&inner);
+            sup.set_on_stall(Arc::new(move |job_id| {
+                let Some(inner) = weak.upgrade() else { return };
+                let (tenant, attempt) = {
+                    let running = inner.running.lock().unwrap();
+                    match running.get(&job_id) {
+                        Some(j) => (
+                            j.tenant.clone(),
+                            j.runs.load(Ordering::Relaxed).saturating_sub(1),
+                        ),
+                        // Finished inside the race window: the publish
+                        // path already told the full story.
+                        None => return,
+                    }
+                };
+                inner
+                    .events
+                    .record(job_id, &tenant, attempt, EventKind::Stalled, None);
+                let tail = inner.events.tail();
+                inner.stall_reports.lock().unwrap().push(StallReport {
+                    job_id,
+                    tenant,
+                    events: tail,
+                });
+            }));
+        }
         for rec in &poisoned {
             if let Some(j) = &inner.journal {
                 j.quarantine(rec);
@@ -824,6 +1145,56 @@ impl SummaryService {
     pub fn pending(&self) -> usize {
         self.inner.sched.lock().unwrap().queued
     }
+
+    /// One coherent observability snapshot: scheduler state, registry
+    /// values, cache/journal counters, and per-tenant stats. Safe to
+    /// call from any thread at any rate — it takes each lock briefly
+    /// and never blocks the hot submit/run paths on anything slow.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let (queued, tenants) = {
+            let sched = self.inner.sched.lock().unwrap();
+            let tenants = sched
+                .tenants
+                .iter()
+                .map(|(name, t)| {
+                    let mut stats = t.stats.clone();
+                    stats.tenant = name.clone();
+                    stats
+                })
+                .collect();
+            (sched.queued, tenants)
+        };
+        // One lock per statement: each guard is a statement temporary
+        // that dies at its `;`, so no two of these are ever held at
+        // once (a struct-literal's temporaries would live to the end
+        // of the whole expression — and violate the lock order).
+        let cache = self.inner.cache.lock().unwrap().stats();
+        let journal_replayed = self.inner.replayed.lock().unwrap().len() as u64;
+        let journal_quarantined = self.inner.quarantined.lock().unwrap().len() as u64;
+        MetricsSnapshot {
+            queued,
+            running: self.inner.metrics.running_jobs.get(),
+            workers: self.inner.workers,
+            cache,
+            journal_replayed,
+            journal_quarantined,
+            event_seq: self.inner.events.seq(),
+            values: self.inner.metrics.registry.snapshot(),
+            tenants,
+        }
+    }
+
+    /// The retained lifecycle-event tail (oldest first). Empty when
+    /// [`ServiceConfig::event_capacity`] is 0.
+    pub fn events_tail(&self) -> Vec<Event> {
+        self.inner.events.tail()
+    }
+
+    /// Stall-forensics captures recorded so far (see [`StallReport`]),
+    /// in escalation order.
+    pub fn stall_reports(&self) -> Vec<StallReport> {
+        self.inner.stall_reports.lock().unwrap().clone()
+    }
 }
 
 impl Drop for SummaryService {
@@ -866,6 +1237,16 @@ fn do_submit(
     if !bypass_admission {
         if let Some(key) = &durable_key {
             if inner.journal.is_some() && inner.quarantined.lock().unwrap().contains(key) {
+                inner.metrics.jobs_rejected.inc();
+                // No job id exists yet — the sentinel marks a
+                // rejected-at-the-door submission.
+                inner.events.record(
+                    u64::MAX,
+                    &tenant,
+                    0,
+                    EventKind::Rejected,
+                    Some("quarantined"),
+                );
                 let mut sched = inner.sched.lock().unwrap();
                 let t = sched.tenants.entry(tenant).or_default();
                 t.stats.rejected += 1;
@@ -950,16 +1331,24 @@ fn do_submit(
     };
     request = request.cancel_flag(Arc::clone(&cancel));
 
+    let submitted_at = Instant::now();
     let job = Arc::new(Job {
         id: inner.next_id.fetch_add(1, Ordering::Relaxed),
         tenant: tenant.clone(),
         priority,
         seq: inner.next_seq.fetch_add(1, Ordering::Relaxed),
-        submitted: Instant::now(),
+        submitted: submitted_at,
         graph,
         cancel,
         stalled: Arc::new(AtomicBool::new(false)),
         attempts: AtomicU32::new(replayed_attempts.unwrap_or(0)),
+        runs: Arc::new(AtomicU32::new(0)),
+        clock: Mutex::new(AttemptClock {
+            ready_at: submitted_at,
+            prior_wait_secs: 0.0,
+            prior_run_secs: 0.0,
+            backoff_secs: 0.0,
+        }),
         journal_rec: Mutex::new(None),
         last_checkpoint: Arc::new(Mutex::new(None)),
         durable,
@@ -1074,6 +1463,7 @@ fn do_submit(
             not_before: None,
         });
         sched.queued += 1;
+        inner.metrics.queue_depth.set(sched.queued as i64);
         Ok(shed_victim)
     };
     let shed_victim = match admitted {
@@ -1087,9 +1477,45 @@ fn do_submit(
                     journal.retire(key);
                 }
             }
+            inner.metrics.jobs_rejected.inc();
+            inner.events.record(
+                job.id,
+                &job.tenant,
+                0,
+                EventKind::Rejected,
+                Some("overloaded"),
+            );
             return Err(e);
         }
     };
+    inner.metrics.jobs_submitted.inc();
+    let first_attempt = replayed_attempts.unwrap_or(0);
+    if bypass_admission {
+        inner.metrics.jobs_replayed.inc();
+        inner.events.record(
+            job.id,
+            &job.tenant,
+            first_attempt,
+            EventKind::Replayed,
+            None,
+        );
+    } else {
+        inner.events.record(
+            job.id,
+            &job.tenant,
+            first_attempt,
+            EventKind::Admitted,
+            None,
+        );
+    }
+    match cache_outcome {
+        Some(true) => inner.metrics.cache_hits.inc(),
+        Some(false) => inner.metrics.cache_misses.inc(),
+        None => {}
+    }
+    inner
+        .events
+        .record(job.id, &job.tenant, first_attempt, EventKind::Queued, None);
     if let Some((victim, hint)) = shed_victim {
         // A shed durable job resolves Overloaded — it is finished as
         // far as its handle is concerned, so its admission record must
@@ -1099,6 +1525,14 @@ fn do_submit(
                 journal.retire(&rec.key);
             }
         }
+        inner.metrics.jobs_shed.inc();
+        inner.events.record(
+            victim.id,
+            &victim.tenant,
+            victim.runs.load(Ordering::Relaxed),
+            EventKind::Shed,
+            None,
+        );
         resolve_shed(&victim, hint);
     }
     inner.work_cv.notify_one();
@@ -1113,8 +1547,8 @@ fn do_submit(
 const MIN_RETRY_HINT: Duration = Duration::from_millis(50);
 
 fn overload_hint(sched: &Sched, workers: usize) -> Duration {
-    let avg = if sched.total_completed > 0 {
-        sched.total_run_secs / sched.total_completed as f64
+    let avg = if sched.total_attempts > 0 {
+        sched.total_attempt_secs / sched.total_attempts as f64
     } else {
         0.0
     };
@@ -1159,13 +1593,23 @@ fn shed_lowest_queued(sched: &mut Sched, incoming_priority: u8) -> Option<Arc<Jo
 
 /// Publishes `Err(Overloaded)` to a shed job's handle. The job was
 /// already removed from its queue; its timing row records queue wait
-/// only.
+/// only (measured from the current attempt's ready instant — a job
+/// shed while parked in backoff charges nothing to queue wait).
 fn resolve_shed(job: &Arc<Job>, hint: Duration) {
+    let clock = job.clock.lock().unwrap();
+    let wait = Instant::now()
+        .saturating_duration_since(clock.ready_at)
+        .as_secs_f64();
     let timings = JobTimings {
-        wait_secs: job.submitted.elapsed().as_secs_f64(),
+        wait_secs: wait,
         run_secs: 0.0,
+        total_wait_secs: clock.prior_wait_secs + wait,
+        total_run_secs: clock.prior_run_secs,
+        backoff_secs: clock.backoff_secs,
+        attempts: job.runs.load(Ordering::Relaxed),
         completed_seq: u64::MAX, // never ran; out of completion order
     };
+    drop(clock);
     let mut state = job.state.lock().unwrap();
     *state = JobState::Done(Box::new(Finished {
         result: Err(PgsError::Overloaded {
@@ -1185,9 +1629,14 @@ fn retry_delay(base: Duration, seq: u64, attempt: u32) -> Duration {
     let jitter_ns = if exp.is_zero() {
         0
     } else {
-        iteration_seed(seq, attempt as u64) % (exp.as_nanos() as u64 / 2 + 1)
+        // `as_nanos` is u128; a plain `as u64` cast *wraps* once the
+        // scaled base passes ~584 years, collapsing (or exploding) the
+        // jitter range. Clamp at the type boundary instead — the u64
+        // ceiling already exceeds any meaningful backoff.
+        let exp_ns = u64::try_from(exp.as_nanos()).unwrap_or(u64::MAX);
+        iteration_seed(seq, attempt as u64) % (exp_ns / 2 + 1)
     };
-    exp + Duration::from_nanos(jitter_ns)
+    exp.saturating_add(Duration::from_nanos(jitter_ns))
 }
 
 /// Picks the next runnable job: among head-of-queue jobs of tenants
@@ -1243,6 +1692,7 @@ fn worker_loop(inner: &Inner) {
                 }
                 let now = Instant::now();
                 if let Some(job) = pop_next(&mut sched, inner.cfg.per_tenant_inflight, now) {
+                    inner.metrics.queue_depth.set(sched.queued as i64);
                     break Some(job);
                 }
                 if sched.shutdown && sched.queued == 0 {
@@ -1287,7 +1737,16 @@ enum Outcome {
 /// it at the front of its tenant queue with backoff.
 fn run_job(inner: &Inner, job: &Arc<Job>) {
     let picked = Instant::now();
-    let wait = picked.duration_since(job.submitted);
+    // Per-attempt queue wait: measured from the instant this attempt
+    // became runnable (submission, or backoff expiry for a retry) —
+    // *not* from the original submission, which would silently fold
+    // prior attempts and backoff sleeps into "queue wait". The
+    // tenant-deadline budget below still charges from submission, by
+    // its documented contract.
+    let wait = {
+        let clock = job.clock.lock().unwrap();
+        picked.saturating_duration_since(clock.ready_at)
+    };
     let request = {
         let mut state = job.state.lock().unwrap();
         match std::mem::replace(&mut *state, JobState::Running) {
@@ -1328,6 +1787,11 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
             let _ = journal.append(rec, false);
         }
     }
+    let attempt = job.runs.fetch_add(1, Ordering::Relaxed);
+    inner.metrics.running_jobs.add(1);
+    inner
+        .events
+        .record(job.id, &job.tenant, attempt, EventKind::Running, None);
 
     let outcome = if job.cancel.load(Ordering::Relaxed) {
         // Cancelled while queued: never start the engine. The identity
@@ -1342,11 +1806,13 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
         let mut request = *request;
         let mut expired_in_queue = false;
         if let Some(budget) = inner.cfg.tenant_deadline {
-            // Queue wait is charged against the tenant budget; the
-            // remainder (possibly zero — the engines treat a zero
-            // deadline as already expired) bounds the run itself,
-            // tightened further by any deadline the caller set.
-            let remaining = budget.saturating_sub(wait);
+            // All wall clock since submission — queue wait, prior
+            // attempts, backoff — is charged against the tenant
+            // budget; the remainder (possibly zero — the engines treat
+            // a zero deadline as already expired) bounds the run
+            // itself, tightened further by any deadline the caller
+            // set.
+            let remaining = budget.saturating_sub(picked.duration_since(job.submitted));
             // A request whose whole budget burned in the queue never
             // reaches the engine: its answer is the identity summary
             // with DeadlineExceeded, by definition, and skipping the
@@ -1380,15 +1846,63 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
                 && request.control_ref().checkpoint.is_none()
             {
                 let slot = Arc::clone(&job.last_checkpoint);
+                let events = Arc::clone(&inner.events);
+                let (ev_id, ev_tenant, ev_runs) =
+                    (job.id, job.tenant.clone(), Arc::clone(&job.runs));
                 let sink: CheckpointSink = Arc::new(move |_t, blob| {
                     let blob = Arc::new(blob);
                     *slot.lock().unwrap() = Some(Arc::clone(&blob));
-                    match &durable {
+                    let result = match &durable {
                         Some(file) => file.write(&blob),
                         None => Ok(()),
+                    };
+                    if result.is_ok() {
+                        let attempt = ev_runs.load(Ordering::Relaxed).saturating_sub(1);
+                        events.record(ev_id, &ev_tenant, attempt, EventKind::Checkpointed, None);
                     }
+                    result
                 });
                 request = request.checkpoint(inner.cfg.checkpoint_every.max(1), sink);
+            }
+            // Engine telemetry: wrap any caller observer with a delta
+            // publisher into the engine counters. Deltas are taken
+            // against the previous notification, seeded from the resume
+            // checkpoint's stats so a retried run never re-publishes
+            // work its prior incarnation already counted. Strictly
+            // write-only from the engine's perspective — the
+            // determinism boundary of DESIGN.md §14.
+            {
+                let eng = inner.metrics.engine.clone();
+                let caller_obs = request.control_ref().observer.clone();
+                let seeded = request
+                    .control_ref()
+                    .resume
+                    .as_deref()
+                    .and_then(|b| RunCheckpoint::decode(b).ok())
+                    .map(|ck| ck.stats)
+                    .unwrap_or_default();
+                let prev = Mutex::new(seeded);
+                request = request.observer(move |stats: &RunStats| {
+                    let mut prev = prev.lock().unwrap();
+                    let us = |now: f64, before: f64| ((now - before).max(0.0) * 1e6) as u64;
+                    eng.iterations
+                        .add(stats.iterations.saturating_sub(prev.iterations) as u64);
+                    eng.merges
+                        .add(stats.merges.saturating_sub(prev.merges) as u64);
+                    eng.evals.add(stats.evals.saturating_sub(prev.evals));
+                    eng.candidates_us
+                        .add(us(stats.phases.candidates, prev.phases.candidates));
+                    eng.evaluate_us
+                        .add(us(stats.phases.evaluate, prev.phases.evaluate));
+                    eng.commit_us
+                        .add(us(stats.phases.commit, prev.phases.commit));
+                    eng.sparsify_us
+                        .add(us(stats.phases.sparsify, prev.phases.sparsify));
+                    *prev = *stats;
+                    if let Some(obs) = &caller_obs {
+                        obs(stats);
+                    }
+                });
             }
             // Stall supervision: give the run a fresh heartbeat and put
             // it under watch for the duration of the engine call. The
@@ -1474,10 +1988,22 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
     };
 
     inner.running.lock().unwrap().remove(&job.id);
+    inner.metrics.running_jobs.add(-1);
     let result = match outcome {
         Outcome::Retry(retry) => {
-            let attempt = job.attempts.load(Ordering::Relaxed);
-            let delay = retry_delay(inner.cfg.retry_backoff, job.seq, attempt);
+            let failed_attempt = job.attempts.load(Ordering::Relaxed);
+            let delay = retry_delay(inner.cfg.retry_backoff, job.seq, failed_attempt);
+            let attempt_run_secs = picked.elapsed().as_secs_f64();
+            // Roll this attempt into the job's cumulative clock and
+            // re-arm `ready_at` at backoff expiry: the next pickup's
+            // queue wait starts there, not at submission.
+            {
+                let mut clock = job.clock.lock().unwrap();
+                clock.prior_wait_secs += wait.as_secs_f64();
+                clock.prior_run_secs += attempt_run_secs;
+                clock.backoff_secs += delay.as_secs_f64();
+                clock.ready_at = picked + delay;
+            }
             // State back to Queued *before* the queue push: once the
             // entry is visible a worker may pop it immediately.
             {
@@ -1501,17 +2027,38 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
                     not_before: Some(picked + delay),
                 });
                 sched.queued += 1;
+                inner.metrics.queue_depth.set(sched.queued as i64);
+                // Failed attempts feed the overload hint too — they
+                // held a worker just like a completed one.
+                sched.total_attempt_secs += attempt_run_secs;
+                sched.total_attempts += 1;
             }
+            inner.metrics.jobs_retried.inc();
+            inner.events.record(
+                job.id,
+                &job.tenant,
+                attempt,
+                EventKind::Retried,
+                Some("panic"),
+            );
             inner.work_cv.notify_all();
             return;
         }
         Outcome::Publish(result) => *result,
     };
 
-    let timings = JobTimings {
-        wait_secs: wait.as_secs_f64(),
-        run_secs: picked.elapsed().as_secs_f64(),
-        completed_seq: inner.completed_seq.fetch_add(1, Ordering::Relaxed),
+    let run_secs = picked.elapsed().as_secs_f64();
+    let timings = {
+        let clock = job.clock.lock().unwrap();
+        JobTimings {
+            wait_secs: wait.as_secs_f64(),
+            run_secs,
+            total_wait_secs: clock.prior_wait_secs + wait.as_secs_f64(),
+            total_run_secs: clock.prior_run_secs + run_secs,
+            backoff_secs: clock.backoff_secs,
+            attempts: job.runs.load(Ordering::Relaxed),
+            completed_seq: inner.completed_seq.fetch_add(1, Ordering::Relaxed),
+        }
     };
     let outcome = result.as_ref().map(|out| out.stop).map_err(|_| ());
     let abandoned = inner.abandon.load(Ordering::Relaxed);
@@ -1546,8 +2093,17 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
             // pgs-allow: PGS004 tenant entries are created at submit and never removed
             .expect("tenant registered at submit");
         t.inflight -= 1;
-        t.stats.wait_secs += timings.wait_secs;
-        t.stats.run_secs += timings.run_secs;
+        t.stats.wait_secs += timings.total_wait_secs;
+        t.stats.run_secs += timings.total_run_secs;
+        t.stats.backoff_secs += timings.backoff_secs;
+        if let Ok(out) = &result {
+            // Engine totals, once per finished job. Checkpoint-resumed
+            // retries carry their prior incarnation's stats forward, so
+            // the final output's totals already span the whole job.
+            t.stats.phases += out.stats.phases;
+            t.stats.evals += out.stats.evals;
+            t.stats.merges += out.stats.merges as u64;
+        }
         match outcome {
             Ok(stop) => {
                 t.stats.completed += 1;
@@ -1584,9 +2140,39 @@ fn run_job(inner: &Inner, job: &Arc<Job>) {
             );
             t.stats.breaker_trips = b.trips;
         }
-        sched.total_run_secs += timings.run_secs;
-        sched.total_completed += 1;
+        sched.total_attempt_secs += timings.run_secs;
+        sched.total_attempts += 1;
     }
+    inner
+        .metrics
+        .wait_us
+        .record((timings.wait_secs * 1e6) as u64);
+    inner.metrics.run_us.record((timings.run_secs * 1e6) as u64);
+    match outcome {
+        Ok(stop) => {
+            inner.metrics.jobs_completed.inc();
+            if stop == StopReason::Stalled {
+                inner.metrics.jobs_stalled.inc();
+            }
+        }
+        Err(()) => inner.metrics.jobs_errors.inc(),
+    }
+    if quarantined_now {
+        inner.metrics.jobs_quarantined.inc();
+        inner
+            .events
+            .record(job.id, &job.tenant, attempt, EventKind::Quarantined, None);
+    }
+    inner.events.record(
+        job.id,
+        &job.tenant,
+        attempt,
+        EventKind::Completed,
+        Some(match outcome {
+            Ok(stop) => stop.as_str(),
+            Err(()) => "error",
+        }),
+    );
     // A run that truly finished has nothing left to resume: retire its
     // durable checkpoint file before the result becomes visible (a
     // crash between remove and publish merely replays the finished run
@@ -1730,8 +2316,8 @@ mod tests {
         let empty = Sched {
             tenants: BTreeMap::new(),
             queued: 0,
-            total_run_secs: 0.0,
-            total_completed: 0,
+            total_attempt_secs: 0.0,
+            total_attempts: 0,
             shutdown: false,
         };
         assert_eq!(overload_hint(&empty, 4), MIN_RETRY_HINT);
@@ -1740,8 +2326,8 @@ mod tests {
         let fast = Sched {
             tenants: BTreeMap::new(),
             queued: 7,
-            total_run_secs: 0.0,
-            total_completed: 10,
+            total_attempt_secs: 0.0,
+            total_attempts: 10,
             shutdown: false,
         };
         assert!(overload_hint(&fast, 2) >= MIN_RETRY_HINT);
@@ -1749,11 +2335,71 @@ mod tests {
         let slow = Sched {
             tenants: BTreeMap::new(),
             queued: 4,
-            total_run_secs: 10.0,
-            total_completed: 10,
+            total_attempt_secs: 10.0,
+            total_attempts: 10,
             shutdown: false,
         };
         assert_eq!(overload_hint(&slow, 2), Duration::from_secs_f64(3.0));
+    }
+
+    #[test]
+    fn overload_hint_is_monotone_in_queue_pressure() {
+        // At a fixed per-attempt average, deeper queues must never
+        // hint a *shorter* backoff — the hint is the caller-facing
+        // congestion signal.
+        let mut prev = Duration::ZERO;
+        for queued in 0..64 {
+            let sched = Sched {
+                tenants: BTreeMap::new(),
+                queued,
+                total_attempt_secs: 5.0,
+                total_attempts: 10,
+                shutdown: false,
+            };
+            let hint = overload_hint(&sched, 4);
+            assert!(
+                hint >= prev,
+                "hint shrank as the queue grew: {prev:?} -> {hint:?} at depth {queued}"
+            );
+            prev = hint;
+        }
+    }
+
+    #[test]
+    fn retry_delay_jitter_survives_huge_backoffs() {
+        // Regression: `exp.as_nanos() as u64` wrapped for large
+        // base × 2^attempt, collapsing the jitter modulus to an
+        // arbitrary (sometimes tiny) value. With the clamped modulus
+        // the jitter range is [0, u64::MAX/2]; some seed in a small
+        // sweep must land in the top half of it, which the wrapped
+        // modulus (≈ 6.43e18 for this base, capping jitter below
+        // ≈ 3.2e18) made unreachable.
+        let base = Duration::from_secs(1u64 << 35);
+        let max_jitter_ns = (0..64)
+            .map(|seq| {
+                let d = retry_delay(base, seq, 10);
+                d.saturating_sub(base.saturating_mul(1 << 10)).as_nanos() as u64
+            })
+            .max()
+            .unwrap();
+        assert!(
+            max_jitter_ns >= u64::MAX / 4,
+            "jitter never reached the upper half of the clamped range \
+             (max {max_jitter_ns}) — the u128→u64 wrap is back"
+        );
+        // Normal regime: jitter stays within the documented [0, exp/2].
+        let base = Duration::from_millis(10);
+        for attempt in 1..=6u32 {
+            for seq in 0..32 {
+                let exp = base.saturating_mul(1 << attempt.min(10));
+                let d = retry_delay(base, seq, attempt);
+                assert!(d >= exp, "delay below the exponential floor");
+                assert!(
+                    d <= exp + exp / 2 + Duration::from_nanos(1),
+                    "jitter exceeded exp/2: {d:?} vs exp {exp:?}"
+                );
+            }
+        }
     }
 
     #[test]

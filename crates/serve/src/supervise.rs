@@ -42,10 +42,18 @@ struct Watch {
     last_change: Instant,
 }
 
+/// Callback invoked with a job id right after the watchdog flags it
+/// stalled (and before anything else observes the cancellation) — the
+/// serving layer hangs its stall-forensics capture here.
+pub type OnStall = Arc<dyn Fn(u64) + Send + Sync>;
+
 struct Shared {
     watches: Mutex<BTreeMap<u64, Watch>>,
     shutdown: Mutex<bool>,
     cv: Condvar,
+    /// Stall-escalation hook, installed once after construction (the
+    /// service needs its own `Arc` built before it can capture it).
+    on_stall: Mutex<Option<OnStall>>,
 }
 
 /// The stall watchdog: a single thread ticking at a quarter of the
@@ -66,6 +74,7 @@ impl Supervisor {
             watches: Mutex::new(BTreeMap::new()),
             shutdown: Mutex::new(false),
             cv: Condvar::new(),
+            on_stall: Mutex::new(None),
         });
         let tick = (stall_timeout / 4).max(Duration::from_millis(1));
         let thread_shared = Arc::clone(&shared);
@@ -108,6 +117,13 @@ impl Supervisor {
         self.shared.watches.lock().unwrap().remove(&id);
     }
 
+    /// Installs the stall-escalation hook: called with each flagged
+    /// job's id, outside the watch-table lock, at most once per job.
+    /// Replaces any previously installed hook.
+    pub fn set_on_stall(&self, hook: OnStall) {
+        *self.shared.on_stall.lock().unwrap() = Some(hook);
+    }
+
     /// Runs currently under watch.
     pub fn watching(&self) -> usize {
         self.shared.watches.lock().unwrap().len()
@@ -140,18 +156,33 @@ fn watchdog_loop(shared: &Shared, stall_timeout: Duration, tick: Duration) {
             }
         }
         let now = Instant::now();
-        let mut watches = shared.watches.lock().unwrap();
-        for watch in watches.values_mut() {
-            let value = watch.heartbeat.load(Ordering::Relaxed);
-            if value != watch.last_value {
-                watch.last_value = value;
-                watch.last_change = now;
-            } else if now.duration_since(watch.last_change) >= stall_timeout
-                && !watch.stalled.swap(true, Ordering::Relaxed)
-            {
-                // Escalation: mark first, then cancel — the worker that
-                // observes the cancel must already see the verdict.
-                watch.cancel.store(true, Ordering::Relaxed);
+        let mut flagged = Vec::new();
+        {
+            let mut watches = shared.watches.lock().unwrap();
+            for (&id, watch) in watches.iter_mut() {
+                let value = watch.heartbeat.load(Ordering::Relaxed);
+                if value != watch.last_value {
+                    watch.last_value = value;
+                    watch.last_change = now;
+                } else if now.duration_since(watch.last_change) >= stall_timeout
+                    && !watch.stalled.swap(true, Ordering::Relaxed)
+                {
+                    // Escalation: mark first, then cancel — the worker
+                    // that observes the cancel must already see the
+                    // verdict. The hook runs after the flag lands but
+                    // outside the watch-table lock (it may take the
+                    // service's own locks).
+                    watch.cancel.store(true, Ordering::Relaxed);
+                    flagged.push(id);
+                }
+            }
+        }
+        if !flagged.is_empty() {
+            let hook = shared.on_stall.lock().unwrap().clone();
+            if let Some(hook) = hook {
+                for id in flagged {
+                    hook(id);
+                }
             }
         }
     }
